@@ -1,0 +1,577 @@
+//! The INV / INV+ / INC / INC+ answering engines (Sections 5.1 and 5.2).
+
+use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
+use gsm_core::error::Result;
+use gsm_core::interner::Sym;
+use gsm_core::memory::HeapSize;
+use gsm_core::model::generic::GenericEdge;
+use gsm_core::model::update::Update;
+use gsm_core::query::paths::covering_paths;
+use gsm_core::query::pattern::QueryPattern;
+use gsm_core::relation::cache::JoinCache;
+use gsm_core::relation::eval::{join_paths, PathBinding};
+use gsm_core::relation::join::JoinBuild;
+use gsm_core::relation::Relation;
+use gsm_core::views::EdgeViewStore;
+
+use crate::index::{InvertedIndexes, PathRecord, QueryRecord};
+
+/// Which baseline algorithm the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// INV: joins the full materialized views of every covering path of every
+    /// affected query, then derives the new embeddings.
+    Inv,
+    /// INC: seeds the affected covering path(s) with the incoming update only
+    /// (fewer tuples examined), recomputing only the unaffected paths fully.
+    Inc,
+}
+
+/// The shared INV/INC engine; the mode and the caching flag select between
+/// the four baselines of the paper.
+#[derive(Debug)]
+pub struct BaselineEngine {
+    mode: BaselineMode,
+    caching: bool,
+    views: EdgeViewStore,
+    indexes: InvertedIndexes,
+    cache: JoinCache,
+    stats: EngineStats,
+}
+
+impl BaselineEngine {
+    /// Creates an engine with an explicit mode and caching flag.
+    pub fn with_mode(mode: BaselineMode, caching: bool) -> Self {
+        BaselineEngine {
+            mode,
+            caching,
+            views: EdgeViewStore::new(),
+            indexes: InvertedIndexes::new(),
+            cache: JoinCache::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Algorithm INV.
+    pub fn inv() -> Self {
+        Self::with_mode(BaselineMode::Inv, false)
+    }
+
+    /// Algorithm INV+ (join-structure caching).
+    pub fn inv_plus() -> Self {
+        Self::with_mode(BaselineMode::Inv, true)
+    }
+
+    /// Algorithm INC.
+    pub fn inc() -> Self {
+        Self::with_mode(BaselineMode::Inc, false)
+    }
+
+    /// Algorithm INC+ (join-structure caching).
+    pub fn inc_plus() -> Self {
+        Self::with_mode(BaselineMode::Inc, true)
+    }
+
+    /// The mode of this engine.
+    pub fn mode(&self) -> BaselineMode {
+        self.mode
+    }
+
+    /// Join-cache hit counter (always zero for the non-`+` variants).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Extends `rel` (whose last column is the frontier vertex) to the right
+    /// with the tuples of `view` whose source matches the frontier.
+    fn extend_right(
+        caching: bool,
+        cache: &mut JoinCache,
+        rel: &Relation,
+        view: &Relation,
+    ) -> Relation {
+        let out_arity = rel.arity() + 1;
+        let mut out = Relation::new(out_arity);
+        if rel.is_empty() || view.is_empty() {
+            return out;
+        }
+        let last = rel.arity() - 1;
+        let mut buf = vec![Sym(0); out_arity];
+        let probe = |build: &JoinBuild, out: &mut Relation, buf: &mut Vec<Sym>| {
+            for row in rel.iter() {
+                for idx in build.probe(view, &[row[last]]) {
+                    buf[..row.len()].copy_from_slice(row);
+                    buf[out_arity - 1] = view.row(idx)[1];
+                    out.push(buf);
+                }
+            }
+        };
+        if caching {
+            let build = cache.get_or_build(view, &[0]);
+            probe(build, &mut out, &mut buf);
+        } else {
+            let build = JoinBuild::build(view, &[0]);
+            probe(&build, &mut out, &mut buf);
+        }
+        out
+    }
+
+    /// Extends `rel` (whose first column is the frontier vertex) to the left
+    /// with the tuples of `view` whose target matches the frontier.
+    fn extend_left(
+        caching: bool,
+        cache: &mut JoinCache,
+        rel: &Relation,
+        view: &Relation,
+    ) -> Relation {
+        let out_arity = rel.arity() + 1;
+        let mut out = Relation::new(out_arity);
+        if rel.is_empty() || view.is_empty() {
+            return out;
+        }
+        let mut buf = vec![Sym(0); out_arity];
+        let probe = |build: &JoinBuild, out: &mut Relation, buf: &mut Vec<Sym>| {
+            for row in rel.iter() {
+                for idx in build.probe(view, &[row[0]]) {
+                    buf[0] = view.row(idx)[0];
+                    buf[1..].copy_from_slice(row);
+                    out.push(buf);
+                }
+            }
+        };
+        if caching {
+            let build = cache.get_or_build(view, &[1]);
+            probe(build, &mut out, &mut buf);
+        } else {
+            let build = JoinBuild::build(view, &[1]);
+            probe(&build, &mut out, &mut buf);
+        }
+        out
+    }
+
+    /// Computes the **full** relation of a covering path by joining the
+    /// edge-level materialized views left to right (INV's expensive step).
+    /// Returns `None` as soon as an intermediate result is empty.
+    fn full_path_relation(&mut self, path: &PathRecord) -> Option<Relation> {
+        let caching = self.caching;
+        let first_view = self.views.get(&path.edges[0])?;
+        if first_view.is_empty() {
+            return None;
+        }
+        let mut rel = first_view.clone();
+        for edge in &path.edges[1..] {
+            let view = self.views.get(edge)?;
+            rel = Self::extend_right(caching, &mut self.cache, &rel, view);
+            if rel.is_empty() {
+                return None;
+            }
+        }
+        Some(rel)
+    }
+
+    /// Computes the **delta** relation of a covering path: the path tuples
+    /// that use the incoming update at one of the positions whose generic
+    /// edge matches it. Columns correspond to path positions.
+    fn delta_path_relation(
+        &mut self,
+        path: &PathRecord,
+        update: &Update,
+        affected_edges: &[GenericEdge],
+    ) -> Relation {
+        let caching = self.caching;
+        let len = path.edges.len();
+        let mut delta = Relation::new(len + 1);
+        for (pos, edge) in path.edges.iter().enumerate() {
+            if !affected_edges.contains(edge) {
+                continue;
+            }
+            // Seed the matched position with the update tuple…
+            let mut rel = Relation::singleton(&[update.src, update.tgt]);
+            // …extend to the right…
+            for e in &path.edges[pos + 1..] {
+                let Some(view) = self.views.get(e) else {
+                    rel = Relation::new(rel.arity() + 1);
+                    break;
+                };
+                rel = Self::extend_right(caching, &mut self.cache, &rel, view);
+                if rel.is_empty() {
+                    break;
+                }
+            }
+            if rel.is_empty() {
+                continue;
+            }
+            // …and to the left.
+            let mut ok = true;
+            for e in path.edges[..pos].iter().rev() {
+                let Some(view) = self.views.get(e) else {
+                    ok = false;
+                    break;
+                };
+                rel = Self::extend_left(caching, &mut self.cache, &rel, view);
+                if rel.is_empty() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && !rel.is_empty() {
+                debug_assert_eq!(rel.arity(), len + 1);
+                delta.extend_from(&rel);
+            }
+        }
+        delta
+    }
+}
+
+impl ContinuousEngine for BaselineEngine {
+    fn name(&self) -> &'static str {
+        match (self.mode, self.caching) {
+            (BaselineMode::Inv, false) => "INV",
+            (BaselineMode::Inv, true) => "INV+",
+            (BaselineMode::Inc, false) => "INC",
+            (BaselineMode::Inc, true) => "INC+",
+        }
+    }
+
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        let qid = QueryId(self.indexes.num_queries() as u32);
+        let paths = covering_paths(query);
+        let mut records = Vec::with_capacity(paths.len());
+        let mut edges: Vec<GenericEdge> = Vec::new();
+        for path in &paths {
+            let generic: Vec<GenericEdge> = path
+                .edges
+                .iter()
+                .map(|&e| GenericEdge::from_pattern(&query.edges()[e]))
+                .collect();
+            for &ge in &generic {
+                self.views.register(ge);
+                if !edges.contains(&ge) {
+                    edges.push(ge);
+                }
+            }
+            records.push(PathRecord {
+                edges: generic,
+                vertices: path.vertex_sequence(query),
+            });
+        }
+        self.indexes.insert(
+            qid,
+            QueryRecord {
+                paths: records,
+                edges,
+            },
+        );
+        Ok(qid)
+    }
+
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.stats.updates_processed += 1;
+
+        // Route the update to the edge-level materialized views.
+        let affected_edges = self.views.apply_update(&update);
+        if affected_edges.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // Step 1: locate the affected queries via edgeInd and quick-reject
+        // queries with an empty view on any edge.
+        let affected_queries = self.indexes.affected_queries(&affected_edges);
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+
+        'queries: for qid in affected_queries {
+            let record = self.indexes.record(qid).clone();
+            for edge in &record.edges {
+                match self.views.get(edge) {
+                    Some(view) if !view.is_empty() => {}
+                    _ => continue 'queries,
+                }
+            }
+
+            // Step 2/3: path examination and materialization.
+            //
+            // INV computes the full relation of *every* covering path (the
+            // "join and explore" cost the paper attributes to it); INC only
+            // computes full relations for the paths the update does not
+            // touch. Both then derive the new embeddings by joining the
+            // update-seeded delta of each affected path with the other
+            // paths' relations.
+            let path_affected: Vec<bool> = record
+                .paths
+                .iter()
+                .map(|p| p.edges.iter().any(|e| affected_edges.contains(e)))
+                .collect();
+
+            let mut full_relations: Vec<Option<Relation>> = vec![None; record.paths.len()];
+            let mut all_present = true;
+            for (i, path) in record.paths.iter().enumerate() {
+                let need_full = match self.mode {
+                    BaselineMode::Inv => true,
+                    BaselineMode::Inc => !path_affected[i],
+                };
+                if need_full {
+                    match self.full_path_relation(path) {
+                        Some(rel) => full_relations[i] = Some(rel),
+                        None => {
+                            all_present = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !all_present {
+                continue;
+            }
+
+            let mut deltas: Vec<Option<Relation>> = vec![None; record.paths.len()];
+            for (i, path) in record.paths.iter().enumerate() {
+                if path_affected[i] {
+                    let d = self.delta_path_relation(path, &update, &affected_edges);
+                    if !d.is_empty() {
+                        deltas[i] = Some(d);
+                    }
+                }
+            }
+            if deltas.iter().all(Option::is_none) {
+                continue;
+            }
+
+            // INC may not yet have computed the full relation of an affected
+            // path that is needed as "the other path" during the final join;
+            // compute those now (only when at least two paths are involved).
+            if record.paths.len() > 1 {
+                for j in 0..record.paths.len() {
+                    let needed = deltas
+                        .iter()
+                        .enumerate()
+                        .any(|(i, d)| i != j && d.is_some());
+                    if needed && full_relations[j].is_none() {
+                        full_relations[j] = self.full_path_relation(&record.paths[j]);
+                    }
+                }
+            }
+
+            // Final join per affected path, union of distinct embeddings.
+            let mut embeddings: Option<Relation> = None;
+            for i in 0..record.paths.len() {
+                let Some(delta) = &deltas[i] else { continue };
+                let mut bindings = Vec::with_capacity(record.paths.len());
+                bindings.push(PathBinding::new(delta, record.paths[i].vertices.clone()));
+                let mut usable = true;
+                for (j, other) in record.paths.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    match &full_relations[j] {
+                        Some(rel) => {
+                            bindings.push(PathBinding::new(rel, other.vertices.clone()))
+                        }
+                        None => {
+                            usable = false;
+                            break;
+                        }
+                    }
+                }
+                if !usable {
+                    continue;
+                }
+                if let Some(result) = join_paths(&bindings) {
+                    let canon = result.canonicalize();
+                    match &mut embeddings {
+                        None => embeddings = Some(canon.rel),
+                        Some(acc) => {
+                            acc.extend_from(&canon.rel);
+                        }
+                    }
+                }
+            }
+            if let Some(emb) = embeddings {
+                if !emb.is_empty() {
+                    counts.push((qid, emb.len() as u64));
+                }
+            }
+        }
+
+        let report = MatchReport::from_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        report
+    }
+
+    fn num_queries(&self) -> usize {
+        self.indexes.num_queries()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.views.heap_size()
+            + self.indexes.heap_size()
+            + self.cache.heap_size()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::interner::SymbolTable;
+
+    struct Fixture {
+        symbols: SymbolTable,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                symbols: SymbolTable::new(),
+            }
+        }
+        fn q(&mut self, text: &str) -> QueryPattern {
+            QueryPattern::parse(text, &mut self.symbols).unwrap()
+        }
+        fn u(&mut self, label: &str, src: &str, tgt: &str) -> Update {
+            Update::new(
+                self.symbols.intern(label),
+                self.symbols.intern(src),
+                self.symbols.intern(tgt),
+            )
+        }
+    }
+
+    fn engines() -> Vec<BaselineEngine> {
+        vec![
+            BaselineEngine::inv(),
+            BaselineEngine::inv_plus(),
+            BaselineEngine::inc(),
+            BaselineEngine::inc_plus(),
+        ]
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["INV", "INV+", "INC", "INC+"]);
+    }
+
+    #[test]
+    fn single_edge_query_matches() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b");
+            let qid = engine.register_query(&q).unwrap();
+            let report = engine.apply_update(f.u("knows", "a", "b"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn chain_completes_on_last_edge_regardless_of_order() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            let qid = engine.register_query(&q).unwrap();
+            assert!(engine.apply_update(f.u("y", "b1", "c1")).is_empty());
+            let report = engine.apply_update(f.u("x", "a1", "b1"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn cycle_closure_is_required() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?a");
+            let qid = engine.register_query(&q).unwrap();
+            engine.apply_update(f.u("x", "1", "2"));
+            engine.apply_update(f.u("y", "2", "3"));
+            assert!(engine.apply_update(f.u("z", "3", "7")).is_empty());
+            let report = engine.apply_update(f.u("z", "3", "1"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn star_query_counts_embeddings() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?c -a-> ?x; ?c -b-> ?y");
+            engine.register_query(&q).unwrap();
+            engine.apply_update(f.u("a", "hub", "x1"));
+            engine.apply_update(f.u("a", "hub", "x2"));
+            let report = engine.apply_update(f.u("b", "hub", "y1"));
+            assert_eq!(report.matches.len(), 1);
+            assert_eq!(report.matches[0].new_embeddings, 2, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn duplicate_updates_are_ignored() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b");
+            engine.register_query(&q).unwrap();
+            let u = f.u("knows", "a", "b");
+            assert_eq!(engine.apply_update(u).len(), 1);
+            assert_eq!(engine.apply_update(u).len(), 0, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn caching_variants_report_cache_hits() {
+        let mut f = Fixture::new();
+        let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+        let mut plus = BaselineEngine::inv_plus();
+        let mut plain = BaselineEngine::inv();
+        plus.register_query(&q).unwrap();
+        plain.register_query(&q).unwrap();
+        for i in 0..20 {
+            let u1 = f.u("x", &format!("a{i}"), &format!("b{i}"));
+            let u2 = f.u("y", &format!("b{i}"), &format!("c{i}"));
+            plus.apply_update(u1);
+            plus.apply_update(u2);
+            plain.apply_update(u1);
+            plain.apply_update(u2);
+        }
+        assert!(plus.cache_hits() > 0);
+        assert_eq!(plain.cache_hits(), 0);
+    }
+
+    #[test]
+    fn all_baselines_agree_with_tric_on_random_streams() {
+        use gsm_tric::TricEngine;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut f = Fixture::new();
+        let queries = vec![
+            f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+            f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+            f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+            f.q("?a -e0-> v3"),
+            f.q("?a -e2-> ?a"),
+            f.q("?a -e0-> ?b; ?c -e1-> ?b"),
+        ];
+        let mut tric = TricEngine::tric();
+        let mut baselines = engines();
+        for q in &queries {
+            tric.register_query(q).unwrap();
+            for b in baselines.iter_mut() {
+                b.register_query(q).unwrap();
+            }
+        }
+        for _ in 0..300 {
+            let label = format!("e{}", rng.gen_range(0..3));
+            let src = format!("v{}", rng.gen_range(0..7));
+            let tgt = format!("v{}", rng.gen_range(0..7));
+            let u = f.u(&label, &src, &tgt);
+            let expected = tric.apply_update(u);
+            for b in baselines.iter_mut() {
+                let got = b.apply_update(u);
+                assert_eq!(got, expected, "{} diverged from TRIC on {u:?}", b.name());
+            }
+        }
+    }
+}

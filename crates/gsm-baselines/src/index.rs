@@ -1,0 +1,177 @@
+//! The inverted indexes of the INV/INC baselines (Section 5.1, Step 2).
+
+use std::collections::HashMap;
+
+use gsm_core::engine::QueryId;
+use gsm_core::memory::HeapSize;
+use gsm_core::model::generic::{GenTerm, GenericEdge};
+use gsm_core::query::pattern::QVertexId;
+
+/// One covering path of a registered query, kept verbatim in `queryInd`.
+#[derive(Debug, Clone)]
+pub struct PathRecord {
+    /// Generic edges of the path, in walk order.
+    pub edges: Vec<GenericEdge>,
+    /// Query vertex bound by each path position (`edges.len() + 1` entries).
+    pub vertices: Vec<QVertexId>,
+}
+
+impl HeapSize for PathRecord {
+    fn heap_size(&self) -> usize {
+        self.edges.heap_size() + self.vertices.heap_size()
+    }
+}
+
+/// Everything `queryInd` stores about one query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// The query's covering paths.
+    pub paths: Vec<PathRecord>,
+    /// Every distinct generic edge of the query (for the "all views
+    /// non-empty" quick check of the answering phase).
+    pub edges: Vec<GenericEdge>,
+}
+
+impl HeapSize for QueryRecord {
+    fn heap_size(&self) -> usize {
+        self.paths.heap_size() + self.edges.heap_size()
+    }
+}
+
+/// The inverted indexes shared by INV/INV+/INC/INC+.
+#[derive(Debug, Default)]
+pub struct InvertedIndexes {
+    /// edgeInd: generic edge → queries containing it.
+    pub edge_index: HashMap<GenericEdge, Vec<QueryId>>,
+    /// sourceInd: source vertex position → generic edges with that source.
+    pub source_index: HashMap<GenTerm, Vec<GenericEdge>>,
+    /// targetInd: target vertex position → generic edges with that target.
+    pub target_index: HashMap<GenTerm, Vec<GenericEdge>>,
+    /// queryInd: query id → its covering paths.
+    pub query_index: Vec<QueryRecord>,
+}
+
+impl InvertedIndexes {
+    /// Creates empty indexes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query's record, updating every inverted index.
+    pub fn insert(&mut self, qid: QueryId, record: QueryRecord) {
+        debug_assert_eq!(qid.index(), self.query_index.len());
+        for edge in &record.edges {
+            let queries = self.edge_index.entry(*edge).or_default();
+            if !queries.contains(&qid) {
+                queries.push(qid);
+            }
+            let sources = self.source_index.entry(edge.src).or_default();
+            if !sources.contains(edge) {
+                sources.push(*edge);
+            }
+            let targets = self.target_index.entry(edge.tgt).or_default();
+            if !targets.contains(edge) {
+                targets.push(*edge);
+            }
+        }
+        self.query_index.push(record);
+    }
+
+    /// Queries containing any of the given generic edges, deduplicated and
+    /// sorted.
+    pub fn affected_queries(&self, edges: &[GenericEdge]) -> Vec<QueryId> {
+        let mut out: Vec<QueryId> = edges
+            .iter()
+            .filter_map(|e| self.edge_index.get(e))
+            .flatten()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.query_index.len()
+    }
+
+    /// The record of a query.
+    pub fn record(&self, qid: QueryId) -> &QueryRecord {
+        &self.query_index[qid.index()]
+    }
+}
+
+impl HeapSize for InvertedIndexes {
+    fn heap_size(&self) -> usize {
+        self.edge_index.heap_size()
+            + self.source_index.heap_size()
+            + self.target_index.heap_size()
+            + self.query_index.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::interner::Sym;
+    use gsm_core::model::term::{PatternEdge, Term};
+
+    fn ge(label: u32, src: Term, tgt: Term) -> GenericEdge {
+        GenericEdge::from_pattern(&PatternEdge::new(Sym(label), src, tgt))
+    }
+
+    fn record(edges: Vec<GenericEdge>) -> QueryRecord {
+        QueryRecord {
+            paths: vec![PathRecord {
+                edges: edges.clone(),
+                vertices: (0..=edges.len()).collect(),
+            }],
+            edges,
+        }
+    }
+
+    #[test]
+    fn edge_index_maps_edges_to_queries() {
+        let mut idx = InvertedIndexes::new();
+        let shared = ge(0, Term::Var(0), Term::Var(1));
+        let only_q1 = ge(1, Term::Var(0), Term::Const(Sym(9)));
+        idx.insert(QueryId(0), record(vec![shared, only_q1]));
+        idx.insert(QueryId(1), record(vec![shared]));
+
+        assert_eq!(idx.affected_queries(&[shared]), vec![QueryId(0), QueryId(1)]);
+        assert_eq!(idx.affected_queries(&[only_q1]), vec![QueryId(0)]);
+        assert!(idx.affected_queries(&[ge(7, Term::Var(0), Term::Var(1))]).is_empty());
+    }
+
+    #[test]
+    fn source_and_target_indexes_group_by_vertex_position() {
+        let mut idx = InvertedIndexes::new();
+        let a = ge(0, Term::Var(0), Term::Const(Sym(5)));
+        let b = ge(1, Term::Var(2), Term::Const(Sym(5)));
+        idx.insert(QueryId(0), record(vec![a, b]));
+        assert_eq!(idx.source_index.get(&GenTerm::Any).map(Vec::len), Some(2));
+        assert_eq!(
+            idx.target_index.get(&GenTerm::Const(Sym(5))).map(Vec::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_within_query_are_indexed_once() {
+        let mut idx = InvertedIndexes::new();
+        let e = ge(0, Term::Var(0), Term::Var(1));
+        idx.insert(QueryId(0), record(vec![e, e]));
+        assert_eq!(idx.edge_index.get(&e).map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn affected_queries_dedup_across_shapes() {
+        let mut idx = InvertedIndexes::new();
+        let a = ge(0, Term::Var(0), Term::Var(1));
+        let b = ge(0, Term::Var(0), Term::Const(Sym(3)));
+        idx.insert(QueryId(0), record(vec![a, b]));
+        let affected = idx.affected_queries(&[a, b]);
+        assert_eq!(affected, vec![QueryId(0)]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fig. 12(a): SNB answering time vs graph size, all engines.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig12a` series (see gsm_bench::figures::fig12a), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for edges in [900usize] {
+        let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, edges, 40));
+        common::bench_answering(c, &format!("fig12a/E{edges}"), &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 12(b): SNB answering time vs selectivity sigma.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig12b` series (see gsm_bench::figures::fig12b), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for sigma in [0.30f64] {
+        let w = Workload::generate(
+            WorkloadConfig::new(Dataset::Snb, 1000, 40).with_selectivity(sigma),
+        );
+        let label = format!("fig12b/s{}", (sigma * 100.0) as u32);
+        common::bench_answering(c, &label, &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

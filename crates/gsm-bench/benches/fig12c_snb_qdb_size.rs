@@ -1,0 +1,20 @@
+//! Fig. 12(c): SNB answering time vs query database size.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig12c` series (see gsm_bench::figures::fig12c), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for qdb in [60usize] {
+        let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1000, qdb));
+        common::bench_answering(c, &format!("fig12c/Q{qdb}"), &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 12(d): SNB answering time vs average query size l.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig12d` series (see gsm_bench::figures::fig12d), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for l in [7usize] {
+        let w = Workload::generate(
+            WorkloadConfig::new(Dataset::Snb, 1000, 40).with_query_size(l),
+        );
+        common::bench_answering(c, &format!("fig12d/l{l}"), &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 12(e): SNB answering time vs query overlap o.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig12e` series (see gsm_bench::figures::fig12e), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for o in [0.65f64] {
+        let w = Workload::generate(
+            WorkloadConfig::new(Dataset::Snb, 1000, 40).with_overlap(o),
+        );
+        let label = format!("fig12e/o{}", (o * 100.0) as u32);
+        common::bench_answering(c, &label, &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 12(f): SNB answering time on large graphs (baseline timeouts).
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig12f` series (see gsm_bench::figures::fig12f), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1800, 40));
+    common::bench_answering(c, "fig12f/E1800", &w, &EngineKind::all());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

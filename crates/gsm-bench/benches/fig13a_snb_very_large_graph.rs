@@ -1,0 +1,18 @@
+//! Fig. 13(a): SNB very large graphs, TRIC/TRIC+/GraphDB.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig13a` series (see gsm_bench::figures::fig13a), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 3000, 40));
+    common::bench_answering(c, "fig13a/E3000", &w, &EngineKind::large_graph_subset());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

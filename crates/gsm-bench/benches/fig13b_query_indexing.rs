@@ -1,0 +1,20 @@
+//! Fig. 13(b): query insertion (indexing) time vs |QDB|.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig13b` series (see gsm_bench::figures::fig13b), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for qdb in [150usize] {
+        let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 800, qdb));
+        common::bench_indexing(c, &format!("fig13b/Q{qdb}"), &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 14(b): BioGRID stress test on small graphs, all engines.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig14b` series (see gsm_bench::figures::fig14b), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    for edges in [500usize] {
+        let w = Workload::generate(
+            WorkloadConfig::new(Dataset::BioGrid, edges, 30).with_query_size(3),
+        );
+        common::bench_answering(c, &format!("fig14b/E{edges}"), &w, &EngineKind::all());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

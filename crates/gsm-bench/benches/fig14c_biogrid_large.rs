@@ -1,0 +1,20 @@
+//! Fig. 14(c): BioGRID on larger graphs, TRIC/TRIC+/GraphDB.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `fig14c` series (see gsm_bench::figures::fig14c), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::generate(
+        WorkloadConfig::new(Dataset::BioGrid, 900, 30).with_query_size(3),
+    );
+    common::bench_answering(c, "fig14c/E900", &w, &EngineKind::large_graph_subset());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 13(c): memory requirements per engine and dataset.
+//!
+//! Criterion micro-benchmark counterpart of the `experiments` binary's
+//! `tab13c` series (see gsm_bench::figures::tab13c), at a reduced fixed scale.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsm_bench::harness::EngineKind;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    use criterion::black_box;
+    for (dataset, name) in [
+        (Dataset::Snb, "SNB"),
+        (Dataset::Taxi, "TAXI"),
+        (Dataset::BioGrid, "BioGRID"),
+    ] {
+        let mut cfg = WorkloadConfig::new(dataset, 600, 25);
+        if dataset == Dataset::BioGrid {
+            cfg = cfg.with_query_size(3);
+        }
+        let w = Workload::generate(cfg);
+        let mut group = common::configure(c, &format!("tab13c/{name}"));
+        for kind in EngineKind::all() {
+            group.bench_function(kind.name(), |b| {
+                let mut engine = kind.build();
+                for q in &w.queries {
+                    engine.register_query(q).expect("valid query");
+                }
+                for u in w.stream.iter() {
+                    engine.apply_update(*u);
+                }
+                b.iter(|| black_box(engine.heap_bytes()));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

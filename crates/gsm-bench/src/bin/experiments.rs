@@ -1,0 +1,121 @@
+//! Regenerates the paper's figures and tables as markdown + CSV.
+//!
+//! ```text
+//! cargo run -p gsm-bench --release --bin experiments -- [--figure <id>|all]
+//!     [--scale <factor>] [--budget <seconds>] [--out <dir>]
+//! ```
+//!
+//! * `--figure` — one of fig12a…fig14c / tab13c, or `all` (default).
+//! * `--scale`  — multiplier on the default laptop-scale sizes (default 1.0).
+//! * `--budget` — per-run time budget in seconds (default 15).
+//! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gsm_bench::figures::{all_figure_ids, run_figure, ExperimentScale};
+use gsm_bench::harness::RunLimits;
+
+struct Args {
+    figures: Vec<String>,
+    scale: f64,
+    budget_secs: u64,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: vec!["all".to_string()],
+        scale: 1.0,
+        budget_secs: 15,
+        out_dir: PathBuf::from("results"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).cloned();
+        match flag {
+            "--figure" | "-f" => {
+                let v = value.ok_or("--figure needs a value")?;
+                args.figures = v.split(',').map(|s| s.trim().to_string()).collect();
+                i += 2;
+            }
+            "--scale" | "-s" => {
+                args.scale = value
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --scale: {e}"))?;
+                i += 2;
+            }
+            "--budget" | "-b" => {
+                args.budget_secs = value
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --budget: {e}"))?;
+                i += 2;
+            }
+            "--out" | "-o" => {
+                args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--out <dir>]\n\nknown figures: {}",
+                    all_figure_ids().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut scale = ExperimentScale::scaled(args.scale);
+    scale.limits = RunLimits::seconds(args.budget_secs);
+
+    let requested: Vec<String> = if args.figures.iter().any(|f| f == "all") {
+        all_figure_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        args.figures.clone()
+    };
+
+    fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "# Reproduced evaluation (scale {:.2}, budget {}s per run)\n\n",
+        args.scale, args.budget_secs
+    ));
+
+    for id in &requested {
+        let start = Instant::now();
+        eprintln!("running {id} …");
+        let Some(result) = run_figure(id, &scale) else {
+            eprintln!("  unknown figure id {id}, skipping");
+            continue;
+        };
+        let elapsed = start.elapsed();
+        eprintln!("  {id} finished in {:.1}s", elapsed.as_secs_f64());
+
+        let md = result.to_markdown();
+        let csv = result.to_csv();
+        fs::write(args.out_dir.join(format!("{id}.md")), &md).expect("write markdown");
+        fs::write(args.out_dir.join(format!("{id}.csv")), &csv).expect("write csv");
+        summary.push_str(&md);
+        println!("{md}");
+    }
+
+    fs::write(args.out_dir.join("summary.md"), &summary).expect("write summary");
+    eprintln!("wrote results to {}", args.out_dir.display());
+}

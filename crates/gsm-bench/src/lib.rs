@@ -1,0 +1,29 @@
+//! # gsm-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation
+//! (Section 6). It has three layers:
+//!
+//! * [`harness`] — engine construction, a single-run driver that registers a
+//!   workload's query set, replays its update stream, records per-update
+//!   latency and memory, and honours a per-run time budget (the equivalent of
+//!   the paper's 24-hour timeout);
+//! * [`figures`] — one experiment definition per figure/table of the paper
+//!   (Fig. 12(a)–(f), Fig. 13(a)–(c), Fig. 14(a)–(c)), each producing a
+//!   [`report::FigureResult`] with one series per engine;
+//! * [`report`] — markdown/CSV rendering of figure results.
+//!
+//! The `experiments` binary (`cargo run -p gsm-bench --release --bin
+//! experiments`) runs any subset of the figures at a configurable scale and
+//! writes the rendered results; the Criterion benches under `benches/` time
+//! the same experiments at a reduced, fixed scale so that `cargo bench`
+//! completes quickly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use harness::{EngineKind, RunLimits, RunResult};
+pub use report::{FigureResult, Series};

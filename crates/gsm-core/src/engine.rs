@@ -1,0 +1,175 @@
+//! The engine abstraction shared by TRIC, TRIC+, the inverted-index
+//! baselines and the graph-database baseline.
+
+use crate::error::Result;
+use crate::memory::HeapSize;
+use crate::model::update::Update;
+use crate::query::pattern::QueryPattern;
+
+/// Identifier assigned to a registered continuous query by an engine.
+///
+/// Engines assign identifiers sequentially in registration order, so
+/// registering the same query set in the same order against two engines
+/// yields directly comparable identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl HeapSize for QueryId {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// A query satisfied by an update, together with how many new embeddings the
+/// update produced for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMatch {
+    /// The satisfied query.
+    pub query: QueryId,
+    /// Number of distinct new embeddings created by the update.
+    pub new_embeddings: u64,
+}
+
+/// The result of applying one update: which continuous queries gained at
+/// least one new embedding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchReport {
+    /// Matches, sorted by query id, at most one entry per query.
+    pub matches: Vec<QueryMatch>,
+}
+
+impl MatchReport {
+    /// An empty report.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a report from (query, count) pairs, merging duplicates and
+    /// sorting by query id.
+    pub fn from_counts(mut pairs: Vec<(QueryId, u64)>) -> Self {
+        pairs.sort_by_key(|(q, _)| *q);
+        let mut matches: Vec<QueryMatch> = Vec::new();
+        for (query, count) in pairs {
+            if count == 0 {
+                continue;
+            }
+            match matches.last_mut() {
+                Some(last) if last.query == query => last.new_embeddings += count,
+                _ => matches.push(QueryMatch {
+                    query,
+                    new_embeddings: count,
+                }),
+            }
+        }
+        MatchReport { matches }
+    }
+
+    /// Queries reported as satisfied, sorted.
+    pub fn satisfied_queries(&self) -> Vec<QueryId> {
+        self.matches.iter().map(|m| m.query).collect()
+    }
+
+    /// True if no query was satisfied.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Number of satisfied queries.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Total number of new embeddings across all satisfied queries.
+    pub fn total_embeddings(&self) -> u64 {
+        self.matches.iter().map(|m| m.new_embeddings).sum()
+    }
+}
+
+/// Cumulative counters every engine keeps; used by the harness for sanity
+/// checks and by EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Updates processed so far.
+    pub updates_processed: u64,
+    /// Total (query, update) notifications emitted.
+    pub notifications: u64,
+    /// Total new embeddings reported.
+    pub embeddings: u64,
+}
+
+/// A continuous multi-query engine over graph streams.
+///
+/// The lifecycle is: register the query database (the paper supports
+/// continuous additions, so registration may be interleaved with updates),
+/// then feed the update stream one edge addition at a time; each call reports
+/// the queries for which the update created new embeddings.
+pub trait ContinuousEngine {
+    /// Short, stable engine name (`"TRIC"`, `"INV+"`, …) used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Registers a continuous query and returns its identifier.
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId>;
+
+    /// Applies one edge-addition update and reports newly satisfied queries.
+    fn apply_update(&mut self, update: Update) -> MatchReport;
+
+    /// Number of registered queries.
+    fn num_queries(&self) -> usize;
+
+    /// Estimated heap footprint of all engine state, in bytes.
+    fn heap_bytes(&self) -> usize;
+
+    /// Cumulative counters.
+    fn stats(&self) -> EngineStats;
+
+    /// Applies every update of a stream, discarding the individual reports,
+    /// and returns the total number of notifications. Convenience for warm-up
+    /// phases and tests.
+    fn apply_stream(&mut self, updates: &[Update]) -> u64 {
+        let mut notifications = 0;
+        for &u in updates {
+            notifications += self.apply_update(u).len() as u64;
+        }
+        notifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_counts_merges_and_sorts() {
+        let report = MatchReport::from_counts(vec![
+            (QueryId(3), 2),
+            (QueryId(1), 1),
+            (QueryId(3), 5),
+            (QueryId(2), 0),
+        ]);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.satisfied_queries(), vec![QueryId(1), QueryId(3)]);
+        assert_eq!(report.matches[1].new_embeddings, 7);
+        assert_eq!(report.total_embeddings(), 8);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = MatchReport::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.total_embeddings(), 0);
+    }
+
+    #[test]
+    fn zero_count_pairs_are_dropped() {
+        let r = MatchReport::from_counts(vec![(QueryId(0), 0)]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building, parsing or registering query graph patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The query graph pattern contains no edges.
+    EmptyQuery,
+    /// The query graph pattern is not weakly connected.
+    DisconnectedQuery,
+    /// The textual pattern could not be parsed; the payload explains why.
+    Parse(String),
+    /// A query identifier was used that the engine does not know about.
+    UnknownQuery(u32),
+    /// A query was registered twice with the same identifier.
+    DuplicateQuery(u32),
+    /// The engine configuration is invalid (e.g. a zero-sized budget).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyQuery => write!(f, "query graph pattern has no edges"),
+            Error::DisconnectedQuery => {
+                write!(f, "query graph pattern must be weakly connected")
+            }
+            Error::Parse(msg) => write!(f, "failed to parse query pattern: {msg}"),
+            Error::UnknownQuery(id) => write!(f, "unknown query identifier {id}"),
+            Error::DuplicateQuery(id) => write!(f, "query identifier {id} already registered"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            Error::EmptyQuery.to_string(),
+            "query graph pattern has no edges"
+        );
+        assert!(Error::Parse("bad arrow".into()).to_string().contains("bad arrow"));
+        assert!(Error::UnknownQuery(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::EmptyQuery, Error::EmptyQuery);
+        assert_ne!(Error::EmptyQuery, Error::DisconnectedQuery);
+    }
+}

@@ -1,0 +1,156 @@
+//! String interning.
+//!
+//! Every vertex identity and edge label in the data and query model is a
+//! string (e.g. `"person_42"`, `"knows"`). Engines never look at the strings
+//! themselves — they only compare identities — so all strings are interned
+//! once into compact [`Sym`] handles and the engines operate on `u32`s.
+
+use std::collections::HashMap;
+
+use crate::memory::HeapSize;
+
+/// A compact handle to an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Returns the raw index of the symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional string ⇄ [`Sym`] table.
+///
+/// Interning the same string twice returns the same symbol. Symbols are dense
+/// indices starting at zero, so they can be used directly as vector indices.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    by_name: HashMap<Box<str>, Sym>,
+    names: Vec<Box<str>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `name` if it was previously interned.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol was not produced by this table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Resolves a symbol, returning `None` for foreign symbols.
+    pub fn try_resolve(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.index()).map(|s| s.as_ref())
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl HeapSize for Sym {
+    #[inline]
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for SymbolTable {
+    fn heap_size(&self) -> usize {
+        let strings: usize = self.names.iter().map(|s| s.len()).sum();
+        // names vector + map entries (key box + value) — the key boxes share
+        // allocations conceptually but are distinct `Box<str>` clones here.
+        self.names.capacity() * std::mem::size_of::<Box<str>>()
+            + strings * 2
+            + self.by_name.capacity()
+                * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<Sym>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("knows");
+        let b = t.intern("knows");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("knows");
+        let b = t.intern("likes");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "knows");
+        assert_eq!(t.resolve(b), "likes");
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("x"), None);
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+    }
+
+    #[test]
+    fn symbols_are_dense_indices() {
+        let mut t = SymbolTable::new();
+        for i in 0..100 {
+            let s = t.intern(&format!("v{i}"));
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn try_resolve_foreign_symbol() {
+        let t = SymbolTable::new();
+        assert_eq!(t.try_resolve(Sym(42)), None);
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        let mut t = SymbolTable::new();
+        let before = t.heap_size();
+        for i in 0..1000 {
+            t.intern(&format!("some_rather_long_label_{i}"));
+        }
+        assert!(t.heap_size() > before);
+    }
+}

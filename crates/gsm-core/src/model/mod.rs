@@ -1,0 +1,13 @@
+//! The attribute-graph data model (Section 3.1 of the paper).
+//!
+//! * [`term`] — pattern terms (constants and variables) and pattern edges.
+//! * [`update`] — edge-addition updates and graph streams.
+//! * [`graph`] — a materialized attribute graph (used by workload generation,
+//!   examples and the graph-database baseline's reference semantics).
+//! * [`generic`] — *generic edges*: the variable-erased normal form of a
+//!   pattern edge that every index (tries, inverted indexes) is keyed on.
+
+pub mod generic;
+pub mod graph;
+pub mod term;
+pub mod update;

@@ -1,0 +1,127 @@
+//! Pattern terms and pattern edges.
+
+use crate::interner::Sym;
+use crate::memory::HeapSize;
+
+/// Identifier of a query variable, unique within a single query pattern.
+pub type VarId = u32;
+
+/// A term occurring at a vertex position of a query graph pattern.
+///
+/// A term is either a *constant* (a concrete vertex identity from the data
+/// graph, e.g. `"rio"`) or a *variable* (`?x`). Two occurrences of the same
+/// constant denote the same query vertex; two occurrences of the same
+/// variable likewise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A concrete vertex identity.
+    Const(Sym),
+    /// A query variable.
+    Var(VarId),
+}
+
+impl Term {
+    /// True if the term is a variable.
+    #[inline]
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True if the term is a constant.
+    #[inline]
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Returns the constant symbol, if any.
+    #[inline]
+    pub fn as_const(&self) -> Option<Sym> {
+        match self {
+            Term::Const(s) => Some(*s),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Returns the variable id, if any.
+    #[inline]
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Whether a concrete data vertex satisfies this term (variables match
+    /// anything, constants only themselves).
+    #[inline]
+    pub fn admits(&self, vertex: Sym) -> bool {
+        match self {
+            Term::Const(s) => *s == vertex,
+            Term::Var(_) => true,
+        }
+    }
+}
+
+impl HeapSize for Term {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// A directed, labeled edge of a query graph pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternEdge {
+    /// Edge label (always a constant in this query model, as in the paper).
+    pub label: Sym,
+    /// Source vertex term.
+    pub src: Term,
+    /// Target vertex term.
+    pub tgt: Term,
+}
+
+impl PatternEdge {
+    /// Creates a new pattern edge.
+    pub fn new(label: Sym, src: Term, tgt: Term) -> Self {
+        Self { label, src, tgt }
+    }
+}
+
+impl HeapSize for PatternEdge {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_kind_predicates() {
+        let c = Term::Const(Sym(3));
+        let v = Term::Var(0);
+        assert!(c.is_const() && !c.is_var());
+        assert!(v.is_var() && !v.is_const());
+        assert_eq!(c.as_const(), Some(Sym(3)));
+        assert_eq!(v.as_var(), Some(0));
+        assert_eq!(c.as_var(), None);
+        assert_eq!(v.as_const(), None);
+    }
+
+    #[test]
+    fn term_admits() {
+        assert!(Term::Var(1).admits(Sym(9)));
+        assert!(Term::Const(Sym(9)).admits(Sym(9)));
+        assert!(!Term::Const(Sym(9)).admits(Sym(8)));
+    }
+
+    #[test]
+    fn same_constant_is_same_vertex() {
+        // Term equality is what identifies query vertices.
+        assert_eq!(Term::Const(Sym(1)), Term::Const(Sym(1)));
+        assert_ne!(Term::Const(Sym(1)), Term::Const(Sym(2)));
+        assert_eq!(Term::Var(4), Term::Var(4));
+        assert_ne!(Term::Var(4), Term::Var(5));
+        assert_ne!(Term::Var(1), Term::Const(Sym(1)));
+    }
+}

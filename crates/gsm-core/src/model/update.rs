@@ -1,0 +1,159 @@
+//! Graph updates and update streams (Definitions 3.2 and 3.3 of the paper).
+
+use crate::interner::Sym;
+use crate::memory::HeapSize;
+
+/// An edge addition `label = (src, tgt)` applied to the evolving graph.
+///
+/// Following the paper, an update both creates the edge and (implicitly) any
+/// endpoint vertex that did not exist before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Update {
+    /// Edge label.
+    pub label: Sym,
+    /// Source vertex identity.
+    pub src: Sym,
+    /// Target vertex identity.
+    pub tgt: Sym,
+}
+
+impl Update {
+    /// Creates a new edge-addition update.
+    #[inline]
+    pub fn new(label: Sym, src: Sym, tgt: Sym) -> Self {
+        Self { label, src, tgt }
+    }
+}
+
+impl HeapSize for Update {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// An ordered sequence of updates — the graph stream `S = (u1, u2, …)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphStream {
+    updates: Vec<Update>,
+}
+
+impl GraphStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a stream from a vector of updates.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        Self { updates }
+    }
+
+    /// Appends an update at the end of the stream.
+    pub fn push(&mut self, update: Update) {
+        self.updates.push(update);
+    }
+
+    /// Number of updates in the stream.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if the stream holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates over the updates in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Update> {
+        self.updates.iter()
+    }
+
+    /// Borrow the updates as a slice.
+    pub fn as_slice(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Truncate the stream to its first `n` updates.
+    pub fn truncate(&mut self, n: usize) {
+        self.updates.truncate(n);
+    }
+
+    /// Returns a clone of the first `n` updates as a new stream.
+    pub fn prefix(&self, n: usize) -> GraphStream {
+        GraphStream {
+            updates: self.updates[..n.min(self.updates.len())].to_vec(),
+        }
+    }
+}
+
+impl IntoIterator for GraphStream {
+    type Item = Update;
+    type IntoIter = std::vec::IntoIter<Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a GraphStream {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+impl FromIterator<Update> for GraphStream {
+    fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
+        Self {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl HeapSize for GraphStream {
+    fn heap_size(&self) -> usize {
+        self.updates.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(l: u32, s: u32, t: u32) -> Update {
+        Update::new(Sym(l), Sym(s), Sym(t))
+    }
+
+    #[test]
+    fn stream_preserves_order() {
+        let mut s = GraphStream::new();
+        s.push(u(0, 1, 2));
+        s.push(u(0, 2, 3));
+        s.push(u(1, 3, 4));
+        let labels: Vec<u32> = s.iter().map(|x| x.label.0).collect();
+        assert_eq!(labels, vec![0, 0, 1]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn prefix_and_truncate() {
+        let s: GraphStream = (0..10).map(|i| u(0, i, i + 1)).collect();
+        let p = s.prefix(4);
+        assert_eq!(p.len(), 4);
+        let p_over = s.prefix(100);
+        assert_eq!(p_over.len(), 10);
+        let mut t = s.clone();
+        t.truncate(2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn into_iterator_roundtrip() {
+        let s: GraphStream = (0..5).map(|i| u(1, i, i)).collect();
+        let collected: Vec<Update> = s.clone().into_iter().collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(&collected[..], s.as_slice());
+    }
+}

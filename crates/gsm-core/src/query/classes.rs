@@ -1,0 +1,183 @@
+//! Structural query classes.
+//!
+//! The paper's query workload mixes three classes that are typical in the
+//! literature — chains, stars and cycles (Section 6.1). This module detects
+//! the class of an arbitrary pattern; the workload generator uses the same
+//! taxonomy when synthesising query sets.
+
+use crate::query::pattern::QueryPattern;
+
+/// Structural shape of a query graph pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// A simple directed path `v0 → v1 → … → vk` with all vertices distinct.
+    Chain,
+    /// A single centre vertex connected to otherwise-unconnected leaves
+    /// (edges may point either way).
+    Star,
+    /// A simple directed cycle.
+    Cycle,
+    /// A connected acyclic pattern that is neither a chain nor a star.
+    Tree,
+    /// Anything else.
+    General,
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueryClass::Chain => "chain",
+            QueryClass::Star => "star",
+            QueryClass::Cycle => "cycle",
+            QueryClass::Tree => "tree",
+            QueryClass::General => "general",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Classifies a query pattern.
+pub fn classify(query: &QueryPattern) -> QueryClass {
+    let n = query.num_vertices();
+    let m = query.num_edges();
+
+    let total_degree =
+        |v: usize| query.out_edges_of(v).len() + query.in_edges_of(v).len();
+
+    // Single self-loop counts as a cycle of length one.
+    if m == 1 {
+        let (s, t) = query.edge_endpoints(0);
+        return if s == t { QueryClass::Cycle } else { QueryClass::Chain };
+    }
+
+    // Simple directed cycle: every vertex has out-degree 1 and in-degree 1,
+    // and #edges == #vertices.
+    if m == n
+        && (0..n).all(|v| query.out_edges_of(v).len() == 1 && query.in_edges_of(v).len() == 1)
+    {
+        return QueryClass::Cycle;
+    }
+
+    // Chain: m == n - 1, exactly two endpoints of total degree 1, everything
+    // else total degree 2, and the edges orient head-to-tail.
+    if m + 1 == n {
+        let deg1 = (0..n).filter(|&v| total_degree(v) == 1).count();
+        let deg2 = (0..n).filter(|&v| total_degree(v) == 2).count();
+        if deg1 == 2 && deg2 == n - 2 {
+            let directed_chain = (0..n).all(|v| {
+                query.out_edges_of(v).len() <= 1 && query.in_edges_of(v).len() <= 1
+            });
+            if directed_chain {
+                return QueryClass::Chain;
+            }
+        }
+        // Star: one centre with total degree m, all leaves with degree 1.
+        let centre = (0..n).find(|&v| total_degree(v) == m);
+        if let Some(c) = centre {
+            let leaves_ok = (0..n).filter(|&v| v != c).all(|v| total_degree(v) == 1);
+            if leaves_ok {
+                return QueryClass::Star;
+            }
+        }
+        return QueryClass::Tree;
+    }
+
+    QueryClass::General
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::SymbolTable;
+
+    fn parse(text: &str) -> QueryPattern {
+        let mut s = SymbolTable::new();
+        QueryPattern::parse(text, &mut s).unwrap()
+    }
+
+    #[test]
+    fn single_edge_is_chain() {
+        assert_eq!(classify(&parse("?a -x-> ?b")), QueryClass::Chain);
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        assert_eq!(classify(&parse("?a -x-> ?a")), QueryClass::Cycle);
+    }
+
+    #[test]
+    fn directed_path_is_chain() {
+        assert_eq!(
+            classify(&parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?d")),
+            QueryClass::Chain
+        );
+    }
+
+    #[test]
+    fn zigzag_path_is_not_a_directed_chain() {
+        // a -> b <- c is undirected-path shaped but not a directed chain; with
+        // only two edges it coincides with an in-star centred at b.
+        assert_eq!(
+            classify(&parse("?a -x-> ?b; ?c -y-> ?b")),
+            QueryClass::Star
+        );
+    }
+
+    #[test]
+    fn out_star_and_in_star() {
+        assert_eq!(
+            classify(&parse("?c -a-> ?x; ?c -b-> ?y; ?c -c-> ?z")),
+            QueryClass::Star
+        );
+        assert_eq!(
+            classify(&parse("?x -a-> ?c; ?y -b-> ?c; ?z -c-> ?c")),
+            QueryClass::Star
+        );
+    }
+
+    #[test]
+    fn mixed_star() {
+        assert_eq!(
+            classify(&parse("?c -a-> ?x; ?y -b-> ?c; ?c -c-> ?z")),
+            QueryClass::Star
+        );
+    }
+
+    #[test]
+    fn triangle_is_cycle() {
+        assert_eq!(
+            classify(&parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?a")),
+            QueryClass::Cycle
+        );
+    }
+
+    #[test]
+    fn chord_makes_general() {
+        assert_eq!(
+            classify(&parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?a; ?a -w-> ?c")),
+            QueryClass::General
+        );
+    }
+
+    #[test]
+    fn deep_tree() {
+        assert_eq!(
+            classify(&parse("?a -x-> ?b; ?b -y-> ?c; ?b -z-> ?d; ?d -w-> ?e")),
+            QueryClass::Tree
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(QueryClass::Chain.to_string(), "chain");
+        assert_eq!(QueryClass::General.to_string(), "general");
+    }
+
+    #[test]
+    fn two_cycle_is_cycle() {
+        assert_eq!(
+            classify(&parse("?a -x-> ?b; ?b -y-> ?a")),
+            QueryClass::Cycle
+        );
+    }
+}

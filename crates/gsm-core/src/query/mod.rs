@@ -1,0 +1,6 @@
+//! The continuous query model (Section 3.2) and the covering-path
+//! decomposition used at query-indexing time (Section 4.1, Step 1).
+
+pub mod classes;
+pub mod paths;
+pub mod pattern;

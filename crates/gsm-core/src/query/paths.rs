@@ -1,0 +1,292 @@
+//! Covering-path extraction (Section 4.1, Step 1 of the paper).
+//!
+//! A query graph pattern is decomposed into a set of directed paths that
+//! together cover every vertex and every edge of the pattern (Definition 4.2).
+//! The paper solves this greedily: repeatedly start a depth-first walk at some
+//! vertex and follow unvisited outgoing edges until no progress can be made,
+//! until all edges (and therefore all vertices) are covered; finally drop
+//! paths that are sub-paths of other paths.
+
+use crate::memory::HeapSize;
+use crate::query::pattern::{QVertexId, QueryPattern};
+
+/// A covering path: an ordered list of pattern-edge indices such that the
+/// target vertex of each edge is the source vertex of the next.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoveringPath {
+    /// Indices into [`QueryPattern::edges`] in walk order.
+    pub edges: Vec<usize>,
+}
+
+impl CoveringPath {
+    /// Number of edges on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the path contains no edges (never produced by extraction).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The vertex sequence visited by the path: `len() + 1` query-vertex ids,
+    /// starting at the source of the first edge.
+    pub fn vertex_sequence(&self, query: &QueryPattern) -> Vec<QVertexId> {
+        let mut seq = Vec::with_capacity(self.edges.len() + 1);
+        if let Some(&first) = self.edges.first() {
+            seq.push(query.edge_endpoints(first).0);
+        }
+        for &e in &self.edges {
+            seq.push(query.edge_endpoints(e).1);
+        }
+        seq
+    }
+
+    /// True if `self`'s edge sequence occurs contiguously inside `other`.
+    pub fn is_subpath_of(&self, other: &CoveringPath) -> bool {
+        if self.edges.len() > other.edges.len() {
+            return false;
+        }
+        if self.edges.is_empty() {
+            return true;
+        }
+        other
+            .edges
+            .windows(self.edges.len())
+            .any(|w| w == self.edges.as_slice())
+    }
+}
+
+impl HeapSize for CoveringPath {
+    fn heap_size(&self) -> usize {
+        self.edges.heap_size()
+    }
+}
+
+/// Extracts a set of covering paths for `query` with the greedy strategy of
+/// the paper.
+///
+/// Guarantees (checked by unit and property tests):
+/// * every edge of the query appears on at least one path;
+/// * every vertex of the query appears on at least one path;
+/// * consecutive edges on a path share the intermediate vertex;
+/// * no returned path is a sub-path of another returned path.
+pub fn covering_paths(query: &QueryPattern) -> Vec<CoveringPath> {
+    let num_edges = query.num_edges();
+    let mut edge_used = vec![false; num_edges];
+    let mut paths: Vec<CoveringPath> = Vec::new();
+
+    // Pre-compute outgoing edge lists per vertex for the walks.
+    let out_of: Vec<Vec<usize>> = (0..query.num_vertices())
+        .map(|v| query.out_edges_of(v))
+        .collect();
+
+    // Start vertices are considered in a deterministic order that prefers
+    // "source-like" vertices (no incoming edges) so chains start at their
+    // head, as in the paper's walkthrough examples.
+    let mut start_order: Vec<QVertexId> = (0..query.num_vertices()).collect();
+    start_order.sort_by_key(|&v| (query.in_edges_of(v).len(), v));
+
+    while edge_used.iter().any(|used| !used) {
+        // Pick the first start vertex that still has an unvisited outgoing edge.
+        let start = start_order
+            .iter()
+            .copied()
+            .find(|&v| out_of[v].iter().any(|&e| !edge_used[e]));
+        let Some(start) = start else {
+            // No vertex has an unvisited outgoing edge, yet unvisited edges
+            // remain — impossible, every edge leaves some vertex.
+            unreachable!("unvisited edge without a start vertex");
+        };
+
+        let mut current = start;
+        let mut walk: Vec<usize> = Vec::new();
+        loop {
+            // Prefer an unvisited edge leading to a vertex we have not yet
+            // visited on this walk (depth-first flavour), falling back to any
+            // unvisited outgoing edge.
+            let candidates: Vec<usize> = out_of[current]
+                .iter()
+                .copied()
+                .filter(|&e| !edge_used[e])
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let visited_on_walk: Vec<QVertexId> = if walk.is_empty() {
+                vec![current]
+            } else {
+                let mut seq = vec![query.edge_endpoints(walk[0]).0];
+                seq.extend(walk.iter().map(|&e| query.edge_endpoints(e).1));
+                seq
+            };
+            let chosen = candidates
+                .iter()
+                .copied()
+                .find(|&e| !visited_on_walk.contains(&query.edge_endpoints(e).1))
+                .unwrap_or(candidates[0]);
+            edge_used[chosen] = true;
+            walk.push(chosen);
+            current = query.edge_endpoints(chosen).1;
+        }
+        debug_assert!(!walk.is_empty());
+        paths.push(CoveringPath { edges: walk });
+    }
+
+    // Drop paths that are sub-paths of other paths (cannot occur with the
+    // "unvisited edges only" strategy, but kept for faithfulness to the
+    // paper's description and as a safety net).
+    let mut kept: Vec<CoveringPath> = Vec::new();
+    for (i, p) in paths.iter().enumerate() {
+        let redundant = paths
+            .iter()
+            .enumerate()
+            .any(|(j, q)| i != j && p.is_subpath_of(q) && (p.len() < q.len() || i > j));
+        if !redundant {
+            kept.push(p.clone());
+        }
+    }
+    kept
+}
+
+/// Checks that a set of paths covers every vertex and edge of `query` and
+/// that every path is structurally consistent. Used by tests and debug
+/// assertions in the engines.
+pub fn is_valid_cover(query: &QueryPattern, paths: &[CoveringPath]) -> bool {
+    let mut edge_covered = vec![false; query.num_edges()];
+    let mut vertex_covered = vec![false; query.num_vertices()];
+    for p in paths {
+        if p.is_empty() {
+            return false;
+        }
+        // Consecutive edges must chain on the shared vertex.
+        for w in p.edges.windows(2) {
+            if query.edge_endpoints(w[0]).1 != query.edge_endpoints(w[1]).0 {
+                return false;
+            }
+        }
+        for &e in &p.edges {
+            if e >= query.num_edges() {
+                return false;
+            }
+            edge_covered[e] = true;
+            let (s, t) = query.edge_endpoints(e);
+            vertex_covered[s] = true;
+            vertex_covered[t] = true;
+        }
+    }
+    edge_covered.into_iter().all(|c| c) && vertex_covered.into_iter().all(|c| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::SymbolTable;
+
+    fn parse(text: &str) -> QueryPattern {
+        let mut s = SymbolTable::new();
+        QueryPattern::parse(text, &mut s).unwrap()
+    }
+
+    #[test]
+    fn chain_is_covered_by_one_path() {
+        let q = parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?d");
+        let paths = covering_paths(&q);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+        assert!(is_valid_cover(&q, &paths));
+    }
+
+    #[test]
+    fn out_star_needs_one_path_per_leaf() {
+        let q = parse("?c -a-> ?x; ?c -b-> ?y; ?c -c-> ?z");
+        let paths = covering_paths(&q);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 1));
+        assert!(is_valid_cover(&q, &paths));
+    }
+
+    #[test]
+    fn in_star_needs_one_path_per_leaf() {
+        let q = parse("?x -a-> ?c; ?y -b-> ?c; ?z -c-> ?c");
+        let paths = covering_paths(&q);
+        assert_eq!(paths.len(), 3);
+        assert!(is_valid_cover(&q, &paths));
+    }
+
+    #[test]
+    fn cycle_is_covered() {
+        let q = parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?a");
+        let paths = covering_paths(&q);
+        assert!(is_valid_cover(&q, &paths));
+        // A directed cycle can be walked as a single open path.
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn paper_example_query_q1() {
+        // Q1 of Fig. 4: ?f1 -hasMod-> ?p1; ?p1 -posted-> pst1;
+        //               ?p1 -posted-> pst2; ?com1? (reply) -> pst2
+        let q = parse(
+            "?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2",
+        );
+        let paths = covering_paths(&q);
+        assert!(is_valid_cover(&q, &paths));
+        // The paper extracts three covering paths for Q1.
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn paper_example_query_q4() {
+        let q = parse("?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; pst1 -containedIn-> ?fo");
+        let paths = covering_paths(&q);
+        assert!(is_valid_cover(&q, &paths));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn vertex_sequence_chains_correctly() {
+        let q = parse("?a -x-> ?b; ?b -y-> ?c");
+        let paths = covering_paths(&q);
+        assert_eq!(paths.len(), 1);
+        let seq = paths[0].vertex_sequence(&q);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], q.edge_endpoints(paths[0].edges[0]).0);
+    }
+
+    #[test]
+    fn no_path_is_subpath_of_another() {
+        let q = parse("?a -x-> ?b; ?b -y-> ?c; ?a -z-> ?c; ?c -w-> ?d");
+        let paths = covering_paths(&q);
+        assert!(is_valid_cover(&q, &paths));
+        for (i, p) in paths.iter().enumerate() {
+            for (j, other) in paths.iter().enumerate() {
+                if i != j {
+                    assert!(!p.is_subpath_of(other) || p.len() == other.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_query() {
+        let q = parse("?a -follows-> ?a");
+        let paths = covering_paths(&q);
+        assert!(is_valid_cover(&q, &paths));
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn subpath_detection() {
+        let a = CoveringPath { edges: vec![1, 2] };
+        let b = CoveringPath {
+            edges: vec![0, 1, 2, 3],
+        };
+        let c = CoveringPath { edges: vec![2, 1] };
+        assert!(a.is_subpath_of(&b));
+        assert!(!c.is_subpath_of(&b));
+        assert!(!b.is_subpath_of(&a));
+    }
+}

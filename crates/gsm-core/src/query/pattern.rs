@@ -1,0 +1,384 @@
+//! Query graph patterns.
+//!
+//! A [`QueryPattern`] is a directed labeled multigraph whose vertices are
+//! [`Term`]s — constants or variables (Definition 3.4). Patterns must be
+//! non-empty and weakly connected; anything else is rejected at construction
+//! time so that engines never have to deal with degenerate inputs.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::interner::{Sym, SymbolTable};
+use crate::memory::HeapSize;
+use crate::model::term::{PatternEdge, Term, VarId};
+
+/// Index of a query vertex inside a [`QueryPattern`] (dense, 0-based).
+pub type QVertexId = usize;
+
+/// A validated query graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPattern {
+    edges: Vec<PatternEdge>,
+    /// Distinct terms in first-occurrence order; position = [`QVertexId`].
+    vertices: Vec<Term>,
+    /// Reverse map term → vertex id.
+    vertex_ids: HashMap<Term, QVertexId>,
+    /// Per-edge endpoint vertex ids, aligned with `edges`.
+    endpoints: Vec<(QVertexId, QVertexId)>,
+}
+
+impl QueryPattern {
+    /// Builds a pattern from a list of edges, validating it.
+    ///
+    /// # Errors
+    /// Returns [`Error::EmptyQuery`] for an empty edge list and
+    /// [`Error::DisconnectedQuery`] if the pattern is not weakly connected.
+    pub fn from_edges(edges: Vec<PatternEdge>) -> Result<Self> {
+        if edges.is_empty() {
+            return Err(Error::EmptyQuery);
+        }
+        let mut vertices: Vec<Term> = Vec::new();
+        let mut vertex_ids: HashMap<Term, QVertexId> = HashMap::new();
+        let mut endpoints = Vec::with_capacity(edges.len());
+        for e in &edges {
+            let mut id_of = |t: Term| -> QVertexId {
+                *vertex_ids.entry(t).or_insert_with(|| {
+                    vertices.push(t);
+                    vertices.len() - 1
+                })
+            };
+            let s = id_of(e.src);
+            let t = id_of(e.tgt);
+            endpoints.push((s, t));
+        }
+        let pattern = QueryPattern {
+            edges,
+            vertices,
+            vertex_ids,
+            endpoints,
+        };
+        if !pattern.is_weakly_connected() {
+            return Err(Error::DisconnectedQuery);
+        }
+        Ok(pattern)
+    }
+
+    /// Parses a pattern from a compact textual syntax.
+    ///
+    /// Each edge is written `src -label-> tgt`, edges are separated by `;` or
+    /// newlines, variables start with `?`, everything else is a constant that
+    /// is interned into `symbols`.
+    ///
+    /// ```
+    /// # use gsm_core::prelude::*;
+    /// let mut symbols = SymbolTable::new();
+    /// let q = QueryPattern::parse(
+    ///     "?u -shares-> ?post; ?post -links-> flagged_domain",
+    ///     &mut symbols,
+    /// ).unwrap();
+    /// assert_eq!(q.num_edges(), 2);
+    /// assert_eq!(q.num_vertices(), 3);
+    /// ```
+    pub fn parse(text: &str, symbols: &mut SymbolTable) -> Result<Self> {
+        let mut edges = Vec::new();
+        let mut vars: HashMap<String, VarId> = HashMap::new();
+        let term = |tok: &str, symbols: &mut SymbolTable, vars: &mut HashMap<String, VarId>| -> Result<Term> {
+            if tok.is_empty() {
+                return Err(Error::Parse("empty vertex token".into()));
+            }
+            if let Some(name) = tok.strip_prefix('?') {
+                if name.is_empty() {
+                    return Err(Error::Parse("variable with empty name".into()));
+                }
+                let next = vars.len() as VarId;
+                Ok(Term::Var(*vars.entry(name.to_string()).or_insert(next)))
+            } else {
+                Ok(Term::Const(symbols.intern(tok)))
+            }
+        };
+        for raw in text.split(|c| c == ';' || c == '\n') {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Expected form: "<src> -<label>-> <tgt>"
+            let open = line
+                .find('-')
+                .ok_or_else(|| Error::Parse(format!("missing '-label->' in `{line}`")))?;
+            let close = line
+                .find("->")
+                .ok_or_else(|| Error::Parse(format!("missing `->` in `{line}`")))?;
+            if close <= open {
+                return Err(Error::Parse(format!("malformed edge `{line}`")));
+            }
+            let src_tok = line[..open].trim();
+            let label_tok = line[open + 1..close].trim();
+            let tgt_tok = line[close + 2..].trim();
+            if label_tok.is_empty() {
+                return Err(Error::Parse(format!("empty edge label in `{line}`")));
+            }
+            let src = term(src_tok, symbols, &mut vars)?;
+            let tgt = term(tgt_tok, symbols, &mut vars)?;
+            edges.push(PatternEdge::new(symbols.intern(label_tok), src, tgt));
+        }
+        Self::from_edges(edges)
+    }
+
+    /// The pattern's edges in declaration order.
+    pub fn edges(&self) -> &[PatternEdge] {
+        &self.edges
+    }
+
+    /// The pattern's distinct vertices (terms) in first-occurrence order.
+    pub fn vertices(&self) -> &[Term] {
+        &self.vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The vertex id of a term, if the term occurs in the pattern.
+    pub fn vertex_id(&self, term: &Term) -> Option<QVertexId> {
+        self.vertex_ids.get(term).copied()
+    }
+
+    /// The `(source, target)` vertex ids of edge `edge_idx`.
+    pub fn edge_endpoints(&self, edge_idx: usize) -> (QVertexId, QVertexId) {
+        self.endpoints[edge_idx]
+    }
+
+    /// Edge indices whose source is `v`.
+    pub fn out_edges_of(&self, v: QVertexId) -> Vec<usize> {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, _))| *s == v)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Edge indices whose target is `v`.
+    pub fn in_edges_of(&self, v: QVertexId) -> Vec<usize> {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, t))| *t == v)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All distinct variable ids used by the pattern.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .vertices
+            .iter()
+            .filter_map(|t| t.as_var())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// All distinct constants used at vertex positions.
+    pub fn constants(&self) -> Vec<Sym> {
+        let mut consts: Vec<Sym> = self
+            .vertices
+            .iter()
+            .filter_map(|t| t.as_const())
+            .collect();
+        consts.sort_unstable();
+        consts.dedup();
+        consts
+    }
+
+    /// All distinct edge labels used by the pattern.
+    pub fn labels(&self) -> Vec<Sym> {
+        let mut labels: Vec<Sym> = self.edges.iter().map(|e| e.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    fn is_weakly_connected(&self) -> bool {
+        if self.vertices.is_empty() {
+            return false;
+        }
+        let n = self.vertices.len();
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(s, t) in &self.endpoints {
+            adjacency[s].push(t);
+            adjacency[t].push(s);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adjacency[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+impl HeapSize for QueryPattern {
+    fn heap_size(&self) -> usize {
+        self.edges.heap_size()
+            + self.vertices.heap_size()
+            + self.vertex_ids.heap_size()
+            + self.endpoints.heap_size()
+    }
+}
+
+/// A fluent builder for query graph patterns, convenient in code (examples,
+/// generators) where the textual syntax would be awkward.
+#[derive(Debug, Default, Clone)]
+pub struct QueryPatternBuilder {
+    edges: Vec<PatternEdge>,
+}
+
+impl QueryPatternBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an edge.
+    pub fn edge(mut self, label: Sym, src: Term, tgt: Term) -> Self {
+        self.edges.push(PatternEdge::new(label, src, tgt));
+        self
+    }
+
+    /// Adds an edge between two variables.
+    pub fn var_edge(self, label: Sym, src: VarId, tgt: VarId) -> Self {
+        self.edge(label, Term::Var(src), Term::Var(tgt))
+    }
+
+    /// Finalises the pattern.
+    pub fn build(self) -> Result<QueryPattern> {
+        QueryPattern::from_edges(self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> SymbolTable {
+        SymbolTable::new()
+    }
+
+    #[test]
+    fn empty_pattern_is_rejected() {
+        assert_eq!(QueryPattern::from_edges(vec![]), Err(Error::EmptyQuery));
+    }
+
+    #[test]
+    fn disconnected_pattern_is_rejected() {
+        let mut s = syms();
+        let knows = s.intern("knows");
+        let edges = vec![
+            PatternEdge::new(knows, Term::Var(0), Term::Var(1)),
+            PatternEdge::new(knows, Term::Var(2), Term::Var(3)),
+        ];
+        assert_eq!(
+            QueryPattern::from_edges(edges),
+            Err(Error::DisconnectedQuery)
+        );
+    }
+
+    #[test]
+    fn vertices_are_deduplicated() {
+        let mut s = syms();
+        let q = QueryPattern::parse("?a -x-> ?b; ?b -x-> ?c; ?a -y-> ?c", &mut s).unwrap();
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.variables().len(), 3);
+    }
+
+    #[test]
+    fn constants_identify_vertices() {
+        let mut s = syms();
+        let q = QueryPattern::parse("?a -posted-> pst1; com1 -replyOf-> pst1", &mut s).unwrap();
+        // pst1 appears twice but is a single query vertex.
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.constants().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_edges() {
+        let mut s = syms();
+        assert!(matches!(
+            QueryPattern::parse("?a knows ?b", &mut s),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            QueryPattern::parse("?a --> ?b", &mut s),
+            Err(Error::Parse(_))
+        ));
+        assert!(matches!(
+            QueryPattern::parse("? -knows-> ?b", &mut s),
+            Err(Error::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn parse_example_from_paper_figure_3() {
+        // Two people who know each other check in at the same place in Rio.
+        let mut s = syms();
+        let q = QueryPattern::parse(
+            "?p1 -knows-> ?p2; ?p1 -checksIn-> ?plc; ?p2 -checksIn-> ?plc; ?plc -locatedIn-> rio",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(q.num_edges(), 4);
+        assert_eq!(q.num_vertices(), 4);
+        assert_eq!(q.constants().len(), 1);
+    }
+
+    #[test]
+    fn endpoints_and_adjacency_queries() {
+        let mut s = syms();
+        let q = QueryPattern::parse("?a -x-> ?b; ?a -y-> ?c", &mut s).unwrap();
+        let a = q.vertex_id(&Term::Var(0)).unwrap();
+        assert_eq!(q.out_edges_of(a).len(), 2);
+        assert_eq!(q.in_edges_of(a).len(), 0);
+        let (s0, t0) = q.edge_endpoints(0);
+        assert_eq!(s0, a);
+        assert_ne!(t0, a);
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let mut s = syms();
+        let knows = s.intern("knows");
+        let built = QueryPatternBuilder::new()
+            .var_edge(knows, 0, 1)
+            .var_edge(knows, 1, 2)
+            .build()
+            .unwrap();
+        let parsed = QueryPattern::parse("?a -knows-> ?b; ?b -knows-> ?c", &mut s).unwrap();
+        assert_eq!(built.num_edges(), parsed.num_edges());
+        assert_eq!(built.num_vertices(), parsed.num_vertices());
+    }
+
+    #[test]
+    fn self_loop_pattern_is_valid() {
+        let mut s = syms();
+        let q = QueryPattern::parse("?a -follows-> ?a", &mut s).unwrap();
+        assert_eq!(q.num_vertices(), 1);
+        assert_eq!(q.num_edges(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Hash joins over [`Relation`]s.
+//!
+//! The paper's materialization joins are classic build/probe hash joins
+//! (Section 4.2, "Caching"): the smaller side is hashed on the join key and
+//! the larger side probes it. The build structure ([`JoinBuild`]) is exposed
+//! so that the `+` engine variants can cache it across updates and maintain
+//! it incrementally as relations grow.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use super::Relation;
+use crate::interner::Sym;
+use crate::memory::HeapSize;
+
+/// A build-side hash table over a relation keyed by a set of columns.
+#[derive(Debug, Clone)]
+pub struct JoinBuild {
+    key_cols: Vec<usize>,
+    /// key-hash → row indices (collision chains verified at probe time).
+    buckets: HashMap<u64, Vec<u32>>,
+    /// Number of rows of the underlying relation already indexed.
+    rows_indexed: usize,
+}
+
+fn hash_key(key: &[Sym]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl JoinBuild {
+    /// Builds a hash table over `rel` keyed by `key_cols`.
+    pub fn build(rel: &Relation, key_cols: &[usize]) -> Self {
+        let mut b = JoinBuild {
+            key_cols: key_cols.to_vec(),
+            buckets: HashMap::new(),
+            rows_indexed: 0,
+        };
+        b.update(rel);
+        b
+    }
+
+    /// The key columns this build is keyed on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Number of rows already indexed.
+    pub fn rows_indexed(&self) -> usize {
+        self.rows_indexed
+    }
+
+    /// Indexes any rows appended to `rel` since the last build/update.
+    /// This is the incremental maintenance used by the `+` engines.
+    pub fn update(&mut self, rel: &Relation) {
+        let mut key = vec![Sym(0); self.key_cols.len()];
+        for i in self.rows_indexed..rel.len() {
+            let row = rel.row(i);
+            for (k, &c) in key.iter_mut().zip(&self.key_cols) {
+                *k = row[c];
+            }
+            self.buckets.entry(hash_key(&key)).or_default().push(i as u32);
+        }
+        self.rows_indexed = rel.len();
+    }
+
+    /// Returns the indices of rows of `rel` whose key equals `key`
+    /// (hash collisions are verified).
+    pub fn probe(&self, rel: &Relation, key: &[Sym]) -> Vec<usize> {
+        debug_assert_eq!(key.len(), self.key_cols.len());
+        let Some(bucket) = self.buckets.get(&hash_key(key)) else {
+            return Vec::new();
+        };
+        bucket
+            .iter()
+            .map(|&i| i as usize)
+            .filter(|&i| {
+                i < rel.len()
+                    && self
+                        .key_cols
+                        .iter()
+                        .zip(key)
+                        .all(|(&c, &k)| rel.row(i)[c] == k)
+            })
+            .collect()
+    }
+}
+
+impl HeapSize for JoinBuild {
+    fn heap_size(&self) -> usize {
+        self.key_cols.heap_size() + self.buckets.heap_size()
+    }
+}
+
+/// Extracts the join key of a row.
+fn key_of(row: &[Sym], cols: &[usize], buf: &mut Vec<Sym>) {
+    buf.clear();
+    buf.extend(cols.iter().map(|&c| row[c]));
+}
+
+/// Output schema of [`hash_join`]: all columns of the left side, followed by
+/// the columns of the right side that are **not** join keys, in order.
+pub fn join_output_arity(left: &Relation, right: &Relation, right_keys: &[usize]) -> usize {
+    left.arity() + right.arity() - right_keys.len()
+}
+
+/// Joins `left` and `right` on `left_keys[i] == right_keys[i]` using a
+/// freshly built hash table over `right`.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Relation {
+    let build = JoinBuild::build(right, right_keys);
+    hash_join_with_build(left, right, left_keys, right_keys, &build)
+}
+
+/// Joins `left` and `right` re-using an existing (possibly cached) build over
+/// `right` keyed by `right_keys`.
+pub fn hash_join_with_build(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    build: &JoinBuild,
+) -> Relation {
+    assert_eq!(left_keys.len(), right_keys.len());
+    debug_assert_eq!(build.key_cols(), right_keys);
+    let out_arity = join_output_arity(left, right, right_keys);
+    let mut out = Relation::new(out_arity);
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+    let extra_cols: Vec<usize> = (0..right.arity())
+        .filter(|c| !right_keys.contains(c))
+        .collect();
+    let mut key = Vec::with_capacity(left_keys.len());
+    let mut row_buf = vec![Sym(0); out_arity];
+    for lrow in left.iter() {
+        key_of(lrow, left_keys, &mut key);
+        for ridx in build.probe(right, &key) {
+            let rrow = right.row(ridx);
+            row_buf[..lrow.len()].copy_from_slice(lrow);
+            for (slot, &c) in row_buf[lrow.len()..].iter_mut().zip(&extra_cols) {
+                *slot = rrow[c];
+            }
+            out.push(&row_buf);
+        }
+    }
+    out
+}
+
+/// Reference nested-loop join used to validate [`hash_join`] in property
+/// tests. Never used on hot paths.
+pub fn nested_loop_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Relation {
+    let out_arity = join_output_arity(left, right, right_keys);
+    let mut out = Relation::new(out_arity);
+    let extra_cols: Vec<usize> = (0..right.arity())
+        .filter(|c| !right_keys.contains(c))
+        .collect();
+    for lrow in left.iter() {
+        for rrow in right.iter() {
+            if left_keys
+                .iter()
+                .zip(right_keys)
+                .all(|(&lc, &rc)| lrow[lc] == rrow[rc])
+            {
+                let mut row = lrow.to_vec();
+                row.extend(extra_cols.iter().map(|&c| rrow[c]));
+                out.push(&row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> Sym {
+        Sym(v)
+    }
+
+    fn rel(arity: usize, rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::new(arity);
+        for row in rows {
+            let row: Vec<Sym> = row.iter().map(|&v| s(v)).collect();
+            r.push(&row);
+        }
+        r
+    }
+
+    #[test]
+    fn simple_equijoin() {
+        let left = rel(2, &[&[1, 2], &[3, 4], &[5, 2]]);
+        let right = rel(2, &[&[2, 10], &[4, 20]]);
+        // join left.col1 == right.col0
+        let out = hash_join(&left, &right, &[1], &[0]);
+        assert_eq!(out.arity(), 3);
+        let mut rows = out.to_sorted_vec();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![s(1), s(2), s(10)],
+                vec![s(3), s(4), s(20)],
+                vec![s(5), s(2), s(10)],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let left = rel(1, &[&[1], &[2]]);
+        let right = rel(2, &[&[7, 8]]);
+        let out = hash_join(&left, &right, &[0], &[0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_on_multiple_keys() {
+        let left = rel(3, &[&[1, 2, 3], &[1, 2, 4], &[9, 9, 9]]);
+        let right = rel(3, &[&[1, 2, 100], &[9, 8, 200]]);
+        let out = hash_join(&left, &right, &[0, 1], &[0, 1]);
+        assert_eq!(out.arity(), 4);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&[s(1), s(2), s(3), s(100)]));
+        assert!(out.contains(&[s(1), s(2), s(4), s(100)]));
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let left = rel(2, &[&[1, 1], &[1, 2], &[2, 2], &[3, 1], &[4, 4]]);
+        let right = rel(2, &[&[1, 5], &[2, 6], &[2, 7], &[9, 9]]);
+        let a = hash_join(&left, &right, &[1], &[0]);
+        let b = nested_loop_join(&left, &right, &[1], &[0]);
+        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec());
+    }
+
+    #[test]
+    fn incremental_build_update_sees_new_rows() {
+        let mut right = rel(2, &[&[1, 10]]);
+        let mut build = JoinBuild::build(&right, &[0]);
+        assert_eq!(build.probe(&right, &[s(1)]).len(), 1);
+        right.push(&[s(1), s(11)]);
+        right.push(&[s(2), s(12)]);
+        assert_eq!(build.probe(&right, &[s(1)]).len(), 1, "stale before update");
+        build.update(&right);
+        assert_eq!(build.probe(&right, &[s(1)]).len(), 2);
+        assert_eq!(build.probe(&right, &[s(2)]).len(), 1);
+        assert_eq!(build.rows_indexed(), 3);
+    }
+
+    #[test]
+    fn cached_build_join_equals_fresh_join() {
+        let left = rel(2, &[&[1, 2], &[3, 2], &[5, 6]]);
+        let mut right = rel(2, &[&[2, 10]]);
+        let mut build = JoinBuild::build(&right, &[0]);
+        right.push(&[s(6), s(60)]);
+        build.update(&right);
+        let cached = hash_join_with_build(&left, &right, &[1], &[0], &build);
+        let fresh = hash_join(&left, &right, &[1], &[0]);
+        assert_eq!(cached.to_sorted_vec(), fresh.to_sorted_vec());
+    }
+
+    #[test]
+    fn probe_verifies_collisions() {
+        // Construct many keys; even if two hash to the same bucket the probe
+        // must not return rows with a different key.
+        let rows: Vec<Vec<u32>> = (0..2000).map(|i| vec![i, i + 1]).collect();
+        let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let r = rel(2, &refs);
+        let build = JoinBuild::build(&r, &[0]);
+        for i in (0..2000).step_by(97) {
+            let hits = build.probe(&r, &[s(i)]);
+            assert_eq!(hits.len(), 1);
+            assert_eq!(r.row(hits[0])[0], s(i));
+        }
+    }
+}

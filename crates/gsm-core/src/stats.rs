@@ -1,0 +1,147 @@
+//! Latency statistics used by the benchmark harness.
+
+use std::time::Duration;
+
+/// Records per-update processing latencies and summarises them the way the
+/// paper reports results (average milliseconds per update), plus tail
+/// percentiles for the extended experiments.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a recorder pre-allocated for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total time across all samples.
+    pub fn total(&self) -> Duration {
+        self.samples.iter().sum()
+    }
+
+    /// Mean latency in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.total().as_secs_f64() * 1e3 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) latency in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank].as_secs_f64() * 1e3
+    }
+
+    /// Median latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 95th-percentile latency in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.quantile_ms(0.95)
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// Maximum latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.samples
+            .iter()
+            .max()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    }
+
+    /// Throughput in updates per second over the recorded samples.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.samples.len() as f64 / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_recorder_reports_zeroes() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.mean_ms(), 0.0);
+        assert_eq!(r.p99_ms(), 0.0);
+        assert_eq!(r.max_ms(), 0.0);
+        assert_eq!(r.throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut r = LatencyRecorder::new();
+        for v in [1, 2, 3, 4] {
+            r.record(ms(v));
+        }
+        assert!((r.mean_ms() - 2.5).abs() < 1e-9);
+        assert!((r.max_ms() - 4.0).abs() < 1e-9);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut r = LatencyRecorder::with_capacity(100);
+        for v in 1..=100 {
+            r.record(ms(v));
+        }
+        assert!(r.p50_ms() <= r.p95_ms());
+        assert!(r.p95_ms() <= r.p99_ms());
+        assert!(r.p99_ms() <= r.max_ms());
+    }
+
+    #[test]
+    fn throughput() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..10 {
+            r.record(ms(100));
+        }
+        assert!((r.throughput_per_sec() - 10.0).abs() < 1e-6);
+    }
+}

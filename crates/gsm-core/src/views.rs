@@ -1,0 +1,152 @@
+//! The shared per-edge materialized-view store.
+//!
+//! Every algorithm of the paper maintains, for each distinct (generic) query
+//! edge appearing in the query database, a materialized view `matV[e]`
+//! containing all updates that satisfy that edge (Section 4.1,
+//! "Materialization"). This store is the common implementation: engines
+//! register the generic edges of their query set and feed updates; the store
+//! routes each update to the affected views with O(1) hash lookups.
+
+use std::collections::HashMap;
+
+use crate::interner::Sym;
+use crate::memory::HeapSize;
+use crate::model::generic::GenericEdge;
+use crate::model::update::Update;
+use crate::relation::Relation;
+
+/// Per-generic-edge materialized views.
+#[derive(Debug, Default)]
+pub struct EdgeViewStore {
+    views: HashMap<GenericEdge, Relation>,
+}
+
+impl EdgeViewStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures a view exists for `edge` (idempotent). Views always have two
+    /// columns: the concrete source and target vertices of matching updates.
+    pub fn register(&mut self, edge: GenericEdge) {
+        self.views.entry(edge).or_insert_with(|| Relation::new(2));
+    }
+
+    /// True if a view is registered for `edge`.
+    pub fn is_registered(&self, edge: &GenericEdge) -> bool {
+        self.views.contains_key(edge)
+    }
+
+    /// The view of `edge`, if registered.
+    pub fn get(&self, edge: &GenericEdge) -> Option<&Relation> {
+        self.views.get(edge)
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True if no view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Routes an update to every registered view it satisfies and appends the
+    /// `(src, tgt)` tuple. Returns the generic edges whose view actually
+    /// gained a new tuple (an exact duplicate of an earlier update leaves all
+    /// views unchanged and therefore cannot produce new embeddings).
+    pub fn apply_update(&mut self, u: &Update) -> Vec<GenericEdge> {
+        let row: [Sym; 2] = [u.src, u.tgt];
+        let mut affected = Vec::new();
+        for shape in GenericEdge::shapes_of_update(u) {
+            if let Some(view) = self.views.get_mut(&shape) {
+                if view.push(&row) {
+                    affected.push(shape);
+                }
+            }
+        }
+        affected
+    }
+
+    /// Iterates over all registered (edge, view) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&GenericEdge, &Relation)> {
+        self.views.iter()
+    }
+}
+
+impl HeapSize for EdgeViewStore {
+    fn heap_size(&self) -> usize {
+        self.views.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::term::{PatternEdge, Term};
+
+    fn ge(label: u32, src: Term, tgt: Term) -> GenericEdge {
+        GenericEdge::from_pattern(&PatternEdge::new(Sym(label), src, tgt))
+    }
+
+    #[test]
+    fn update_is_routed_to_all_matching_views() {
+        let mut store = EdgeViewStore::new();
+        let var_var = ge(0, Term::Var(0), Term::Var(1));
+        let var_const = ge(0, Term::Var(0), Term::Const(Sym(100)));
+        let const_const = ge(0, Term::Const(Sym(50)), Term::Const(Sym(100)));
+        let other_label = ge(1, Term::Var(0), Term::Var(1));
+        for e in [var_var, var_const, const_const, other_label] {
+            store.register(e);
+        }
+        let affected = store.apply_update(&Update::new(Sym(0), Sym(50), Sym(100)));
+        assert_eq!(affected.len(), 3);
+        assert!(store.get(&var_var).unwrap().len() == 1);
+        assert!(store.get(&var_const).unwrap().len() == 1);
+        assert!(store.get(&const_const).unwrap().len() == 1);
+        assert!(store.get(&other_label).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_updates_do_not_affect_views() {
+        let mut store = EdgeViewStore::new();
+        let var_var = ge(0, Term::Var(0), Term::Var(1));
+        store.register(var_var);
+        let u = Update::new(Sym(0), Sym(1), Sym(2));
+        assert_eq!(store.apply_update(&u).len(), 1);
+        assert_eq!(store.apply_update(&u).len(), 0);
+        assert_eq!(store.get(&var_var).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn self_loop_views_only_get_loop_updates() {
+        let mut store = EdgeViewStore::new();
+        let loop_edge = ge(0, Term::Var(0), Term::Var(0));
+        store.register(loop_edge);
+        store.apply_update(&Update::new(Sym(0), Sym(1), Sym(2)));
+        assert!(store.get(&loop_edge).unwrap().is_empty());
+        store.apply_update(&Update::new(Sym(0), Sym(3), Sym(3)));
+        assert_eq!(store.get(&loop_edge).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut store = EdgeViewStore::new();
+        let e = ge(0, Term::Var(0), Term::Var(1));
+        store.register(e);
+        store.apply_update(&Update::new(Sym(0), Sym(1), Sym(2)));
+        store.register(e);
+        assert_eq!(store.get(&e).unwrap().len(), 1, "re-register must not wipe data");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn unregistered_edges_are_ignored() {
+        let mut store = EdgeViewStore::new();
+        let affected = store.apply_update(&Update::new(Sym(0), Sym(1), Sym(2)));
+        assert!(affected.is_empty());
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # gsm-datagen
+//!
+//! Workload substrate for the experimental evaluation (Section 6.1 of the
+//! paper). The paper evaluates on three datasets — the LDBC Social Network
+//! Benchmark, a 2013 NYC taxi-ride trace, and the BioGRID protein-interaction
+//! repository — plus synthetic query sets mixing chain, star and cycle
+//! patterns with controlled average size `l`, selectivity `σ` and overlap `o`.
+//!
+//! None of those artifacts can be shipped with an offline pure-Rust build, so
+//! this crate provides faithful synthetic stand-ins:
+//!
+//! * [`snb`] — a social-network activity simulator emitting the SNB edge
+//!   vocabulary (`knows`, `hasModerator`, `posted`, `containedIn`, `likes`,
+//!   `replyOf`, `checksIn`, …) with preferential attachment;
+//! * [`taxi`] — a taxi-trip simulator (rides, medallions, drivers, zones,
+//!   payment types) with heavy-hitter pickup/drop-off zones;
+//! * [`biogrid`] — a protein–protein interaction stream with a single vertex
+//!   and edge type (the paper's stress test: every update affects the whole
+//!   query database);
+//! * [`querygen`] — the query-set generator: chain/star/cycle patterns
+//!   sampled from the *final* graph (so the requested fraction σ of queries
+//!   is eventually satisfied), with an overlap knob `o` that makes queries
+//!   share sub-paths, and negative queries anchored on never-occurring
+//!   constants;
+//! * [`workload`] — bundles a symbol table, an update stream and a query set,
+//!   with presets mirroring the paper's configurations at configurable scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod biogrid;
+pub mod querygen;
+pub mod snb;
+pub mod taxi;
+pub mod workload;
+
+pub use querygen::{QueryGenConfig, QuerySetStats};
+pub use workload::{Dataset, Workload, WorkloadConfig};

@@ -1,0 +1,526 @@
+//! Query-set generation (Section 6.1, "Query Set Configuration").
+//!
+//! The paper's query workload mixes three classes — chains, stars and cycles,
+//! chosen equiprobably — with four knobs: the database size `|QDB|`, the
+//! average query size `l` (edges per pattern), the selectivity `σ` (fraction
+//! of the query set that is eventually satisfied by the stream), and the
+//! overlap `o` (fraction of queries sharing sub-patterns with other queries).
+//!
+//! Satisfied ("positive") queries are sampled as sub-structures of the final
+//! graph, i.e. the graph obtained after the full stream has been applied, so
+//! they are guaranteed to match once their last edge arrives. Unsatisfiable
+//! ("negative") queries are the same structures with one vertex replaced by a
+//! fresh constant that never occurs in the stream. Overlap is created by
+//! reusing prefixes of previously sampled walks as the backbone of later
+//! queries, which is exactly the sharing TRIC's trie clustering exploits.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gsm_core::interner::{Sym, SymbolTable};
+use gsm_core::model::graph::AttributeGraph;
+use gsm_core::model::term::{PatternEdge, Term};
+use gsm_core::model::update::Update;
+use gsm_core::query::classes::{classify, QueryClass};
+use gsm_core::query::pattern::QueryPattern;
+
+/// Configuration of the query-set generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryGenConfig {
+    /// Number of queries to generate (`|QDB|`).
+    pub count: usize,
+    /// Average number of edges per query (`l`).
+    pub avg_size: usize,
+    /// Fraction of queries that the stream eventually satisfies (`σ`).
+    pub selectivity: f64,
+    /// Fraction of queries that share sub-patterns with earlier queries (`o`).
+    pub overlap: f64,
+    /// Probability that a sampled graph vertex stays a constant in the
+    /// pattern (the rest become variables).
+    pub const_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            count: 5_000,
+            avg_size: 5,
+            selectivity: 0.25,
+            overlap: 0.35,
+            const_probability: 0.25,
+            seed: 0x5EED_0004,
+        }
+    }
+}
+
+/// Summary statistics of a generated query set, used by tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuerySetStats {
+    /// Number of chain-shaped queries.
+    pub chains: usize,
+    /// Number of star-shaped queries.
+    pub stars: usize,
+    /// Number of cycle-shaped queries.
+    pub cycles: usize,
+    /// Queries of any other shape (fallbacks).
+    pub other: usize,
+    /// Queries designed to be satisfied by the stream.
+    pub positive: usize,
+    /// Total number of pattern edges across the set.
+    pub total_edges: usize,
+}
+
+impl QuerySetStats {
+    /// Average pattern size in edges.
+    pub fn avg_edges(&self, count: usize) -> f64 {
+        if count == 0 {
+            0.0
+        } else {
+            self.total_edges as f64 / count as f64
+        }
+    }
+}
+
+/// Generates a query set against the *final* graph of a stream.
+pub fn generate(
+    config: &QueryGenConfig,
+    graph: &AttributeGraph,
+    symbols: &mut SymbolTable,
+) -> (Vec<QueryPattern>, QuerySetStats) {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut stats = QuerySetStats::default();
+    let mut queries = Vec::with_capacity(config.count);
+
+    // Deterministic vertex universe (the graph's sets iterate in hash order).
+    let mut vertices: Vec<Sym> = graph.vertices().copied().collect();
+    vertices.sort_unstable();
+    let starts: Vec<Sym> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| graph.out_degree(v) > 0)
+        .collect();
+    if starts.is_empty() || config.count == 0 {
+        return (queries, stats);
+    }
+
+    let num_positive = (config.count as f64 * config.selectivity).round() as usize;
+    let mut walk_pool: Vec<Vec<Update>> = Vec::new();
+    let mut negative_counter = 0usize;
+
+    for i in 0..config.count {
+        let positive = i < num_positive;
+        let class = match i % 3 {
+            0 => QueryClass::Chain,
+            1 => QueryClass::Star,
+            _ => QueryClass::Cycle,
+        };
+        let size = sample_size(&mut rng, config.avg_size);
+
+        let walk = match class {
+            QueryClass::Chain => {
+                chain_walk(&mut rng, graph, &starts, size, config.overlap, &mut walk_pool)
+            }
+            QueryClass::Star => star_edges(&mut rng, graph, &vertices, size),
+            _ => cycle_walk(&mut rng, graph, &starts, size).unwrap_or_else(|| {
+                chain_walk(&mut rng, graph, &starts, size, config.overlap, &mut walk_pool)
+            }),
+        };
+        let walk = if walk.is_empty() {
+            fallback_edge(&mut rng, graph, &starts)
+        } else {
+            walk
+        };
+
+        let mut pattern_edges =
+            to_pattern(&mut rng, &walk, config.const_probability, positive);
+        if !positive {
+            poison(&mut rng, &mut pattern_edges, symbols, &mut negative_counter);
+        }
+        let query = match QueryPattern::from_edges(pattern_edges) {
+            Ok(q) => q,
+            Err(_) => {
+                // Extremely rare (disconnected star sampling); fall back to a
+                // single-edge pattern which is always valid.
+                let single = fallback_edge(&mut rng, graph, &starts);
+                let mut edges = to_pattern(&mut rng, &single, config.const_probability, positive);
+                if !positive {
+                    poison(&mut rng, &mut edges, symbols, &mut negative_counter);
+                }
+                QueryPattern::from_edges(edges).expect("single edge patterns are valid")
+            }
+        };
+
+        match classify(&query) {
+            QueryClass::Chain => stats.chains += 1,
+            QueryClass::Star => stats.stars += 1,
+            QueryClass::Cycle => stats.cycles += 1,
+            _ => stats.other += 1,
+        }
+        if positive {
+            stats.positive += 1;
+        }
+        stats.total_edges += query.num_edges();
+        queries.push(query);
+    }
+    (queries, stats)
+}
+
+fn sample_size(rng: &mut SmallRng, avg: usize) -> usize {
+    let avg = avg.max(1);
+    let lo = avg.saturating_sub(1).max(1);
+    let hi = avg + 1;
+    rng.gen_range(lo..=hi)
+}
+
+fn random_walk(rng: &mut SmallRng, graph: &AttributeGraph, start: Sym, len: usize) -> Vec<Update> {
+    let mut walk = Vec::with_capacity(len);
+    let mut current = start;
+    for _ in 0..len {
+        let out = graph.out_edges(current);
+        if out.is_empty() {
+            break;
+        }
+        let (label, tgt) = out[rng.gen_range(0..out.len())];
+        walk.push(Update::new(label, current, tgt));
+        current = tgt;
+    }
+    walk
+}
+
+fn chain_walk(
+    rng: &mut SmallRng,
+    graph: &AttributeGraph,
+    starts: &[Sym],
+    size: usize,
+    overlap: f64,
+    pool: &mut Vec<Vec<Update>>,
+) -> Vec<Update> {
+    let reuse = !pool.is_empty() && rng.gen::<f64>() < overlap;
+    let mut walk: Vec<Update> = if reuse {
+        let base = &pool[rng.gen_range(0..pool.len())];
+        let keep = rng.gen_range(1..=base.len().min(size));
+        base[..keep].to_vec()
+    } else {
+        Vec::new()
+    };
+    // Extend (or start) the walk until it has `size` edges or gets stuck.
+    for attempt in 0..5 {
+        if walk.len() >= size {
+            break;
+        }
+        let from = match walk.last() {
+            Some(u) => u.tgt,
+            None => starts[rng.gen_range(0..starts.len())],
+        };
+        let extension = random_walk(rng, graph, from, size - walk.len());
+        if extension.is_empty() && walk.is_empty() && attempt < 4 {
+            continue;
+        }
+        walk.extend(extension);
+        if walk.last().map(|u| graph.out_degree(u.tgt) == 0).unwrap_or(false) {
+            break;
+        }
+    }
+    if !walk.is_empty() {
+        pool.push(walk.clone());
+        if pool.len() > 256 {
+            pool.remove(0);
+        }
+    }
+    walk
+}
+
+fn star_edges(
+    rng: &mut SmallRng,
+    graph: &AttributeGraph,
+    vertices: &[Sym],
+    size: usize,
+) -> Vec<Update> {
+    // Find a centre with enough incident edges (a few attempts, then best-effort).
+    let mut best: Option<Sym> = None;
+    for _ in 0..32 {
+        let v = vertices[rng.gen_range(0..vertices.len())];
+        let degree = graph.out_degree(v) + graph.in_degree(v);
+        if degree >= size {
+            best = Some(v);
+            break;
+        }
+        if best
+            .map(|b| graph.out_degree(b) + graph.in_degree(b) < degree)
+            .unwrap_or(true)
+        {
+            best = Some(v);
+        }
+    }
+    let Some(centre) = best else {
+        return Vec::new();
+    };
+    let mut edges: Vec<Update> = Vec::new();
+    for &(label, tgt) in graph.out_edges(centre) {
+        if edges.len() >= size {
+            break;
+        }
+        let u = Update::new(label, centre, tgt);
+        if !edges.contains(&u) {
+            edges.push(u);
+        }
+    }
+    for &(label, src) in graph.in_edges(centre) {
+        if edges.len() >= size {
+            break;
+        }
+        let u = Update::new(label, src, centre);
+        if !edges.contains(&u) {
+            edges.push(u);
+        }
+    }
+    edges
+}
+
+fn cycle_walk(
+    rng: &mut SmallRng,
+    graph: &AttributeGraph,
+    starts: &[Sym],
+    size: usize,
+) -> Option<Vec<Update>> {
+    let size = size.max(2);
+    for _ in 0..50 {
+        let start = starts[rng.gen_range(0..starts.len())];
+        let walk = random_walk(rng, graph, start, size - 1);
+        if walk.len() != size - 1 {
+            continue;
+        }
+        let last = walk.last().expect("non-empty").tgt;
+        // Look for a closing edge back to the start vertex.
+        if let Some(&(label, _)) = graph
+            .out_edges(last)
+            .iter()
+            .find(|&&(_, tgt)| tgt == start)
+        {
+            let mut cycle = walk;
+            cycle.push(Update::new(label, last, start));
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+fn fallback_edge(rng: &mut SmallRng, graph: &AttributeGraph, starts: &[Sym]) -> Vec<Update> {
+    for _ in 0..16 {
+        let v = starts[rng.gen_range(0..starts.len())];
+        let out = graph.out_edges(v);
+        if !out.is_empty() {
+            let (label, tgt) = out[rng.gen_range(0..out.len())];
+            return vec![Update::new(label, v, tgt)];
+        }
+    }
+    Vec::new()
+}
+
+/// Converts a set of concrete graph edges into a pattern, mapping each
+/// distinct graph vertex consistently to either a constant (keeping its
+/// identity) or a fresh variable.
+fn to_pattern(
+    rng: &mut SmallRng,
+    walk: &[Update],
+    const_probability: f64,
+    _positive: bool,
+) -> Vec<PatternEdge> {
+    let mut term_of: HashMap<Sym, Term> = HashMap::new();
+    let mut next_var = 0u32;
+    let map = |v: Sym, rng: &mut SmallRng, term_of: &mut HashMap<Sym, Term>, next_var: &mut u32| -> Term {
+        *term_of.entry(v).or_insert_with(|| {
+            if rng.gen::<f64>() < const_probability {
+                Term::Const(v)
+            } else {
+                let t = Term::Var(*next_var);
+                *next_var += 1;
+                t
+            }
+        })
+    };
+    walk.iter()
+        .map(|u| {
+            let src = map(u.src, rng, &mut term_of, &mut next_var);
+            let tgt = map(u.tgt, rng, &mut term_of, &mut next_var);
+            PatternEdge::new(u.label, src, tgt)
+        })
+        .collect()
+}
+
+/// Makes a pattern unsatisfiable by rebinding one endpoint to a fresh
+/// constant that never occurs in any stream.
+fn poison(
+    rng: &mut SmallRng,
+    edges: &mut [PatternEdge],
+    symbols: &mut SymbolTable,
+    counter: &mut usize,
+) {
+    if edges.is_empty() {
+        return;
+    }
+    let fresh = symbols.intern(&format!("__never_matches_{counter}"));
+    *counter += 1;
+    let idx = rng.gen_range(0..edges.len());
+    // Replace the target (less likely to disconnect star patterns rooted at
+    // the source).
+    edges[idx].tgt = Term::Const(fresh);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snb::{self, SnbConfig};
+
+    fn small_graph(symbols: &mut SymbolTable) -> AttributeGraph {
+        let stream = snb::generate(&SnbConfig::with_edges(8_000), symbols);
+        AttributeGraph::from_updates(stream.iter())
+    }
+
+    #[test]
+    fn generates_requested_count_and_size() {
+        let mut symbols = SymbolTable::new();
+        let graph = small_graph(&mut symbols);
+        let cfg = QueryGenConfig {
+            count: 200,
+            avg_size: 4,
+            ..Default::default()
+        };
+        let (queries, stats) = generate(&cfg, &graph, &mut symbols);
+        assert_eq!(queries.len(), 200);
+        let avg = stats.avg_edges(queries.len());
+        assert!(avg > 1.5 && avg < 6.0, "average size {avg} out of range");
+    }
+
+    #[test]
+    fn query_classes_are_mixed() {
+        let mut symbols = SymbolTable::new();
+        let graph = small_graph(&mut symbols);
+        let cfg = QueryGenConfig {
+            count: 300,
+            avg_size: 4,
+            ..Default::default()
+        };
+        let (_, stats) = generate(&cfg, &graph, &mut symbols);
+        assert!(stats.chains > 0);
+        assert!(stats.stars > 0);
+        // Directed cycles are rare in DAG-ish social graphs; the generator
+        // falls back to chains when it cannot close one, so we only require
+        // that chains+stars+cycles+other add up.
+        assert_eq!(
+            stats.chains + stats.stars + stats.cycles + stats.other,
+            300
+        );
+    }
+
+    #[test]
+    fn selectivity_controls_positive_share() {
+        let mut symbols = SymbolTable::new();
+        let graph = small_graph(&mut symbols);
+        let cfg = QueryGenConfig {
+            count: 100,
+            selectivity: 0.3,
+            ..Default::default()
+        };
+        let (_, stats) = generate(&cfg, &graph, &mut symbols);
+        assert_eq!(stats.positive, 30);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut s1 = SymbolTable::new();
+        let g1 = small_graph(&mut s1);
+        let mut s2 = SymbolTable::new();
+        let g2 = small_graph(&mut s2);
+        let cfg = QueryGenConfig {
+            count: 50,
+            ..Default::default()
+        };
+        let (q1, _) = generate(&cfg, &g1, &mut s1);
+        let (q2, _) = generate(&cfg, &g2, &mut s2);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn negative_queries_never_match_the_final_graph() {
+        use gsm_core::ContinuousEngine;
+        use gsm_tric::TricEngine;
+
+        let mut symbols = SymbolTable::new();
+        let stream = snb::generate(&SnbConfig::with_edges(3_000), &mut symbols);
+        let graph = AttributeGraph::from_updates(stream.iter());
+        let cfg = QueryGenConfig {
+            count: 40,
+            avg_size: 3,
+            selectivity: 0.5,
+            ..Default::default()
+        };
+        let (queries, stats) = generate(&cfg, &graph, &mut symbols);
+
+        let mut engine = TricEngine::tric_plus();
+        for q in &queries {
+            engine.register_query(q).unwrap();
+        }
+        let mut satisfied = std::collections::HashSet::new();
+        for u in stream.iter() {
+            for m in engine.apply_update(*u).matches {
+                satisfied.insert(m.query.index());
+            }
+        }
+        // No negative query (index >= positive count) may ever be satisfied.
+        for idx in &satisfied {
+            assert!(
+                *idx < stats.positive,
+                "negative query {idx} was satisfied"
+            );
+        }
+        // A decent share of positive queries should be satisfied.
+        assert!(
+            satisfied.len() * 2 >= stats.positive,
+            "only {} of {} positive queries satisfied",
+            satisfied.len(),
+            stats.positive
+        );
+    }
+
+    #[test]
+    fn overlap_increases_trie_sharing() {
+        use gsm_core::ContinuousEngine;
+        use gsm_tric::TricEngine;
+
+        let mut symbols = SymbolTable::new();
+        let graph = small_graph(&mut symbols);
+        let low = QueryGenConfig {
+            count: 200,
+            overlap: 0.05,
+            const_probability: 0.0,
+            ..Default::default()
+        };
+        let high = QueryGenConfig {
+            count: 200,
+            overlap: 0.9,
+            const_probability: 0.0,
+            ..Default::default()
+        };
+        let (q_low, _) = generate(&low, &graph, &mut symbols);
+        let (q_high, _) = generate(&high, &graph, &mut symbols);
+
+        let nodes = |queries: &[QueryPattern]| {
+            let mut e = TricEngine::tric();
+            for q in queries {
+                e.register_query(q).unwrap();
+            }
+            e.num_trie_nodes()
+        };
+        assert!(
+            nodes(&q_high) < nodes(&q_low),
+            "higher overlap should produce more node sharing ({} vs {})",
+            nodes(&q_high),
+            nodes(&q_low)
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! SNB-like social-network activity stream.
+//!
+//! Simulates the evolution of a social network the way the LDBC Social
+//! Network Benchmark does: people join, become friends (preferentially with
+//! well-connected people), moderate and join forums, create posts and
+//! comments, like content and check in at places. Every activity is emitted
+//! as one or more edge-addition updates using the SNB edge vocabulary, so the
+//! query workloads of the paper (Fig. 4) can be expressed verbatim.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gsm_core::interner::{Sym, SymbolTable};
+use gsm_core::model::update::{GraphStream, Update};
+
+/// Configuration of the SNB-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnbConfig {
+    /// Target number of edge-addition updates to emit.
+    pub target_edges: usize,
+    /// Number of places (cities) people live in / check in at.
+    pub num_places: usize,
+    /// Number of tags posts can carry.
+    pub num_tags: usize,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SnbConfig {
+    fn default() -> Self {
+        SnbConfig {
+            target_edges: 100_000,
+            num_places: 200,
+            num_tags: 500,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl SnbConfig {
+    /// A configuration scaled to roughly `edges` updates.
+    pub fn with_edges(edges: usize) -> Self {
+        SnbConfig {
+            target_edges: edges,
+            ..Default::default()
+        }
+    }
+}
+
+/// The edge labels emitted by the SNB-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbVocabulary {
+    /// person → person friendship.
+    pub knows: Sym,
+    /// forum → person moderation.
+    pub has_moderator: Sym,
+    /// forum → person membership.
+    pub has_member: Sym,
+    /// person → post authorship.
+    pub posted: Sym,
+    /// post → forum containment.
+    pub contained_in: Sym,
+    /// comment → person authorship.
+    pub has_creator: Sym,
+    /// comment → post reply.
+    pub reply_of: Sym,
+    /// person → post like.
+    pub likes: Sym,
+    /// person → place residence.
+    pub is_located_in: Sym,
+    /// person → place check-in.
+    pub checks_in: Sym,
+    /// post → tag annotation.
+    pub has_tag: Sym,
+}
+
+impl SnbVocabulary {
+    /// Interns the vocabulary into `symbols`.
+    pub fn intern(symbols: &mut SymbolTable) -> Self {
+        SnbVocabulary {
+            knows: symbols.intern("knows"),
+            has_moderator: symbols.intern("hasModerator"),
+            has_member: symbols.intern("hasMember"),
+            posted: symbols.intern("posted"),
+            contained_in: symbols.intern("containedIn"),
+            has_creator: symbols.intern("hasCreator"),
+            reply_of: symbols.intern("replyOf"),
+            likes: symbols.intern("likes"),
+            is_located_in: symbols.intern("isLocatedIn"),
+            checks_in: symbols.intern("checksIn"),
+            has_tag: symbols.intern("hasTag"),
+        }
+    }
+}
+
+struct SnbState {
+    persons: Vec<Sym>,
+    forums: Vec<Sym>,
+    posts: Vec<Sym>,
+    places: Vec<Sym>,
+    tags: Vec<Sym>,
+    next_person: usize,
+    next_forum: usize,
+    next_post: usize,
+    next_comment: usize,
+}
+
+impl SnbState {
+    /// Preferential pick: recent/earlier entities are more likely in a way
+    /// that produces a skewed degree distribution (quadratic bias towards the
+    /// front of the list, where well-connected entities live).
+    fn pick(rng: &mut SmallRng, items: &[Sym]) -> Sym {
+        debug_assert!(!items.is_empty());
+        let r: f64 = rng.gen::<f64>();
+        let idx = ((r * r) * items.len() as f64) as usize;
+        items[idx.min(items.len() - 1)]
+    }
+
+    fn pick_recent(rng: &mut SmallRng, items: &[Sym], window: usize) -> Sym {
+        debug_assert!(!items.is_empty());
+        let start = items.len().saturating_sub(window);
+        items[rng.gen_range(start..items.len())]
+    }
+}
+
+/// Generates an SNB-like update stream. Returns the stream; all vertex and
+/// edge labels are interned into `symbols`.
+pub fn generate(config: &SnbConfig, symbols: &mut SymbolTable) -> GraphStream {
+    let vocab = SnbVocabulary::intern(symbols);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut stream = GraphStream::new();
+    let mut state = SnbState {
+        persons: Vec::new(),
+        forums: Vec::new(),
+        posts: Vec::new(),
+        places: (0..config.num_places.max(1))
+            .map(|i| symbols.intern(&format!("place_{i}")))
+            .collect(),
+        tags: (0..config.num_tags.max(1))
+            .map(|i| symbols.intern(&format!("tag_{i}")))
+            .collect(),
+        next_person: 0,
+        next_forum: 0,
+        next_post: 0,
+        next_comment: 0,
+    };
+
+    // Bootstrap: a handful of people and forums so every event type can fire.
+    for _ in 0..10 {
+        new_person(&mut state, &vocab, symbols, &mut rng, &mut stream);
+    }
+    for _ in 0..3 {
+        new_forum(&mut state, &vocab, symbols, &mut rng, &mut stream);
+    }
+
+    while stream.len() < config.target_edges {
+        // Event mix loosely follows SNB's interactive workload: content
+        // creation and likes dominate, structural events are rarer.
+        let roll = rng.gen_range(0..100);
+        match roll {
+            0..=7 => new_person(&mut state, &vocab, symbols, &mut rng, &mut stream),
+            8..=22 => friendship(&mut state, &vocab, &mut rng, &mut stream),
+            23..=24 => new_forum(&mut state, &vocab, symbols, &mut rng, &mut stream),
+            25..=32 => join_forum(&mut state, &vocab, &mut rng, &mut stream),
+            33..=55 => new_post(&mut state, &vocab, symbols, &mut rng, &mut stream),
+            56..=72 => new_comment(&mut state, &vocab, symbols, &mut rng, &mut stream),
+            73..=90 => like(&mut state, &vocab, &mut rng, &mut stream),
+            _ => check_in(&mut state, &vocab, &mut rng, &mut stream),
+        }
+    }
+    stream.truncate(config.target_edges);
+    stream
+}
+
+fn new_person(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    symbols: &mut SymbolTable,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
+    let person = symbols.intern(&format!("person_{}", state.next_person));
+    state.next_person += 1;
+    let place = SnbState::pick(rng, &state.places);
+    state.persons.push(person);
+    stream.push(Update::new(vocab.is_located_in, person, place));
+    // A newcomer usually knows somebody already.
+    if state.persons.len() > 1 {
+        let friend = SnbState::pick(rng, &state.persons[..state.persons.len() - 1]);
+        stream.push(Update::new(vocab.knows, person, friend));
+    }
+}
+
+fn friendship(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+    if state.persons.len() < 2 {
+        return;
+    }
+    let a = SnbState::pick(rng, &state.persons);
+    let b = SnbState::pick(rng, &state.persons);
+    if a != b {
+        stream.push(Update::new(vocab.knows, a, b));
+    }
+}
+
+fn new_forum(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    symbols: &mut SymbolTable,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
+    if state.persons.is_empty() {
+        return;
+    }
+    let forum = symbols.intern(&format!("forum_{}", state.next_forum));
+    state.next_forum += 1;
+    state.forums.push(forum);
+    let moderator = SnbState::pick(rng, &state.persons);
+    stream.push(Update::new(vocab.has_moderator, forum, moderator));
+    stream.push(Update::new(vocab.has_member, forum, moderator));
+}
+
+fn join_forum(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+    if state.forums.is_empty() || state.persons.is_empty() {
+        return;
+    }
+    let forum = SnbState::pick(rng, &state.forums);
+    let person = SnbState::pick(rng, &state.persons);
+    stream.push(Update::new(vocab.has_member, forum, person));
+}
+
+fn new_post(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    symbols: &mut SymbolTable,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
+    if state.persons.is_empty() || state.forums.is_empty() {
+        return;
+    }
+    let post = symbols.intern(&format!("post_{}", state.next_post));
+    state.next_post += 1;
+    let author = SnbState::pick(rng, &state.persons);
+    let forum = SnbState::pick(rng, &state.forums);
+    let tag = SnbState::pick(rng, &state.tags);
+    state.posts.push(post);
+    stream.push(Update::new(vocab.posted, author, post));
+    stream.push(Update::new(vocab.contained_in, post, forum));
+    stream.push(Update::new(vocab.has_tag, post, tag));
+}
+
+fn new_comment(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    symbols: &mut SymbolTable,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
+    if state.posts.is_empty() || state.persons.is_empty() {
+        return;
+    }
+    let comment = symbols.intern(&format!("comment_{}", state.next_comment));
+    state.next_comment += 1;
+    let author = SnbState::pick(rng, &state.persons);
+    let post = SnbState::pick_recent(rng, &state.posts, 64);
+    stream.push(Update::new(vocab.has_creator, comment, author));
+    stream.push(Update::new(vocab.reply_of, comment, post));
+}
+
+fn like(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+    if state.posts.is_empty() || state.persons.is_empty() {
+        return;
+    }
+    let person = SnbState::pick(rng, &state.persons);
+    let post = SnbState::pick_recent(rng, &state.posts, 128);
+    stream.push(Update::new(vocab.likes, person, post));
+}
+
+fn check_in(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+    if state.persons.is_empty() {
+        return;
+    }
+    let person = SnbState::pick(rng, &state.persons);
+    let place = SnbState::pick(rng, &state.places);
+    stream.push(Update::new(vocab.checks_in, person, place));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::model::graph::AttributeGraph;
+
+    #[test]
+    fn generates_requested_number_of_updates() {
+        let mut symbols = SymbolTable::new();
+        let stream = generate(&SnbConfig::with_edges(5_000), &mut symbols);
+        assert_eq!(stream.len(), 5_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let cfg = SnbConfig::with_edges(2_000);
+        let a = generate(&cfg, &mut s1);
+        let b = generate(&cfg, &mut s2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let a = generate(&SnbConfig { seed: 1, ..SnbConfig::with_edges(2_000) }, &mut s1);
+        let b = generate(&SnbConfig { seed: 2, ..SnbConfig::with_edges(2_000) }, &mut s2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vocabulary_is_diverse_and_vertex_ratio_is_plausible() {
+        let mut symbols = SymbolTable::new();
+        let stream = generate(&SnbConfig::with_edges(20_000), &mut symbols);
+        let graph = AttributeGraph::from_updates(stream.iter());
+        let labels: std::collections::HashSet<_> = stream.iter().map(|u| u.label).collect();
+        assert!(labels.len() >= 8, "expected a rich edge vocabulary, got {}", labels.len());
+        // The paper's SNB graphs have roughly 0.4–0.6 vertices per edge.
+        let ratio = graph.num_vertices() as f64 / graph.num_edges() as f64;
+        assert!(ratio > 0.15 && ratio < 0.9, "vertex/edge ratio {ratio} out of range");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut symbols = SymbolTable::new();
+        let stream = generate(&SnbConfig::with_edges(20_000), &mut symbols);
+        let graph = AttributeGraph::from_updates(stream.iter());
+        let mut degrees: Vec<usize> = graph
+            .vertices()
+            .map(|&v| graph.out_degree(v) + graph.in_degree(v))
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = degrees.iter().take(degrees.len() / 100 + 1).sum();
+        let total: usize = degrees.iter().sum();
+        // The top 1% of vertices should hold well above 1% of the degree mass.
+        assert!(top_share as f64 / total as f64 > 0.05);
+    }
+}

@@ -1,0 +1,201 @@
+//! NYC-taxi-like trip stream.
+//!
+//! The paper's second dataset is the 2013 NYC taxi-ride trace used in the
+//! DEBS 2015 Grand Challenge: ~160M rides with medallion, license, pickup and
+//! drop-off location, time and fare information. This generator synthesises
+//! an equivalent edge stream: every trip becomes a small star of edges around
+//! a fresh `ride` vertex, with heavy-hitter pickup/drop-off zones (rides
+//! concentrate in a few hot areas), a fixed fleet of medallions and drivers,
+//! and low-cardinality payment/fare/hour attributes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gsm_core::interner::{Sym, SymbolTable};
+use gsm_core::model::update::{GraphStream, Update};
+
+/// Configuration of the taxi-trip generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxiConfig {
+    /// Target number of edge-addition updates.
+    pub target_edges: usize,
+    /// Size of the taxi fleet (medallions).
+    pub num_medallions: usize,
+    /// Number of licensed drivers.
+    pub num_drivers: usize,
+    /// Number of city zones (grid cells).
+    pub num_zones: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            target_edges: 100_000,
+            num_medallions: 2_000,
+            num_drivers: 4_000,
+            num_zones: 300,
+            seed: 0x5EED_0002,
+        }
+    }
+}
+
+impl TaxiConfig {
+    /// A configuration scaled to roughly `edges` updates.
+    pub fn with_edges(edges: usize) -> Self {
+        TaxiConfig {
+            target_edges: edges,
+            ..Default::default()
+        }
+    }
+}
+
+/// Edge labels of the taxi stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TaxiVocabulary {
+    /// ride → medallion.
+    pub ride_by: Sym,
+    /// ride → driver.
+    pub driven_by: Sym,
+    /// ride → zone where the passenger was picked up.
+    pub pickup_at: Sym,
+    /// ride → zone where the passenger was dropped off.
+    pub dropoff_at: Sym,
+    /// ride → payment type.
+    pub paid_with: Sym,
+    /// ride → hour-of-day bucket.
+    pub during_hour: Sym,
+    /// ride → fare bucket.
+    pub fare_bucket: Sym,
+}
+
+impl TaxiVocabulary {
+    /// Interns the vocabulary into `symbols`.
+    pub fn intern(symbols: &mut SymbolTable) -> Self {
+        TaxiVocabulary {
+            ride_by: symbols.intern("rideBy"),
+            driven_by: symbols.intern("drivenBy"),
+            pickup_at: symbols.intern("pickupAt"),
+            dropoff_at: symbols.intern("dropoffAt"),
+            paid_with: symbols.intern("paidWith"),
+            during_hour: symbols.intern("duringHour"),
+            fare_bucket: symbols.intern("fareBucket"),
+        }
+    }
+}
+
+/// Skewed zone pick: a few hot zones (think Midtown) receive most trips.
+fn pick_zone(rng: &mut SmallRng, zones: &[Sym]) -> Sym {
+    let r: f64 = rng.gen::<f64>();
+    let idx = ((r * r * r) * zones.len() as f64) as usize;
+    zones[idx.min(zones.len() - 1)]
+}
+
+/// Generates a taxi-trip update stream.
+pub fn generate(config: &TaxiConfig, symbols: &mut SymbolTable) -> GraphStream {
+    let vocab = TaxiVocabulary::intern(symbols);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut stream = GraphStream::new();
+
+    let medallions: Vec<Sym> = (0..config.num_medallions.max(1))
+        .map(|i| symbols.intern(&format!("medallion_{i}")))
+        .collect();
+    let drivers: Vec<Sym> = (0..config.num_drivers.max(1))
+        .map(|i| symbols.intern(&format!("driver_{i}")))
+        .collect();
+    let zones: Vec<Sym> = (0..config.num_zones.max(1))
+        .map(|i| symbols.intern(&format!("zone_{i}")))
+        .collect();
+    let payments: Vec<Sym> = ["cash", "card", "dispute", "no_charge"]
+        .iter()
+        .map(|p| symbols.intern(&format!("payment_{p}")))
+        .collect();
+    let hours: Vec<Sym> = (0..24)
+        .map(|h| symbols.intern(&format!("hour_{h}")))
+        .collect();
+    let fares: Vec<Sym> = ["low", "medium", "high", "premium"]
+        .iter()
+        .map(|f| symbols.intern(&format!("fare_{f}")))
+        .collect();
+
+    let mut ride_no = 0usize;
+    while stream.len() < config.target_edges {
+        let ride = symbols.intern(&format!("ride_{ride_no}"));
+        ride_no += 1;
+        let medallion = medallions[rng.gen_range(0..medallions.len())];
+        let driver = drivers[rng.gen_range(0..drivers.len())];
+        let pickup = pick_zone(&mut rng, &zones);
+        let dropoff = pick_zone(&mut rng, &zones);
+        let payment = payments[rng.gen_range(0..payments.len())];
+        let hour = hours[rng.gen_range(0..hours.len())];
+        let fare = fares[rng.gen_range(0..fares.len())];
+
+        stream.push(Update::new(vocab.ride_by, ride, medallion));
+        stream.push(Update::new(vocab.driven_by, ride, driver));
+        stream.push(Update::new(vocab.pickup_at, ride, pickup));
+        stream.push(Update::new(vocab.dropoff_at, ride, dropoff));
+        stream.push(Update::new(vocab.paid_with, ride, payment));
+        stream.push(Update::new(vocab.during_hour, ride, hour));
+        stream.push(Update::new(vocab.fare_bucket, ride, fare));
+    }
+    stream.truncate(config.target_edges);
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::model::graph::AttributeGraph;
+
+    #[test]
+    fn generates_requested_number_of_updates() {
+        let mut symbols = SymbolTable::new();
+        let stream = generate(&TaxiConfig::with_edges(7_001), &mut symbols);
+        assert_eq!(stream.len(), 7_001);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TaxiConfig::with_edges(3_000);
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        assert_eq!(generate(&cfg, &mut s1), generate(&cfg, &mut s2));
+    }
+
+    #[test]
+    fn zones_are_heavy_hitters() {
+        let mut symbols = SymbolTable::new();
+        let cfg = TaxiConfig::with_edges(20_000);
+        let stream = generate(&cfg, &mut symbols);
+        let pickup = symbols.get("pickupAt").unwrap();
+        let mut counts: std::collections::HashMap<Sym, usize> = std::collections::HashMap::new();
+        for u in stream.iter().filter(|u| u.label == pickup) {
+            *counts.entry(u.tgt).or_insert(0) += 1;
+        }
+        let total: usize = counts.values().sum();
+        let max = counts.values().max().copied().unwrap_or(0);
+        // The hottest zone should receive far more than a uniform share.
+        assert!(max as f64 > 3.0 * total as f64 / cfg.num_zones as f64);
+    }
+
+    #[test]
+    fn rides_form_stars() {
+        let mut symbols = SymbolTable::new();
+        let stream = generate(&TaxiConfig::with_edges(7_000), &mut symbols);
+        let graph = AttributeGraph::from_updates(stream.iter());
+        let ride0 = symbols.get("ride_0").unwrap();
+        assert_eq!(graph.out_degree(ride0), 7);
+        assert_eq!(graph.in_degree(ride0), 0);
+    }
+
+    #[test]
+    fn vertex_edge_ratio_is_plausible() {
+        let mut symbols = SymbolTable::new();
+        let stream = generate(&TaxiConfig::with_edges(50_000), &mut symbols);
+        let graph = AttributeGraph::from_updates(stream.iter());
+        let ratio = graph.num_vertices() as f64 / graph.num_edges() as f64;
+        // The paper's taxi graph has ~0.28 vertices per edge.
+        assert!(ratio > 0.1 && ratio < 0.5, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Workload bundles: dataset stream + query set + symbol table.
+//!
+//! A [`Workload`] is everything a benchmark run needs, generated
+//! deterministically from a [`WorkloadConfig`] that mirrors the paper's
+//! experimental knobs (dataset, graph size `|GE|`, query-database size
+//! `|QDB|`, average query size `l`, selectivity `σ`, overlap `o`).
+
+use gsm_core::interner::SymbolTable;
+use gsm_core::model::graph::AttributeGraph;
+use gsm_core::model::update::GraphStream;
+use gsm_core::query::pattern::QueryPattern;
+
+use crate::biogrid::{self, BioGridConfig};
+use crate::querygen::{self, QueryGenConfig, QuerySetStats};
+use crate::snb::{self, SnbConfig};
+use crate::taxi::{self, TaxiConfig};
+
+/// The three datasets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// LDBC Social Network Benchmark-like activity stream.
+    Snb,
+    /// NYC-taxi-like trip stream.
+    Taxi,
+    /// BioGRID-like protein-interaction stream (single label stress test).
+    BioGrid,
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dataset::Snb => "SNB",
+            Dataset::Taxi => "TAXI",
+            Dataset::BioGrid => "BioGRID",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Workload generation parameters (the paper's baseline values are the
+/// defaults: `l = 5`, `σ = 25%`, `o = 35%`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Which dataset to generate.
+    pub dataset: Dataset,
+    /// Number of stream updates (the final graph size `|GE|`).
+    pub graph_edges: usize,
+    /// Number of continuous queries (`|QDB|`).
+    pub num_queries: usize,
+    /// Average query size in edges (`l`).
+    pub avg_query_size: usize,
+    /// Fraction of queries eventually satisfied (`σ`).
+    pub selectivity: f64,
+    /// Query overlap factor (`o`).
+    pub overlap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's baseline configuration for a dataset, scaled to the given
+    /// stream and query-set sizes.
+    pub fn new(dataset: Dataset, graph_edges: usize, num_queries: usize) -> Self {
+        WorkloadConfig {
+            dataset,
+            graph_edges,
+            num_queries,
+            avg_query_size: 5,
+            selectivity: 0.25,
+            overlap: 0.35,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Returns a copy with a different average query size.
+    pub fn with_query_size(mut self, l: usize) -> Self {
+        self.avg_query_size = l;
+        self
+    }
+
+    /// Returns a copy with a different selectivity.
+    pub fn with_selectivity(mut self, sigma: f64) -> Self {
+        self.selectivity = sigma;
+        self
+    }
+
+    /// Returns a copy with a different overlap factor.
+    pub fn with_overlap(mut self, o: f64) -> Self {
+        self.overlap = o;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fully generated workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// Human-readable name (dataset + key parameters).
+    pub name: String,
+    /// The symbol table all updates and queries are interned in.
+    pub symbols: SymbolTable,
+    /// The update stream.
+    pub stream: GraphStream,
+    /// The continuous query set.
+    pub queries: Vec<QueryPattern>,
+    /// Statistics of the generated query set.
+    pub query_stats: QuerySetStats,
+    /// The configuration the workload was generated from.
+    pub config: WorkloadConfig,
+}
+
+impl Workload {
+    /// Generates a workload deterministically from its configuration.
+    pub fn generate(config: WorkloadConfig) -> Self {
+        let mut symbols = SymbolTable::new();
+        let stream = match config.dataset {
+            Dataset::Snb => snb::generate(
+                &SnbConfig {
+                    target_edges: config.graph_edges,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+                &mut symbols,
+            ),
+            Dataset::Taxi => taxi::generate(
+                &TaxiConfig {
+                    target_edges: config.graph_edges,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+                &mut symbols,
+            ),
+            Dataset::BioGrid => biogrid::generate(
+                &BioGridConfig {
+                    target_edges: config.graph_edges,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+                &mut symbols,
+            ),
+        };
+        let graph = AttributeGraph::from_updates(stream.iter());
+        let (queries, query_stats) = querygen::generate(
+            &QueryGenConfig {
+                count: config.num_queries,
+                avg_size: config.avg_query_size,
+                selectivity: config.selectivity,
+                overlap: config.overlap,
+                seed: config.seed ^ 0x9E37_79B9_7F4A_7C15,
+                ..Default::default()
+            },
+            &graph,
+            &mut symbols,
+        );
+        let name = format!(
+            "{}-E{}-Q{}-l{}-s{:.0}%-o{:.0}%",
+            config.dataset,
+            config.graph_edges,
+            config.num_queries,
+            config.avg_query_size,
+            config.selectivity * 100.0,
+            config.overlap * 100.0,
+        );
+        Workload {
+            name,
+            symbols,
+            stream,
+            queries,
+            query_stats,
+            config,
+        }
+    }
+
+    /// Number of updates in the stream.
+    pub fn num_updates(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Number of queries in the set.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_end_to_end() {
+        for dataset in [Dataset::Snb, Dataset::Taxi, Dataset::BioGrid] {
+            let w = Workload::generate(WorkloadConfig::new(dataset, 3_000, 50));
+            assert_eq!(w.num_updates(), 3_000, "{dataset}");
+            assert_eq!(w.num_queries(), 50, "{dataset}");
+            assert!(!w.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = Workload::generate(WorkloadConfig::new(Dataset::Snb, 2_000, 30));
+        let b = Workload::generate(WorkloadConfig::new(Dataset::Snb, 2_000, 30));
+        assert_eq!(a.stream, b.stream);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let cfg = WorkloadConfig::new(Dataset::Taxi, 1_000, 10)
+            .with_query_size(3)
+            .with_selectivity(0.5)
+            .with_overlap(0.6)
+            .with_seed(7);
+        assert_eq!(cfg.avg_query_size, 3);
+        assert!((cfg.selectivity - 0.5).abs() < f64::EPSILON);
+        assert!((cfg.overlap - 0.6).abs() < f64::EPSILON);
+        assert_eq!(cfg.seed, 7);
+        let w = Workload::generate(cfg);
+        assert_eq!(w.config.avg_query_size, 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dataset::Snb.to_string(), "SNB");
+        assert_eq!(Dataset::Taxi.to_string(), "TAXI");
+        assert_eq!(Dataset::BioGrid.to_string(), "BioGRID");
+    }
+}

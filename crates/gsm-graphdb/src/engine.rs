@@ -1,0 +1,300 @@
+//! The continuous adapter: the paper's Neo4j-based baseline as a
+//! [`ContinuousEngine`].
+//!
+//! Query indexing keeps the query patterns verbatim (`queryInd`) plus an
+//! inverted index from generic edges to query ids (`edgeInd`). Answering a
+//! stream update then follows Section 5.3 exactly: (1) apply the update to
+//! the database, (2) look up the affected queries in `edgeInd`, (3) fetch
+//! them from `queryInd`, and (4) execute them against the database — here
+//! anchored at the new edge so that the reported matches are the *new*
+//! embeddings, which keeps the outputs of all engines identical.
+
+use std::collections::HashMap;
+
+use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
+use gsm_core::error::Result;
+use gsm_core::memory::HeapSize;
+use gsm_core::model::generic::GenericEdge;
+use gsm_core::model::update::Update;
+use gsm_core::query::pattern::QueryPattern;
+
+use crate::matcher::{execute, MatchCollector};
+use crate::plan::PlanCache;
+use crate::store::GraphStore;
+
+/// Configuration of the graph-database baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphDbConfig {
+    /// Number of writes batched into one transaction.
+    pub writes_per_tx: usize,
+    /// Upper bound on embeddings enumerated per (query, update); the paper's
+    /// baseline has no such bound, so the default is unlimited.
+    pub max_embeddings_per_query: usize,
+}
+
+impl Default for GraphDbConfig {
+    fn default() -> Self {
+        GraphDbConfig {
+            writes_per_tx: GraphStore::DEFAULT_WRITES_PER_TX,
+            max_embeddings_per_query: usize::MAX,
+        }
+    }
+}
+
+/// The graph-database baseline engine.
+#[derive(Debug)]
+pub struct GraphDbEngine {
+    config: GraphDbConfig,
+    store: GraphStore,
+    /// queryInd: the registered query patterns.
+    queries: Vec<QueryPattern>,
+    /// edgeInd: generic edge → queries containing a pattern edge with that shape,
+    /// along with the indices of those pattern edges.
+    edge_index: HashMap<GenericEdge, Vec<(QueryId, usize)>>,
+    plan_cache: PlanCache,
+    stats: EngineStats,
+}
+
+impl GraphDbEngine {
+    /// Creates an engine with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(GraphDbConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(config: GraphDbConfig) -> Self {
+        GraphDbEngine {
+            config,
+            store: GraphStore::with_writes_per_tx(config.writes_per_tx),
+            queries: Vec::new(),
+            edge_index: HashMap::new(),
+            plan_cache: PlanCache::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The underlying store (for inspection in tests and examples).
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// Number of cached execution plans.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+}
+
+impl Default for GraphDbEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContinuousEngine for GraphDbEngine {
+    fn name(&self) -> &'static str {
+        "GraphDB"
+    }
+
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        let qid = QueryId(self.queries.len() as u32);
+        for (edge_idx, edge) in query.edges().iter().enumerate() {
+            let ge = GenericEdge::from_pattern(edge);
+            self.edge_index.entry(ge).or_default().push((qid, edge_idx));
+        }
+        self.queries.push(query.clone());
+        Ok(qid)
+    }
+
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.stats.updates_processed += 1;
+
+        // (1) Apply the update to the database.
+        let is_new = self.store.insert_edge(update);
+        if !is_new {
+            return MatchReport::empty();
+        }
+
+        // (2) Determine the affected (query, pattern-edge) pairs via edgeInd.
+        let mut anchored: HashMap<QueryId, Vec<usize>> = HashMap::new();
+        for shape in GenericEdge::shapes_of_update(&update) {
+            if let Some(entries) = self.edge_index.get(&shape) {
+                for &(qid, edge_idx) in entries {
+                    anchored.entry(qid).or_default().push(edge_idx);
+                }
+            }
+        }
+        if anchored.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // (3) + (4) Execute every affected query against the store, anchored
+        // at the new edge (one execution per anchored pattern edge, distinct
+        // embeddings deduplicated by the collector).
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        let mut sorted: Vec<(QueryId, Vec<usize>)> = anchored.into_iter().collect();
+        sorted.sort_by_key(|(q, _)| *q);
+        for (qid, mut edge_indices) in sorted {
+            edge_indices.sort_unstable();
+            edge_indices.dedup();
+            let query = &self.queries[qid.index()];
+            let mut collector =
+                MatchCollector::with_limit(self.config.max_embeddings_per_query);
+            for anchor_edge in edge_indices {
+                let plan =
+                    self.plan_cache
+                        .get_or_build(qid, query, &self.store, Some(anchor_edge));
+                execute(
+                    query,
+                    plan,
+                    &self.store,
+                    Some((anchor_edge, update)),
+                    &mut collector,
+                );
+            }
+            if !collector.is_empty() {
+                counts.push((qid, collector.len() as u64));
+            }
+        }
+
+        let report = MatchReport::from_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        report
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.store.heap_size()
+            + self.queries.heap_size()
+            + self.edge_index.heap_size()
+            + self.plan_cache.heap_size()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::interner::SymbolTable;
+
+    struct Fixture {
+        symbols: SymbolTable,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                symbols: SymbolTable::new(),
+            }
+        }
+        fn q(&mut self, text: &str) -> QueryPattern {
+            QueryPattern::parse(text, &mut self.symbols).unwrap()
+        }
+        fn u(&mut self, label: &str, src: &str, tgt: &str) -> Update {
+            Update::new(
+                self.symbols.intern(label),
+                self.symbols.intern(src),
+                self.symbols.intern(tgt),
+            )
+        }
+    }
+
+    #[test]
+    fn chain_query_matches_when_complete() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -knows-> ?b; ?b -worksAt-> acme");
+        let qid = engine.register_query(&q).unwrap();
+        assert!(engine.apply_update(f.u("knows", "alice", "bob")).is_empty());
+        let report = engine.apply_update(f.u("worksAt", "bob", "acme"));
+        assert_eq!(report.satisfied_queries(), vec![qid]);
+        assert_eq!(report.matches[0].new_embeddings, 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -knows-> ?b");
+        engine.register_query(&q).unwrap();
+        let u = f.u("knows", "a", "b");
+        assert_eq!(engine.apply_update(u).len(), 1);
+        assert_eq!(engine.apply_update(u).len(), 0);
+    }
+
+    #[test]
+    fn self_loop_query() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -follows-> ?a");
+        let qid = engine.register_query(&q).unwrap();
+        assert!(engine.apply_update(f.u("follows", "x", "y")).is_empty());
+        let r = engine.apply_update(f.u("follows", "z", "z"));
+        assert_eq!(r.satisfied_queries(), vec![qid]);
+    }
+
+    #[test]
+    fn embedding_counts_match_the_relational_engines() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -knows-> ?b; ?b -likes-> ?c");
+        engine.register_query(&q).unwrap();
+        engine.apply_update(f.u("knows", "a1", "b"));
+        engine.apply_update(f.u("knows", "a2", "b"));
+        let report = engine.apply_update(f.u("likes", "b", "c"));
+        assert_eq!(report.matches[0].new_embeddings, 2);
+    }
+
+    #[test]
+    fn plan_cache_is_reused_across_updates() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+        engine.register_query(&q).unwrap();
+        for i in 0..10 {
+            engine.apply_update(f.u("x", &format!("a{i}"), &format!("b{i}")));
+            engine.apply_update(f.u("y", &format!("b{i}"), &format!("c{i}")));
+        }
+        assert!(engine.cached_plans() <= 2);
+        assert!(engine.store().num_edges() == 20);
+    }
+
+    #[test]
+    fn agrees_with_tric_on_random_streams() {
+        use gsm_tric::TricEngine;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut f = Fixture::new();
+        let queries = vec![
+            f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+            f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+            f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+            f.q("?a -e0-> v3"),
+            f.q("?a -e2-> ?a"),
+            f.q("?x -e1-> ?y; ?z -e1-> ?y"),
+        ];
+        let mut tric = TricEngine::tric_plus();
+        let mut db = GraphDbEngine::new();
+        for q in &queries {
+            tric.register_query(q).unwrap();
+            db.register_query(q).unwrap();
+        }
+        for _ in 0..300 {
+            let label = format!("e{}", rng.gen_range(0..3));
+            let src = format!("v{}", rng.gen_range(0..7));
+            let tgt = format!("v{}", rng.gen_range(0..7));
+            let u = f.u(&label, &src, &tgt);
+            let expected = tric.apply_update(u);
+            let got = db.apply_update(u);
+            assert_eq!(got, expected, "GraphDB diverged from TRIC+ on {u:?}");
+        }
+    }
+}

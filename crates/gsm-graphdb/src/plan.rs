@@ -1,0 +1,231 @@
+//! Per-query execution plans and the plan cache.
+//!
+//! The paper's Neo4j baseline executes each affected query as a parameterised
+//! Cypher statement so that the database can cache the execution plan. The
+//! equivalent here is a [`QueryPlan`]: an ordering of the query's pattern
+//! edges such that (i) the first edge is as selective as possible and (ii)
+//! every subsequent edge shares at least one vertex with the edges before it,
+//! so the backtracking matcher always expands from bound vertices.
+
+use std::collections::HashMap;
+
+use gsm_core::engine::QueryId;
+use gsm_core::memory::HeapSize;
+use gsm_core::query::pattern::QueryPattern;
+
+use crate::store::GraphStore;
+
+/// An execution plan: the order in which pattern edges are matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Pattern-edge indices in matching order.
+    pub edge_order: Vec<usize>,
+}
+
+impl QueryPlan {
+    /// Builds a plan for `query`, optionally forcing a specific edge to come
+    /// first (used to anchor the plan at a freshly inserted edge) and using
+    /// the store's per-label statistics to order the remaining edges by
+    /// estimated selectivity.
+    pub fn build(query: &QueryPattern, store: &GraphStore, anchor: Option<usize>) -> Self {
+        let m = query.num_edges();
+        let mut remaining: Vec<usize> = (0..m).collect();
+        let mut order: Vec<usize> = Vec::with_capacity(m);
+        let mut bound_vertices: Vec<usize> = Vec::new();
+
+        let selectivity = |edge_idx: usize| -> (usize, usize) {
+            let e = &query.edges()[edge_idx];
+            // Fewer constants ⇒ less selective; more label occurrences ⇒ less
+            // selective. Lower tuple sorts first.
+            let constants = [e.src, e.tgt].iter().filter(|t| t.is_const()).count();
+            (2 - constants, store.label_count(e.label))
+        };
+
+        let first = anchor.unwrap_or_else(|| {
+            remaining
+                .iter()
+                .copied()
+                .min_by_key(|&e| selectivity(e))
+                .expect("queries have at least one edge")
+        });
+        order.push(first);
+        remaining.retain(|&e| e != first);
+        let (s, t) = query.edge_endpoints(first);
+        bound_vertices.push(s);
+        if !bound_vertices.contains(&t) {
+            bound_vertices.push(t);
+        }
+
+        while !remaining.is_empty() {
+            // Prefer edges touching a bound vertex; among those, the most
+            // selective one.
+            let next = remaining
+                .iter()
+                .copied()
+                .min_by_key(|&e| {
+                    let (s, t) = query.edge_endpoints(e);
+                    let connected =
+                        bound_vertices.contains(&s) || bound_vertices.contains(&t);
+                    (if connected { 0 } else { 1 }, selectivity(e))
+                })
+                .expect("remaining is non-empty");
+            order.push(next);
+            remaining.retain(|&e| e != next);
+            let (s, t) = query.edge_endpoints(next);
+            if !bound_vertices.contains(&s) {
+                bound_vertices.push(s);
+            }
+            if !bound_vertices.contains(&t) {
+                bound_vertices.push(t);
+            }
+        }
+        QueryPlan { edge_order: order }
+    }
+}
+
+impl HeapSize for QueryPlan {
+    fn heap_size(&self) -> usize {
+        self.edge_order.heap_size()
+    }
+}
+
+/// A cache of execution plans keyed by (query, anchor edge), mirroring
+/// Neo4j's plan cache for parameterised statements.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<(QueryId, Option<usize>), QueryPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached plan for (query, anchor), building it on a miss.
+    pub fn get_or_build(
+        &mut self,
+        qid: QueryId,
+        query: &QueryPattern,
+        store: &GraphStore,
+        anchor: Option<usize>,
+    ) -> &QueryPlan {
+        match self.plans.entry((qid, anchor)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(QueryPlan::build(query, store, anchor))
+            }
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True if no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+impl HeapSize for PlanCache {
+    fn heap_size(&self) -> usize {
+        self.plans
+            .values()
+            .map(|p| p.heap_size() + std::mem::size_of::<QueryPlan>() + 24)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::interner::{Sym, SymbolTable};
+    use gsm_core::model::update::Update;
+
+    fn parse(text: &str, s: &mut SymbolTable) -> QueryPattern {
+        QueryPattern::parse(text, s).unwrap()
+    }
+
+    #[test]
+    fn plan_covers_every_edge_exactly_once() {
+        let mut s = SymbolTable::new();
+        let q = parse("?a -x-> ?b; ?b -y-> ?c; ?a -z-> ?c", &mut s);
+        let store = GraphStore::new();
+        let plan = QueryPlan::build(&q, &store, None);
+        let mut sorted = plan.edge_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn plan_is_connected_expansion() {
+        let mut s = SymbolTable::new();
+        let q = parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?d; ?d -w-> ?e", &mut s);
+        let store = GraphStore::new();
+        let plan = QueryPlan::build(&q, &store, Some(2));
+        assert_eq!(plan.edge_order[0], 2);
+        // Every subsequent edge shares a vertex with the prefix.
+        let mut bound = vec![];
+        let (s0, t0) = q.edge_endpoints(plan.edge_order[0]);
+        bound.push(s0);
+        bound.push(t0);
+        for &e in &plan.edge_order[1..] {
+            let (es, et) = q.edge_endpoints(e);
+            assert!(bound.contains(&es) || bound.contains(&et));
+            if !bound.contains(&es) {
+                bound.push(es);
+            }
+            if !bound.contains(&et) {
+                bound.push(et);
+            }
+        }
+    }
+
+    #[test]
+    fn selective_edges_come_first() {
+        let mut s = SymbolTable::new();
+        let q = parse("?a -common-> ?b; ?b -rare-> rio", &mut s);
+        let common = s.intern("common");
+        let rare = s.intern("rare");
+        let mut store = GraphStore::new();
+        for i in 0..100 {
+            store.insert_edge(Update::new(common, Sym(1000 + i), Sym(2000 + i)));
+        }
+        store.insert_edge(Update::new(rare, Sym(1), Sym(2)));
+        let plan = QueryPlan::build(&q, &store, None);
+        // Edge 1 has a constant endpoint and a rarer label ⇒ matched first.
+        assert_eq!(plan.edge_order[0], 1);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_lookups() {
+        let mut s = SymbolTable::new();
+        let q = parse("?a -x-> ?b; ?b -y-> ?c", &mut s);
+        let store = GraphStore::new();
+        let mut cache = PlanCache::new();
+        cache.get_or_build(QueryId(0), &q, &store, Some(0));
+        cache.get_or_build(QueryId(0), &q, &store, Some(0));
+        cache.get_or_build(QueryId(0), &q, &store, Some(1));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

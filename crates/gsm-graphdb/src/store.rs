@@ -1,0 +1,184 @@
+//! The embedded graph store.
+//!
+//! A thin property-graph layer: adjacency in both directions, a per-label
+//! edge index (the equivalent of Neo4j's schema indexes the paper enables),
+//! per-label cardinality statistics used by the query planner, and batched
+//! write transactions mirroring the "writes per transaction" tuning knob of
+//! the paper's Neo4j setup.
+
+use std::collections::HashMap;
+
+use gsm_core::interner::Sym;
+use gsm_core::memory::HeapSize;
+use gsm_core::model::graph::AttributeGraph;
+use gsm_core::model::update::Update;
+
+/// An in-memory property-graph store.
+#[derive(Debug)]
+pub struct GraphStore {
+    graph: AttributeGraph,
+    /// Number of edges per label — the planner's selectivity statistics.
+    label_counts: HashMap<Sym, usize>,
+    /// Writes applied since the last commit.
+    pending_writes: usize,
+    /// Writes allowed per transaction before an implicit commit.
+    writes_per_tx: usize,
+    /// Number of committed transactions.
+    committed_txs: u64,
+}
+
+impl GraphStore {
+    /// Default number of writes per transaction (the paper found 20K writes
+    /// per transaction optimal for its Neo4j deployment).
+    pub const DEFAULT_WRITES_PER_TX: usize = 20_000;
+
+    /// Creates an empty store with the default transaction batch size.
+    pub fn new() -> Self {
+        Self::with_writes_per_tx(Self::DEFAULT_WRITES_PER_TX)
+    }
+
+    /// Creates an empty store with an explicit transaction batch size.
+    pub fn with_writes_per_tx(writes_per_tx: usize) -> Self {
+        GraphStore {
+            graph: AttributeGraph::new(),
+            label_counts: HashMap::new(),
+            pending_writes: 0,
+            writes_per_tx: writes_per_tx.max(1),
+            committed_txs: 0,
+        }
+    }
+
+    /// Applies an edge addition. Returns `true` if the edge was new.
+    pub fn insert_edge(&mut self, u: Update) -> bool {
+        let added = self.graph.apply(u);
+        if added {
+            *self.label_counts.entry(u.label).or_insert(0) += 1;
+        }
+        self.pending_writes += 1;
+        if self.pending_writes >= self.writes_per_tx {
+            self.commit();
+        }
+        added
+    }
+
+    /// Commits the current write transaction.
+    pub fn commit(&mut self) {
+        if self.pending_writes > 0 {
+            self.pending_writes = 0;
+            self.committed_txs += 1;
+        }
+    }
+
+    /// Number of committed write transactions so far.
+    pub fn committed_transactions(&self) -> u64 {
+        self.committed_txs
+    }
+
+    /// The underlying attribute graph.
+    pub fn graph(&self) -> &AttributeGraph {
+        &self.graph
+    }
+
+    /// Number of edges carrying `label` (0 if unseen).
+    pub fn label_count(&self, label: Sym) -> usize {
+        self.label_counts.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct edges stored.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Number of distinct vertices stored.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// True if the exact edge is stored.
+    pub fn has_edge(&self, label: Sym, src: Sym, tgt: Sym) -> bool {
+        self.graph.contains(&Update::new(label, src, tgt))
+    }
+
+    /// Outgoing `(label, target)` pairs of `v`.
+    pub fn out_edges(&self, v: Sym) -> &[(Sym, Sym)] {
+        self.graph.out_edges(v)
+    }
+
+    /// Incoming `(label, source)` pairs of `v`.
+    pub fn in_edges(&self, v: Sym) -> &[(Sym, Sym)] {
+        self.graph.in_edges(v)
+    }
+
+    /// All `(source, target)` pairs with `label`.
+    pub fn edges_with_label(&self, label: Sym) -> &[(Sym, Sym)] {
+        self.graph.edges_with_label(label)
+    }
+}
+
+impl Default for GraphStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapSize for GraphStore {
+    fn heap_size(&self) -> usize {
+        self.graph.heap_size() + self.label_counts.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(l: u32, s: u32, t: u32) -> Update {
+        Update::new(Sym(l), Sym(s), Sym(t))
+    }
+
+    #[test]
+    fn insert_updates_label_statistics() {
+        let mut store = GraphStore::new();
+        store.insert_edge(u(0, 1, 2));
+        store.insert_edge(u(0, 2, 3));
+        store.insert_edge(u(1, 1, 3));
+        assert_eq!(store.label_count(Sym(0)), 2);
+        assert_eq!(store.label_count(Sym(1)), 1);
+        assert_eq!(store.label_count(Sym(9)), 0);
+        assert_eq!(store.num_edges(), 3);
+        assert_eq!(store.num_vertices(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_inflate_statistics() {
+        let mut store = GraphStore::new();
+        assert!(store.insert_edge(u(0, 1, 2)));
+        assert!(!store.insert_edge(u(0, 1, 2)));
+        assert_eq!(store.label_count(Sym(0)), 1);
+    }
+
+    #[test]
+    fn transactions_commit_in_batches() {
+        let mut store = GraphStore::with_writes_per_tx(10);
+        for i in 0..25 {
+            store.insert_edge(u(0, i, i + 1));
+        }
+        assert_eq!(store.committed_transactions(), 2);
+        store.commit();
+        assert_eq!(store.committed_transactions(), 3);
+        // Committing with nothing pending is a no-op.
+        store.commit();
+        assert_eq!(store.committed_transactions(), 3);
+    }
+
+    #[test]
+    fn adjacency_lookups() {
+        let mut store = GraphStore::new();
+        store.insert_edge(u(0, 1, 2));
+        store.insert_edge(u(1, 1, 3));
+        assert_eq!(store.out_edges(Sym(1)).len(), 2);
+        assert_eq!(store.in_edges(Sym(2)).len(), 1);
+        assert!(store.has_edge(Sym(0), Sym(1), Sym(2)));
+        assert!(!store.has_edge(Sym(0), Sym(2), Sym(1)));
+        assert_eq!(store.edges_with_label(Sym(1)).len(), 1);
+    }
+}

@@ -1,0 +1,691 @@
+//! The TRIC / TRIC+ continuous-query engine (Sections 4.1 and 4.2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
+use gsm_core::error::Result;
+use gsm_core::interner::Sym;
+use gsm_core::memory::HeapSize;
+use gsm_core::model::generic::GenericEdge;
+use gsm_core::model::update::Update;
+use gsm_core::query::paths::covering_paths;
+use gsm_core::query::pattern::{QVertexId, QueryPattern};
+use gsm_core::relation::cache::JoinCache;
+use gsm_core::relation::eval::{join_paths, PathBinding};
+use gsm_core::relation::join::JoinBuild;
+use gsm_core::relation::Relation;
+use gsm_core::views::EdgeViewStore;
+
+use crate::trie::{NodeId, TrieForest};
+
+/// Configuration of the engine — the only switch is the join-structure cache
+/// that turns TRIC into TRIC+.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TricConfig {
+    /// Keep and incrementally maintain hash-join build structures across
+    /// updates (the TRIC+ extension of Section 4.2, "Caching").
+    pub caching: bool,
+}
+
+impl Default for TricConfig {
+    fn default() -> Self {
+        TricConfig { caching: false }
+    }
+}
+
+/// Per-covering-path bookkeeping: where the path ends in the forest and which
+/// query vertex each column of that node's materialized view binds.
+#[derive(Debug, Clone)]
+struct PathInfo {
+    end_node: NodeId,
+    /// Query vertex bound by each column of the end node's view
+    /// (`path length + 1` entries).
+    vertices: Vec<QVertexId>,
+}
+
+impl HeapSize for PathInfo {
+    fn heap_size(&self) -> usize {
+        self.vertices.heap_size()
+    }
+}
+
+/// Per-query bookkeeping (the paper's `queryInd`).
+#[derive(Debug, Clone)]
+struct QueryInfo {
+    paths: Vec<PathInfo>,
+}
+
+impl HeapSize for QueryInfo {
+    fn heap_size(&self) -> usize {
+        self.paths.heap_size()
+    }
+}
+
+/// The TRIC / TRIC+ engine.
+#[derive(Debug, Default)]
+pub struct TricEngine {
+    config: TricConfig,
+    forest: TrieForest,
+    views: EdgeViewStore,
+    cache: JoinCache,
+    queries: Vec<QueryInfo>,
+    stats: EngineStats,
+}
+
+impl TricEngine {
+    /// Creates an engine with the given configuration.
+    pub fn with_config(config: TricConfig) -> Self {
+        TricEngine {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a plain TRIC engine (no join-structure caching).
+    pub fn tric() -> Self {
+        Self::with_config(TricConfig { caching: false })
+    }
+
+    /// Creates a TRIC+ engine (join-structure caching enabled).
+    pub fn tric_plus() -> Self {
+        Self::with_config(TricConfig { caching: true })
+    }
+
+    /// The trie forest — exposed for inspection in tests and experiments.
+    pub fn forest(&self) -> &TrieForest {
+        &self.forest
+    }
+
+    /// Number of trie nodes currently in the forest.
+    pub fn num_trie_nodes(&self) -> usize {
+        self.forest.num_nodes()
+    }
+
+    /// Number of tries (distinct root generic edges).
+    pub fn num_tries(&self) -> usize {
+        self.forest.num_tries()
+    }
+
+    /// Join-cache hit counter (always zero for plain TRIC).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Probes `rel` (keyed on `key_cols`) for rows whose key equals `key`,
+    /// using the persistent cache when caching is enabled and a throw-away
+    /// build otherwise (the paper's TRIC rebuilds the hash structures of
+    /// every join on every update; TRIC+ reuses them).
+    fn probe_rows(
+        caching: bool,
+        cache: &mut JoinCache,
+        rel: &Relation,
+        key_cols: &[usize],
+        key: &[Sym],
+    ) -> Vec<usize> {
+        if rel.is_empty() {
+            return Vec::new();
+        }
+        if caching {
+            cache.get_or_build(rel, key_cols).probe(rel, key)
+        } else {
+            JoinBuild::build(rel, key_cols).probe(rel, key)
+        }
+    }
+
+    /// Extends every row of `delta` (a prefix-path delta whose last column is
+    /// the frontier vertex) with the matching tuples of `edge_view`,
+    /// producing the delta of the child node.
+    fn extend_delta(
+        caching: bool,
+        cache: &mut JoinCache,
+        delta: &Relation,
+        edge_view: &Relation,
+    ) -> Relation {
+        let out_arity = delta.arity() + 1;
+        let mut out = Relation::new(out_arity);
+        if delta.is_empty() || edge_view.is_empty() {
+            return out;
+        }
+        let last = delta.arity() - 1;
+        let mut row_buf = vec![Sym(0); out_arity];
+        if caching {
+            let build = cache.get_or_build(edge_view, &[0]);
+            for drow in delta.iter() {
+                for idx in build.probe(edge_view, &[drow[last]]) {
+                    row_buf[..drow.len()].copy_from_slice(drow);
+                    row_buf[out_arity - 1] = edge_view.row(idx)[1];
+                    out.push(&row_buf);
+                }
+            }
+        } else {
+            let build = JoinBuild::build(edge_view, &[0]);
+            for drow in delta.iter() {
+                for idx in build.probe(edge_view, &[drow[last]]) {
+                    row_buf[..drow.len()].copy_from_slice(drow);
+                    row_buf[out_arity - 1] = edge_view.row(idx)[1];
+                    out.push(&row_buf);
+                }
+            }
+        }
+        out
+    }
+
+    /// Initialises the materialized view of a freshly created trie node from
+    /// its parent's view and the (already registered) edge view, so that
+    /// queries may be added after updates have already streamed in.
+    fn initialise_node_view(&mut self, node: NodeId) {
+        let (parent, edge) = {
+            let n = self.forest.node(node);
+            (n.parent, n.edge)
+        };
+        let Some(edge_view) = self.views.get(&edge) else {
+            return;
+        };
+        match parent {
+            None => {
+                // Root node: the view is exactly the edge view.
+                let rows: Vec<Vec<Sym>> = edge_view.iter().map(|r| r.to_vec()).collect();
+                let view = &mut self.forest.node_mut(node).mat_view;
+                for r in rows {
+                    view.push(&r);
+                }
+            }
+            Some(p) => {
+                let parent_view = &self.forest.node(p).mat_view;
+                let extended = Self::extend_delta(
+                    self.config.caching,
+                    &mut self.cache,
+                    parent_view,
+                    edge_view,
+                );
+                let view = &mut self.forest.node_mut(node).mat_view;
+                view.extend_from(&extended);
+            }
+        }
+    }
+}
+
+impl ContinuousEngine for TricEngine {
+    fn name(&self) -> &'static str {
+        if self.config.caching {
+            "TRIC+"
+        } else {
+            "TRIC"
+        }
+    }
+
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        let qid = QueryId(self.queries.len() as u32);
+        let paths = covering_paths(query);
+        let mut infos = Vec::with_capacity(paths.len());
+        for (path_idx, path) in paths.iter().enumerate() {
+            let generic: Vec<GenericEdge> = path
+                .edges
+                .iter()
+                .map(|&e| GenericEdge::from_pattern(&query.edges()[e]))
+                .collect();
+            for &ge in &generic {
+                self.views.register(ge);
+            }
+            let (path_nodes, created) = self.forest.insert_path(&generic, qid, path_idx);
+            // New nodes must catch up with views that already hold data
+            // (supports continuous query additions).
+            for c in created {
+                self.initialise_node_view(c);
+            }
+            infos.push(PathInfo {
+                end_node: *path_nodes.last().expect("paths are non-empty"),
+                vertices: path.vertex_sequence(query),
+            });
+        }
+        self.queries.push(QueryInfo { paths: infos });
+        Ok(qid)
+    }
+
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.stats.updates_processed += 1;
+
+        // Step 0: route the update to the per-edge materialized views.
+        let affected_edges = self.views.apply_update(&update);
+        if affected_edges.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // Step 1: locate the affected trie nodes (paper: edgeInd lookup plus
+        // trie traversal).
+        let mut affected_nodes: Vec<NodeId> = Vec::new();
+        for ge in &affected_edges {
+            affected_nodes.extend(self.forest.nodes_for_edge(ge));
+        }
+        affected_nodes.sort_unstable();
+        affected_nodes.dedup();
+        if affected_nodes.is_empty() {
+            return MatchReport::empty();
+        }
+
+        let caching = self.config.caching;
+
+        // Step 2a: seed a delta at every affected node from its parent's
+        // (pre-update) materialized view joined with the single new tuple.
+        let mut deltas: HashMap<NodeId, Relation> = HashMap::new();
+        let mut by_depth: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for &n in &affected_nodes {
+            let node = self.forest.node(n);
+            let seed = match node.parent {
+                None => Relation::singleton(&[update.src, update.tgt]),
+                Some(p) => {
+                    let parent_view = &self.forest.node(p).mat_view;
+                    let last = parent_view.arity() - 1;
+                    let mut seed = Relation::new(parent_view.arity() + 1);
+                    let mut row_buf = vec![Sym(0); parent_view.arity() + 1];
+                    for idx in Self::probe_rows(
+                        caching,
+                        &mut self.cache,
+                        parent_view,
+                        &[last],
+                        &[update.src],
+                    ) {
+                        let prow = parent_view.row(idx);
+                        row_buf[..prow.len()].copy_from_slice(prow);
+                        row_buf[prow.len()] = update.tgt;
+                        seed.push(&row_buf);
+                    }
+                    seed
+                }
+            };
+            if !seed.is_empty() {
+                by_depth
+                    .entry(self.forest.node(n).depth)
+                    .or_default()
+                    .push(n);
+                match deltas.entry(n) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().extend_from(&seed);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(seed);
+                    }
+                }
+            }
+        }
+
+        // Step 2b: propagate deltas down the affected sub-tries in depth
+        // order, pruning branches whose delta is empty (Fig. 10).
+        let mut processed: Vec<NodeId> = Vec::new();
+        while let Some((&depth, _)) = by_depth.iter().next() {
+            let level = by_depth.remove(&depth).unwrap_or_default();
+            for n in level {
+                if processed.contains(&n) {
+                    continue;
+                }
+                processed.push(n);
+                let delta = match deltas.get(&n) {
+                    Some(d) if !d.is_empty() => d.clone(),
+                    _ => continue,
+                };
+                let children = self.forest.node(n).children.clone();
+                for c in children {
+                    let child_edge = self.forest.node(c).edge;
+                    let Some(edge_view) = self.views.get(&child_edge) else {
+                        continue;
+                    };
+                    let child_delta =
+                        Self::extend_delta(caching, &mut self.cache, &delta, edge_view);
+                    if child_delta.is_empty() {
+                        continue; // prune this sub-trie
+                    }
+                    by_depth
+                        .entry(self.forest.node(c).depth)
+                        .or_default()
+                        .push(c);
+                    match deltas.entry(c) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().extend_from(&child_delta);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(child_delta);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Step 3: append the deltas to the per-node materialized views.
+        // (Done after propagation so seeds are computed against pre-update
+        // views — the standard incremental-join derivative.)
+        let mut truly_new: HashMap<NodeId, Relation> = HashMap::new();
+        for (n, delta) in &deltas {
+            let view = &mut self.forest.node_mut(*n).mat_view;
+            let mut new_rows = Relation::new(delta.arity());
+            for row in delta.iter() {
+                if view.push(row) {
+                    new_rows.push(row);
+                }
+            }
+            if !new_rows.is_empty() {
+                truly_new.insert(*n, new_rows);
+            }
+        }
+
+        // Step 4: per affected query, join the delta of each affected
+        // covering path with the full views of the remaining paths
+        // (Fig. 8, lines 8-13, restricted to new embeddings).
+        let mut affected_queries: Vec<QueryId> = Vec::new();
+        for (n, _) in &truly_new {
+            for reg in &self.forest.node(*n).registrations {
+                affected_queries.push(reg.query);
+            }
+        }
+        affected_queries.sort_unstable();
+        affected_queries.dedup();
+
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        for qid in affected_queries {
+            let info = &self.queries[qid.index()];
+            // Accumulate distinct new embeddings across affected paths.
+            let mut embeddings: Option<Relation> = None;
+            for (path_idx, path) in info.paths.iter().enumerate() {
+                let Some(delta) = truly_new.get(&path.end_node) else {
+                    continue; // this covering path gained nothing new
+                };
+                let _ = path_idx;
+                let mut bindings = Vec::with_capacity(info.paths.len());
+                bindings.push(PathBinding::new(delta, path.vertices.clone()));
+                let mut all_present = true;
+                for other in info.paths.iter() {
+                    if std::ptr::eq(other, path) {
+                        continue;
+                    }
+                    let view = &self.forest.node(other.end_node).mat_view;
+                    if view.is_empty() {
+                        all_present = false;
+                        break;
+                    }
+                    bindings.push(PathBinding::new(view, other.vertices.clone()));
+                }
+                if !all_present {
+                    continue;
+                }
+                if let Some(result) = join_paths(&bindings) {
+                    let canon = result.canonicalize();
+                    match &mut embeddings {
+                        None => embeddings = Some(canon.rel),
+                        Some(acc) => {
+                            acc.extend_from(&canon.rel);
+                        }
+                    }
+                }
+            }
+            if let Some(emb) = embeddings {
+                if !emb.is_empty() {
+                    counts.push((qid, emb.len() as u64));
+                }
+            }
+        }
+
+        let report = MatchReport::from_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        report
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.forest.heap_size()
+            + self.views.heap_size()
+            + self.cache.heap_size()
+            + self.queries.heap_size()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::interner::SymbolTable;
+
+    struct Fixture {
+        symbols: SymbolTable,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                symbols: SymbolTable::new(),
+            }
+        }
+        fn q(&mut self, text: &str) -> QueryPattern {
+            QueryPattern::parse(text, &mut self.symbols).unwrap()
+        }
+        fn u(&mut self, label: &str, src: &str, tgt: &str) -> Update {
+            Update::new(
+                self.symbols.intern(label),
+                self.symbols.intern(src),
+                self.symbols.intern(tgt),
+            )
+        }
+    }
+
+    fn engines() -> Vec<TricEngine> {
+        vec![TricEngine::tric(), TricEngine::tric_plus()]
+    }
+
+    #[test]
+    fn single_edge_query_matches_immediately() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b");
+            let qid = engine.register_query(&q).unwrap();
+            let report = engine.apply_update(f.u("knows", "alice", "bob"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+            assert_eq!(report.matches[0].new_embeddings, 1);
+        }
+    }
+
+    #[test]
+    fn chain_query_matches_only_when_complete() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b; ?b -worksAt-> acme");
+            let qid = engine.register_query(&q).unwrap();
+            assert!(engine.apply_update(f.u("knows", "alice", "bob")).is_empty());
+            assert!(engine
+                .apply_update(f.u("worksAt", "carol", "acme"))
+                .is_empty());
+            let report = engine.apply_update(f.u("worksAt", "bob", "acme"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_still_matches() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?d");
+            let qid = engine.register_query(&q).unwrap();
+            // Arrive in reverse order: the chain only completes on the last one.
+            assert!(engine.apply_update(f.u("z", "c1", "d1")).is_empty());
+            assert!(engine.apply_update(f.u("y", "b1", "c1")).is_empty());
+            let report = engine.apply_update(f.u("x", "a1", "b1"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn constants_restrict_matches() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?p -checksIn-> rio");
+            let qid = engine.register_query(&q).unwrap();
+            assert!(engine.apply_update(f.u("checksIn", "ann", "oslo")).is_empty());
+            let report = engine.apply_update(f.u("checksIn", "ann", "rio"));
+            assert_eq!(report.satisfied_queries(), vec![qid]);
+        }
+    }
+
+    #[test]
+    fn duplicate_updates_do_not_rereport() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b");
+            engine.register_query(&q).unwrap();
+            let u = f.u("knows", "a", "b");
+            assert_eq!(engine.apply_update(u).len(), 1);
+            assert_eq!(engine.apply_update(u).len(), 0, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn multiple_queries_shared_prefix_all_match() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q1 = f.q("?f -hasMod-> ?p; ?p -posted-> pst1");
+            let q2 = f.q("?f -hasMod-> ?p; ?p -posted-> pst2");
+            let q3 = f.q("?f -hasMod-> ?p");
+            let id1 = engine.register_query(&q1).unwrap();
+            let id2 = engine.register_query(&q2).unwrap();
+            let id3 = engine.register_query(&q3).unwrap();
+
+            let r = engine.apply_update(f.u("hasMod", "frank", "paula"));
+            assert_eq!(r.satisfied_queries(), vec![id3]);
+
+            let r = engine.apply_update(f.u("posted", "paula", "pst1"));
+            assert_eq!(r.satisfied_queries(), vec![id1]);
+
+            let r = engine.apply_update(f.u("posted", "paula", "pst2"));
+            assert_eq!(r.satisfied_queries(), vec![id2]);
+
+            // The two 2-edge queries share their hasMod prefix in one trie.
+            assert!(engine.num_trie_nodes() <= 3);
+        }
+    }
+
+    #[test]
+    fn star_query_with_multiple_paths() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?c -a-> ?x; ?c -b-> ?y");
+            let qid = engine.register_query(&q).unwrap();
+            assert!(engine.apply_update(f.u("a", "hub", "x1")).is_empty());
+            let report = engine.apply_update(f.u("b", "hub", "y1"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+            // A second leaf for the other branch creates one more embedding.
+            let report = engine.apply_update(f.u("a", "hub", "x2"));
+            assert_eq!(report.satisfied_queries(), vec![qid]);
+            assert_eq!(report.matches[0].new_embeddings, 1);
+        }
+    }
+
+    #[test]
+    fn cycle_query_requires_closure() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?a");
+            let qid = engine.register_query(&q).unwrap();
+            assert!(engine.apply_update(f.u("x", "1", "2")).is_empty());
+            assert!(engine.apply_update(f.u("y", "2", "3")).is_empty());
+            // A z-edge that does not close the cycle must not match.
+            assert!(engine.apply_update(f.u("z", "3", "9")).is_empty());
+            let report = engine.apply_update(f.u("z", "3", "1"));
+            assert_eq!(report.satisfied_queries(), vec![qid], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn repeated_variable_self_loop() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -follows-> ?a");
+            let qid = engine.register_query(&q).unwrap();
+            assert!(engine.apply_update(f.u("follows", "x", "y")).is_empty());
+            let report = engine.apply_update(f.u("follows", "x", "x"));
+            assert_eq!(report.satisfied_queries(), vec![qid]);
+        }
+    }
+
+    #[test]
+    fn late_query_registration_sees_existing_views() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q1 = f.q("?a -knows-> ?b");
+            engine.register_query(&q1).unwrap();
+            engine.apply_update(f.u("knows", "a", "b"));
+
+            // Register a longer query that shares the already-populated
+            // `knows` view; its new trie node must catch up.
+            let q2 = f.q("?a -knows-> ?b; ?b -knows-> ?c");
+            let id2 = engine.register_query(&q2).unwrap();
+            let report = engine.apply_update(f.u("knows", "b", "c"));
+            assert!(report.satisfied_queries().contains(&id2), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn embedding_counts_are_exact() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b; ?b -likes-> ?c");
+            engine.register_query(&q).unwrap();
+            engine.apply_update(f.u("knows", "a1", "b"));
+            engine.apply_update(f.u("knows", "a2", "b"));
+            // Two knowers of b: the likes edge completes two embeddings.
+            let report = engine.apply_update(f.u("likes", "b", "c"));
+            assert_eq!(report.matches.len(), 1);
+            assert_eq!(report.matches[0].new_embeddings, 2, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn tric_and_tric_plus_agree_on_random_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut f = Fixture::new();
+        let queries = vec![
+            f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+            f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+            f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+            f.q("?a -e0-> v3"),
+            f.q("?a -e2-> ?a"),
+        ];
+        let mut tric = TricEngine::tric();
+        let mut plus = TricEngine::tric_plus();
+        for q in &queries {
+            tric.register_query(q).unwrap();
+            plus.register_query(q).unwrap();
+        }
+        for _ in 0..400 {
+            let label = format!("e{}", rng.gen_range(0..3));
+            let src = format!("v{}", rng.gen_range(0..8));
+            let tgt = format!("v{}", rng.gen_range(0..8));
+            let u = f.u(&label, &src, &tgt);
+            let a = tric.apply_update(u);
+            let b = plus.apply_update(u);
+            assert_eq!(a, b, "TRIC and TRIC+ diverged on {u:?}");
+        }
+        assert!(plus.cache_hits() > 0);
+        assert_eq!(tric.cache_hits(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = Fixture::new();
+        let mut engine = TricEngine::tric();
+        let q = f.q("?a -knows-> ?b");
+        engine.register_query(&q).unwrap();
+        engine.apply_update(f.u("knows", "a", "b"));
+        engine.apply_update(f.u("knows", "b", "c"));
+        let stats = engine.stats();
+        assert_eq!(stats.updates_processed, 2);
+        assert_eq!(stats.notifications, 2);
+        assert_eq!(stats.embeddings, 2);
+        assert!(engine.heap_bytes() > 0);
+        assert_eq!(engine.num_queries(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # gsm-tric
+//!
+//! TRIC (TRIe-based Clustering) and its caching variant TRIC+ — the primary
+//! contribution of *"Efficient Continuous Multi-Query Processing over Graph
+//! Streams"* (Zervakis et al., EDBT 2020).
+//!
+//! TRIC indexes a database of continuous sub-graph queries by
+//!
+//! 1. decomposing every query graph pattern into a set of *covering paths*
+//!    (provided by [`gsm_core::query::paths`]), and
+//! 2. inserting those paths into a forest of tries keyed on *generic edges*
+//!    (variables collapsed to `?var`), so that queries sharing structural and
+//!    attribute restrictions share trie nodes **and** the materialized views
+//!    attached to those nodes.
+//!
+//! At answering time an incoming edge addition is routed — via constant-time
+//! hash lookups — to the trie nodes whose generic edge it satisfies; a delta
+//! is seeded there from the parent node's materialized view and propagated
+//! down the sub-trie, pruning any branch whose delta becomes empty. Finally,
+//! each affected query joins the delta of its affected covering path(s) with
+//! the materialized views of its remaining paths to produce the newly created
+//! embeddings.
+//!
+//! TRIC+ (enabled via [`TricConfig`]) additionally keeps the hash tables
+//! built for every join and maintains them incrementally instead of
+//! rebuilding them on each update.
+//!
+//! ```
+//! use gsm_core::prelude::*;
+//! use gsm_core::ContinuousEngine;
+//! use gsm_tric::TricEngine;
+//!
+//! let mut symbols = SymbolTable::new();
+//! let query = QueryPattern::parse("?a -knows-> ?b; ?b -worksAt-> acme", &mut symbols).unwrap();
+//!
+//! let mut engine = TricEngine::tric_plus();
+//! let q = engine.register_query(&query).unwrap();
+//!
+//! let knows = symbols.intern("knows");
+//! let works_at = symbols.intern("worksAt");
+//! let (alice, bob, acme) = (symbols.intern("alice"), symbols.intern("bob"), symbols.intern("acme"));
+//!
+//! assert!(engine.apply_update(Update::new(knows, alice, bob)).is_empty());
+//! let report = engine.apply_update(Update::new(works_at, bob, acme));
+//! assert_eq!(report.satisfied_queries(), vec![q]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod trie;
+
+pub use engine::{TricConfig, TricEngine};
+pub use trie::{NodeId, TrieForest, TrieNode};

@@ -1,0 +1,334 @@
+//! The trie forest (Section 4.1, Step 2 of the paper).
+//!
+//! Each trie in the forest indexes covering paths whose first generic edge is
+//! the trie's root edge. A trie node carries the generic edge it indexes, the
+//! materialized view `matV[n]` of the *prefix path* ending at that node, and
+//! the registrations of every (query, covering-path) pair whose path ends
+//! exactly there. Nodes shared by several queries are stored once, which is
+//! where the clustering gains of TRIC come from.
+
+use std::collections::HashMap;
+
+use gsm_core::engine::QueryId;
+use gsm_core::memory::HeapSize;
+use gsm_core::model::generic::GenericEdge;
+use gsm_core::relation::Relation;
+
+/// Index of a node inside the forest's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl HeapSize for NodeId {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// A (query, covering-path) pair registered at a trie node — the node is the
+/// last node of that covering path (paper: `queryInd` keeps a reference to
+/// the last trie node of every indexed path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registration {
+    /// The registered query.
+    pub query: QueryId,
+    /// Which covering path of the query this registration represents.
+    pub path_idx: usize,
+}
+
+impl HeapSize for Registration {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+/// A node of a trie.
+#[derive(Debug)]
+pub struct TrieNode {
+    /// The generic edge indexed by this node.
+    pub edge: GenericEdge,
+    /// Parent node (`None` for roots).
+    pub parent: Option<NodeId>,
+    /// Children, in creation order.
+    pub children: Vec<NodeId>,
+    /// Depth in the trie (0 for roots).
+    pub depth: usize,
+    /// Materialized view of the prefix path ending at this node:
+    /// `depth + 2` columns, one per path position.
+    pub mat_view: Relation,
+    /// Covering paths ending at this node.
+    pub registrations: Vec<Registration>,
+}
+
+impl TrieNode {
+    /// Arity of this node's materialized view.
+    pub fn view_arity(&self) -> usize {
+        self.depth + 2
+    }
+}
+
+impl HeapSize for TrieNode {
+    fn heap_size(&self) -> usize {
+        self.children.heap_size() + self.mat_view.heap_size() + self.registrations.heap_size()
+    }
+}
+
+/// The forest of tries plus the two auxiliary indexes of the paper:
+/// `rootInd` (root generic edge → trie root) and `edgeInd` (generic edge →
+/// nodes indexing it; the paper stores trie roots and re-discovers the nodes
+/// by a DFS — storing the nodes directly is equivalent and avoids the
+/// traversal).
+#[derive(Debug, Default)]
+pub struct TrieForest {
+    nodes: Vec<TrieNode>,
+    /// rootInd: first generic edge of a path → root node of the trie.
+    roots: HashMap<GenericEdge, NodeId>,
+    /// edgeInd: generic edge → every node (across all tries) indexing it.
+    nodes_by_edge: HashMap<GenericEdge, Vec<NodeId>>,
+}
+
+impl TrieForest {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of trie nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tries (root nodes).
+    pub fn num_tries(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &TrieNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut TrieNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All nodes (across tries) indexing the given generic edge.
+    pub fn nodes_for_edge(&self, edge: &GenericEdge) -> &[NodeId] {
+        self.nodes_by_edge
+            .get(edge)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All root nodes.
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.roots.values().copied()
+    }
+
+    /// Iterate over every node id.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    fn create_node(&mut self, edge: GenericEdge, parent: Option<NodeId>, depth: usize) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(TrieNode {
+            edge,
+            parent,
+            children: Vec::new(),
+            depth,
+            mat_view: Relation::new(depth + 2),
+            registrations: Vec::new(),
+        });
+        self.nodes_by_edge.entry(edge).or_default().push(id);
+        if let Some(p) = parent {
+            self.nodes[p.index()].children.push(id);
+        } else {
+            self.roots.insert(edge, id);
+        }
+        id
+    }
+
+    /// Inserts a covering path (as a sequence of generic edges) into the
+    /// forest, creating missing nodes, and registers `(query, path_idx)` at
+    /// the path's last node. Returns the node ids along the path and a list
+    /// of the nodes that were newly created (the caller initialises their
+    /// materialized views when queries are added after updates have already
+    /// streamed in).
+    pub fn insert_path(
+        &mut self,
+        generic_edges: &[GenericEdge],
+        query: QueryId,
+        path_idx: usize,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        assert!(!generic_edges.is_empty(), "covering paths are never empty");
+        let mut path_nodes = Vec::with_capacity(generic_edges.len());
+        let mut created = Vec::new();
+
+        // Root: find or create the trie whose root indexes the first edge.
+        let root_edge = generic_edges[0];
+        let root = match self.roots.get(&root_edge) {
+            Some(&r) => r,
+            None => {
+                let r = self.create_node(root_edge, None, 0);
+                created.push(r);
+                r
+            }
+        };
+        path_nodes.push(root);
+
+        // Descend, creating nodes for the remaining edges where necessary.
+        let mut current = root;
+        for (depth, &edge) in generic_edges.iter().enumerate().skip(1) {
+            let existing = self.nodes[current.index()]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c.index()].edge == edge);
+            let next = match existing {
+                Some(c) => c,
+                None => {
+                    let c = self.create_node(edge, Some(current), depth);
+                    created.push(c);
+                    c
+                }
+            };
+            path_nodes.push(next);
+            current = next;
+        }
+
+        self.nodes[current.index()]
+            .registrations
+            .push(Registration { query, path_idx });
+        (path_nodes, created)
+    }
+
+    /// Collects per-forest sharing statistics: how many (query, path)
+    /// registrations exist versus how many nodes store them. A ratio above
+    /// 1.0 means clustering is paying off.
+    pub fn sharing_ratio(&self) -> f64 {
+        let registrations: usize = self.nodes.iter().map(|n| n.registrations.len()).sum();
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        registrations as f64 / self.nodes.len() as f64
+    }
+}
+
+impl HeapSize for TrieForest {
+    fn heap_size(&self) -> usize {
+        self.nodes.heap_size() + self.roots.heap_size() + self.nodes_by_edge.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_core::interner::SymbolTable;
+    use gsm_core::model::generic::GenericEdge;
+    use gsm_core::query::paths::covering_paths;
+    use gsm_core::query::pattern::QueryPattern;
+
+    fn generic_path(q: &QueryPattern, path: &gsm_core::query::paths::CoveringPath) -> Vec<GenericEdge> {
+        path.edges
+            .iter()
+            .map(|&e| GenericEdge::from_pattern(&q.edges()[e]))
+            .collect()
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut s = SymbolTable::new();
+        // Two queries whose covering paths share the prefix ?var -hasMod-> ?var.
+        let q1 = QueryPattern::parse("?f -hasMod-> ?p; ?p -posted-> pst1", &mut s).unwrap();
+        let q2 = QueryPattern::parse("?f -hasMod-> ?p; ?p -posted-> pst2", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        for (qid, q) in [(QueryId(0), &q1), (QueryId(1), &q2)] {
+            for (pi, p) in covering_paths(q).iter().enumerate() {
+                forest.insert_path(&generic_path(q, p), qid, pi);
+            }
+        }
+        // One shared root (?var -hasMod-> ?var) plus two distinct leaves.
+        assert_eq!(forest.num_tries(), 1);
+        assert_eq!(forest.num_nodes(), 3);
+    }
+
+    #[test]
+    fn identical_paths_from_different_queries_share_every_node() {
+        let mut s = SymbolTable::new();
+        let q1 = QueryPattern::parse("?a -x-> ?b; ?b -y-> ?c", &mut s).unwrap();
+        let q2 = QueryPattern::parse("?p -x-> ?q; ?q -y-> ?r", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        for (qid, q) in [(QueryId(0), &q1), (QueryId(1), &q2)] {
+            for (pi, p) in covering_paths(q).iter().enumerate() {
+                forest.insert_path(&generic_path(q, p), qid, pi);
+            }
+        }
+        assert_eq!(forest.num_nodes(), 2);
+        let leaf = forest
+            .node_ids()
+            .find(|&n| forest.node(n).depth == 1)
+            .unwrap();
+        assert_eq!(forest.node(leaf).registrations.len(), 2);
+        assert!(forest.sharing_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn different_roots_create_different_tries() {
+        let mut s = SymbolTable::new();
+        let q1 = QueryPattern::parse("?a -x-> ?b", &mut s).unwrap();
+        let q2 = QueryPattern::parse("?a -y-> ?b", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        for (qid, q) in [(QueryId(0), &q1), (QueryId(1), &q2)] {
+            for (pi, p) in covering_paths(q).iter().enumerate() {
+                forest.insert_path(&generic_path(q, p), qid, pi);
+            }
+        }
+        assert_eq!(forest.num_tries(), 2);
+        assert_eq!(forest.num_nodes(), 2);
+    }
+
+    #[test]
+    fn node_views_have_path_arity() {
+        let mut s = SymbolTable::new();
+        let q = QueryPattern::parse("?a -x-> ?b; ?b -y-> ?c; ?c -z-> ?d", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        for (pi, p) in covering_paths(&q).iter().enumerate() {
+            forest.insert_path(&generic_path(&q, p), QueryId(0), pi);
+        }
+        for id in forest.node_ids() {
+            let n = forest.node(id);
+            assert_eq!(n.mat_view.arity(), n.depth + 2);
+        }
+    }
+
+    #[test]
+    fn edge_index_finds_nodes_across_tries() {
+        let mut s = SymbolTable::new();
+        let posted = s.intern("posted");
+        let pst1 = s.intern("pst1");
+        let q1 = QueryPattern::parse("?a -hasMod-> ?b; ?b -posted-> pst1", &mut s).unwrap();
+        let q2 = QueryPattern::parse("com1 -hasCreator-> ?v; ?v -posted-> pst1", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        for (qid, q) in [(QueryId(0), &q1), (QueryId(1), &q2)] {
+            for (pi, p) in covering_paths(q).iter().enumerate() {
+                forest.insert_path(&generic_path(q, p), qid, pi);
+            }
+        }
+        let target = GenericEdge {
+            label: posted,
+            src: gsm_core::model::generic::GenTerm::Any,
+            tgt: gsm_core::model::generic::GenTerm::Const(pst1),
+            same_var: false,
+        };
+        // The edge `?var -posted-> pst1` is indexed under two different tries.
+        assert_eq!(forest.nodes_for_edge(&target).len(), 2);
+    }
+}

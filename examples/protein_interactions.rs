@@ -1,0 +1,81 @@
+//! Protein-interaction monitoring (the paper's BioGRID use case).
+//!
+//! ```text
+//! cargo run --release --example protein_interactions
+//! ```
+//!
+//! BioGRID-style streams are the stress test of the paper: a single vertex
+//! type and a single edge type mean every update affects every registered
+//! query. The example registers structural motif queries (interaction chains,
+//! a feed-forward triangle, and a hub motif anchored at a specific protein)
+//! and compares TRIC+ against the graph-database baseline on the same stream.
+
+use std::time::Instant;
+
+use graph_stream_matching::core::prelude::*;
+use graph_stream_matching::core::ContinuousEngine;
+use graph_stream_matching::datagen::biogrid::{self, BioGridConfig};
+use graph_stream_matching::graphdb::GraphDbEngine;
+use graph_stream_matching::tric::TricEngine;
+
+fn main() {
+    let mut symbols = SymbolTable::new();
+    let stream = biogrid::generate(&BioGridConfig::with_edges(4_000), &mut symbols);
+    println!("generated {} protein-interaction updates", stream.len());
+
+    let chain3 = QueryPattern::parse(
+        "?a -interacts-> ?b; ?b -interacts-> ?c",
+        &mut symbols,
+    )
+    .expect("valid pattern");
+    let feed_forward = QueryPattern::parse(
+        "?a -interacts-> ?b; ?b -interacts-> ?c; ?a -interacts-> ?c",
+        &mut symbols,
+    )
+    .expect("valid pattern");
+    let hub_motif = QueryPattern::parse(
+        "protein_0 -interacts-> ?x; protein_0 -interacts-> ?y",
+        &mut symbols,
+    )
+    .expect("valid pattern");
+    let queries = vec![
+        ("chain-of-3", chain3),
+        ("feed-forward-triangle", feed_forward),
+        ("protein_0-hub", hub_motif),
+    ];
+
+    let mut summaries = Vec::new();
+    for engine_box in [
+        Box::new(TricEngine::tric_plus()) as Box<dyn ContinuousEngine>,
+        Box::new(GraphDbEngine::new()) as Box<dyn ContinuousEngine>,
+    ] {
+        let mut engine = engine_box;
+        for (_, q) in &queries {
+            engine.register_query(q).expect("register");
+        }
+        let start = Instant::now();
+        let mut per_query = vec![0u64; queries.len()];
+        for u in stream.iter() {
+            for m in engine.apply_update(*u).matches {
+                per_query[m.query.index()] += m.new_embeddings;
+            }
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "\n{} finished in {:.1} ms ({:.4} ms/update)",
+            engine.name(),
+            elapsed.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e3 / stream.len() as f64
+        );
+        for ((name, _), count) in queries.iter().zip(&per_query) {
+            println!("  {:<24} {:>10} new embeddings", name, count);
+        }
+        summaries.push(per_query);
+    }
+
+    assert_eq!(
+        summaries[0], summaries[1],
+        "TRIC+ and the graph database must report identical motif counts"
+    );
+    println!("\nboth engines report identical motif counts ✓");
+}

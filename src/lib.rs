@@ -1,0 +1,40 @@
+//! # graph-stream-matching
+//!
+//! Facade crate for the reproduction of *"Efficient Continuous Multi-Query
+//! Processing over Graph Streams"* (Zervakis et al., EDBT 2020).
+//!
+//! It re-exports the workspace crates under stable module names so that the
+//! runnable examples and the cross-crate integration tests can use a single
+//! dependency:
+//!
+//! * [`core`] — data/query model, covering paths, relations, engine trait.
+//! * [`tric`] — TRIC and TRIC+ (the paper's contribution).
+//! * [`baselines`] — the INV / INV+ / INC / INC+ inverted-index baselines.
+//! * [`graphdb`] — the embedded property-graph-database baseline
+//!   (Neo4j substitute).
+//! * [`datagen`] — SNB-like, NYC-taxi-like and BioGRID-like workload
+//!   generators plus the query-set generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gsm_baselines as baselines;
+pub use gsm_core as core;
+pub use gsm_datagen as datagen;
+pub use gsm_graphdb as graphdb;
+pub use gsm_tric as tric;
+
+/// Returns every engine implementation known to the workspace, boxed behind
+/// the [`gsm_core::ContinuousEngine`] trait, in the order the paper lists
+/// them: TRIC, TRIC+, INV, INV+, INC, INC+, GraphDB.
+pub fn all_engines() -> Vec<Box<dyn gsm_core::ContinuousEngine>> {
+    vec![
+        Box::new(gsm_tric::TricEngine::tric()),
+        Box::new(gsm_tric::TricEngine::tric_plus()),
+        Box::new(gsm_baselines::InvEngine::inv()),
+        Box::new(gsm_baselines::InvEngine::inv_plus()),
+        Box::new(gsm_baselines::IncEngine::inc()),
+        Box::new(gsm_baselines::IncEngine::inc_plus()),
+        Box::new(gsm_graphdb::GraphDbEngine::new()),
+    ]
+}

@@ -1,0 +1,185 @@
+//! End-to-end scenarios lifted directly from the paper's figures and
+//! walkthrough examples, checked against every engine.
+
+use graph_stream_matching::all_engines;
+use graph_stream_matching::core::prelude::*;
+use graph_stream_matching::core::ContinuousEngine;
+use graph_stream_matching::tric::TricEngine;
+
+struct Fixture {
+    symbols: SymbolTable,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        Fixture {
+            symbols: SymbolTable::new(),
+        }
+    }
+    fn q(&mut self, text: &str) -> QueryPattern {
+        QueryPattern::parse(text, &mut self.symbols).unwrap()
+    }
+    fn u(&mut self, label: &str, src: &str, tgt: &str) -> Update {
+        Update::new(
+            self.symbols.intern(label),
+            self.symbols.intern(src),
+            self.symbols.intern(tgt),
+        )
+    }
+}
+
+/// Figure 2 of the paper: three check-in updates against the "friends visit
+/// the same place" query of Figure 3.
+#[test]
+fn figure_2_and_3_checkin_scenario() {
+    for mut engine in all_engines() {
+        let mut f = Fixture::new();
+        let query = f.q(
+            "?p1 -knows-> ?p2; ?p1 -checksIn-> ?plc; ?p2 -checksIn-> ?plc; ?plc -isLocatedIn-> rio",
+        );
+        let qid = engine.register_query(&query).unwrap();
+
+        // Initial graph G: P1—knows—P2, P2—knows—P3, P1—knows—P3, place in Rio.
+        for u in [
+            f.u("knows", "P1", "P2"),
+            f.u("knows", "P2", "P3"),
+            f.u("knows", "P1", "P3"),
+            f.u("isLocatedIn", "plc", "rio"),
+        ] {
+            assert!(engine.apply_update(u).is_empty(), "{}", engine.name());
+        }
+
+        // Update stream S of Fig. 2(a): three check-ins at `plc`.
+        assert!(
+            engine.apply_update(f.u("checksIn", "P1", "plc")).is_empty(),
+            "{}: a single check-in cannot satisfy the query",
+            engine.name()
+        );
+        // P2 checks in: the pair (P1 knows P2) now both checked in.
+        let r = engine.apply_update(f.u("checksIn", "P2", "plc"));
+        assert_eq!(r.satisfied_queries(), vec![qid], "{}", engine.name());
+        // P3 checks in: two more knowing pairs complete.
+        let r = engine.apply_update(f.u("checksIn", "P3", "plc"));
+        assert_eq!(r.satisfied_queries(), vec![qid], "{}", engine.name());
+        assert_eq!(r.matches[0].new_embeddings, 2, "{}", engine.name());
+    }
+}
+
+/// Figure 1 of the paper: the two spam-detection patterns share the
+/// `?u -shares-> ?post -links-> domain` sub-pattern.
+#[test]
+fn figure_1_spam_patterns_share_subpattern() {
+    let mut f = Fixture::new();
+    // (a) users who know each other share posts linking to a flagged domain.
+    let clique = f.q(
+        "?u1 -knows-> ?u2; ?u1 -shares-> ?p1; ?p1 -links-> flagged; ?u2 -shares-> ?p2; ?p2 -links-> flagged",
+    );
+    // (b) users sharing the same flagged post from the same IP address.
+    let same_ip = f.q(
+        "?u1 -shares-> ?p; ?u2 -shares-> ?p; ?p -links-> flagged; ?u1 -usesIp-> ?ip; ?u2 -usesIp-> ?ip",
+    );
+
+    let mut tric = TricEngine::tric_plus();
+    let id_clique = tric.register_query(&clique).unwrap();
+    let id_same_ip = tric.register_query(&same_ip).unwrap();
+
+    // The shared sub-pattern keeps the trie forest smaller than the total
+    // number of covering-path nodes would be without clustering.
+    let total_path_edges: usize = [&clique, &same_ip]
+        .iter()
+        .flat_map(|q| covering_paths(q))
+        .map(|p| p.len())
+        .sum();
+    assert!(
+        tric.num_trie_nodes() < total_path_edges,
+        "expected trie sharing: {} nodes vs {} path edges",
+        tric.num_trie_nodes(),
+        total_path_edges
+    );
+
+    // Drive both patterns to completion and check they fire independently.
+    for u in [
+        f.u("knows", "alice", "bob"),
+        f.u("shares", "alice", "post1"),
+        f.u("links", "post1", "flagged"),
+        f.u("shares", "bob", "post2"),
+    ] {
+        assert!(tric.apply_update(u).is_empty());
+    }
+    let r = tric.apply_update(f.u("links", "post2", "flagged"));
+    assert_eq!(r.satisfied_queries(), vec![id_clique]);
+
+    assert!(tric.apply_update(f.u("shares", "carol", "post1")).is_empty());
+    // Homomorphism semantics: ?u1 and ?u2 may bind to the same user, so the
+    // very first usesIp edge already yields the degenerate alice/alice match.
+    let r = tric.apply_update(f.u("usesIp", "alice", "ip9"));
+    assert_eq!(r.satisfied_queries(), vec![id_same_ip]);
+    // carol sharing the same flagged post from the same IP yields the real
+    // two-user match.
+    let r = tric.apply_update(f.u("usesIp", "carol", "ip9"));
+    assert_eq!(r.satisfied_queries(), vec![id_same_ip]);
+    assert!(r.matches[0].new_embeddings >= 2);
+}
+
+/// Figure 4 of the paper: the four forum-moderation queries and their
+/// covering paths; the walkthrough updates of Example 4.6/4.7.
+#[test]
+fn figure_4_forum_queries() {
+    let mut f = Fixture::new();
+    let q1 = f.q(
+        "?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2",
+    );
+    let q2 = f.q("?f1 -hasMod-> ?p1");
+    let q3 = f.q("com1 -hasCreator-> ?v; ?v -posted-> pst1; pst1 -containedIn-> ?fo");
+    let q4 = f.q("?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; pst1 -containedIn-> ?fo");
+
+    // Covering-path counts match Fig. 4(b): Q1 → 3 paths, Q2/Q3/Q4 → 1 path.
+    assert_eq!(covering_paths(&q1).len(), 3);
+    assert_eq!(covering_paths(&q2).len(), 1);
+    assert_eq!(covering_paths(&q3).len(), 1);
+    assert_eq!(covering_paths(&q4).len(), 1);
+
+    for mut engine in all_engines() {
+        let mut f = Fixture::new();
+        let ids: Vec<QueryId> = [
+            "?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2",
+            "?f1 -hasMod-> ?p1",
+            "com1 -hasCreator-> ?v; ?v -posted-> pst1; pst1 -containedIn-> ?fo",
+            "?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; pst1 -containedIn-> ?fo",
+        ]
+        .iter()
+        .map(|text| {
+            let q = f.q(text);
+            engine.register_query(&q).unwrap()
+        })
+        .collect();
+
+        // hasMod satisfies Q2 immediately.
+        let r = engine.apply_update(f.u("hasMod", "f2", "p1"));
+        assert_eq!(r.satisfied_queries(), vec![ids[1]], "{}", engine.name());
+        let r = engine.apply_update(f.u("hasMod", "f1", "p1"));
+        assert_eq!(r.satisfied_queries(), vec![ids[1]], "{}", engine.name());
+
+        // Example 4.6: posted = (p2, pst1) affects tries but completes nothing
+        // (p2 has no moderator edge).
+        assert!(
+            engine.apply_update(f.u("posted", "p2", "pst1")).is_empty(),
+            "{}",
+            engine.name()
+        );
+
+        // Build up the rest of Q4: p1 posted pst1, pst1 containedIn forum9.
+        assert!(engine.apply_update(f.u("posted", "p1", "pst1")).is_empty());
+        let r = engine.apply_update(f.u("containedIn", "pst1", "forum9"));
+        assert_eq!(r.satisfied_queries(), vec![ids[3]], "{}", engine.name());
+
+        // Complete Q3: com1 created by p1 (who already posted pst1).
+        let r = engine.apply_update(f.u("hasCreator", "com1", "p1"));
+        assert_eq!(r.satisfied_queries(), vec![ids[2]], "{}", engine.name());
+
+        // Complete Q1: p1 posted pst2 and com1 replies to pst2.
+        assert!(engine.apply_update(f.u("posted", "p1", "pst2")).is_empty());
+        let r = engine.apply_update(f.u("reply", "com1", "pst2"));
+        assert_eq!(r.satisfied_queries(), vec![ids[0]], "{}", engine.name());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based cross-engine testing: on randomly generated query sets and
+//! update streams over a small label/vertex universe, all seven engines must
+//! produce identical match reports on every update, and none may panic.
+
+use proptest::prelude::*;
+
+use graph_stream_matching::all_engines;
+use graph_stream_matching::core::prelude::*;
+
+/// A compact description of a random pattern edge: (label, src, tgt, src-kind,
+/// tgt-kind) over small universes.
+type EdgeSpec = (u8, u8, u8, bool, bool);
+
+fn build_query(specs: &[EdgeSpec], symbols: &mut SymbolTable) -> Option<QueryPattern> {
+    let mut edges = Vec::new();
+    // Connectivity: every edge touches a variable vertex already in use;
+    // constants (drawn from the same universe the stream uses) are leaves.
+    let mut used: Vec<u8> = vec![0];
+    for &(label, a, b, other_const, flip) in specs {
+        let anchor = used[(a as usize) % used.len()];
+        let anchor_term = Term::Var(anchor as u32);
+        let other_term = if other_const {
+            Term::Const(symbols.intern(&format!("v{}", b % 5)))
+        } else {
+            if !used.contains(&b) {
+                used.push(b);
+            }
+            Term::Var(b as u32)
+        };
+        let (src, tgt) = if flip {
+            (other_term, anchor_term)
+        } else {
+            (anchor_term, other_term)
+        };
+        edges.push(PatternEdge::new(
+            symbols.intern(&format!("e{}", label % 3)),
+            src,
+            tgt,
+        ));
+    }
+    QueryPattern::from_edges(edges).ok()
+}
+
+proptest! {
+    // Each case replays a stream against seven engines; keep the case count
+    // moderate so the whole file stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_engines_agree_on_random_workloads(
+        query_specs in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u8..5, 0u8..5, any::<bool>(), any::<bool>()), 1..4),
+            1..6,
+        ),
+        stream_specs in proptest::collection::vec((0u8..3, 0u8..5, 0u8..5), 1..120),
+    ) {
+        let mut symbols = SymbolTable::new();
+        let queries: Vec<QueryPattern> = query_specs
+            .iter()
+            .filter_map(|specs| build_query(specs, &mut symbols))
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        let mut engines = all_engines();
+        for engine in engines.iter_mut() {
+            for q in &queries {
+                engine.register_query(q).expect("valid query");
+            }
+        }
+
+        for (i, &(label, src, tgt)) in stream_specs.iter().enumerate() {
+            let update = Update::new(
+                symbols.intern(&format!("e{label}")),
+                symbols.intern(&format!("v{src}")),
+                symbols.intern(&format!("v{tgt}")),
+            );
+            let reference = engines[0].apply_update(update);
+            for engine in engines.iter_mut().skip(1) {
+                let got = engine.apply_update(update);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "{} disagrees with TRIC at update #{} ({:?})",
+                    engine.name(),
+                    i,
+                    update
+                );
+            }
+        }
+    }
+
+    /// Engines never panic on arbitrary streams even with no queries, or with
+    /// queries whose labels never appear in the stream.
+    #[test]
+    fn engines_are_total_on_arbitrary_streams(
+        stream_specs in proptest::collection::vec((0u8..4, 0u8..6, 0u8..6), 0..80),
+    ) {
+        let mut symbols = SymbolTable::new();
+        let unrelated = QueryPattern::parse("?a -neverSeen-> ?b; ?b -alsoNever-> ?c", &mut symbols)
+            .expect("valid");
+        let mut engines = all_engines();
+        for engine in engines.iter_mut() {
+            engine.register_query(&unrelated).unwrap();
+        }
+        for &(label, src, tgt) in &stream_specs {
+            let update = Update::new(
+                symbols.intern(&format!("e{label}")),
+                symbols.intern(&format!("v{src}")),
+                symbols.intern(&format!("v{tgt}")),
+            );
+            for engine in engines.iter_mut() {
+                prop_assert!(engine.apply_update(update).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Behavioural tests of the paper's central claims that go beyond bit-exact
+//! engine agreement: clustering actually shares work, caching actually helps,
+//! and the relative cost ordering of the engines matches the evaluation.
+
+use std::time::Instant;
+
+use graph_stream_matching::baselines::BaselineEngine;
+use graph_stream_matching::core::prelude::*;
+use graph_stream_matching::core::ContinuousEngine;
+use graph_stream_matching::datagen::{Dataset, Workload, WorkloadConfig};
+use graph_stream_matching::tric::TricEngine;
+
+fn run(engine: &mut dyn ContinuousEngine, workload: &Workload) -> (std::time::Duration, u64) {
+    for q in &workload.queries {
+        engine.register_query(q).unwrap();
+    }
+    let start = Instant::now();
+    let mut notifications = 0;
+    for u in workload.stream.iter() {
+        notifications += engine.apply_update(*u).len() as u64;
+    }
+    (start.elapsed(), notifications)
+}
+
+#[test]
+fn trie_clustering_shares_nodes_across_a_realistic_query_set() {
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 2_000, 150).with_overlap(0.5),
+    );
+    let mut engine = TricEngine::tric();
+    for q in &workload.queries {
+        engine.register_query(q).unwrap();
+    }
+    // Without clustering, every covering-path edge would need its own node.
+    let total_path_edges: usize = workload
+        .queries
+        .iter()
+        .flat_map(covering_paths)
+        .map(|p| p.len())
+        .sum();
+    assert!(
+        engine.num_trie_nodes() < total_path_edges,
+        "no sharing: {} trie nodes for {} path edges",
+        engine.num_trie_nodes(),
+        total_path_edges
+    );
+    // And the forest has fewer tries than covering paths (shared roots).
+    let total_paths: usize = workload
+        .queries
+        .iter()
+        .map(|q| covering_paths(q).len())
+        .sum();
+    assert!(
+        engine.num_tries() < total_paths,
+        "no root sharing: {} tries for {} covering paths",
+        engine.num_tries(),
+        total_paths
+    );
+}
+
+#[test]
+fn tric_plus_actually_uses_its_cache_and_stays_correct() {
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1_200, 60));
+    let mut tric = TricEngine::tric();
+    let mut plus = TricEngine::tric_plus();
+    let (_, n1) = run(&mut tric, &workload);
+    let (_, n2) = run(&mut plus, &workload);
+    assert_eq!(n1, n2);
+    assert!(plus.cache_hits() > 100, "TRIC+ barely used its cache: {}", plus.cache_hits());
+    assert_eq!(tric.cache_hits(), 0);
+}
+
+#[test]
+fn relative_engine_cost_ordering_matches_the_paper() {
+    // The paper's headline result: TRIC(+) beats the inverted-index baselines
+    // by a wide margin on SNB-like workloads. Wall-clock comparisons in CI
+    // can be noisy, so require only a conservative factor.
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Snb, 2_500, 120));
+    let mut tric_plus = TricEngine::tric_plus();
+    let mut inv = BaselineEngine::inv();
+    let (t_tric, n_tric) = run(&mut tric_plus, &workload);
+    let (t_inv, n_inv) = run(&mut inv, &workload);
+    assert_eq!(n_tric, n_inv, "engines disagree on notifications");
+    assert!(
+        t_tric < t_inv,
+        "TRIC+ ({t_tric:?}) should be faster than INV ({t_inv:?}) on this workload"
+    );
+}
+
+#[test]
+fn memory_footprints_are_reported_and_plausible() {
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1_000, 50));
+    let mut tric = TricEngine::tric();
+    let mut plus = TricEngine::tric_plus();
+    run(&mut tric, &workload);
+    run(&mut plus, &workload);
+    let base = tric.heap_bytes();
+    let cached = plus.heap_bytes();
+    assert!(base > 0);
+    // The paper's Fig. 13(c): the caching variants pay a modest memory
+    // premium over their base algorithms.
+    assert!(
+        cached >= base,
+        "TRIC+ ({cached}) should not use less memory than TRIC ({base})"
+    );
+}
+
+#[test]
+fn engine_stats_match_reported_notifications() {
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Taxi, 800, 40));
+    let mut engine = TricEngine::tric_plus();
+    for q in &workload.queries {
+        engine.register_query(q).unwrap();
+    }
+    let mut notifications = 0u64;
+    let mut embeddings = 0u64;
+    for u in workload.stream.iter() {
+        let r = engine.apply_update(*u);
+        notifications += r.len() as u64;
+        embeddings += r.total_embeddings();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.updates_processed, workload.stream.len() as u64);
+    assert_eq!(stats.notifications, notifications);
+    assert_eq!(stats.embeddings, embeddings);
+}
