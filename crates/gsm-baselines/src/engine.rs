@@ -36,6 +36,8 @@ pub struct BaselineEngine {
     views: EdgeViewStore,
     indexes: InvertedIndexes,
     cache: JoinCache,
+    /// Row assembly scratch shared by the per-update path extensions.
+    row_buf: Vec<Sym>,
     stats: EngineStats,
 }
 
@@ -48,6 +50,7 @@ impl BaselineEngine {
             views: EdgeViewStore::new(),
             indexes: InvertedIndexes::new(),
             cache: JoinCache::new(),
+            row_buf: Vec::new(),
             stats: EngineStats::default(),
         }
     }
@@ -84,11 +87,13 @@ impl BaselineEngine {
 
     /// Extends `rel` (whose last column is the frontier vertex) to the right
     /// with the tuples of `view` whose source matches the frontier.
+    /// `buf` is caller-provided row scratch; probes allocate nothing.
     fn extend_right(
         caching: bool,
         cache: &mut JoinCache,
         rel: &Relation,
         view: &Relation,
+        buf: &mut Vec<Sym>,
     ) -> Relation {
         let out_arity = rel.arity() + 1;
         let mut out = Relation::new(out_arity);
@@ -96,55 +101,55 @@ impl BaselineEngine {
             return out;
         }
         let last = rel.arity() - 1;
-        let mut buf = vec![Sym(0); out_arity];
-        let probe = |build: &JoinBuild, out: &mut Relation, buf: &mut Vec<Sym>| {
-            for row in rel.iter() {
-                for idx in build.probe(view, &[row[last]]) {
-                    buf[..row.len()].copy_from_slice(row);
-                    buf[out_arity - 1] = view.row(idx)[1];
-                    out.push(buf);
-                }
-            }
-        };
-        if caching {
-            let build = cache.get_or_build(view, &[0]);
-            probe(build, &mut out, &mut buf);
+        buf.clear();
+        buf.resize(out_arity, Sym(0));
+        let build_storage;
+        let build = if caching {
+            cache.get_or_build(view, &[0])
         } else {
-            let build = JoinBuild::build(view, &[0]);
-            probe(&build, &mut out, &mut buf);
+            build_storage = JoinBuild::build(view, &[0]);
+            &build_storage
+        };
+        for row in rel.iter() {
+            build.probe_each(view, &[row[last]], |idx| {
+                buf[..row.len()].copy_from_slice(row);
+                buf[out_arity - 1] = view.row(idx)[1];
+                out.push(buf);
+            });
         }
         out
     }
 
     /// Extends `rel` (whose first column is the frontier vertex) to the left
     /// with the tuples of `view` whose target matches the frontier.
+    /// `buf` is caller-provided row scratch; probes allocate nothing.
     fn extend_left(
         caching: bool,
         cache: &mut JoinCache,
         rel: &Relation,
         view: &Relation,
+        buf: &mut Vec<Sym>,
     ) -> Relation {
         let out_arity = rel.arity() + 1;
         let mut out = Relation::new(out_arity);
         if rel.is_empty() || view.is_empty() {
             return out;
         }
-        let mut buf = vec![Sym(0); out_arity];
-        let probe = |build: &JoinBuild, out: &mut Relation, buf: &mut Vec<Sym>| {
-            for row in rel.iter() {
-                for idx in build.probe(view, &[row[0]]) {
-                    buf[0] = view.row(idx)[0];
-                    buf[1..].copy_from_slice(row);
-                    out.push(buf);
-                }
-            }
-        };
-        if caching {
-            let build = cache.get_or_build(view, &[1]);
-            probe(build, &mut out, &mut buf);
+        buf.clear();
+        buf.resize(out_arity, Sym(0));
+        let build_storage;
+        let build = if caching {
+            cache.get_or_build(view, &[1])
         } else {
-            let build = JoinBuild::build(view, &[1]);
-            probe(&build, &mut out, &mut buf);
+            build_storage = JoinBuild::build(view, &[1]);
+            &build_storage
+        };
+        for row in rel.iter() {
+            build.probe_each(view, &[row[0]], |idx| {
+                buf[0] = view.row(idx)[0];
+                buf[1..].copy_from_slice(row);
+                out.push(buf);
+            });
         }
         out
     }
@@ -161,7 +166,7 @@ impl BaselineEngine {
         let mut rel = first_view.clone();
         for edge in &path.edges[1..] {
             let view = self.views.get(edge)?;
-            rel = Self::extend_right(caching, &mut self.cache, &rel, view);
+            rel = Self::extend_right(caching, &mut self.cache, &rel, view, &mut self.row_buf);
             if rel.is_empty() {
                 return None;
             }
@@ -193,7 +198,7 @@ impl BaselineEngine {
                     rel = Relation::new(rel.arity() + 1);
                     break;
                 };
-                rel = Self::extend_right(caching, &mut self.cache, &rel, view);
+                rel = Self::extend_right(caching, &mut self.cache, &rel, view, &mut self.row_buf);
                 if rel.is_empty() {
                     break;
                 }
@@ -208,7 +213,7 @@ impl BaselineEngine {
                     ok = false;
                     break;
                 };
-                rel = Self::extend_left(caching, &mut self.cache, &rel, view);
+                rel = Self::extend_left(caching, &mut self.cache, &rel, view, &mut self.row_buf);
                 if rel.is_empty() {
                     ok = false;
                     break;
@@ -340,32 +345,30 @@ impl ContinuousEngine for BaselineEngine {
             // path that is needed as "the other path" during the final join;
             // compute those now (only when at least two paths are involved).
             if record.paths.len() > 1 {
-                for j in 0..record.paths.len() {
+                for (j, path) in record.paths.iter().enumerate() {
                     let needed = deltas
                         .iter()
                         .enumerate()
                         .any(|(i, d)| i != j && d.is_some());
                     if needed && full_relations[j].is_none() {
-                        full_relations[j] = self.full_path_relation(&record.paths[j]);
+                        full_relations[j] = self.full_path_relation(path);
                     }
                 }
             }
 
             // Final join per affected path, union of distinct embeddings.
             let mut embeddings: Option<Relation> = None;
-            for i in 0..record.paths.len() {
-                let Some(delta) = &deltas[i] else { continue };
+            for (i, delta) in deltas.iter().enumerate() {
+                let Some(delta) = delta else { continue };
                 let mut bindings = Vec::with_capacity(record.paths.len());
-                bindings.push(PathBinding::new(delta, record.paths[i].vertices.clone()));
+                bindings.push(PathBinding::new(delta, &record.paths[i].vertices));
                 let mut usable = true;
                 for (j, other) in record.paths.iter().enumerate() {
                     if j == i {
                         continue;
                     }
                     match &full_relations[j] {
-                        Some(rel) => {
-                            bindings.push(PathBinding::new(rel, other.vertices.clone()))
-                        }
+                        Some(rel) => bindings.push(PathBinding::new(rel, &other.vertices)),
                         None => {
                             usable = false;
                             break;
@@ -403,9 +406,7 @@ impl ContinuousEngine for BaselineEngine {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.views.heap_size()
-            + self.indexes.heap_size()
-            + self.cache.heap_size()
+        self.views.heap_size() + self.indexes.heap_size() + self.cache.heap_size()
     }
 
     fn stats(&self) -> EngineStats {

@@ -139,9 +139,14 @@ mod tests {
         idx.insert(QueryId(0), record(vec![shared, only_q1]));
         idx.insert(QueryId(1), record(vec![shared]));
 
-        assert_eq!(idx.affected_queries(&[shared]), vec![QueryId(0), QueryId(1)]);
+        assert_eq!(
+            idx.affected_queries(&[shared]),
+            vec![QueryId(0), QueryId(1)]
+        );
         assert_eq!(idx.affected_queries(&[only_q1]), vec![QueryId(0)]);
-        assert!(idx.affected_queries(&[ge(7, Term::Var(0), Term::Var(1))]).is_empty());
+        assert!(idx
+            .affected_queries(&[ge(7, Term::Var(0), Term::Var(1))])
+            .is_empty());
     }
 
     #[test]

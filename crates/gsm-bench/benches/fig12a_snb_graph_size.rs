@@ -10,7 +10,8 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for edges in [900usize] {
+    {
+        let edges = 900usize;
         let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, edges, 40));
         common::bench_answering(c, &format!("fig12a/E{edges}"), &w, &EngineKind::all());
     }

@@ -10,10 +10,10 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for sigma in [0.30f64] {
-        let w = Workload::generate(
-            WorkloadConfig::new(Dataset::Snb, 1000, 40).with_selectivity(sigma),
-        );
+    {
+        let sigma = 0.30f64;
+        let w =
+            Workload::generate(WorkloadConfig::new(Dataset::Snb, 1000, 40).with_selectivity(sigma));
         let label = format!("fig12b/s{}", (sigma * 100.0) as u32);
         common::bench_answering(c, &label, &w, &EngineKind::all());
     }

@@ -10,7 +10,8 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for qdb in [60usize] {
+    {
+        let qdb = 60usize;
         let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1000, qdb));
         common::bench_answering(c, &format!("fig12c/Q{qdb}"), &w, &EngineKind::all());
     }

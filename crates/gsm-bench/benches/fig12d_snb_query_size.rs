@@ -10,10 +10,9 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for l in [7usize] {
-        let w = Workload::generate(
-            WorkloadConfig::new(Dataset::Snb, 1000, 40).with_query_size(l),
-        );
+    {
+        let l = 7usize;
+        let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1000, 40).with_query_size(l));
         common::bench_answering(c, &format!("fig12d/l{l}"), &w, &EngineKind::all());
     }
 }

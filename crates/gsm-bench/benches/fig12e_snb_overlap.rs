@@ -10,10 +10,9 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for o in [0.65f64] {
-        let w = Workload::generate(
-            WorkloadConfig::new(Dataset::Snb, 1000, 40).with_overlap(o),
-        );
+    {
+        let o = 0.65f64;
+        let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 1000, 40).with_overlap(o));
         let label = format!("fig12e/o{}", (o * 100.0) as u32);
         common::bench_answering(c, &label, &w, &EngineKind::all());
     }

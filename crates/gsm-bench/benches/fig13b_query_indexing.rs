@@ -10,7 +10,8 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for qdb in [150usize] {
+    {
+        let qdb = 150usize;
         let w = Workload::generate(WorkloadConfig::new(Dataset::Snb, 800, qdb));
         common::bench_indexing(c, &format!("fig13b/Q{qdb}"), &w, &EngineKind::all());
     }

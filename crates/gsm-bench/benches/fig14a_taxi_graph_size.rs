@@ -10,7 +10,8 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for edges in [1000usize] {
+    {
+        let edges = 1000usize;
         let w = Workload::generate(WorkloadConfig::new(Dataset::Taxi, edges, 40));
         common::bench_answering(c, &format!("fig14a/E{edges}"), &w, &EngineKind::all());
     }

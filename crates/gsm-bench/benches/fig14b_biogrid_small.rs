@@ -10,10 +10,10 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    for edges in [500usize] {
-        let w = Workload::generate(
-            WorkloadConfig::new(Dataset::BioGrid, edges, 30).with_query_size(3),
-        );
+    {
+        let edges = 500usize;
+        let w =
+            Workload::generate(WorkloadConfig::new(Dataset::BioGrid, edges, 30).with_query_size(3));
         common::bench_answering(c, &format!("fig14b/E{edges}"), &w, &EngineKind::all());
     }
 }

@@ -10,9 +10,7 @@ use gsm_bench::harness::EngineKind;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 
 fn bench(c: &mut Criterion) {
-    let w = Workload::generate(
-        WorkloadConfig::new(Dataset::BioGrid, 900, 30).with_query_size(3),
-    );
+    let w = Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 900, 30).with_query_size(3));
     common::bench_answering(c, "fig14c/E900", &w, &EngineKind::large_graph_subset());
 }
 

@@ -1,0 +1,72 @@
+//! Hot-path update throughput: TRIC vs TRIC+ in updates/sec.
+//!
+//! This is the bench guarding the zero-allocation join hot path: an SNB-like
+//! workload is generated once, and every timed iteration replays the same
+//! 400-update measured suffix on a **freshly built and warmed engine**
+//! (`iter_batched`: the build/warm setup is untimed). Each measurement
+//! therefore drives the full insert/delta-propagation pipeline on identical
+//! state — never the duplicate-elimination early-return a repeated replay on
+//! a persistent engine would hit, and never a drifting stream position.
+//! Throughput is reported in updates/sec so BENCH_PR1.json can track the
+//! before/after speedup of the relation/join refactor.
+
+mod common;
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use gsm_bench::harness::EngineKind;
+use gsm_core::engine::ContinuousEngine;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+use std::time::Duration;
+
+/// Updates the engine is warmed with before the timed replay.
+const WARM_UPDATES: usize = 3_600;
+
+/// Updates replayed inside the timed region.
+const MEASURED_UPDATES: usize = 400;
+
+fn warmed_engine(kind: EngineKind, workload: &Workload) -> Box<dyn ContinuousEngine> {
+    let mut engine = kind.build();
+    for q in &workload.queries {
+        engine.register_query(q).expect("valid query");
+    }
+    for u in &workload.stream.as_slice()[..WARM_UPDATES] {
+        engine.apply_update(*u);
+    }
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let total = WARM_UPDATES + MEASURED_UPDATES;
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Snb, total, 60));
+
+    let mut group = c.benchmark_group("hotpath_update");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(400));
+    group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
+
+    for kind in [EngineKind::Tric, EngineKind::TricPlus] {
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), MEASURED_UPDATES),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || warmed_engine(kind, &workload),
+                    |mut engine| {
+                        for u in &workload.stream.as_slice()[WARM_UPDATES..] {
+                            black_box(engine.apply_update(*u));
+                        }
+                        engine
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -219,11 +219,7 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
 }
 
 /// Convenience: runs several engines on the same workload.
-pub fn run_engines(
-    kinds: &[EngineKind],
-    workload: &Workload,
-    limits: RunLimits,
-) -> Vec<RunResult> {
+pub fn run_engines(kinds: &[EngineKind], workload: &Workload, limits: RunLimits) -> Vec<RunResult> {
     kinds
         .iter()
         .map(|&k| run_engine(k, workload, limits))
@@ -279,7 +275,13 @@ mod tests {
     #[test]
     fn zero_budget_times_out() {
         let w = tiny_workload();
-        let result = run_engine(EngineKind::Inv, &w, RunLimits { time_budget: Duration::ZERO });
+        let result = run_engine(
+            EngineKind::Inv,
+            &w,
+            RunLimits {
+                time_budget: Duration::ZERO,
+            },
+        );
         assert!(result.timed_out);
         assert!(result.updates_processed < w.num_updates());
         assert!(result.plotted_value().is_none());

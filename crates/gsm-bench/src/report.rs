@@ -73,7 +73,7 @@ impl FigureResult {
         for (i, run) in self.runs.iter().enumerate() {
             let x = self
                 .x_values
-                .get(if per_x == 0 { 0 } else { i / per_x })
+                .get(i.checked_div(per_x).unwrap_or(0))
                 .copied()
                 .unwrap_or(f64::NAN);
             out.push_str(&format!(

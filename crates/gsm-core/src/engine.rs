@@ -53,13 +53,17 @@ impl MatchReport {
 
     /// Builds a report from (query, count) pairs, merging duplicates and
     /// sorting by query id.
+    ///
+    /// Implemented as sort-then-fold **by key**: every pair — zero counts
+    /// included — folds into its query's accumulated count, and zero-total
+    /// queries are dropped in one pass at the end. Folding by key keeps the
+    /// merge manifestly independent of where zero-count pairs land in the
+    /// sort order, instead of relying on the interplay between an early
+    /// zero-skip and `last_mut()` adjacency.
     pub fn from_counts(mut pairs: Vec<(QueryId, u64)>) -> Self {
         pairs.sort_by_key(|(q, _)| *q);
         let mut matches: Vec<QueryMatch> = Vec::new();
         for (query, count) in pairs {
-            if count == 0 {
-                continue;
-            }
             match matches.last_mut() {
                 Some(last) if last.query == query => last.new_embeddings += count,
                 _ => matches.push(QueryMatch {
@@ -68,6 +72,7 @@ impl MatchReport {
                 }),
             }
         }
+        matches.retain(|m| m.new_embeddings > 0);
         MatchReport { matches }
     }
 
@@ -171,5 +176,29 @@ mod tests {
     fn zero_count_pairs_are_dropped() {
         let r = MatchReport::from_counts(vec![(QueryId(0), 0)]);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_count_pairs_never_split_merges() {
+        // Pins the order-robustness of the fold-by-key implementation: one
+        // merged entry per query regardless of where zero-count pairs land
+        // in the input or the sort order, with zero-total queries dropped.
+        let r = MatchReport::from_counts(vec![(QueryId(5), 2), (QueryId(5), 0), (QueryId(5), 3)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.matches[0].query, QueryId(5));
+        assert_eq!(r.matches[0].new_embeddings, 5);
+
+        // Zero pairs of *other* queries interleaved in the input must not
+        // split merges either, and must themselves be dropped.
+        let r = MatchReport::from_counts(vec![
+            (QueryId(2), 1),
+            (QueryId(1), 0),
+            (QueryId(2), 4),
+            (QueryId(3), 0),
+            (QueryId(2), 0),
+        ]);
+        assert_eq!(r.satisfied_queries(), vec![QueryId(2)]);
+        assert_eq!(r.matches[0].new_embeddings, 5);
+        assert_eq!(r.total_embeddings(), 5);
     }
 }

@@ -49,7 +49,9 @@ mod tests {
             Error::EmptyQuery.to_string(),
             "query graph pattern has no edges"
         );
-        assert!(Error::Parse("bad arrow".into()).to_string().contains("bad arrow"));
+        assert!(Error::Parse("bad arrow".into())
+            .to_string()
+            .contains("bad arrow"));
         assert!(Error::UnknownQuery(7).to_string().contains('7'));
     }
 

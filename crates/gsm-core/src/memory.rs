@@ -31,7 +31,25 @@ macro_rules! impl_heap_size_zero {
     };
 }
 
-impl_heap_size_zero!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+impl_heap_size_zero!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl HeapSize for String {
     fn heap_size(&self) -> usize {
@@ -66,8 +84,7 @@ impl<T: HeapSize> HeapSize for Vec<T> {
 
 impl<T: HeapSize> HeapSize for Box<[T]> {
     fn heap_size(&self) -> usize {
-        self.len() * std::mem::size_of::<T>()
-            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
     }
 }
 
@@ -89,7 +106,7 @@ impl<A: HeapSize, B: HeapSize, C: HeapSize> HeapSize for (A, B, C) {
     }
 }
 
-impl<K: HeapSize, V: HeapSize> HeapSize for HashMap<K, V> {
+impl<K: HeapSize, V: HeapSize, S> HeapSize for HashMap<K, V, S> {
     fn heap_size(&self) -> usize {
         // Approximation: hashbrown stores (K, V) pairs plus one control byte
         // per bucket; capacity() underestimates raw buckets slightly.
@@ -101,7 +118,7 @@ impl<K: HeapSize, V: HeapSize> HeapSize for HashMap<K, V> {
     }
 }
 
-impl<K: HeapSize> HeapSize for HashSet<K> {
+impl<K: HeapSize, S> HeapSize for HashSet<K, S> {
     fn heap_size(&self) -> usize {
         self.capacity() * (std::mem::size_of::<K>() + 1)
             + self.iter().map(HeapSize::heap_size).sum::<usize>()

@@ -51,7 +51,10 @@ impl AttributeGraph {
         self.vertices.insert(u.tgt);
         self.out.entry(u.src).or_default().push((u.label, u.tgt));
         self.inc.entry(u.tgt).or_default().push((u.label, u.src));
-        self.by_label.entry(u.label).or_default().push((u.src, u.tgt));
+        self.by_label
+            .entry(u.label)
+            .or_default()
+            .push((u.src, u.tgt));
         true
     }
 

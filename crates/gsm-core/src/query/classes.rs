@@ -41,19 +41,21 @@ pub fn classify(query: &QueryPattern) -> QueryClass {
     let n = query.num_vertices();
     let m = query.num_edges();
 
-    let total_degree =
-        |v: usize| query.out_edges_of(v).len() + query.in_edges_of(v).len();
+    let total_degree = |v: usize| query.out_edges_of(v).len() + query.in_edges_of(v).len();
 
     // Single self-loop counts as a cycle of length one.
     if m == 1 {
         let (s, t) = query.edge_endpoints(0);
-        return if s == t { QueryClass::Cycle } else { QueryClass::Chain };
+        return if s == t {
+            QueryClass::Cycle
+        } else {
+            QueryClass::Chain
+        };
     }
 
     // Simple directed cycle: every vertex has out-degree 1 and in-degree 1,
     // and #edges == #vertices.
-    if m == n
-        && (0..n).all(|v| query.out_edges_of(v).len() == 1 && query.in_edges_of(v).len() == 1)
+    if m == n && (0..n).all(|v| query.out_edges_of(v).len() == 1 && query.in_edges_of(v).len() == 1)
     {
         return QueryClass::Cycle;
     }
@@ -64,9 +66,8 @@ pub fn classify(query: &QueryPattern) -> QueryClass {
         let deg1 = (0..n).filter(|&v| total_degree(v) == 1).count();
         let deg2 = (0..n).filter(|&v| total_degree(v) == 2).count();
         if deg1 == 2 && deg2 == n - 2 {
-            let directed_chain = (0..n).all(|v| {
-                query.out_edges_of(v).len() <= 1 && query.in_edges_of(v).len() <= 1
-            });
+            let directed_chain =
+                (0..n).all(|v| query.out_edges_of(v).len() <= 1 && query.in_edges_of(v).len() <= 1);
             if directed_chain {
                 return QueryClass::Chain;
             }
@@ -117,10 +118,7 @@ mod tests {
     fn zigzag_path_is_not_a_directed_chain() {
         // a -> b <- c is undirected-path shaped but not a directed chain; with
         // only two edges it coincides with an in-star centred at b.
-        assert_eq!(
-            classify(&parse("?a -x-> ?b; ?c -y-> ?b")),
-            QueryClass::Star
-        );
+        assert_eq!(classify(&parse("?a -x-> ?b; ?c -y-> ?b")), QueryClass::Star);
     }
 
     #[test]

@@ -228,9 +228,8 @@ mod tests {
     fn paper_example_query_q1() {
         // Q1 of Fig. 4: ?f1 -hasMod-> ?p1; ?p1 -posted-> pst1;
         //               ?p1 -posted-> pst2; ?com1? (reply) -> pst2
-        let q = parse(
-            "?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2",
-        );
+        let q =
+            parse("?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2");
         let paths = covering_paths(&q);
         assert!(is_valid_cover(&q, &paths));
         // The paper extracts three covering paths for Q1.

@@ -82,7 +82,10 @@ impl QueryPattern {
     pub fn parse(text: &str, symbols: &mut SymbolTable) -> Result<Self> {
         let mut edges = Vec::new();
         let mut vars: HashMap<String, VarId> = HashMap::new();
-        let term = |tok: &str, symbols: &mut SymbolTable, vars: &mut HashMap<String, VarId>| -> Result<Term> {
+        let term = |tok: &str,
+                    symbols: &mut SymbolTable,
+                    vars: &mut HashMap<String, VarId>|
+         -> Result<Term> {
             if tok.is_empty() {
                 return Err(Error::Parse("empty vertex token".into()));
             }
@@ -96,7 +99,7 @@ impl QueryPattern {
                 Ok(Term::Const(symbols.intern(tok)))
             }
         };
-        for raw in text.split(|c| c == ';' || c == '\n') {
+        for raw in text.split([';', '\n']) {
             let line = raw.trim();
             if line.is_empty() {
                 continue;
@@ -176,11 +179,7 @@ impl QueryPattern {
 
     /// All distinct variable ids used by the pattern.
     pub fn variables(&self) -> Vec<VarId> {
-        let mut vars: Vec<VarId> = self
-            .vertices
-            .iter()
-            .filter_map(|t| t.as_var())
-            .collect();
+        let mut vars: Vec<VarId> = self.vertices.iter().filter_map(|t| t.as_var()).collect();
         vars.sort_unstable();
         vars.dedup();
         vars
@@ -188,11 +187,7 @@ impl QueryPattern {
 
     /// All distinct constants used at vertex positions.
     pub fn constants(&self) -> Vec<Sym> {
-        let mut consts: Vec<Sym> = self
-            .vertices
-            .iter()
-            .filter_map(|t| t.as_const())
-            .collect();
+        let mut consts: Vec<Sym> = self.vertices.iter().filter_map(|t| t.as_const()).collect();
         consts.sort_unstable();
         consts.dedup();
         consts

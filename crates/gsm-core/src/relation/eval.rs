@@ -7,25 +7,30 @@
 //! *within* a path. This module implements that final stage once, so TRIC
 //! and the baselines differ only in how the per-path relations are produced.
 
-use std::collections::HashMap;
+use std::borrow::Cow;
 
+use super::fasthash::FxHashMap;
 use super::join::hash_join;
 use super::Relation;
 use crate::query::pattern::QVertexId;
 
 /// A per-path relation together with the query vertex each column binds.
-#[derive(Debug, Clone)]
+///
+/// Both fields are borrowed: bindings are built per affected path on every
+/// update, so they must not copy the path's vertex sequence (or worse, its
+/// relation) just to describe it.
+#[derive(Debug, Clone, Copy)]
 pub struct PathBinding<'a> {
     /// The path's materialized view (or delta).
     pub rel: &'a Relation,
     /// For each column of `rel`, the query vertex it binds. Columns may
     /// repeat a vertex (e.g. a path that traverses a cycle).
-    pub vertices: Vec<QVertexId>,
+    pub vertices: &'a [QVertexId],
 }
 
 impl<'a> PathBinding<'a> {
     /// Creates a binding; the number of vertices must match the arity.
-    pub fn new(rel: &'a Relation, vertices: Vec<QVertexId>) -> Self {
+    pub fn new(rel: &'a Relation, vertices: &'a [QVertexId]) -> Self {
         assert_eq!(rel.arity(), vertices.len());
         PathBinding { rel, vertices }
     }
@@ -53,19 +58,34 @@ impl VertexRelation {
     }
 }
 
+/// A normalised binding: the relation is borrowed straight from the input
+/// when no repeated-vertex work was needed (the common case), and owned only
+/// when a selection/projection actually had to materialise rows.
+#[derive(Debug, Clone)]
+struct Normalised<'a> {
+    rel: Cow<'a, Relation>,
+    vertices: Vec<QVertexId>,
+}
+
 /// Normalises a single path binding: enforce repeated vertices (selection)
 /// and project to one column per distinct vertex (first occurrence order).
-fn normalise(binding: &PathBinding<'_>) -> VertexRelation {
-    let mut groups: HashMap<QVertexId, Vec<usize>> = HashMap::new();
+/// Bindings without repeated vertices — the overwhelming majority — are
+/// passed through without copying a single row.
+fn normalise<'a>(binding: &PathBinding<'a>) -> Normalised<'a> {
+    // Find repeated vertices and the first-occurrence projection in one scan.
+    let mut groups: FxHashMap<QVertexId, Vec<usize>> = FxHashMap::default();
     for (col, &v) in binding.vertices.iter().enumerate() {
         groups.entry(v).or_default().push(col);
     }
+    if groups.len() == binding.vertices.len() {
+        // All vertices distinct: nothing to enforce, nothing to project away.
+        return Normalised {
+            rel: Cow::Borrowed(binding.rel),
+            vertices: binding.vertices.to_vec(),
+        };
+    }
     let filter_groups: Vec<Vec<usize>> = groups.values().filter(|g| g.len() > 1).cloned().collect();
-    let filtered = if filter_groups.is_empty() {
-        binding.rel.clone()
-    } else {
-        binding.rel.filter_equal_groups(&filter_groups)
-    };
+    let filtered = binding.rel.filter_equal_groups(&filter_groups);
     // Project to the first occurrence of each vertex.
     let mut seen = Vec::new();
     let mut cols = Vec::new();
@@ -75,8 +95,8 @@ fn normalise(binding: &PathBinding<'_>) -> VertexRelation {
             cols.push(col);
         }
     }
-    VertexRelation {
-        rel: filtered.project(&cols),
+    Normalised {
+        rel: Cow::Owned(filtered.project(&cols)),
         vertices: seen,
     }
 }
@@ -92,7 +112,7 @@ pub fn join_paths(bindings: &[PathBinding<'_>]) -> Option<VertexRelation> {
     if bindings.is_empty() {
         return None;
     }
-    let mut normalised: Vec<VertexRelation> = bindings.iter().map(normalise).collect();
+    let mut normalised: Vec<Normalised<'_>> = bindings.iter().map(normalise).collect();
     if normalised.iter().any(|n| n.rel.is_empty()) {
         return None;
     }
@@ -154,12 +174,15 @@ pub fn join_paths(bindings: &[PathBinding<'_>]) -> Option<VertexRelation> {
         // but right may still contain a *duplicate* vertex under a different
         // column if the vertex appeared twice; normalise() already removed
         // duplicates, so columns line up with `vertices`.
-        acc = VertexRelation {
-            rel: joined,
+        acc = Normalised {
+            rel: Cow::Owned(joined),
             vertices,
         };
     }
-    Some(acc)
+    Some(VertexRelation {
+        rel: acc.rel.into_owned(),
+        vertices: acc.vertices,
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +206,7 @@ mod tests {
     #[test]
     fn single_path_passthrough() {
         let r = rel(3, &[&[1, 2, 3], &[4, 5, 6]]);
-        let b = PathBinding::new(&r, vec![0, 1, 2]);
+        let b = PathBinding::new(&r, &[0, 1, 2]);
         let out = join_paths(&[b]).unwrap();
         assert_eq!(out.rel.len(), 2);
         assert_eq!(out.vertices, vec![0, 1, 2]);
@@ -193,7 +216,7 @@ mod tests {
     fn repeated_vertex_within_path_is_enforced() {
         // Path visits vertices [0, 1, 0]: only rows with col0 == col2 survive.
         let r = rel(3, &[&[1, 2, 1], &[1, 2, 3]]);
-        let b = PathBinding::new(&r, vec![0, 1, 0]);
+        let b = PathBinding::new(&r, &[0, 1, 0]);
         let out = join_paths(&[b]).unwrap();
         assert_eq!(out.rel.len(), 1);
         assert_eq!(out.vertices, vec![0, 1]);
@@ -205,11 +228,8 @@ mod tests {
         // Path A over vertices [0,1], path B over vertices [1,2].
         let a = rel(2, &[&[1, 2], &[3, 4]]);
         let b = rel(2, &[&[2, 10], &[9, 11]]);
-        let out = join_paths(&[
-            PathBinding::new(&a, vec![0, 1]),
-            PathBinding::new(&b, vec![1, 2]),
-        ])
-        .unwrap();
+        let out =
+            join_paths(&[PathBinding::new(&a, &[0, 1]), PathBinding::new(&b, &[1, 2])]).unwrap();
         assert_eq!(out.rel.len(), 1);
         let canon = out.canonicalize();
         assert_eq!(canon.vertices, vec![0, 1, 2]);
@@ -220,10 +240,7 @@ mod tests {
     fn empty_intermediate_short_circuits() {
         let a = rel(2, &[&[1, 2]]);
         let b = rel(2, &[&[7, 8]]);
-        let out = join_paths(&[
-            PathBinding::new(&a, vec![0, 1]),
-            PathBinding::new(&b, vec![1, 2]),
-        ]);
+        let out = join_paths(&[PathBinding::new(&a, &[0, 1]), PathBinding::new(&b, &[1, 2])]);
         assert!(out.is_none());
     }
 
@@ -232,8 +249,8 @@ mod tests {
         let a = rel(2, &[&[1, 2]]);
         let empty = Relation::new(2);
         let out = join_paths(&[
-            PathBinding::new(&a, vec![0, 1]),
-            PathBinding::new(&empty, vec![1, 2]),
+            PathBinding::new(&a, &[0, 1]),
+            PathBinding::new(&empty, &[1, 2]),
         ]);
         assert!(out.is_none());
     }
@@ -245,9 +262,9 @@ mod tests {
         let p2 = rel(2, &[&[5, 20]]);
         let p3 = rel(2, &[&[5, 30], &[5, 31]]);
         let out = join_paths(&[
-            PathBinding::new(&p1, vec![0, 1]),
-            PathBinding::new(&p2, vec![0, 2]),
-            PathBinding::new(&p3, vec![0, 3]),
+            PathBinding::new(&p1, &[0, 1]),
+            PathBinding::new(&p2, &[0, 2]),
+            PathBinding::new(&p3, &[0, 3]),
         ])
         .unwrap();
         // centre must be 5 ⇒ embeddings: (5,10,20,30) and (5,10,20,31)
@@ -263,11 +280,8 @@ mod tests {
         // Paths [0,1] and [0,1] (same vertices): intersection semantics.
         let a = rel(2, &[&[1, 2], &[3, 4]]);
         let b = rel(2, &[&[3, 4], &[5, 6]]);
-        let out = join_paths(&[
-            PathBinding::new(&a, vec![0, 1]),
-            PathBinding::new(&b, vec![0, 1]),
-        ])
-        .unwrap();
+        let out =
+            join_paths(&[PathBinding::new(&a, &[0, 1]), PathBinding::new(&b, &[0, 1])]).unwrap();
         assert_eq!(out.rel.len(), 1);
         assert_eq!(out.rel.row(0), &[s(3), s(4)]);
     }

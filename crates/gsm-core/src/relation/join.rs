@@ -6,10 +6,7 @@
 //! so that the `+` engine variants can cache it across updates and maintain
 //! it incrementally as relations grow.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-
+use super::fasthash::{hash_projected, hash_syms, Bucket, FxHashMap};
 use super::Relation;
 use crate::interner::Sym;
 use crate::memory::HeapSize;
@@ -19,15 +16,11 @@ use crate::memory::HeapSize;
 pub struct JoinBuild {
     key_cols: Vec<usize>,
     /// key-hash → row indices (collision chains verified at probe time).
-    buckets: HashMap<u64, Vec<u32>>,
+    /// Keyed by the fast [`hash_syms`] key hash; chains stay inline until
+    /// they spill.
+    buckets: FxHashMap<u64, Bucket>,
     /// Number of rows of the underlying relation already indexed.
     rows_indexed: usize,
-}
-
-fn hash_key(key: &[Sym]) -> u64 {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    h.finish()
 }
 
 impl JoinBuild {
@@ -35,7 +28,7 @@ impl JoinBuild {
     pub fn build(rel: &Relation, key_cols: &[usize]) -> Self {
         let mut b = JoinBuild {
             key_cols: key_cols.to_vec(),
-            buckets: HashMap::new(),
+            buckets: FxHashMap::default(),
             rows_indexed: 0,
         };
         b.update(rel);
@@ -54,37 +47,96 @@ impl JoinBuild {
 
     /// Indexes any rows appended to `rel` since the last build/update.
     /// This is the incremental maintenance used by the `+` engines.
+    /// Allocation-free except when a collision chain spills: keys are hashed
+    /// in place via [`hash_projected`], never materialised.
     pub fn update(&mut self, rel: &Relation) {
-        let mut key = vec![Sym(0); self.key_cols.len()];
+        if self.rows_indexed == rel.len() {
+            return;
+        }
         for i in self.rows_indexed..rel.len() {
-            let row = rel.row(i);
-            for (k, &c) in key.iter_mut().zip(&self.key_cols) {
-                *k = row[c];
-            }
-            self.buckets.entry(hash_key(&key)).or_default().push(i as u32);
+            let h = hash_projected(rel.row(i), &self.key_cols);
+            self.buckets.entry(h).or_default().push(i as u32);
         }
         self.rows_indexed = rel.len();
     }
 
     /// Returns the indices of rows of `rel` whose key equals `key`
     /// (hash collisions are verified).
+    ///
+    /// Allocates the result vector; hot paths should use the
+    /// zero-allocation [`probe_iter`](Self::probe_iter) /
+    /// [`probe_each`](Self::probe_each) instead.
     pub fn probe(&self, rel: &Relation, key: &[Sym]) -> Vec<usize> {
+        self.probe_iter(rel, key).collect()
+    }
+
+    /// Zero-allocation probe: iterates over the indices of rows of `rel`
+    /// whose key equals `key`, borrowing the bucket's collision chain
+    /// directly (hash collisions are verified row by row).
+    #[inline]
+    pub fn probe_iter<'a>(&'a self, rel: &'a Relation, key: &'a [Sym]) -> ProbeIter<'a> {
         debug_assert_eq!(key.len(), self.key_cols.len());
-        let Some(bucket) = self.buckets.get(&hash_key(key)) else {
-            return Vec::new();
-        };
-        bucket
-            .iter()
-            .map(|&i| i as usize)
-            .filter(|&i| {
-                i < rel.len()
-                    && self
-                        .key_cols
-                        .iter()
-                        .zip(key)
-                        .all(|(&c, &k)| rel.row(i)[c] == k)
-            })
-            .collect()
+        let chain = self
+            .buckets
+            .get(&hash_syms(key))
+            .map(Bucket::as_slice)
+            .unwrap_or(&[]);
+        ProbeIter {
+            chain,
+            rel,
+            key_cols: &self.key_cols,
+            key,
+        }
+    }
+
+    /// Zero-allocation probe: invokes `f` with each matching row index.
+    /// Convenient when the iterator's borrow of `key` is awkward.
+    #[inline]
+    pub fn probe_each(&self, rel: &Relation, key: &[Sym], mut f: impl FnMut(usize)) {
+        for idx in self.probe_iter(rel, key) {
+            f(idx);
+        }
+    }
+}
+
+/// Borrowing iterator over verified probe hits — see
+/// [`JoinBuild::probe_iter`].
+#[derive(Debug, Clone)]
+pub struct ProbeIter<'a> {
+    chain: &'a [u32],
+    rel: &'a Relation,
+    key_cols: &'a [usize],
+    key: &'a [Sym],
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while let Some((&i, rest)) = self.chain.split_first() {
+            self.chain = rest;
+            let i = i as usize;
+            // Rows past the relation's current length can only appear when a
+            // cached build is probed against a shorter clone; skip them.
+            if i < self.rel.len() {
+                let row = self.rel.row(i);
+                if self
+                    .key_cols
+                    .iter()
+                    .zip(self.key)
+                    .all(|(&c, &k)| row[c] == k)
+                {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.chain.len()))
     }
 }
 
@@ -141,7 +193,7 @@ pub fn hash_join_with_build(
     let mut row_buf = vec![Sym(0); out_arity];
     for lrow in left.iter() {
         key_of(lrow, left_keys, &mut key);
-        for ridx in build.probe(right, &key) {
+        for ridx in build.probe_iter(right, &key) {
             let rrow = right.row(ridx);
             row_buf[..lrow.len()].copy_from_slice(lrow);
             for (slot, &c) in row_buf[lrow.len()..].iter_mut().zip(&extra_cols) {
@@ -270,6 +322,43 @@ mod tests {
         let cached = hash_join_with_build(&left, &right, &[1], &[0], &build);
         let fresh = hash_join(&left, &right, &[1], &[0]);
         assert_eq!(cached.to_sorted_vec(), fresh.to_sorted_vec());
+    }
+
+    #[test]
+    fn probe_iter_and_probe_each_match_probe() {
+        let r = rel(2, &[&[1, 10], &[1, 11], &[2, 20], &[3, 30]]);
+        let build = JoinBuild::build(&r, &[0]);
+        for key in 0u32..5 {
+            let vec_api = build.probe(&r, &[s(key)]);
+            let iter_api: Vec<usize> = build.probe_iter(&r, &[s(key)]).collect();
+            let mut each_api = Vec::new();
+            build.probe_each(&r, &[s(key)], |i| each_api.push(i));
+            assert_eq!(vec_api, iter_api, "key {key}");
+            assert_eq!(vec_api, each_api, "key {key}");
+        }
+        assert_eq!(build.probe(&r, &[s(1)]).len(), 2);
+    }
+
+    #[test]
+    fn probe_iter_skips_rows_past_relation_length() {
+        // A build over a longer relation probed against a shorter clone must
+        // not yield out-of-range indices.
+        let mut long = rel(2, &[&[1, 10]]);
+        let short = long.clone();
+        long.push(&[s(1), s(11)]);
+        let build = JoinBuild::build(&long, &[0]);
+        assert_eq!(build.probe_iter(&long, &[s(1)]).count(), 2);
+        assert_eq!(build.probe_iter(&short, &[s(1)]).count(), 1);
+    }
+
+    #[test]
+    fn update_is_idempotent_when_no_rows_were_added() {
+        let r = rel(2, &[&[1, 10], &[2, 20]]);
+        let mut build = JoinBuild::build(&r, &[0]);
+        build.update(&r);
+        build.update(&r);
+        assert_eq!(build.rows_indexed(), 2);
+        assert_eq!(build.probe(&r, &[s(1)]).len(), 1, "no duplicate indexing");
     }
 
     #[test]

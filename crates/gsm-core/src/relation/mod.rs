@@ -8,15 +8,15 @@
 
 pub mod cache;
 pub mod eval;
+pub mod fasthash;
 pub mod join;
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::interner::Sym;
 use crate::memory::HeapSize;
+
+use fasthash::{hash_syms, Bucket, FxHashMap};
 
 static NEXT_RELATION_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -28,8 +28,9 @@ pub struct Relation {
     /// Row-major storage: `rows.len() == arity * len()`.
     rows: Vec<Sym>,
     /// Row-hash → indices of rows with that hash (collision chains verified
-    /// on insert), used to keep the table duplicate-free.
-    index: HashMap<u64, Vec<u32>>,
+    /// on insert), used to keep the table duplicate-free. Keyed by the fast
+    /// [`hash_syms`] row hash; chains stay inline until they spill.
+    index: FxHashMap<u64, Bucket>,
 }
 
 impl Relation {
@@ -40,7 +41,7 @@ impl Relation {
             id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
             arity,
             rows: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
         }
     }
 
@@ -51,8 +52,12 @@ impl Relation {
         rel
     }
 
-    /// A unique, never-reused identity for this relation instance, used as a
-    /// cache key by [`cache::JoinCache`]. Cloning produces a fresh identity.
+    /// A never-reused identity for this relation instance, used as a cache
+    /// key by [`cache::JoinCache`]. Clones **share** the identity (`Clone`
+    /// is derived), so a cached build may be probed against a clone of its
+    /// relation — possibly shorter, which is why probes bound-check row
+    /// indices. Only push to one relation per identity when caching is in
+    /// play.
     pub fn id(&self) -> u64 {
         self.id
     }
@@ -64,11 +69,7 @@ impl Relation {
 
     /// Number of (distinct) rows.
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
-            0
-        } else {
-            self.rows.len() / self.arity
-        }
+        self.rows.len().checked_div(self.arity).unwrap_or(0)
     }
 
     /// True if the relation has no rows.
@@ -97,19 +98,23 @@ impl Relation {
         self.rows[(from.min(self.len())) * self.arity..].chunks_exact(self.arity.max(1))
     }
 
-    fn hash_row(row: &[Sym]) -> u64 {
-        let mut h = DefaultHasher::new();
-        row.hash(&mut h);
-        h.finish()
-    }
-
     /// True if an identical row is already present.
     pub fn contains(&self, row: &[Sym]) -> bool {
         debug_assert_eq!(row.len(), self.arity);
-        let h = Self::hash_row(row);
+        self.contains_hashed(hash_syms(row), row)
+    }
+
+    /// [`contains`](Self::contains) with an externally supplied row hash —
+    /// the testable core that lets unit tests force bucket collisions.
+    fn contains_hashed(&self, h: u64, row: &[Sym]) -> bool {
         self.index
             .get(&h)
-            .map(|bucket| bucket.iter().any(|&i| self.row(i as usize) == row))
+            .map(|bucket| {
+                bucket
+                    .as_slice()
+                    .iter()
+                    .any(|&i| self.row(i as usize) == row)
+            })
             .unwrap_or(false)
     }
 
@@ -122,12 +127,19 @@ impl Relation {
             row.len(),
             self.arity
         );
-        let h = Self::hash_row(row);
+        self.push_hashed(hash_syms(row), row)
+    }
+
+    /// [`push`](Self::push) with an externally supplied row hash — the
+    /// testable core that lets unit tests force bucket collisions. Collision
+    /// chains are always verified by full row comparison, so correctness
+    /// never depends on hash quality.
+    fn push_hashed(&mut self, h: u64, row: &[Sym]) -> bool {
         let new_index = self.len() as u32;
         let arity = self.arity;
         let rows = &self.rows;
         let bucket = self.index.entry(h).or_default();
-        if bucket.iter().any(|&i| {
+        if bucket.as_slice().iter().any(|&i| {
             let start = i as usize * arity;
             &rows[start..start + arity] == row
         }) {
@@ -304,6 +316,37 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
         r.push(&[s(1)]);
+    }
+
+    #[test]
+    fn forced_hash_collisions_keep_dedup_correct() {
+        // Drive the hashed core directly with one constant hash so every row
+        // lands in the same bucket chain: push/contains must still
+        // distinguish rows by full comparison, and duplicates must still be
+        // rejected — correctness cannot lean on hash quality.
+        const H: u64 = 0xDEAD_BEEF;
+        let mut r = Relation::new(2);
+        assert!(r.push_hashed(H, &[s(1), s(2)]));
+        assert!(r.push_hashed(H, &[s(3), s(4)]));
+        assert!(r.push_hashed(H, &[s(5), s(6)]));
+        // A fourth distinct row spills the inline chain and must still work.
+        assert!(r.push_hashed(H, &[s(7), s(8)]));
+        assert_eq!(r.len(), 4);
+
+        // Duplicates of every colliding row are rejected.
+        assert!(!r.push_hashed(H, &[s(1), s(2)]));
+        assert!(!r.push_hashed(H, &[s(7), s(8)]));
+        assert_eq!(r.len(), 4);
+
+        // Lookups verify the chain row by row.
+        assert!(r.contains_hashed(H, &[s(3), s(4)]));
+        assert!(r.contains_hashed(H, &[s(5), s(6)]));
+        assert!(!r.contains_hashed(H, &[s(2), s(1)]), "colliding ≠ equal");
+        assert!(!r.contains_hashed(0, &[s(1), s(2)]), "wrong hash, no hit");
+
+        // Row storage is untouched by the collisions.
+        assert_eq!(r.row(0), &[s(1), s(2)]);
+        assert_eq!(r.row(3), &[s(7), s(8)]);
     }
 
     #[test]

@@ -138,7 +138,11 @@ mod tests {
         store.register(e);
         store.apply_update(&Update::new(Sym(0), Sym(1), Sym(2)));
         store.register(e);
-        assert_eq!(store.get(&e).unwrap().len(), 1, "re-register must not wipe data");
+        assert_eq!(
+            store.get(&e).unwrap().len(),
+            1,
+            "re-register must not wipe data"
+        );
         assert_eq!(store.len(), 1);
     }
 

@@ -158,7 +158,10 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let total: usize = degrees.iter().sum();
         let top_10: usize = degrees.iter().take(degrees.len() / 10 + 1).sum();
-        assert!(top_10 as f64 / total as f64 > 0.3, "top-10% degree share too small");
+        assert!(
+            top_10 as f64 / total as f64 > 0.3,
+            "top-10% degree share too small"
+        );
     }
 
     #[test]

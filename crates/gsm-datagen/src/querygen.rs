@@ -121,12 +121,24 @@ pub fn generate(
         let size = sample_size(&mut rng, config.avg_size);
 
         let walk = match class {
-            QueryClass::Chain => {
-                chain_walk(&mut rng, graph, &starts, size, config.overlap, &mut walk_pool)
-            }
+            QueryClass::Chain => chain_walk(
+                &mut rng,
+                graph,
+                &starts,
+                size,
+                config.overlap,
+                &mut walk_pool,
+            ),
             QueryClass::Star => star_edges(&mut rng, graph, &vertices, size),
             _ => cycle_walk(&mut rng, graph, &starts, size).unwrap_or_else(|| {
-                chain_walk(&mut rng, graph, &starts, size, config.overlap, &mut walk_pool)
+                chain_walk(
+                    &mut rng,
+                    graph,
+                    &starts,
+                    size,
+                    config.overlap,
+                    &mut walk_pool,
+                )
             }),
         };
         let walk = if walk.is_empty() {
@@ -135,8 +147,7 @@ pub fn generate(
             walk
         };
 
-        let mut pattern_edges =
-            to_pattern(&mut rng, &walk, config.const_probability, positive);
+        let mut pattern_edges = to_pattern(&mut rng, &walk, config.const_probability, positive);
         if !positive {
             poison(&mut rng, &mut pattern_edges, symbols, &mut negative_counter);
         }
@@ -221,7 +232,11 @@ fn chain_walk(
             continue;
         }
         walk.extend(extension);
-        if walk.last().map(|u| graph.out_degree(u.tgt) == 0).unwrap_or(false) {
+        if walk
+            .last()
+            .map(|u| graph.out_degree(u.tgt) == 0)
+            .unwrap_or(false)
+        {
             break;
         }
     }
@@ -296,11 +311,7 @@ fn cycle_walk(
         }
         let last = walk.last().expect("non-empty").tgt;
         // Look for a closing edge back to the start vertex.
-        if let Some(&(label, _)) = graph
-            .out_edges(last)
-            .iter()
-            .find(|&&(_, tgt)| tgt == start)
-        {
+        if let Some(&(label, _)) = graph.out_edges(last).iter().find(|&&(_, tgt)| tgt == start) {
             let mut cycle = walk;
             cycle.push(Update::new(label, last, start));
             return Some(cycle);
@@ -332,7 +343,11 @@ fn to_pattern(
 ) -> Vec<PatternEdge> {
     let mut term_of: HashMap<Sym, Term> = HashMap::new();
     let mut next_var = 0u32;
-    let map = |v: Sym, rng: &mut SmallRng, term_of: &mut HashMap<Sym, Term>, next_var: &mut u32| -> Term {
+    let map = |v: Sym,
+               rng: &mut SmallRng,
+               term_of: &mut HashMap<Sym, Term>,
+               next_var: &mut u32|
+     -> Term {
         *term_of.entry(v).or_insert_with(|| {
             if rng.gen::<f64>() < const_probability {
                 Term::Const(v)
@@ -411,10 +426,7 @@ mod tests {
         // Directed cycles are rare in DAG-ish social graphs; the generator
         // falls back to chains when it cannot close one, so we only require
         // that chains+stars+cycles+other add up.
-        assert_eq!(
-            stats.chains + stats.stars + stats.cycles + stats.other,
-            300
-        );
+        assert_eq!(stats.chains + stats.stars + stats.cycles + stats.other, 300);
     }
 
     #[test]
@@ -473,10 +485,7 @@ mod tests {
         }
         // No negative query (index >= positive count) may ever be satisfied.
         for idx in &satisfied {
-            assert!(
-                *idx < stats.positive,
-                "negative query {idx} was satisfied"
-            );
+            assert!(*idx < stats.positive, "negative query {idx} was satisfied");
         }
         // A decent share of positive queries should be satisfied.
         assert!(

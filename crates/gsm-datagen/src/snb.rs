@@ -191,7 +191,12 @@ fn new_person(
     }
 }
 
-fn friendship(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+fn friendship(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
     if state.persons.len() < 2 {
         return;
     }
@@ -220,7 +225,12 @@ fn new_forum(
     stream.push(Update::new(vocab.has_member, forum, moderator));
 }
 
-fn join_forum(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+fn join_forum(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
     if state.forums.is_empty() || state.persons.is_empty() {
         return;
     }
@@ -277,7 +287,12 @@ fn like(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream:
     stream.push(Update::new(vocab.likes, person, post));
 }
 
-fn check_in(state: &mut SnbState, vocab: &SnbVocabulary, rng: &mut SmallRng, stream: &mut GraphStream) {
+fn check_in(
+    state: &mut SnbState,
+    vocab: &SnbVocabulary,
+    rng: &mut SmallRng,
+    stream: &mut GraphStream,
+) {
     if state.persons.is_empty() {
         return;
     }
@@ -312,8 +327,20 @@ mod tests {
     fn different_seeds_differ() {
         let mut s1 = SymbolTable::new();
         let mut s2 = SymbolTable::new();
-        let a = generate(&SnbConfig { seed: 1, ..SnbConfig::with_edges(2_000) }, &mut s1);
-        let b = generate(&SnbConfig { seed: 2, ..SnbConfig::with_edges(2_000) }, &mut s2);
+        let a = generate(
+            &SnbConfig {
+                seed: 1,
+                ..SnbConfig::with_edges(2_000)
+            },
+            &mut s1,
+        );
+        let b = generate(
+            &SnbConfig {
+                seed: 2,
+                ..SnbConfig::with_edges(2_000)
+            },
+            &mut s2,
+        );
         assert_ne!(a, b);
     }
 
@@ -323,10 +350,17 @@ mod tests {
         let stream = generate(&SnbConfig::with_edges(20_000), &mut symbols);
         let graph = AttributeGraph::from_updates(stream.iter());
         let labels: std::collections::HashSet<_> = stream.iter().map(|u| u.label).collect();
-        assert!(labels.len() >= 8, "expected a rich edge vocabulary, got {}", labels.len());
+        assert!(
+            labels.len() >= 8,
+            "expected a rich edge vocabulary, got {}",
+            labels.len()
+        );
         // The paper's SNB graphs have roughly 0.4–0.6 vertices per edge.
         let ratio = graph.num_vertices() as f64 / graph.num_edges() as f64;
-        assert!(ratio > 0.15 && ratio < 0.9, "vertex/edge ratio {ratio} out of range");
+        assert!(
+            ratio > 0.15 && ratio < 0.9,
+            "vertex/edge ratio {ratio} out of range"
+        );
     }
 
     #[test]

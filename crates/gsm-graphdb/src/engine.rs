@@ -137,12 +137,11 @@ impl ContinuousEngine for GraphDbEngine {
             edge_indices.sort_unstable();
             edge_indices.dedup();
             let query = &self.queries[qid.index()];
-            let mut collector =
-                MatchCollector::with_limit(self.config.max_embeddings_per_query);
+            let mut collector = MatchCollector::with_limit(self.config.max_embeddings_per_query);
             for anchor_edge in edge_indices {
-                let plan =
-                    self.plan_cache
-                        .get_or_build(qid, query, &self.store, Some(anchor_edge));
+                let plan = self
+                    .plan_cache
+                    .get_or_build(qid, query, &self.store, Some(anchor_edge));
                 execute(
                     query,
                     plan,

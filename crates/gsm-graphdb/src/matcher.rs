@@ -185,11 +185,7 @@ fn backtrack(
                 bindings[tv] = Some(t);
                 backtrack(query, store, order, depth + 1, bindings, collector);
                 bindings[sv] = None;
-                if sv != tv {
-                    bindings[tv] = None;
-                } else {
-                    bindings[tv] = None;
-                }
+                bindings[tv] = None;
                 if collector.full() {
                     return;
                 }
@@ -330,11 +326,7 @@ mod tests {
         let q = f.q("?p -checksIn-> rio");
         f.edge("checksIn", "ann", "oslo");
         let checks_in = f.symbols.intern("checksIn");
-        let anchor = Update::new(
-            checks_in,
-            f.symbols.intern("ann"),
-            f.symbols.intern("oslo"),
-        );
+        let anchor = Update::new(checks_in, f.symbols.intern("ann"), f.symbols.intern("oslo"));
         let plan = QueryPlan::build(&q, &f.store, Some(0));
         let mut collector = MatchCollector::unlimited();
         execute(&q, &plan, &f.store, Some((0, anchor)), &mut collector);

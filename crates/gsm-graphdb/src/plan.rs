@@ -64,8 +64,7 @@ impl QueryPlan {
                 .copied()
                 .min_by_key(|&e| {
                     let (s, t) = query.edge_endpoints(e);
-                    let connected =
-                        bound_vertices.contains(&s) || bound_vertices.contains(&t);
+                    let connected = bound_vertices.contains(&s) || bound_vertices.contains(&t);
                     (if connected { 0 } else { 1 }, selectivity(e))
                 })
                 .expect("remaining is non-empty");

@@ -1,6 +1,6 @@
 //! The TRIC / TRIC+ continuous-query engine (Sections 4.1 and 4.2).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
 use gsm_core::error::Result;
@@ -12,6 +12,7 @@ use gsm_core::query::paths::covering_paths;
 use gsm_core::query::pattern::{QVertexId, QueryPattern};
 use gsm_core::relation::cache::JoinCache;
 use gsm_core::relation::eval::{join_paths, PathBinding};
+use gsm_core::relation::fasthash::{FxHashMap, FxHashSet};
 use gsm_core::relation::join::JoinBuild;
 use gsm_core::relation::Relation;
 use gsm_core::views::EdgeViewStore;
@@ -20,17 +21,11 @@ use crate::trie::{NodeId, TrieForest};
 
 /// Configuration of the engine — the only switch is the join-structure cache
 /// that turns TRIC into TRIC+.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TricConfig {
     /// Keep and incrementally maintain hash-join build structures across
     /// updates (the TRIC+ extension of Section 4.2, "Caching").
     pub caching: bool,
-}
-
-impl Default for TricConfig {
-    fn default() -> Self {
-        TricConfig { caching: false }
-    }
 }
 
 /// Per-covering-path bookkeeping: where the path ends in the forest and which
@@ -61,6 +56,30 @@ impl HeapSize for QueryInfo {
     }
 }
 
+/// Update-scoped scratch buffers, reused across `apply_update` calls so the
+/// per-update hot path performs no bookkeeping allocations once the buffers
+/// have grown to the working-set size.
+#[derive(Debug, Default)]
+struct UpdateScratch {
+    /// Trie nodes touched by the current update (sorted, deduped).
+    affected_nodes: Vec<NodeId>,
+    /// Nodes already expanded during delta propagation (replaces the former
+    /// O(n²) `Vec::contains` scan).
+    processed: FxHashSet<NodeId>,
+    /// Row assembly buffer shared by seed construction and delta extension.
+    row_buf: Vec<Sym>,
+    /// Queries whose views gained rows in the current update.
+    affected_queries: Vec<QueryId>,
+}
+
+impl UpdateScratch {
+    fn reset(&mut self) {
+        self.affected_nodes.clear();
+        self.processed.clear();
+        self.affected_queries.clear();
+    }
+}
+
 /// The TRIC / TRIC+ engine.
 #[derive(Debug, Default)]
 pub struct TricEngine {
@@ -69,6 +88,7 @@ pub struct TricEngine {
     views: EdgeViewStore,
     cache: JoinCache,
     queries: Vec<QueryInfo>,
+    scratch: UpdateScratch,
     stats: EngineStats,
 }
 
@@ -112,34 +132,38 @@ impl TricEngine {
     }
 
     /// Probes `rel` (keyed on `key_cols`) for rows whose key equals `key`,
-    /// using the persistent cache when caching is enabled and a throw-away
-    /// build otherwise (the paper's TRIC rebuilds the hash structures of
-    /// every join on every update; TRIC+ reuses them).
+    /// invoking `f` with each matching row index — zero allocations per
+    /// probe. Uses the persistent cache when caching is enabled and a
+    /// throw-away build otherwise (the paper's TRIC rebuilds the hash
+    /// structures of every join on every update; TRIC+ reuses them).
     fn probe_rows(
         caching: bool,
         cache: &mut JoinCache,
         rel: &Relation,
         key_cols: &[usize],
         key: &[Sym],
-    ) -> Vec<usize> {
+        f: impl FnMut(usize),
+    ) {
         if rel.is_empty() {
-            return Vec::new();
+            return;
         }
         if caching {
-            cache.get_or_build(rel, key_cols).probe(rel, key)
+            cache.get_or_build(rel, key_cols).probe_each(rel, key, f);
         } else {
-            JoinBuild::build(rel, key_cols).probe(rel, key)
+            JoinBuild::build(rel, key_cols).probe_each(rel, key, f);
         }
     }
 
     /// Extends every row of `delta` (a prefix-path delta whose last column is
     /// the frontier vertex) with the matching tuples of `edge_view`,
-    /// producing the delta of the child node.
+    /// producing the delta of the child node. `row_buf` is caller-provided
+    /// scratch so repeated extensions share one allocation.
     fn extend_delta(
         caching: bool,
         cache: &mut JoinCache,
         delta: &Relation,
         edge_view: &Relation,
+        row_buf: &mut Vec<Sym>,
     ) -> Relation {
         let out_arity = delta.arity() + 1;
         let mut out = Relation::new(out_arity);
@@ -147,25 +171,21 @@ impl TricEngine {
             return out;
         }
         let last = delta.arity() - 1;
-        let mut row_buf = vec![Sym(0); out_arity];
-        if caching {
-            let build = cache.get_or_build(edge_view, &[0]);
-            for drow in delta.iter() {
-                for idx in build.probe(edge_view, &[drow[last]]) {
-                    row_buf[..drow.len()].copy_from_slice(drow);
-                    row_buf[out_arity - 1] = edge_view.row(idx)[1];
-                    out.push(&row_buf);
-                }
-            }
+        row_buf.clear();
+        row_buf.resize(out_arity, Sym(0));
+        let build_storage;
+        let build = if caching {
+            cache.get_or_build(edge_view, &[0])
         } else {
-            let build = JoinBuild::build(edge_view, &[0]);
-            for drow in delta.iter() {
-                for idx in build.probe(edge_view, &[drow[last]]) {
-                    row_buf[..drow.len()].copy_from_slice(drow);
-                    row_buf[out_arity - 1] = edge_view.row(idx)[1];
-                    out.push(&row_buf);
-                }
-            }
+            build_storage = JoinBuild::build(edge_view, &[0]);
+            &build_storage
+        };
+        for drow in delta.iter() {
+            build.probe_each(edge_view, &[drow[last]], |idx| {
+                row_buf[..drow.len()].copy_from_slice(drow);
+                row_buf[out_arity - 1] = edge_view.row(idx)[1];
+                out.push(row_buf);
+            });
         }
         out
     }
@@ -197,6 +217,7 @@ impl TricEngine {
                     &mut self.cache,
                     parent_view,
                     edge_view,
+                    &mut self.scratch.row_buf,
                 );
                 let view = &mut self.forest.node_mut(node).mat_view;
                 view.extend_from(&extended);
@@ -252,14 +273,17 @@ impl ContinuousEngine for TricEngine {
         }
 
         // Step 1: locate the affected trie nodes (paper: edgeInd lookup plus
-        // trie traversal).
-        let mut affected_nodes: Vec<NodeId> = Vec::new();
+        // trie traversal). The node list, the processed set and the row
+        // buffer are update-scoped scratch reused across calls.
+        self.scratch.reset();
         for ge in &affected_edges {
-            affected_nodes.extend(self.forest.nodes_for_edge(ge));
+            self.scratch
+                .affected_nodes
+                .extend_from_slice(self.forest.nodes_for_edge(ge));
         }
-        affected_nodes.sort_unstable();
-        affected_nodes.dedup();
-        if affected_nodes.is_empty() {
+        self.scratch.affected_nodes.sort_unstable();
+        self.scratch.affected_nodes.dedup();
+        if self.scratch.affected_nodes.is_empty() {
             return MatchReport::empty();
         }
 
@@ -267,9 +291,10 @@ impl ContinuousEngine for TricEngine {
 
         // Step 2a: seed a delta at every affected node from its parent's
         // (pre-update) materialized view joined with the single new tuple.
-        let mut deltas: HashMap<NodeId, Relation> = HashMap::new();
+        let mut deltas: FxHashMap<NodeId, Relation> = FxHashMap::default();
         let mut by_depth: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
-        for &n in &affected_nodes {
+        for i in 0..self.scratch.affected_nodes.len() {
+            let n = self.scratch.affected_nodes[i];
             let node = self.forest.node(n);
             let seed = match node.parent {
                 None => Relation::singleton(&[update.src, update.tgt]),
@@ -277,19 +302,22 @@ impl ContinuousEngine for TricEngine {
                     let parent_view = &self.forest.node(p).mat_view;
                     let last = parent_view.arity() - 1;
                     let mut seed = Relation::new(parent_view.arity() + 1);
-                    let mut row_buf = vec![Sym(0); parent_view.arity() + 1];
-                    for idx in Self::probe_rows(
+                    let row_buf = &mut self.scratch.row_buf;
+                    row_buf.clear();
+                    row_buf.resize(parent_view.arity() + 1, Sym(0));
+                    Self::probe_rows(
                         caching,
                         &mut self.cache,
                         parent_view,
                         &[last],
                         &[update.src],
-                    ) {
-                        let prow = parent_view.row(idx);
-                        row_buf[..prow.len()].copy_from_slice(prow);
-                        row_buf[prow.len()] = update.tgt;
-                        seed.push(&row_buf);
-                    }
+                        |idx| {
+                            let prow = parent_view.row(idx);
+                            row_buf[..prow.len()].copy_from_slice(prow);
+                            row_buf[prow.len()] = update.tgt;
+                            seed.push(row_buf);
+                        },
+                    );
                     seed
                 }
             };
@@ -310,27 +338,37 @@ impl ContinuousEngine for TricEngine {
         }
 
         // Step 2b: propagate deltas down the affected sub-tries in depth
-        // order, pruning branches whose delta is empty (Fig. 10).
-        let mut processed: Vec<NodeId> = Vec::new();
+        // order, pruning branches whose delta is empty (Fig. 10). Each
+        // node's delta is taken out of the map while its children are
+        // extended (and put back afterwards for step 3), so nothing is
+        // cloned; the processed set is a hash set, not a linear scan.
         while let Some((&depth, _)) = by_depth.iter().next() {
             let level = by_depth.remove(&depth).unwrap_or_default();
             for n in level {
-                if processed.contains(&n) {
+                if !self.scratch.processed.insert(n) {
                     continue;
                 }
-                processed.push(n);
-                let delta = match deltas.get(&n) {
-                    Some(d) if !d.is_empty() => d.clone(),
-                    _ => continue,
+                let delta = match deltas.remove(&n) {
+                    Some(d) if !d.is_empty() => d,
+                    Some(d) => {
+                        deltas.insert(n, d);
+                        continue;
+                    }
+                    None => continue,
                 };
-                let children = self.forest.node(n).children.clone();
-                for c in children {
+                for ci in 0..self.forest.node(n).children.len() {
+                    let c = self.forest.node(n).children[ci];
                     let child_edge = self.forest.node(c).edge;
                     let Some(edge_view) = self.views.get(&child_edge) else {
                         continue;
                     };
-                    let child_delta =
-                        Self::extend_delta(caching, &mut self.cache, &delta, edge_view);
+                    let child_delta = Self::extend_delta(
+                        caching,
+                        &mut self.cache,
+                        &delta,
+                        edge_view,
+                        &mut self.scratch.row_buf,
+                    );
                     if child_delta.is_empty() {
                         continue; // prune this sub-trie
                     }
@@ -347,13 +385,14 @@ impl ContinuousEngine for TricEngine {
                         }
                     }
                 }
+                deltas.insert(n, delta);
             }
         }
 
         // Step 3: append the deltas to the per-node materialized views.
         // (Done after propagation so seeds are computed against pre-update
         // views — the standard incremental-join derivative.)
-        let mut truly_new: HashMap<NodeId, Relation> = HashMap::new();
+        let mut truly_new: FxHashMap<NodeId, Relation> = FxHashMap::default();
         for (n, delta) in &deltas {
             let view = &mut self.forest.node_mut(*n).mat_view;
             let mut new_rows = Relation::new(delta.arity());
@@ -369,9 +408,11 @@ impl ContinuousEngine for TricEngine {
 
         // Step 4: per affected query, join the delta of each affected
         // covering path with the full views of the remaining paths
-        // (Fig. 8, lines 8-13, restricted to new embeddings).
-        let mut affected_queries: Vec<QueryId> = Vec::new();
-        for (n, _) in &truly_new {
+        // (Fig. 8, lines 8-13, restricted to new embeddings). Bindings
+        // borrow the deltas/views and each path's vertex sequence — nothing
+        // is copied to describe a join.
+        let affected_queries = &mut self.scratch.affected_queries;
+        for n in truly_new.keys() {
             for reg in &self.forest.node(*n).registrations {
                 affected_queries.push(reg.query);
             }
@@ -380,17 +421,17 @@ impl ContinuousEngine for TricEngine {
         affected_queries.dedup();
 
         let mut counts: Vec<(QueryId, u64)> = Vec::new();
-        for qid in affected_queries {
+        let mut bindings: Vec<PathBinding<'_>> = Vec::new();
+        for &qid in affected_queries.iter() {
             let info = &self.queries[qid.index()];
             // Accumulate distinct new embeddings across affected paths.
             let mut embeddings: Option<Relation> = None;
-            for (path_idx, path) in info.paths.iter().enumerate() {
+            for path in info.paths.iter() {
                 let Some(delta) = truly_new.get(&path.end_node) else {
                     continue; // this covering path gained nothing new
                 };
-                let _ = path_idx;
-                let mut bindings = Vec::with_capacity(info.paths.len());
-                bindings.push(PathBinding::new(delta, path.vertices.clone()));
+                bindings.clear();
+                bindings.push(PathBinding::new(delta, &path.vertices));
                 let mut all_present = true;
                 for other in info.paths.iter() {
                     if std::ptr::eq(other, path) {
@@ -401,7 +442,7 @@ impl ContinuousEngine for TricEngine {
                         all_present = false;
                         break;
                     }
-                    bindings.push(PathBinding::new(view, other.vertices.clone()));
+                    bindings.push(PathBinding::new(view, &other.vertices));
                 }
                 if !all_present {
                     continue;
@@ -523,7 +564,9 @@ mod tests {
             let mut f = Fixture::new();
             let q = f.q("?p -checksIn-> rio");
             let qid = engine.register_query(&q).unwrap();
-            assert!(engine.apply_update(f.u("checksIn", "ann", "oslo")).is_empty());
+            assert!(engine
+                .apply_update(f.u("checksIn", "ann", "oslo"))
+                .is_empty());
             let report = engine.apply_update(f.u("checksIn", "ann", "rio"));
             assert_eq!(report.satisfied_queries(), vec![qid]);
         }
@@ -622,7 +665,11 @@ mod tests {
             let q2 = f.q("?a -knows-> ?b; ?b -knows-> ?c");
             let id2 = engine.register_query(&q2).unwrap();
             let report = engine.apply_update(f.u("knows", "b", "c"));
-            assert!(report.satisfied_queries().contains(&id2), "{}", engine.name());
+            assert!(
+                report.satisfied_queries().contains(&id2),
+                "{}",
+                engine.name()
+            );
         }
     }
 

@@ -236,7 +236,10 @@ mod tests {
     use gsm_core::query::paths::covering_paths;
     use gsm_core::query::pattern::QueryPattern;
 
-    fn generic_path(q: &QueryPattern, path: &gsm_core::query::paths::CoveringPath) -> Vec<GenericEdge> {
+    fn generic_path(
+        q: &QueryPattern,
+        path: &gsm_core::query::paths::CoveringPath,
+    ) -> Vec<GenericEdge> {
         path.edges
             .iter()
             .map(|&e| GenericEdge::from_pattern(&q.edges()[e]))

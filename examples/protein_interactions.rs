@@ -23,11 +23,8 @@ fn main() {
     let stream = biogrid::generate(&BioGridConfig::with_edges(4_000), &mut symbols);
     println!("generated {} protein-interaction updates", stream.len());
 
-    let chain3 = QueryPattern::parse(
-        "?a -interacts-> ?b; ?b -interacts-> ?c",
-        &mut symbols,
-    )
-    .expect("valid pattern");
+    let chain3 = QueryPattern::parse("?a -interacts-> ?b; ?b -interacts-> ?c", &mut symbols)
+        .expect("valid pattern");
     let feed_forward = QueryPattern::parse(
         "?a -interacts-> ?b; ?b -interacts-> ?c; ?a -interacts-> ?c",
         &mut symbols,

@@ -26,7 +26,11 @@ fn main() {
     )
     .expect("valid pattern");
 
-    println!("query has {} edges, {} vertices", query.num_edges(), query.num_vertices());
+    println!(
+        "query has {} edges, {} vertices",
+        query.num_edges(),
+        query.num_vertices()
+    );
     println!("covering paths: {}", covering_paths(&query).len());
 
     // TRIC+ is the paper's best-performing engine.

@@ -76,7 +76,8 @@ fn main() {
         match &reference {
             None => reference = Some(notifications),
             Some(expected) => assert_eq!(
-                expected, &notifications,
+                expected,
+                &notifications,
                 "{} diverged from the reference engine",
                 engine.name()
             ),
@@ -87,10 +88,7 @@ fn main() {
     if let Some(reference) = reference {
         println!("\nfirst alerts:");
         for (update_idx, queries_hit) in reference.iter().take(5) {
-            let names: Vec<&str> = queries_hit
-                .iter()
-                .map(|q| queries[q.index()].0)
-                .collect();
+            let names: Vec<&str> = queries_hit.iter().map(|q| queries[q.index()].0).collect();
             println!("  update #{update_idx}: {}", names.join(", "));
         }
     }

@@ -57,7 +57,11 @@ fn main() {
 
     println!("\ndetections over the whole stream:");
     for (idx, name) in names.iter().enumerate() {
-        println!("  {:<14} {:>6}", name, counts.get(&idx).copied().unwrap_or(0));
+        println!(
+            "  {:<14} {:>6}",
+            name,
+            counts.get(&idx).copied().unwrap_or(0)
+        );
     }
     println!(
         "\nTRIC+ state: {} trie nodes across {} tries, {} bytes, {} cache hits",
@@ -69,5 +73,8 @@ fn main() {
 
     // Sanity: the hot-loop query must fire (same-zone trips are common under
     // the skewed zone distribution).
-    assert!(counts.get(&0).copied().unwrap_or(0) > 0, "expected hot-loop detections");
+    assert!(
+        counts.get(&0).copied().unwrap_or(0) > 0,
+        "expected hot-loop detections"
+    );
 }

@@ -25,7 +25,8 @@ fn assert_engines_agree(workload: &Workload) {
         for engine in engines.iter_mut().skip(1) {
             let got = engine.apply_update(*update);
             assert_eq!(
-                got, reference,
+                got,
+                reference,
                 "engine {} disagrees with {} on update #{i} ({update:?}) of {}",
                 engine.name(),
                 "TRIC",
@@ -38,33 +39,35 @@ fn assert_engines_agree(workload: &Workload) {
     for engine in &engines {
         let s = engine.stats();
         assert_eq!(s.updates_processed, reference.updates_processed);
-        assert_eq!(s.notifications, reference.notifications, "{}", engine.name());
+        assert_eq!(
+            s.notifications,
+            reference.notifications,
+            "{}",
+            engine.name()
+        );
         assert_eq!(s.embeddings, reference.embeddings, "{}", engine.name());
     }
 }
 
 #[test]
 fn engines_agree_on_snb_workload() {
-    let workload = Workload::generate(
-        WorkloadConfig::new(Dataset::Snb, 900, 40).with_selectivity(0.4),
-    );
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 900, 40).with_selectivity(0.4));
     assert_engines_agree(&workload);
 }
 
 #[test]
 fn engines_agree_on_taxi_workload() {
-    let workload = Workload::generate(
-        WorkloadConfig::new(Dataset::Taxi, 900, 40).with_query_size(3),
-    );
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Taxi, 900, 40).with_query_size(3));
     assert_engines_agree(&workload);
 }
 
 #[test]
 fn engines_agree_on_biogrid_workload() {
     // Small and short queries: the single-label stress test explodes quickly.
-    let workload = Workload::generate(
-        WorkloadConfig::new(Dataset::BioGrid, 400, 25).with_query_size(3),
-    );
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 400, 25).with_query_size(3));
     assert_engines_agree(&workload);
 }
 
@@ -93,8 +96,11 @@ fn engines_agree_on_handwritten_corner_cases() {
         // Repeated edge label along a chain.
         QueryPattern::parse("?a -e0-> ?b; ?b -e0-> ?c; ?c -e0-> ?d", &mut symbols).unwrap(),
         // Diamond.
-        QueryPattern::parse("?a -e0-> ?b; ?a -e1-> ?c; ?b -e2-> ?d; ?c -e3-> ?d", &mut symbols)
-            .unwrap(),
+        QueryPattern::parse(
+            "?a -e0-> ?b; ?a -e1-> ?c; ?b -e2-> ?d; ?c -e3-> ?d",
+            &mut symbols,
+        )
+        .unwrap(),
     ];
 
     let mut engines = all_engines();
@@ -110,7 +116,9 @@ fn engines_agree_on_handwritten_corner_cases() {
     let vertices: Vec<Sym> = (0..6).map(|i| symbols.intern(&format!("v{i}"))).collect();
     let mut state = 0x12345678u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     for i in 0..500 {

@@ -109,7 +109,9 @@ fn figure_1_spam_patterns_share_subpattern() {
     let r = tric.apply_update(f.u("links", "post2", "flagged"));
     assert_eq!(r.satisfied_queries(), vec![id_clique]);
 
-    assert!(tric.apply_update(f.u("shares", "carol", "post1")).is_empty());
+    assert!(tric
+        .apply_update(f.u("shares", "carol", "post1"))
+        .is_empty());
     // Homomorphism semantics: ?u1 and ?u2 may bind to the same user, so the
     // very first usesIp edge already yields the degenerate alice/alice match.
     let r = tric.apply_update(f.u("usesIp", "alice", "ip9"));
@@ -126,9 +128,7 @@ fn figure_1_spam_patterns_share_subpattern() {
 #[test]
 fn figure_4_forum_queries() {
     let mut f = Fixture::new();
-    let q1 = f.q(
-        "?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2",
-    );
+    let q1 = f.q("?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; ?p1 -posted-> pst2; ?com1 -reply-> pst2");
     let q2 = f.q("?f1 -hasMod-> ?p1");
     let q3 = f.q("com1 -hasCreator-> ?v; ?v -posted-> pst1; pst1 -containedIn-> ?fo");
     let q4 = f.q("?f1 -hasMod-> ?p1; ?p1 -posted-> pst1; pst1 -containedIn-> ?fo");

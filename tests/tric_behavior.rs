@@ -24,9 +24,8 @@ fn run(engine: &mut dyn ContinuousEngine, workload: &Workload) -> (std::time::Du
 
 #[test]
 fn trie_clustering_shares_nodes_across_a_realistic_query_set() {
-    let workload = Workload::generate(
-        WorkloadConfig::new(Dataset::Snb, 2_000, 150).with_overlap(0.5),
-    );
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 2_000, 150).with_overlap(0.5));
     let mut engine = TricEngine::tric();
     for q in &workload.queries {
         engine.register_query(q).unwrap();
@@ -66,7 +65,11 @@ fn tric_plus_actually_uses_its_cache_and_stays_correct() {
     let (_, n1) = run(&mut tric, &workload);
     let (_, n2) = run(&mut plus, &workload);
     assert_eq!(n1, n2);
-    assert!(plus.cache_hits() > 100, "TRIC+ barely used its cache: {}", plus.cache_hits());
+    assert!(
+        plus.cache_hits() > 100,
+        "TRIC+ barely used its cache: {}",
+        plus.cache_hits()
+    );
     assert_eq!(tric.cache_hits(), 0);
 }
 

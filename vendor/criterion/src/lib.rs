@@ -1,0 +1,425 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration
+//! (sample size, warm-up and measurement windows, throughput),
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: after a warm-up window, the target closure runs
+//! `sample_size` samples; each sample executes enough iterations to fill its
+//! share of the measurement window (estimated from the warm-up timing). The
+//! harness reports the minimum, mean and maximum per-iteration time across
+//! samples — and, when a [`Throughput`] is configured, the corresponding
+//! element/byte rates. Results are printed to stdout; there is no HTML
+//! report, statistical regression testing, or outlier analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement kinds (only wall-clock time is implemented).
+pub mod measurement {
+    /// Wall-clock time measurement — the criterion default.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Throughput configuration for a benchmark group: work done per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness requested.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time (and the
+    /// drop of the routine's output) is excluded from the measurement. This
+    /// is the API for benchmarking stateful work that must start from a
+    /// fresh input every iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            total += start.elapsed();
+            drop(black_box(out));
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hints accepted by [`Bencher::iter_batched`] (the stand-in
+/// times one input per iteration regardless, so the hint is advisory only).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per allocation batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean seconds per iteration across samples.
+    pub mean_s: f64,
+    /// Minimum seconds per iteration across samples.
+    pub min_s: f64,
+    /// Maximum seconds per iteration across samples.
+    pub max_s: f64,
+    /// Configured per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Elements (or bytes) processed per second, when a throughput is set.
+    pub fn per_second(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                Some(n as f64 / self.mean_s)
+            }
+            None => None,
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, throughput: Throughput) -> String {
+    let unit = match throughput {
+        Throughput::Elements(_) => "elem/s",
+        Throughput::Bytes(_) => "B/s",
+    };
+    if rate >= 1e6 {
+        format!("{:.4} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.4} {unit}")
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group with default configuration.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let config = GroupConfig::default();
+        run_benchmark(&mut self.results, id.id, config, f);
+        self
+    }
+
+    /// All results measured through this instance so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+    _measurement: PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling rate output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        run_benchmark(&mut self.criterion.results, full_id, self.config, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a closure taking only the [`Bencher`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&mut self.criterion.results, full_id, self.config, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drops do the same).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    results: &mut Vec<BenchResult>,
+    id: String,
+    config: GroupConfig,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm-up: single-iteration runs until the window closes; the last
+    // timing seeds the iteration-count estimate.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        bencher.iters = 1;
+        f(&mut bencher);
+        if bencher.elapsed > Duration::ZERO {
+            per_iter = bencher.elapsed;
+        }
+        if warm_start.elapsed() >= config.warm_up_time {
+            break;
+        }
+    }
+
+    // Measurement: fill the window with `sample_size` samples.
+    let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters = ((per_sample / per_iter.as_secs_f64()).floor() as u64).max(1);
+    let mut sample_secs = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        sample_secs.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+
+    let mean_s = sample_secs.iter().sum::<f64>() / sample_secs.len() as f64;
+    let min_s = sample_secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_s = sample_secs.iter().copied().fold(0.0f64, f64::max);
+    let result = BenchResult {
+        id,
+        mean_s,
+        min_s,
+        max_s,
+        throughput: config.throughput,
+    };
+
+    print!(
+        "{:<50} time: [{} {} {}]",
+        result.id,
+        format_time(result.min_s),
+        format_time(result.mean_s),
+        format_time(result.max_s)
+    );
+    if let (Some(rate), Some(t)) = (result.per_second(), result.throughput) {
+        print!("  thrpt: [{}]", format_rate(rate, t));
+    }
+    println!();
+
+    results.push(result);
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(5);
+            g.warm_up_time(Duration::from_millis(5));
+            g.measurement_time(Duration::from_millis(20));
+            g.throughput(Throughput::Elements(100));
+            g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "unit/sum/100");
+        assert!(results[0].mean_s > 0.0);
+        assert!(results[0].per_second().unwrap() > 0.0);
+        assert!(results[0].min_s <= results[0].mean_s);
+        assert!(results[0].mean_s <= results[0].max_s);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}
