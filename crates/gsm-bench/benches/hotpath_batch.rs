@@ -1,0 +1,80 @@
+//! Batched answering throughput: TRIC and TRIC+ updates/sec as a function of
+//! the answering batch size.
+//!
+//! Same measurement discipline as `hotpath_update`: one SNB-like workload is
+//! generated once, and every timed iteration replays the same 400-update
+//! measured suffix on a freshly built engine warmed with the 3600-update
+//! prefix (`iter_batched`, setup untimed) — but the suffix is driven through
+//! `apply_batch` in chunks of the swept batch size instead of one
+//! `apply_update` per edge. Batch size 1 goes through the engines' singleton
+//! fast path and therefore reproduces the `hotpath_update` numbers, making
+//! the sweep directly comparable with BENCH_PR1.json; the larger sizes
+//! measure how much routing, join-build and covering-path-join amortization
+//! buys. Results land in BENCH_PR2.json.
+
+mod common;
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use gsm_bench::harness::EngineKind;
+use gsm_core::engine::ContinuousEngine;
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+use std::time::Duration;
+
+/// Updates the engine is warmed with before the timed replay.
+const WARM_UPDATES: usize = 3_600;
+
+/// Updates replayed inside the timed region.
+const MEASURED_UPDATES: usize = 400;
+
+/// Swept answering batch sizes.
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+fn warmed_engine(kind: EngineKind, workload: &Workload) -> Box<dyn ContinuousEngine> {
+    let mut engine = kind.build();
+    for q in &workload.queries {
+        engine.register_query(q).expect("valid query");
+    }
+    for u in &workload.stream.as_slice()[..WARM_UPDATES] {
+        engine.apply_update(*u);
+    }
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let total = WARM_UPDATES + MEASURED_UPDATES;
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Snb, total, 60));
+
+    let mut group = c.benchmark_group("hotpath_batch");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(400));
+    group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
+
+    for kind in [EngineKind::Tric, EngineKind::TricPlus] {
+        for batch_size in BATCH_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), batch_size),
+                &batch_size,
+                |b, &batch_size| {
+                    b.iter_batched(
+                        || warmed_engine(kind, &workload),
+                        |mut engine| {
+                            let suffix = &workload.stream.as_slice()[WARM_UPDATES..];
+                            for batch in suffix.chunks(batch_size) {
+                                black_box(engine.apply_batch(batch));
+                            }
+                            engine
+                        },
+                        BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,13 +9,18 @@
 //! a persistent engine would hit, and never a drifting stream position.
 //! Throughput is reported in updates/sec so BENCH_PR1.json can track the
 //! before/after speedup of the relation/join refactor.
+//!
+//! **Regression gate:** when `HOTPATH_GATE_BASELINE` points at a
+//! `BENCH_PR*.json` file, the measured updates/s of each engine is compared
+//! against that file's `after` section and the process exits non-zero if any
+//! engine regressed by more than `HOTPATH_GATE_TOLERANCE` (default 0.20).
+//! CI runs the bench in this mode on every push.
 
 mod common;
 
-use criterion::{
-    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
-};
+use criterion::{black_box, BatchSize, BenchmarkId, Criterion, Throughput};
 use gsm_bench::harness::EngineKind;
+use gsm_bench::regression::{gate_engine, GateOutcome, DEFAULT_TOLERANCE};
 use gsm_core::engine::ContinuousEngine;
 use gsm_datagen::{Dataset, Workload, WorkloadConfig};
 use std::time::Duration;
@@ -68,5 +73,55 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+/// Custom harness entry point (instead of `criterion_main!`) so the gate can
+/// inspect the measured results after the benches ran.
+fn main() {
+    let mut criterion = Criterion::default();
+    bench(&mut criterion);
+
+    let Ok(baseline_path) = std::env::var("HOTPATH_GATE_BASELINE") else {
+        return;
+    };
+    let tolerance = std::env::var("HOTPATH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    // Cargo runs bench binaries with the package directory as CWD; resolve
+    // relative baseline paths against the workspace root as a fallback so
+    // `HOTPATH_GATE_BASELINE=BENCH_PR1.json` works from either location.
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .or_else(|_| {
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(&baseline_path);
+            std::fs::read_to_string(root)
+        })
+        .unwrap_or_else(|e| panic!("cannot read gate baseline {baseline_path}: {e}"));
+
+    let mut failed = false;
+    for result in criterion.results() {
+        // Ids look like `hotpath_update/TRIC+/400`: the engine is segment 1.
+        let Some(engine) = result.id.split('/').nth(1) else {
+            continue;
+        };
+        let Some(rate) = result.per_second() else {
+            continue;
+        };
+        let outcome = gate_engine(&baseline, engine, rate, tolerance);
+        match &outcome {
+            GateOutcome::Pass(msg) => println!("gate PASS  {msg}"),
+            GateOutcome::Fail(msg) => {
+                eprintln!("gate FAIL  {msg}");
+                failed = true;
+            }
+            GateOutcome::MissingBaseline(msg) => println!("gate SKIP  {msg}"),
+        }
+    }
+    if failed {
+        eprintln!(
+            "hotpath_update regressed more than {:.0}% against {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! cargo run -p gsm-bench --release --bin experiments -- [--figure <id>|all]
-//!     [--scale <factor>] [--budget <seconds>] [--out <dir>]
+//!     [--scale <factor>] [--budget <seconds>] [--batch <n>] [--out <dir>]
 //! ```
 //!
 //! * `--figure` — one of fig12a…fig14c / tab13c, or `all` (default).
 //! * `--scale`  — multiplier on the default laptop-scale sizes (default 1.0).
 //! * `--budget` — per-run time budget in seconds (default 15).
+//! * `--batch`  — answering batch size: updates per `apply_batch` call
+//!   (default 1 = the paper's per-update answering, 0 = whole stream at once).
 //! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
 
 use std::fs;
@@ -21,6 +23,7 @@ struct Args {
     figures: Vec<String>,
     scale: f64,
     budget_secs: u64,
+    batch_size: usize,
     out_dir: PathBuf,
 }
 
@@ -29,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         figures: vec!["all".to_string()],
         scale: 1.0,
         budget_secs: 15,
+        batch_size: 1,
         out_dir: PathBuf::from("results"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -56,13 +60,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid --budget: {e}"))?;
                 i += 2;
             }
+            "--batch" => {
+                args.batch_size = value
+                    .ok_or("--batch needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --batch: {e}"))?;
+                i += 2;
+            }
             "--out" | "-o" => {
                 args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--out <dir>]\n\nknown figures: {}",
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--out <dir>]\n\nknown figures: {}",
                     all_figure_ids().join(", ")
                 );
                 std::process::exit(0);
@@ -83,7 +94,7 @@ fn main() {
     };
 
     let mut scale = ExperimentScale::scaled(args.scale);
-    scale.limits = RunLimits::seconds(args.budget_secs);
+    scale.limits = RunLimits::seconds(args.budget_secs).with_batch_size(args.batch_size);
 
     let requested: Vec<String> = if args.figures.iter().any(|f| f == "all") {
         all_figure_ids().iter().map(|s| s.to_string()).collect()
@@ -94,8 +105,8 @@ fn main() {
     fs::create_dir_all(&args.out_dir).expect("create output directory");
     let mut summary = String::new();
     summary.push_str(&format!(
-        "# Reproduced evaluation (scale {:.2}, budget {}s per run)\n\n",
-        args.scale, args.budget_secs
+        "# Reproduced evaluation (scale {:.2}, budget {}s per run, batch size {})\n\n",
+        args.scale, args.budget_secs, args.batch_size
     ));
 
     for id in &requested {

@@ -10,7 +10,9 @@
 //! * [`figures`] — one experiment definition per figure/table of the paper
 //!   (Fig. 12(a)–(f), Fig. 13(a)–(c), Fig. 14(a)–(c)), each producing a
 //!   [`report::FigureResult`] with one series per engine;
-//! * [`report`] — markdown/CSV rendering of figure results.
+//! * [`report`] — markdown/CSV rendering of figure results;
+//! * [`regression`] — the hot-path throughput gate CI runs against the
+//!   committed `BENCH_PR*.json` baselines.
 //!
 //! The `experiments` binary (`cargo run -p gsm-bench --release --bin
 //! experiments`) runs any subset of the figures at a configurable scale and
@@ -23,6 +25,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod regression;
 pub mod report;
 
 pub use harness::{EngineKind, RunLimits, RunResult};

@@ -1,0 +1,145 @@
+//! The hot-path regression gate: compares freshly measured `hotpath_update`
+//! throughput against the committed baseline (`BENCH_PR1.json`) and fails
+//! when an engine regresses beyond a tolerance.
+//!
+//! The baseline files are written by hand after each benchmarked PR, so this
+//! module carries its own tiny JSON number extractor instead of a full JSON
+//! parser (the workspace vendors no serde): it scans for a section key, then
+//! an engine key, then the `updates_per_sec` field — enough for the flat,
+//! well-known layout of the `BENCH_PR*.json` files.
+
+/// Default allowed relative regression before the gate fails (20%).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Extracts `updates_per_sec` for `engine` inside the object of `section`
+/// (e.g. section `"after"`, engine `"TRIC+"`) from one of the repo's
+/// `BENCH_PR*.json` files. Returns `None` when the keys or the number cannot
+/// be found.
+pub fn extract_updates_per_sec(json: &str, section: &str, engine: &str) -> Option<f64> {
+    let section_at = json.find(&format!("\"{section}\""))?;
+    let tail = &json[section_at..];
+    // Engine names are matched as fully quoted keys, so "TRIC" never matches
+    // inside "TRIC+".
+    let engine_at = tail.find(&format!("\"{engine}\""))?;
+    let tail = &tail[engine_at..];
+    let field_at = tail.find("\"updates_per_sec\"")?;
+    let tail = &tail[field_at + "\"updates_per_sec\"".len()..];
+    let colon = tail.find(':')?;
+    let tail = tail[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// Outcome of gating one engine's measurement against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Within tolerance (or faster); carries a human-readable summary.
+    Pass(String),
+    /// Regressed beyond the tolerance; carries the failure description.
+    Fail(String),
+    /// The baseline has no entry for this engine.
+    MissingBaseline(String),
+}
+
+impl GateOutcome {
+    /// True for [`GateOutcome::Fail`].
+    pub fn is_fail(&self) -> bool {
+        matches!(self, GateOutcome::Fail(_))
+    }
+}
+
+/// Gates one engine: fails when `measured` falls more than `tolerance`
+/// (relative) below the baseline's `after` throughput for that engine.
+pub fn gate_engine(
+    baseline_json: &str,
+    engine: &str,
+    measured_updates_per_sec: f64,
+    tolerance: f64,
+) -> GateOutcome {
+    let Some(baseline) = extract_updates_per_sec(baseline_json, "after", engine) else {
+        return GateOutcome::MissingBaseline(format!(
+            "{engine}: no baseline updates_per_sec found — gate skipped"
+        ));
+    };
+    let floor = baseline * (1.0 - tolerance);
+    let ratio = measured_updates_per_sec / baseline;
+    let summary = format!(
+        "{engine}: measured {measured_updates_per_sec:.1} updates/s vs baseline {baseline:.1} \
+         ({:+.1}%, floor {floor:.1})",
+        (ratio - 1.0) * 100.0
+    );
+    if measured_updates_per_sec < floor {
+        GateOutcome::Fail(summary)
+    } else {
+        GateOutcome::Pass(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "baseline": {
+        "results": {
+          "TRIC": { "mean_ms_per_replay": 597.951, "updates_per_sec": 668.95 },
+          "TRIC+": { "mean_ms_per_replay": 192.202, "updates_per_sec": 2081.1 }
+        }
+      },
+      "after": {
+        "results": {
+          "TRIC": { "mean_ms_per_replay": 181.953, "updates_per_sec": 2198.4 },
+          "TRIC+": { "mean_ms_per_replay": 63.953, "updates_per_sec": 6254.6 }
+        }
+      }
+    }"#;
+
+    #[test]
+    fn extracts_section_and_engine_scoped_numbers() {
+        assert_eq!(
+            extract_updates_per_sec(SAMPLE, "after", "TRIC"),
+            Some(2198.4)
+        );
+        assert_eq!(
+            extract_updates_per_sec(SAMPLE, "after", "TRIC+"),
+            Some(6254.6)
+        );
+        assert_eq!(
+            extract_updates_per_sec(SAMPLE, "baseline", "TRIC"),
+            Some(668.95)
+        );
+        assert_eq!(extract_updates_per_sec(SAMPLE, "after", "INV"), None);
+        assert_eq!(extract_updates_per_sec(SAMPLE, "nope", "TRIC"), None);
+    }
+
+    #[test]
+    fn quoted_key_match_does_not_confuse_tric_with_tric_plus() {
+        // "TRIC" appears textually inside "TRIC+"; the quoted-key search must
+        // land on the exact key. In SAMPLE the TRIC key precedes TRIC+, so a
+        // substring bug would return TRIC's number for TRIC+ — pin both.
+        let tric = extract_updates_per_sec(SAMPLE, "after", "TRIC").unwrap();
+        let plus = extract_updates_per_sec(SAMPLE, "after", "TRIC+").unwrap();
+        assert_ne!(tric, plus);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        // Baseline after.TRIC = 2198.4; 20% floor = 1758.7.
+        assert!(!gate_engine(SAMPLE, "TRIC", 2400.0, 0.2).is_fail());
+        assert!(!gate_engine(SAMPLE, "TRIC", 1800.0, 0.2).is_fail());
+        assert!(gate_engine(SAMPLE, "TRIC", 1700.0, 0.2).is_fail());
+        match gate_engine(SAMPLE, "TRIC", 1700.0, 0.2) {
+            GateOutcome::Fail(msg) => assert!(msg.contains("1700.0")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_engine_is_reported_not_failed() {
+        let outcome = gate_engine(SAMPLE, "INV", 100.0, 0.2);
+        assert!(matches!(outcome, GateOutcome::MissingBaseline(_)));
+        assert!(!outcome.is_fail());
+    }
+}

@@ -21,6 +21,15 @@ use fasthash::{hash_syms, Bucket, FxHashMap};
 static NEXT_RELATION_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A duplicate-free table of `Sym` tuples with fixed arity.
+///
+/// Relations come in two flavours. The default ([`Relation::new`]) maintains
+/// a row-hash index so [`push`](Relation::push) can reject duplicates in
+/// O(1). The *distinct* flavour ([`Relation::new_distinct`]) skips the index
+/// entirely for tables whose rows are distinct **by construction** — the
+/// delta relations of the incremental join pipeline, where every output row
+/// extends a distinct input row with a distinct matching tuple. Those tables
+/// are built once, read many times and discarded, so the per-row index
+/// insert (a random-access hash-map touch) is pure overhead on the hot path.
 #[derive(Debug, Clone)]
 pub struct Relation {
     id: u64,
@@ -29,8 +38,11 @@ pub struct Relation {
     rows: Vec<Sym>,
     /// Row-hash → indices of rows with that hash (collision chains verified
     /// on insert), used to keep the table duplicate-free. Keyed by the fast
-    /// [`hash_syms`] row hash; chains stay inline until they spill.
+    /// [`hash_syms`] row hash; chains stay inline until they spill. Unused
+    /// (and empty) for distinct-by-construction relations.
     index: FxHashMap<u64, Bucket>,
+    /// False for distinct-by-construction relations (no dedup index).
+    indexed: bool,
 }
 
 impl Relation {
@@ -42,7 +54,28 @@ impl Relation {
             arity,
             rows: Vec::new(),
             index: FxHashMap::default(),
+            indexed: true,
         }
+    }
+
+    /// Creates an empty relation whose rows the caller guarantees to be
+    /// distinct, so no dedup index is maintained. Fill it with
+    /// [`append_distinct`](Relation::append_distinct); calling
+    /// [`push`](Relation::push) on it panics, so accidental mixing of the
+    /// two disciplines fails loudly instead of silently corrupting the
+    /// duplicate-free invariant.
+    pub fn new_distinct(arity: usize) -> Self {
+        Relation {
+            indexed: false,
+            ..Relation::new(arity)
+        }
+    }
+
+    /// True if this relation maintains a dedup index ([`Relation::new`]);
+    /// false for distinct-by-construction tables
+    /// ([`Relation::new_distinct`]).
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
     }
 
     /// Creates a relation containing a single row.
@@ -98,10 +131,16 @@ impl Relation {
         self.rows[(from.min(self.len())) * self.arity..].chunks_exact(self.arity.max(1))
     }
 
-    /// True if an identical row is already present.
+    /// True if an identical row is already present. O(1) via the index for
+    /// ordinary relations; a linear scan for distinct-by-construction ones
+    /// (only used in assertions and tests there).
     pub fn contains(&self, row: &[Sym]) -> bool {
         debug_assert_eq!(row.len(), self.arity);
-        self.contains_hashed(hash_syms(row), row)
+        if self.indexed {
+            self.contains_hashed(hash_syms(row), row)
+        } else {
+            self.iter().any(|r| r == row)
+        }
     }
 
     /// [`contains`](Self::contains) with an externally supplied row hash —
@@ -118,7 +157,9 @@ impl Relation {
             .unwrap_or(false)
     }
 
-    /// Inserts a row, returning `true` if it was new.
+    /// Inserts a row, returning `true` if it was new. Panics on a
+    /// distinct-by-construction relation — use
+    /// [`append_distinct`](Relation::append_distinct) there.
     pub fn push(&mut self, row: &[Sym]) -> bool {
         assert_eq!(
             row.len(),
@@ -127,7 +168,36 @@ impl Relation {
             row.len(),
             self.arity
         );
+        assert!(
+            self.indexed,
+            "push on a distinct-by-construction relation; use append_distinct"
+        );
         self.push_hashed(hash_syms(row), row)
+    }
+
+    /// Appends a row the caller guarantees is not already present, without
+    /// touching the dedup index. This is the write path of
+    /// [`Relation::new_distinct`] tables; debug builds verify the guarantee
+    /// by a scan.
+    #[inline]
+    pub fn append_distinct(&mut self, row: &[Sym]) {
+        debug_assert_eq!(row.len(), self.arity);
+        // The duplicate check is a linear scan (distinct relations carry no
+        // index); cap it to small relations so debug-build test suites
+        // replaying whole streams as one batch stay linear in the delta
+        // size. Small relations — everything the edge-case tests and
+        // proptests build — are still verified in full.
+        debug_assert!(
+            self.len() > 64 || !self.contains(row),
+            "append_distinct received a duplicate row"
+        );
+        if self.indexed {
+            // Indexed relations must keep their index complete for future
+            // dedup pushes, so the guarantee only saves the chain comparison.
+            self.push_hashed(hash_syms(row), row);
+        } else {
+            self.rows.extend_from_slice(row);
+        }
     }
 
     /// [`push`](Self::push) with an externally supplied row hash — the
@@ -151,9 +221,18 @@ impl Relation {
     }
 
     /// Unions `other` into `self` (arity must match); returns the number of
-    /// rows actually added.
+    /// rows actually added. On an ordinary relation duplicates are dropped;
+    /// on a distinct-by-construction relation the caller guarantees the two
+    /// row sets are disjoint (debug builds verify it) and every row is
+    /// appended.
     pub fn extend_from(&mut self, other: &Relation) -> usize {
         assert_eq!(self.arity, other.arity);
+        if !self.indexed {
+            for row in other.iter() {
+                self.append_distinct(row);
+            }
+            return other.len();
+        }
         let mut added = 0;
         for row in other.iter() {
             if self.push(row) {
@@ -316,6 +395,49 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
         r.push(&[s(1)]);
+    }
+
+    #[test]
+    fn distinct_relations_append_without_index() {
+        let mut r = Relation::new_distinct(2);
+        assert!(!r.is_indexed());
+        r.append_distinct(&[s(1), s(2)]);
+        r.append_distinct(&[s(2), s(1)]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[s(1), s(2)]), "scan-based contains");
+        assert!(!r.contains(&[s(9), s(9)]));
+        // Reads behave identically to indexed relations.
+        assert_eq!(r.to_sorted_vec().len(), 2);
+        assert_eq!(r.project(&[1]).len(), 2);
+        let clone = r.clone();
+        assert!(!clone.is_indexed());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct-by-construction")]
+    fn dedup_push_on_distinct_relation_panics() {
+        let mut r = Relation::new_distinct(1);
+        r.push(&[s(1)]);
+    }
+
+    #[test]
+    fn extend_from_appends_into_distinct_relations() {
+        let mut a = Relation::new_distinct(1);
+        a.append_distinct(&[s(1)]);
+        let mut b = Relation::new(1);
+        b.push(&[s(2)]);
+        b.push(&[s(3)]);
+        assert_eq!(a.extend_from(&b), 2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn append_distinct_on_indexed_relation_keeps_index_complete() {
+        let mut r = Relation::new(2);
+        r.append_distinct(&[s(1), s(2)]);
+        // A later dedup push must still see the appended row.
+        assert!(!r.push(&[s(1), s(2)]));
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -166,7 +166,9 @@ impl TricEngine {
         row_buf: &mut Vec<Sym>,
     ) -> Relation {
         let out_arity = delta.arity() + 1;
-        let mut out = Relation::new(out_arity);
+        // Distinct inputs extended with distinct edge matches yield distinct
+        // rows, so the child delta skips the dedup index entirely.
+        let mut out = Relation::new_distinct(out_arity);
         if delta.is_empty() || edge_view.is_empty() {
             return out;
         }
@@ -184,7 +186,7 @@ impl TricEngine {
             build.probe_each(edge_view, &[drow[last]], |idx| {
                 row_buf[..drow.len()].copy_from_slice(drow);
                 row_buf[out_arity - 1] = edge_view.row(idx)[1];
-                out.push(row_buf);
+                out.append_distinct(row_buf);
             });
         }
         out
@@ -301,7 +303,9 @@ impl ContinuousEngine for TricEngine {
                 Some(p) => {
                     let parent_view = &self.forest.node(p).mat_view;
                     let last = parent_view.arity() - 1;
-                    let mut seed = Relation::new(parent_view.arity() + 1);
+                    // Distinct parent rows extended by one update tuple are
+                    // distinct; skip the dedup index.
+                    let mut seed = Relation::new_distinct(parent_view.arity() + 1);
                     let row_buf = &mut self.scratch.row_buf;
                     row_buf.clear();
                     row_buf.resize(parent_view.arity() + 1, Sym(0));
@@ -315,7 +319,7 @@ impl ContinuousEngine for TricEngine {
                             let prow = parent_view.row(idx);
                             row_buf[..prow.len()].copy_from_slice(prow);
                             row_buf[prow.len()] = update.tgt;
-                            seed.push(row_buf);
+                            seed.append_distinct(row_buf);
                         },
                     );
                     seed
@@ -326,16 +330,153 @@ impl ContinuousEngine for TricEngine {
                     .entry(self.forest.node(n).depth)
                     .or_default()
                     .push(n);
-                match deltas.entry(n) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        e.get_mut().extend_from(&seed);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(seed);
-                    }
-                }
+                // Affected nodes are deduped, so each node is seeded exactly
+                // once; merging only happens during propagation.
+                deltas.insert(n, seed);
             }
         }
+
+        self.propagate_and_answer(deltas, by_depth)
+    }
+
+    /// Batched answering (the scaling step of the ROADMAP): routing, join
+    /// builds and covering-path joins are amortized across the whole batch
+    /// instead of being paid once per update.
+    ///
+    /// The pipeline mirrors [`apply_update`](ContinuousEngine::apply_update)
+    /// step for step, but every per-update quantity is replaced by its merged
+    /// batch counterpart: the per-edge **batch delta relations** collected by
+    /// one routing pass ([`EdgeViewStore::apply_batch`]), per-node seeds
+    /// joining each parent's pre-batch view against the merged edge delta
+    /// (one hash-join build per affected node per batch), one delta
+    /// propagation pass down the affected sub-tries, and one covering-path
+    /// join per affected query against the merged truly-new rows.
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        // Tiny batches take the single-update fast path — the batched
+        // machinery only pays off once builds are shared.
+        match updates {
+            [] => return MatchReport::empty(),
+            [u] => return self.apply_update(*u),
+            _ => {}
+        }
+        self.stats.updates_processed += updates.len() as u64;
+
+        // Step 0: route the whole batch to the per-edge materialized views,
+        // collecting the merged delta relation of every affected edge.
+        let edge_deltas = self.views.apply_batch(updates);
+        if edge_deltas.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // Step 1: locate the affected trie nodes once per batch, so the
+        // edgeInd lookups are shared by every update with the same root.
+        self.scratch.reset();
+        for ge in edge_deltas.keys() {
+            self.scratch
+                .affected_nodes
+                .extend_from_slice(self.forest.nodes_for_edge(ge));
+        }
+        self.scratch.affected_nodes.sort_unstable();
+        self.scratch.affected_nodes.dedup();
+        if self.scratch.affected_nodes.is_empty() {
+            return MatchReport::empty();
+        }
+
+        let caching = self.config.caching;
+
+        // Step 2a: seed a delta at every affected node from its parent's
+        // pre-batch materialized view joined with the merged batch delta of
+        // the node's edge. Seeds against the *old* parent views plus
+        // propagation against the *new* edge views cover exactly the new
+        // path rows: new(p)⋈new(e) − old(p)⋈old(e) =
+        // old(p)⋈Δe ∪ Δp⋈new(e), and the second term is what the
+        // propagation step below produces.
+        let mut deltas: FxHashMap<NodeId, Relation> = FxHashMap::default();
+        let mut by_depth: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for i in 0..self.scratch.affected_nodes.len() {
+            let n = self.scratch.affected_nodes[i];
+            let (parent, edge) = {
+                let node = self.forest.node(n);
+                (node.parent, node.edge)
+            };
+            let Some(delta_e) = edge_deltas.get(&edge) else {
+                continue;
+            };
+            let seed = match parent {
+                // Root node: the seed is exactly the edge's batch delta.
+                None => delta_e.clone(),
+                Some(p) => {
+                    let parent_view = &self.forest.node(p).mat_view;
+                    // Distinct parent rows x distinct edge-delta tuples give
+                    // distinct seed rows; skip the dedup index.
+                    let mut seed = Relation::new_distinct(parent_view.arity() + 1);
+                    if !parent_view.is_empty() {
+                        let last = parent_view.arity() - 1;
+                        let row_buf = &mut self.scratch.row_buf;
+                        row_buf.clear();
+                        row_buf.resize(parent_view.arity() + 1, Sym(0));
+                        let build_storage;
+                        let build = if caching {
+                            self.cache.get_or_build(parent_view, &[last])
+                        } else {
+                            build_storage = JoinBuild::build(parent_view, &[last]);
+                            &build_storage
+                        };
+                        for drow in delta_e.iter() {
+                            build.probe_each(parent_view, &[drow[0]], |idx| {
+                                let prow = parent_view.row(idx);
+                                row_buf[..prow.len()].copy_from_slice(prow);
+                                row_buf[prow.len()] = drow[1];
+                                seed.append_distinct(row_buf);
+                            });
+                        }
+                    }
+                    seed
+                }
+            };
+            if !seed.is_empty() {
+                by_depth
+                    .entry(self.forest.node(n).depth)
+                    .or_default()
+                    .push(n);
+                // Affected nodes are deduped, so each node is seeded exactly
+                // once; merging only happens during propagation.
+                deltas.insert(n, seed);
+            }
+        }
+
+        self.propagate_and_answer(deltas, by_depth)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.forest.heap_size()
+            + self.views.heap_size()
+            + self.cache.heap_size()
+            + self.queries.heap_size()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+impl TricEngine {
+    /// Steps 2b–4 of the answering algorithm, shared by the single-update and
+    /// batched front-ends: propagate the seeded deltas down the affected
+    /// sub-tries, append the truly new rows to the node views, and join the
+    /// per-path deltas against the other covering paths of every affected
+    /// query. The seeds must have been computed against **pre-append** node
+    /// views; this method performs all view appends itself.
+    fn propagate_and_answer(
+        &mut self,
+        mut deltas: FxHashMap<NodeId, Relation>,
+        mut by_depth: BTreeMap<usize, Vec<NodeId>>,
+    ) -> MatchReport {
+        let caching = self.config.caching;
 
         // Step 2b: propagate deltas down the affected sub-tries in depth
         // order, pruning branches whose delta is empty (Fig. 10). Each
@@ -391,18 +532,44 @@ impl ContinuousEngine for TricEngine {
 
         // Step 3: append the deltas to the per-node materialized views.
         // (Done after propagation so seeds are computed against pre-update
-        // views — the standard incremental-join derivative.)
+        // views — the standard incremental-join derivative.) Because node
+        // views maintain the invariant `matV[n] = prefix-path join`, a delta
+        // row derived from at least one new edge row is almost never already
+        // present, so the common case moves the whole delta out as the
+        // truly-new set without re-hashing a single row; only when a
+        // duplicate does appear is a filtered copy built.
         let mut truly_new: FxHashMap<NodeId, Relation> = FxHashMap::default();
-        for (n, delta) in &deltas {
-            let view = &mut self.forest.node_mut(*n).mat_view;
-            let mut new_rows = Relation::new(delta.arity());
-            for row in delta.iter() {
-                if view.push(row) {
-                    new_rows.push(row);
+        for (n, delta) in deltas.drain() {
+            let view = &mut self.forest.node_mut(n).mat_view;
+            // Lazily switch to a duplicate mask on the first rejected row.
+            let mut dup_mask: Option<Vec<bool>> = None;
+            for (i, row) in delta.iter().enumerate() {
+                let fresh = view.push(row);
+                if !fresh && dup_mask.is_none() {
+                    // Rows before `i` were all fresh.
+                    dup_mask = Some(vec![false; delta.len()]);
+                }
+                if let Some(mask) = &mut dup_mask {
+                    mask[i] = !fresh;
                 }
             }
-            if !new_rows.is_empty() {
-                truly_new.insert(*n, new_rows);
+            match dup_mask {
+                None => {
+                    if !delta.is_empty() {
+                        truly_new.insert(n, delta);
+                    }
+                }
+                Some(mask) => {
+                    let mut new_rows = Relation::new(delta.arity());
+                    for (i, row) in delta.iter().enumerate() {
+                        if !mask[i] {
+                            new_rows.push(row);
+                        }
+                    }
+                    if !new_rows.is_empty() {
+                        truly_new.insert(n, new_rows);
+                    }
+                }
             }
         }
 
@@ -468,21 +635,6 @@ impl ContinuousEngine for TricEngine {
         self.stats.notifications += report.len() as u64;
         self.stats.embeddings += report.total_embeddings();
         report
-    }
-
-    fn num_queries(&self) -> usize {
-        self.queries.len()
-    }
-
-    fn heap_bytes(&self) -> usize {
-        self.forest.heap_size()
-            + self.views.heap_size()
-            + self.cache.heap_size()
-            + self.queries.heap_size()
-    }
-
-    fn stats(&self) -> EngineStats {
-        self.stats
     }
 }
 
@@ -718,6 +870,55 @@ mod tests {
         }
         assert!(plus.cache_hits() > 0);
         assert_eq!(tric.cache_hits(), 0);
+    }
+
+    #[test]
+    fn batch_report_equals_merged_sequential_reports() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for chunk in [2usize, 5, 32, 400] {
+            for caching in [false, true] {
+                let mut rng = StdRng::seed_from_u64(11);
+                let mut f = Fixture::new();
+                let queries = vec![
+                    f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                    f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                    f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                    f.q("?a -e0-> v3"),
+                    f.q("?a -e2-> ?a"),
+                ];
+                let config = TricConfig { caching };
+                let mut seq = TricEngine::with_config(config);
+                let mut bat = TricEngine::with_config(config);
+                for q in &queries {
+                    seq.register_query(q).unwrap();
+                    bat.register_query(q).unwrap();
+                }
+                let stream: Vec<Update> = (0..400)
+                    .map(|_| {
+                        let label = format!("e{}", rng.gen_range(0..3));
+                        let src = format!("v{}", rng.gen_range(0..8));
+                        let tgt = format!("v{}", rng.gen_range(0..8));
+                        f.u(&label, &src, &tgt)
+                    })
+                    .collect();
+                for batch in stream.chunks(chunk) {
+                    let mut counts = Vec::new();
+                    for &u in batch {
+                        let r = seq.apply_update(u);
+                        counts.extend(r.matches.iter().map(|m| (m.query, m.new_embeddings)));
+                    }
+                    let expected = MatchReport::from_counts(counts);
+                    let got = bat.apply_batch(batch);
+                    assert_eq!(
+                        got, expected,
+                        "chunk {chunk} caching {caching} diverged on {batch:?}"
+                    );
+                }
+                assert_eq!(seq.stats().updates_processed, bat.stats().updates_processed);
+                assert_eq!(seq.stats().embeddings, bat.stats().embeddings);
+            }
+        }
     }
 
     #[test]

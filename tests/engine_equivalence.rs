@@ -49,6 +49,73 @@ fn assert_engines_agree(workload: &Workload) {
     }
 }
 
+/// Chunk sizes the batch differential harness replays every workload with:
+/// singleton batches (the engines' fast path), two odd sizes that never
+/// divide the stream evenly (so the final short batch is exercised), and the
+/// whole stream as one batch.
+const BATCH_CHUNK_SIZES: [usize; 4] = [1, 3, 17, usize::MAX];
+
+/// Differential batch-vs-sequential harness: replays `workload` sequentially
+/// once per engine (recording every per-update report), then replays it with
+/// `apply_batch` at each chunk size on fresh engines of the same kinds,
+/// asserting that every batch report equals the merge of the per-update
+/// reports of exactly that chunk — per engine, including the fold-based
+/// default implementation (GraphDB).
+fn assert_batch_equals_sequential(workload: &Workload) {
+    // Sequential reference: per-engine, per-update reports.
+    let mut seq_engines = all_engines();
+    for engine in seq_engines.iter_mut() {
+        for q in &workload.queries {
+            engine.register_query(q).expect("register");
+        }
+    }
+    let per_update: Vec<Vec<MatchReport>> = seq_engines
+        .iter_mut()
+        .map(|engine| {
+            workload
+                .stream
+                .iter()
+                .map(|u| engine.apply_update(*u))
+                .collect()
+        })
+        .collect();
+
+    for chunk_size in BATCH_CHUNK_SIZES {
+        let chunk = chunk_size.min(workload.stream.len().max(1));
+        let mut batch_engines = all_engines();
+        for engine in batch_engines.iter_mut() {
+            for q in &workload.queries {
+                engine.register_query(q).expect("register");
+            }
+        }
+        for (engine_idx, engine) in batch_engines.iter_mut().enumerate() {
+            for (batch_idx, batch) in workload.stream.as_slice().chunks(chunk).enumerate() {
+                let expected = MatchReport::from_counts(
+                    per_update[engine_idx][batch_idx * chunk..]
+                        .iter()
+                        .take(batch.len())
+                        .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                        .collect(),
+                );
+                let got = engine.apply_batch(batch);
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} batch #{batch_idx} (chunk size {chunk}) of {} diverged from sequential",
+                    engine.name(),
+                    workload.name
+                );
+            }
+            // Batch answering consumed the same stream and produced the same
+            // embeddings; only notification granularity may differ.
+            let seq_stats = seq_engines[engine_idx].stats();
+            let stats = engine.stats();
+            assert_eq!(stats.updates_processed, seq_stats.updates_processed);
+            assert_eq!(stats.embeddings, seq_stats.embeddings, "{}", engine.name());
+        }
+    }
+}
+
 #[test]
 fn engines_agree_on_snb_workload() {
     let workload =
@@ -79,6 +146,43 @@ fn engines_agree_with_high_overlap_and_long_queries() {
             .with_overlap(0.8),
     );
     assert_engines_agree(&workload);
+}
+
+#[test]
+fn batch_equals_sequential_on_snb_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 900, 40).with_selectivity(0.4));
+    assert_batch_equals_sequential(&workload);
+}
+
+#[test]
+fn batch_equals_sequential_on_taxi_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Taxi, 900, 40).with_query_size(3));
+    assert_batch_equals_sequential(&workload);
+}
+
+#[test]
+fn batch_equals_sequential_on_biogrid_workload() {
+    // Same single-label stress generator as `engines_agree_on_biogrid`, at a
+    // reduced size: the differential harness replays the stream five times
+    // (once sequentially, once per chunk size) across seven engines, and the
+    // BioGrid joins grow superlinearly with the stream.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 250, 20).with_query_size(3));
+    assert_batch_equals_sequential(&workload);
+}
+
+#[test]
+fn batch_equals_sequential_with_high_overlap_and_long_queries() {
+    // Same shape as `engines_agree_with_high_overlap_and_long_queries`,
+    // reduced for the five-fold replay of the differential harness.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 400, 20)
+            .with_query_size(7)
+            .with_overlap(0.8),
+    );
+    assert_batch_equals_sequential(&workload);
 }
 
 #[test]

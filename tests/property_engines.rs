@@ -5,7 +5,23 @@
 use proptest::prelude::*;
 
 use graph_stream_matching::all_engines;
+use graph_stream_matching::baselines::BaselineEngine;
 use graph_stream_matching::core::prelude::*;
+use graph_stream_matching::tric::TricEngine;
+
+/// The engines with a real (non-default) batched implementation: TRIC, TRIC+
+/// and the four inverted-index baselines. The graph database keeps the
+/// fold-based trait default and is exercised by `engine_equivalence`.
+fn batched_engines() -> Vec<Box<dyn ContinuousEngine>> {
+    vec![
+        Box::new(TricEngine::tric()),
+        Box::new(TricEngine::tric_plus()),
+        Box::new(BaselineEngine::inv()),
+        Box::new(BaselineEngine::inv_plus()),
+        Box::new(BaselineEngine::inc()),
+        Box::new(BaselineEngine::inc_plus()),
+    ]
+}
 
 /// A compact description of a random pattern edge: (label, src, tgt, src-kind,
 /// tgt-kind) over small universes.
@@ -86,6 +102,75 @@ proptest! {
                     update
                 );
             }
+        }
+    }
+
+    /// Batched answering is differentially equivalent to sequential
+    /// answering on random workloads under *random batch partitions*: for
+    /// every engine with a real batched implementation (TRIC, TRIC+ and the
+    /// four inverted-index baselines), chunking the stream arbitrarily and
+    /// merging the sequential per-update reports chunk by chunk must
+    /// reproduce the `apply_batch` reports exactly.
+    #[test]
+    fn batch_partitions_equal_sequential(
+        query_specs in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u8..5, 0u8..5, any::<bool>(), any::<bool>()), 1..4),
+            1..5,
+        ),
+        stream_specs in proptest::collection::vec((0u8..3, 0u8..5, 0u8..5), 1..90),
+        // Random partition: chunk lengths are drawn and applied cyclically.
+        chunk_lens in proptest::collection::vec(1usize..16, 1..12),
+    ) {
+        let mut symbols = SymbolTable::new();
+        let queries: Vec<QueryPattern> = query_specs
+            .iter()
+            .filter_map(|specs| build_query(specs, &mut symbols))
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        let mut seq_engines = batched_engines();
+        let mut bat_engines = batched_engines();
+        for engine in seq_engines.iter_mut().chain(bat_engines.iter_mut()) {
+            for q in &queries {
+                engine.register_query(q).expect("valid query");
+            }
+        }
+        let stream: Vec<Update> = stream_specs
+            .iter()
+            .map(|&(label, src, tgt)| {
+                Update::new(
+                    symbols.intern(&format!("e{label}")),
+                    symbols.intern(&format!("v{src}")),
+                    symbols.intern(&format!("v{tgt}")),
+                )
+            })
+            .collect();
+
+        let mut offset = 0usize;
+        let mut chunk_idx = 0usize;
+        while offset < stream.len() {
+            let len = chunk_lens[chunk_idx % chunk_lens.len()].min(stream.len() - offset);
+            let batch = &stream[offset..offset + len];
+            for (seq, bat) in seq_engines.iter_mut().zip(bat_engines.iter_mut()) {
+                let expected = MatchReport::from_counts(
+                    batch
+                        .iter()
+                        .flat_map(|&u| seq.apply_update(u).matches)
+                        .map(|m| (m.query, m.new_embeddings))
+                        .collect(),
+                );
+                let got = bat.apply_batch(batch);
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{} diverged on batch at offset {} (len {})",
+                    bat.name(),
+                    offset,
+                    len
+                );
+            }
+            offset += len;
+            chunk_idx += 1;
         }
     }
 

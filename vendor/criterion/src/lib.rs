@@ -12,9 +12,11 @@
 //! `sample_size` samples; each sample executes enough iterations to fill its
 //! share of the measurement window (estimated from the warm-up timing). The
 //! harness reports the minimum, mean and maximum per-iteration time across
-//! samples — and, when a [`Throughput`] is configured, the corresponding
-//! element/byte rates. Results are printed to stdout; there is no HTML
-//! report, statistical regression testing, or outlier analysis.
+//! samples plus the sample standard deviation (variance-aware sampling, so
+//! sweeps are comparable run to run) — and, when a [`Throughput`] is
+//! configured, the corresponding element/byte rates. Results are printed to
+//! stdout; there is no HTML report, statistical regression testing, or
+//! outlier analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -155,6 +157,11 @@ pub struct BenchResult {
     pub min_s: f64,
     /// Maximum seconds per iteration across samples.
     pub max_s: f64,
+    /// Sample standard deviation of seconds per iteration across samples
+    /// (0.0 when only one sample was taken).
+    pub std_s: f64,
+    /// Number of samples the aggregates were computed over.
+    pub samples: usize,
     /// Configured per-iteration throughput, if any.
     pub throughput: Option<Throughput>,
 }
@@ -167,6 +174,17 @@ impl BenchResult {
                 Some(n as f64 / self.mean_s)
             }
             None => None,
+        }
+    }
+
+    /// Relative standard deviation (std/mean), the run-to-run comparability
+    /// figure for sweeps: two measurements of the same benchmark whose means
+    /// differ by much more than their combined spread genuinely moved.
+    pub fn rsd(&self) -> f64 {
+        if self.mean_s > 0.0 {
+            self.std_s / self.mean_s
+        } else {
+            0.0
         }
     }
 }
@@ -339,20 +357,36 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let mean_s = sample_secs.iter().sum::<f64>() / sample_secs.len() as f64;
     let min_s = sample_secs.iter().copied().fold(f64::INFINITY, f64::min);
     let max_s = sample_secs.iter().copied().fold(0.0f64, f64::max);
+    // Sample (Bessel-corrected) standard deviation, so sweeps can be
+    // compared run to run with an explicit noise figure.
+    let std_s = if sample_secs.len() > 1 {
+        let var = sample_secs
+            .iter()
+            .map(|&s| (s - mean_s) * (s - mean_s))
+            .sum::<f64>()
+            / (sample_secs.len() - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
     let result = BenchResult {
         id,
         mean_s,
         min_s,
         max_s,
+        std_s,
+        samples: sample_secs.len(),
         throughput: config.throughput,
     };
 
     print!(
-        "{:<50} time: [{} {} {}]",
+        "{:<50} time: [{} {} {}] ± {} ({:.1}%)",
         result.id,
         format_time(result.min_s),
         format_time(result.mean_s),
-        format_time(result.max_s)
+        format_time(result.max_s),
+        format_time(result.std_s),
+        result.rsd() * 100.0
     );
     if let (Some(rate), Some(t)) = (result.per_second(), result.throughput) {
         print!("  thrpt: [{}]", format_rate(rate, t));
@@ -410,6 +444,34 @@ mod tests {
         assert!(results[0].per_second().unwrap() > 0.0);
         assert!(results[0].min_s <= results[0].mean_s);
         assert!(results[0].mean_s <= results[0].max_s);
+        assert_eq!(results[0].samples, 5);
+        // The spread statistics must be consistent: non-negative deviation,
+        // never larger than the full min→max range.
+        assert!(results[0].std_s >= 0.0);
+        assert!(results[0].std_s <= results[0].max_s - results[0].min_s + f64::EPSILON);
+        assert!(results[0].rsd() >= 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computed_value() {
+        // Aggregation maths verified directly on a synthetic result.
+        let samples = [1.0f64, 2.0, 3.0, 4.0];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        let expected_std = var.sqrt();
+        let result = BenchResult {
+            id: "synthetic".into(),
+            mean_s: mean,
+            min_s: 1.0,
+            max_s: 4.0,
+            std_s: expected_std,
+            samples: samples.len(),
+            throughput: None,
+        };
+        assert!((result.std_s - 1.2909944487358056).abs() < 1e-12);
+        assert!((result.rsd() - expected_std / mean).abs() < 1e-12);
+        assert_eq!(result.per_second(), None);
     }
 
     #[test]
