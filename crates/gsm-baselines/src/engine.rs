@@ -11,9 +11,9 @@ use gsm_core::query::pattern::QueryPattern;
 use gsm_core::relation::cache::JoinCache;
 use gsm_core::relation::eval::{join_paths, PathBinding};
 use gsm_core::relation::fasthash::FxHashMap;
-use gsm_core::relation::join::JoinBuild;
 use gsm_core::relation::Relation;
-use gsm_core::views::EdgeViewStore;
+use gsm_core::shard::ShardedEngine;
+use gsm_core::views::{self, EdgeViewStore};
 
 use crate::index::{InvertedIndexes, PathRecord, QueryRecord};
 
@@ -76,6 +76,19 @@ impl BaselineEngine {
         Self::with_mode(BaselineMode::Inc, true)
     }
 
+    /// Wraps the selected baseline in a [`ShardedEngine`] with `num_shards`
+    /// worker shards, partitioned by root generic edge exactly like the
+    /// sharded TRIC variants — the INV/INC parity point for the shard-count
+    /// differential tests. With `num_shards <= 1` this is an unsharded
+    /// engine behind a zero-overhead delegation.
+    pub fn sharded(
+        mode: BaselineMode,
+        caching: bool,
+        num_shards: usize,
+    ) -> ShardedEngine<BaselineEngine> {
+        ShardedEngine::new(num_shards, move || Self::with_mode(mode, caching))
+    }
+
     /// The mode of this engine.
     pub fn mode(&self) -> BaselineMode {
         self.mode
@@ -86,93 +99,19 @@ impl BaselineEngine {
         self.cache.hits()
     }
 
-    /// Extends `rel` (whose last column is the frontier vertex) to the right
-    /// with the tuples of `view` whose source matches the frontier.
-    /// `buf` is caller-provided row scratch; probes allocate nothing.
-    fn extend_right(
-        caching: bool,
-        cache: &mut JoinCache,
-        rel: &Relation,
-        view: &Relation,
-        buf: &mut Vec<Sym>,
-    ) -> Relation {
-        let out_arity = rel.arity() + 1;
-        let mut out = Relation::new(out_arity);
-        if rel.is_empty() || view.is_empty() {
-            return out;
-        }
-        let last = rel.arity() - 1;
-        buf.clear();
-        buf.resize(out_arity, Sym(0));
-        let build_storage;
-        let build = if caching {
-            cache.get_or_build(view, &[0])
-        } else {
-            build_storage = JoinBuild::build(view, &[0]);
-            &build_storage
-        };
-        for row in rel.iter() {
-            build.probe_each(view, &[row[last]], |idx| {
-                buf[..row.len()].copy_from_slice(row);
-                buf[out_arity - 1] = view.row(idx)[1];
-                out.push(buf);
-            });
-        }
-        out
-    }
-
-    /// Extends `rel` (whose first column is the frontier vertex) to the left
-    /// with the tuples of `view` whose target matches the frontier.
-    /// `buf` is caller-provided row scratch; probes allocate nothing.
-    fn extend_left(
-        caching: bool,
-        cache: &mut JoinCache,
-        rel: &Relation,
-        view: &Relation,
-        buf: &mut Vec<Sym>,
-    ) -> Relation {
-        let out_arity = rel.arity() + 1;
-        let mut out = Relation::new(out_arity);
-        if rel.is_empty() || view.is_empty() {
-            return out;
-        }
-        buf.clear();
-        buf.resize(out_arity, Sym(0));
-        let build_storage;
-        let build = if caching {
-            cache.get_or_build(view, &[1])
-        } else {
-            build_storage = JoinBuild::build(view, &[1]);
-            &build_storage
-        };
-        for row in rel.iter() {
-            build.probe_each(view, &[row[0]], |idx| {
-                buf[0] = view.row(idx)[0];
-                buf[1..].copy_from_slice(row);
-                out.push(buf);
-            });
-        }
-        out
-    }
-
     /// Computes the **full** relation of a covering path by joining the
     /// edge-level materialized views left to right (INV's expensive step).
-    /// Returns `None` as soon as an intermediate result is empty.
+    /// Returns `None` as soon as an intermediate result is empty. Delegates
+    /// to the shared [`gsm_core::views::full_path_relation`] kernel, wiring
+    /// in this engine's join-structure cache when caching is enabled.
     fn full_path_relation(&mut self, path: &PathRecord) -> Option<Relation> {
-        let caching = self.caching;
-        let first_view = self.views.get(&path.edges[0])?;
-        if first_view.is_empty() {
-            return None;
+        let cache = self.caching.then_some(&mut self.cache);
+        let rel = views::full_path_relation(&self.views, &path.edges, cache, &mut self.row_buf);
+        if rel.is_empty() {
+            None
+        } else {
+            Some(rel)
         }
-        let mut rel = first_view.clone();
-        for edge in &path.edges[1..] {
-            let view = self.views.get(edge)?;
-            rel = Self::extend_right(caching, &mut self.cache, &rel, view, &mut self.row_buf);
-            if rel.is_empty() {
-                return None;
-            }
-        }
-        Some(rel)
     }
 
     /// Computes the **delta** relation of a covering path: the path tuples
@@ -182,54 +121,21 @@ impl BaselineEngine {
     /// one-row relations and this is exactly the paper's per-update seeding;
     /// for larger batches every matched position is seeded with the whole
     /// merged delta at once, so the extension joins along the path are built
-    /// once per batch instead of once per update.
+    /// once per batch instead of once per update. Delegates to the shared
+    /// [`gsm_core::views::delta_path_relation`] kernel.
     fn delta_path_relation(
         &mut self,
         path: &PathRecord,
         edge_deltas: &FxHashMap<GenericEdge, Relation>,
     ) -> Relation {
-        let caching = self.caching;
-        let len = path.edges.len();
-        let mut delta = Relation::new(len + 1);
-        for (pos, edge) in path.edges.iter().enumerate() {
-            let Some(seed) = edge_deltas.get(edge) else {
-                continue;
-            };
-            // Seed the matched position with the edge's batch delta…
-            let mut rel = seed.clone();
-            // …extend to the right…
-            for e in &path.edges[pos + 1..] {
-                let Some(view) = self.views.get(e) else {
-                    rel = Relation::new(rel.arity() + 1);
-                    break;
-                };
-                rel = Self::extend_right(caching, &mut self.cache, &rel, view, &mut self.row_buf);
-                if rel.is_empty() {
-                    break;
-                }
-            }
-            if rel.is_empty() {
-                continue;
-            }
-            // …and to the left.
-            let mut ok = true;
-            for e in path.edges[..pos].iter().rev() {
-                let Some(view) = self.views.get(e) else {
-                    ok = false;
-                    break;
-                };
-                rel = Self::extend_left(caching, &mut self.cache, &rel, view, &mut self.row_buf);
-                if rel.is_empty() {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok && !rel.is_empty() {
-                debug_assert_eq!(rel.arity(), len + 1);
-                delta.extend_from(&rel);
-            }
-        }
-        delta
+        let cache = self.caching.then_some(&mut self.cache);
+        views::delta_path_relation(
+            &self.views,
+            &path.edges,
+            edge_deltas,
+            cache,
+            &mut self.row_buf,
+        )
     }
 }
 
@@ -603,6 +509,43 @@ mod tests {
                     let expected = MatchReport::from_counts(counts);
                     let got = bat.apply_batch(batch);
                     assert_eq!(got, expected, "{} chunk {chunk} diverged", bat.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_baselines_agree_with_plain_on_random_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (mode, caching) in [
+            (BaselineMode::Inv, false),
+            (BaselineMode::Inv, true),
+            (BaselineMode::Inc, false),
+            (BaselineMode::Inc, true),
+        ] {
+            for num_shards in [2usize, 5] {
+                let mut rng = StdRng::seed_from_u64(31);
+                let mut f = Fixture::new();
+                let queries = vec![
+                    f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                    f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                    f.q("?a -e2-> ?a"),
+                ];
+                let mut plain = BaselineEngine::with_mode(mode, caching);
+                let mut sharded = BaselineEngine::sharded(mode, caching, num_shards);
+                for q in &queries {
+                    plain.register_query(q).unwrap();
+                    sharded.register_query(q).unwrap();
+                }
+                for _ in 0..200 {
+                    let label = format!("e{}", rng.gen_range(0..3));
+                    let src = format!("v{}", rng.gen_range(0..6));
+                    let tgt = format!("v{}", rng.gen_range(0..6));
+                    let u = f.u(&label, &src, &tgt);
+                    let a = plain.apply_update(u);
+                    let b = sharded.apply_update(u);
+                    assert_eq!(a, b, "{} × {num_shards} shards diverged", plain.name());
                 }
             }
         }

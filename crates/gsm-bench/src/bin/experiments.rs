@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p gsm-bench --release --bin experiments -- [--figure <id>|all]
-//!     [--scale <factor>] [--budget <seconds>] [--batch <n>] [--out <dir>]
+//!     [--scale <factor>] [--budget <seconds>] [--batch <n>] [--shards <n>]
+//!     [--out <dir>]
 //! ```
 //!
 //! * `--figure` — one of fig12a…fig14c / tab13c, or `all` (default).
@@ -10,6 +11,8 @@
 //! * `--budget` — per-run time budget in seconds (default 15).
 //! * `--batch`  — answering batch size: updates per `apply_batch` call
 //!   (default 1 = the paper's per-update answering, 0 = whole stream at once).
+//! * `--shards` — worker shards the engines are partitioned into by root
+//!   generic edge (default 1 = unsharded).
 //! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
 
 use std::fs;
@@ -24,6 +27,7 @@ struct Args {
     scale: f64,
     budget_secs: u64,
     batch_size: usize,
+    shards: usize,
     out_dir: PathBuf,
 }
 
@@ -33,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         scale: 1.0,
         budget_secs: 15,
         batch_size: 1,
+        shards: 1,
         out_dir: PathBuf::from("results"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -67,13 +72,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid --batch: {e}"))?;
                 i += 2;
             }
+            "--shards" => {
+                args.shards = value
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --shards: {e}"))?;
+                i += 2;
+            }
             "--out" | "-o" => {
                 args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--out <dir>]\n\nknown figures: {}",
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--out <dir>]\n\nknown figures: {}",
                     all_figure_ids().join(", ")
                 );
                 std::process::exit(0);
@@ -94,7 +106,9 @@ fn main() {
     };
 
     let mut scale = ExperimentScale::scaled(args.scale);
-    scale.limits = RunLimits::seconds(args.budget_secs).with_batch_size(args.batch_size);
+    scale.limits = RunLimits::seconds(args.budget_secs)
+        .with_batch_size(args.batch_size)
+        .with_shards(args.shards);
 
     let requested: Vec<String> = if args.figures.iter().any(|f| f == "all") {
         all_figure_ids().iter().map(|s| s.to_string()).collect()
@@ -105,8 +119,8 @@ fn main() {
     fs::create_dir_all(&args.out_dir).expect("create output directory");
     let mut summary = String::new();
     summary.push_str(&format!(
-        "# Reproduced evaluation (scale {:.2}, budget {}s per run, batch size {})\n\n",
-        args.scale, args.budget_secs, args.batch_size
+        "# Reproduced evaluation (scale {:.2}, budget {}s per run, batch size {}, {} shard(s))\n\n",
+        args.scale, args.budget_secs, args.batch_size, args.shards
     ));
 
     for id in &requested {

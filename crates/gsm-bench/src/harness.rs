@@ -4,6 +4,7 @@ use std::time::{Duration, Instant};
 
 use gsm_baselines::BaselineEngine;
 use gsm_core::engine::ContinuousEngine;
+use gsm_core::shard::ShardedEngine;
 use gsm_core::stats::LatencyRecorder;
 use gsm_datagen::Workload;
 use gsm_graphdb::GraphDbEngine;
@@ -62,7 +63,7 @@ impl EngineKind {
     }
 
     /// Builds a fresh engine instance.
-    pub fn build(&self) -> Box<dyn ContinuousEngine> {
+    pub fn build(&self) -> Box<dyn ContinuousEngine + Send> {
         match self {
             EngineKind::Tric => Box::new(TricEngine::tric()),
             EngineKind::TricPlus => Box::new(TricEngine::tric_plus()),
@@ -72,6 +73,19 @@ impl EngineKind {
             EngineKind::IncPlus => Box::new(BaselineEngine::inc_plus()),
             EngineKind::GraphDb => Box::new(GraphDbEngine::new()),
         }
+    }
+
+    /// Builds a fresh engine partitioned across `shards` worker shards by
+    /// root generic edge ([`gsm_core::shard::ShardedEngine`]). `shards <= 1`
+    /// returns the plain engine — no wrapper, no routing, no overhead — so
+    /// the default harness configuration measures exactly what it always
+    /// measured.
+    pub fn build_sharded(&self, shards: usize) -> Box<dyn ContinuousEngine + Send> {
+        if shards <= 1 {
+            return self.build();
+        }
+        let kind = *self;
+        Box::new(ShardedEngine::new(shards, move || kind.build()))
     }
 
     /// Parses an engine name (case-insensitive, `+` accepted).
@@ -111,6 +125,9 @@ pub struct RunLimits {
     /// coarsen timeout enforcement — with `0` the budget is effectively
     /// advisory.
     pub batch_size: usize,
+    /// Number of worker shards the engine is partitioned into by root
+    /// generic edge. `1` (the default) runs the plain unsharded engine.
+    pub shards: usize,
 }
 
 impl Default for RunLimits {
@@ -118,6 +135,7 @@ impl Default for RunLimits {
         RunLimits {
             time_budget: Duration::from_secs(20),
             batch_size: 1,
+            shards: 1,
         }
     }
 }
@@ -137,6 +155,12 @@ impl RunLimits {
         self.batch_size = batch_size;
         self
     }
+
+    /// Sets the number of worker shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 /// The outcome of one (engine, workload) run.
@@ -148,6 +172,8 @@ pub struct RunResult {
     pub workload: String,
     /// Answering batch size used for the run (1 = per-update answering).
     pub batch_size: usize,
+    /// Number of worker shards used for the run (1 = unsharded).
+    pub shards: usize,
     /// Time spent registering the query set, total.
     pub indexing_total: Duration,
     /// Average query-insertion time in milliseconds.
@@ -191,7 +217,7 @@ impl RunResult {
 /// answering exactly (engines fall back to `apply_update` for singleton
 /// batches).
 pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> RunResult {
-    let mut engine = kind.build();
+    let mut engine = kind.build_sharded(limits.shards);
 
     // Query indexing phase.
     let index_start = Instant::now();
@@ -232,6 +258,7 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
         engine: kind.name(),
         workload: workload.name.clone(),
         batch_size: chunk,
+        shards: limits.shards.max(1),
         indexing_total,
         indexing_ms_per_query: if workload.queries.is_empty() {
             0.0
@@ -335,6 +362,25 @@ mod tests {
     }
 
     #[test]
+    fn sharded_runs_report_the_same_embeddings() {
+        let w = tiny_workload();
+        let reference = run_engine(EngineKind::TricPlus, &w, RunLimits::seconds(30));
+        assert_eq!(reference.shards, 1);
+        for shards in [2usize, 4] {
+            let r = run_engine(
+                EngineKind::TricPlus,
+                &w,
+                RunLimits::seconds(30).with_shards(shards),
+            );
+            assert!(!r.timed_out);
+            assert_eq!(r.shards, shards);
+            assert_eq!(r.updates_processed, w.num_updates());
+            assert_eq!(r.embeddings, reference.embeddings, "shards {shards}");
+            assert_eq!(r.notifications, reference.notifications, "shards {shards}");
+        }
+    }
+
+    #[test]
     fn zero_budget_times_out() {
         let w = tiny_workload();
         let result = run_engine(
@@ -343,6 +389,7 @@ mod tests {
             RunLimits {
                 time_budget: Duration::ZERO,
                 batch_size: 1,
+                shards: 1,
             },
         );
         assert!(result.timed_out);

@@ -76,6 +76,47 @@ impl MatchReport {
         MatchReport { matches }
     }
 
+    /// Merges two reports: per-query embedding counts add, and the result is
+    /// again sorted with at most one entry per query.
+    ///
+    /// # Merge contract
+    ///
+    /// This is the operation the sharded wrapper
+    /// ([`crate::shard::ShardedEngine`]) uses to combine per-shard reports,
+    /// so it must be — and is, by construction over sorted unique entries
+    /// with additive counts — **associative and commutative**, with
+    /// [`MatchReport::empty`] as the identity. Shards may therefore be
+    /// merged in any order, or any grouping, without changing the result;
+    /// the property tests in `tests/property_engines.rs` pin this down.
+    pub fn merge(&self, other: &MatchReport) -> MatchReport {
+        let mut matches = Vec::with_capacity(self.matches.len() + other.matches.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.matches.len() && j < other.matches.len() {
+            let (a, b) = (self.matches[i], other.matches[j]);
+            match a.query.cmp(&b.query) {
+                std::cmp::Ordering::Less => {
+                    matches.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    matches.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    matches.push(QueryMatch {
+                        query: a.query,
+                        new_embeddings: a.new_embeddings + b.new_embeddings,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        matches.extend_from_slice(&self.matches[i..]);
+        matches.extend_from_slice(&other.matches[j..]);
+        MatchReport { matches }
+    }
+
     /// Queries reported as satisfied, sorted.
     pub fn satisfied_queries(&self) -> Vec<QueryId> {
         self.matches.iter().map(|m| m.query).collect()
@@ -115,6 +156,33 @@ pub struct EngineStats {
 /// continuous additions, so registration may be interleaved with updates),
 /// then feed the update stream one edge addition at a time; each call reports
 /// the queries for which the update created new embeddings.
+///
+/// # Sharding
+///
+/// Any engine can be partitioned across workers with
+/// [`crate::shard::ShardedEngine`]. The contract is:
+///
+/// * **Ownership is by root generic edge.** Every covering path of every
+///   query roots at some generic edge; [`crate::shard::shard_of`]
+///   deterministically assigns each root edge — and the trie nodes / path
+///   states and edge views reachable from it — to exactly one shard.
+///   Queries whose covering-path roots all map to one shard live entirely
+///   on that shard's inner engine; queries whose roots span shards are
+///   answered by a post-merge covering-path join pass over shard-local
+///   path deltas.
+/// * **Reports merge associatively.** Per-shard reports combine with
+///   [`MatchReport::merge`]: per-query counts add, and the merge is
+///   associative, commutative and order-insensitive, so the final report
+///   is independent of shard scheduling.
+/// * **Observational equivalence.** For a query database registered
+///   before streaming — and for mid-stream registrations whose edges
+///   carry no prior history — the sharded engine's reports are identical
+///   to the unsharded engine's at every shard count, in both per-update
+///   and batched replay (pinned by the shard-count differential matrix in
+///   the test suites). A query registered mid-stream over edges whose
+///   history lives on *other* shards catches up with less history than an
+///   unsharded engine would see; see the "Late registration" note in
+///   [`crate::shard`].
 pub trait ContinuousEngine {
     /// Short, stable engine name (`"TRIC"`, `"INV+"`, …) used in reports.
     fn name(&self) -> &'static str;
@@ -193,6 +261,40 @@ pub trait ContinuousEngine {
             notifications += self.apply_batch(batch).len() as u64;
         }
         notifications
+    }
+}
+
+/// Forwarding implementation so boxed engines (including trait objects such
+/// as `Box<dyn ContinuousEngine + Send>`) can be wrapped and sharded like
+/// concrete ones. Every method — including the overridable batch entry
+/// points — delegates to the boxed engine.
+impl<T: ContinuousEngine + ?Sized> ContinuousEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        (**self).register_query(query)
+    }
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        (**self).apply_update(update)
+    }
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        (**self).apply_batch(updates)
+    }
+    fn num_queries(&self) -> usize {
+        (**self).num_queries()
+    }
+    fn heap_bytes(&self) -> usize {
+        (**self).heap_bytes()
+    }
+    fn stats(&self) -> EngineStats {
+        (**self).stats()
+    }
+    fn apply_stream(&mut self, updates: &[Update]) -> u64 {
+        (**self).apply_stream(updates)
+    }
+    fn apply_stream_batched(&mut self, updates: &[Update], batch_size: usize) -> u64 {
+        (**self).apply_stream_batched(updates, batch_size)
     }
 }
 

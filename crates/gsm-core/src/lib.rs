@@ -18,6 +18,8 @@
 //! * [`views`] — the shared per-edge materialized-view store.
 //! * [`engine`] — the [`ContinuousEngine`] trait implemented by every engine,
 //!   plus match reports.
+//! * [`shard`] — [`ShardedEngine`], the root-generic-edge partitioning of
+//!   any engine across worker shards with a deterministic report merge.
 //! * [`stats`] / [`memory`] — latency statistics and heap accounting used by
 //!   the benchmark harness.
 //!
@@ -43,6 +45,7 @@ pub mod memory;
 pub mod model;
 pub mod query;
 pub mod relation;
+pub mod shard;
 pub mod stats;
 pub mod views;
 
@@ -59,6 +62,7 @@ pub use query::pattern::{QVertexId, QueryPattern};
 pub use relation::cache::JoinCache;
 pub use relation::eval::{join_paths, PathBinding};
 pub use relation::Relation;
+pub use shard::{shard_of, ShardedEngine};
 pub use views::EdgeViewStore;
 
 /// Convenient re-exports of the most commonly used types.
@@ -74,5 +78,6 @@ pub mod prelude {
     pub use crate::query::paths::{covering_paths, CoveringPath};
     pub use crate::query::pattern::{QVertexId, QueryPattern};
     pub use crate::relation::Relation;
+    pub use crate::shard::{shard_of, ShardedEngine};
     pub use crate::views::EdgeViewStore;
 }

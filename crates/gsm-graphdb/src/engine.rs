@@ -161,6 +161,89 @@ impl ContinuousEngine for GraphDbEngine {
         report
     }
 
+    /// Batched answering: the whole batch is applied to the database first,
+    /// then every affected query is executed **once**, anchored at each
+    /// genuinely new edge of the batch, with a single embedding collector
+    /// per query. The collector deduplicates embeddings discovered from
+    /// several anchors — including an embedding completed by more than one
+    /// batch edge — so the per-query count equals the distinct new
+    /// embeddings of the whole batch, exactly the merged sequential total
+    /// (each embedding is reported sequentially once, at the update that
+    /// completes it). This replaces the fold-based trait default: the store
+    /// writes batch into fewer transactions and each (query, anchor-edge)
+    /// plan is built at most once per batch.
+    ///
+    /// With a finite `max_embeddings_per_query` the cap applies per batch
+    /// rather than per update; the default configuration is unlimited, where
+    /// batched and sequential reports coincide.
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        match updates {
+            [] => return MatchReport::empty(),
+            [u] => return self.apply_update(*u),
+            _ => {}
+        }
+        self.stats.updates_processed += updates.len() as u64;
+
+        // (1) Apply the whole batch to the database, keeping the genuinely
+        // new edges (duplicates of history or of earlier updates in the same
+        // batch are absorbed exactly as they would be one at a time).
+        let new_edges: Vec<Update> = updates
+            .iter()
+            .copied()
+            .filter(|u| self.store.insert_edge(*u))
+            .collect();
+        if new_edges.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // (2) Resolve the affected (query, anchor pattern edge, new update)
+        // triples via edgeInd, once for the whole batch.
+        let mut anchored: HashMap<QueryId, Vec<(usize, Update)>> = HashMap::new();
+        for &u in &new_edges {
+            for shape in GenericEdge::shapes_of_update(&u) {
+                if let Some(entries) = self.edge_index.get(&shape) {
+                    for &(qid, edge_idx) in entries {
+                        anchored.entry(qid).or_default().push((edge_idx, u));
+                    }
+                }
+            }
+        }
+        if anchored.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // (3) + (4) Execute each affected query against the post-batch
+        // store, anchored at every new edge, deduplicating embeddings in one
+        // collector per query.
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        let mut sorted: Vec<(QueryId, Vec<(usize, Update)>)> = anchored.into_iter().collect();
+        sorted.sort_by_key(|(q, _)| *q);
+        for (qid, anchors) in sorted {
+            let query = &self.queries[qid.index()];
+            let mut collector = MatchCollector::with_limit(self.config.max_embeddings_per_query);
+            for (anchor_edge, u) in anchors {
+                let plan = self
+                    .plan_cache
+                    .get_or_build(qid, query, &self.store, Some(anchor_edge));
+                execute(
+                    query,
+                    plan,
+                    &self.store,
+                    Some((anchor_edge, u)),
+                    &mut collector,
+                );
+            }
+            if !collector.is_empty() {
+                counts.push((qid, collector.len() as u64));
+            }
+        }
+
+        let report = MatchReport::from_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        report
+    }
+
     fn num_queries(&self) -> usize {
         self.queries.len()
     }
@@ -262,6 +345,49 @@ mod tests {
         }
         assert!(engine.cached_plans() <= 2);
         assert!(engine.store().num_edges() == 20);
+    }
+
+    #[test]
+    fn batch_report_equals_merged_sequential_reports() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for chunk in [2usize, 7, 50, 300] {
+            let mut rng = StdRng::seed_from_u64(91);
+            let mut f = Fixture::new();
+            let queries = vec![
+                f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                f.q("?a -e0-> v3"),
+                f.q("?a -e2-> ?a"),
+            ];
+            let mut seq = GraphDbEngine::new();
+            let mut bat = GraphDbEngine::new();
+            for q in &queries {
+                seq.register_query(q).unwrap();
+                bat.register_query(q).unwrap();
+            }
+            let stream: Vec<Update> = (0..300)
+                .map(|_| {
+                    let label = format!("e{}", rng.gen_range(0..3));
+                    let src = format!("v{}", rng.gen_range(0..7));
+                    let tgt = format!("v{}", rng.gen_range(0..7));
+                    f.u(&label, &src, &tgt)
+                })
+                .collect();
+            for batch in stream.chunks(chunk) {
+                let mut counts = Vec::new();
+                for &u in batch {
+                    let r = seq.apply_update(u);
+                    counts.extend(r.matches.iter().map(|m| (m.query, m.new_embeddings)));
+                }
+                let expected = MatchReport::from_counts(counts);
+                let got = bat.apply_batch(batch);
+                assert_eq!(got, expected, "GraphDB chunk {chunk} diverged");
+            }
+            assert_eq!(seq.stats().updates_processed, bat.stats().updates_processed);
+            assert_eq!(seq.stats().embeddings, bat.stats().embeddings);
+        }
     }
 
     #[test]

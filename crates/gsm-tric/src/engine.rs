@@ -15,6 +15,7 @@ use gsm_core::relation::eval::{join_paths, PathBinding};
 use gsm_core::relation::fasthash::{FxHashMap, FxHashSet};
 use gsm_core::relation::join::JoinBuild;
 use gsm_core::relation::Relation;
+use gsm_core::shard::ShardedEngine;
 use gsm_core::views::EdgeViewStore;
 
 use crate::trie::{NodeId, TrieForest};
@@ -109,6 +110,26 @@ impl TricEngine {
     /// Creates a TRIC+ engine (join-structure caching enabled).
     pub fn tric_plus() -> Self {
         Self::with_config(TricConfig { caching: true })
+    }
+
+    /// Creates a TRIC engine partitioned across `num_shards` worker shards.
+    ///
+    /// The trie forest and edge-view store are split by root generic edge:
+    /// each shard's inner engine holds exactly the tries whose root edges
+    /// [`gsm_core::shard::shard_of`] assigns to it (plus the edge views
+    /// those tries reach), and queries whose covering paths root on
+    /// different shards are answered by the wrapper's post-merge
+    /// covering-path join pass. With `num_shards <= 1` this is an unsharded
+    /// [`TricEngine::tric`] behind a zero-overhead delegation.
+    pub fn tric_sharded(num_shards: usize) -> ShardedEngine<TricEngine> {
+        ShardedEngine::new(num_shards, TricEngine::tric)
+    }
+
+    /// Creates a TRIC+ engine partitioned across `num_shards` worker shards
+    /// (see [`TricEngine::tric_sharded`]); each shard maintains its own
+    /// join-structure cache.
+    pub fn tric_plus_sharded(num_shards: usize) -> ShardedEngine<TricEngine> {
+        ShardedEngine::new(num_shards, TricEngine::tric_plus)
     }
 
     /// The trie forest — exposed for inspection in tests and experiments.
@@ -918,6 +939,94 @@ mod tests {
                 assert_eq!(seq.stats().updates_processed, bat.stats().updates_processed);
                 assert_eq!(seq.stats().embeddings, bat.stats().embeddings);
             }
+        }
+    }
+
+    #[test]
+    fn sharded_forest_partitions_by_root_edge() {
+        use gsm_core::model::generic::GenericEdge;
+        use gsm_core::query::paths::covering_paths;
+        use gsm_core::shard::shard_of;
+
+        // Single-path chain queries over distinct labels: each query is
+        // shard-local, so its trie must live on exactly the shard that owns
+        // its root generic edge — and nowhere else.
+        let mut f = Fixture::new();
+        let queries: Vec<QueryPattern> = (0..8)
+            .map(|i| f.q(&format!("?a -r{i}-> ?b; ?b -s{i}-> ?c")))
+            .collect();
+        let num_shards = 4;
+        let mut sharded = TricEngine::tric_sharded(num_shards);
+        let mut plain = TricEngine::tric();
+        for q in &queries {
+            sharded.register_query(q).unwrap();
+            plain.register_query(q).unwrap();
+        }
+        assert_eq!(sharded.num_spanning_queries(), 0);
+        let per_shard_tries: Vec<usize> = sharded.shard_engines().map(|e| e.num_tries()).collect();
+        assert_eq!(per_shard_tries.iter().sum::<usize>(), plain.num_tries());
+        let per_shard_nodes: Vec<usize> = sharded
+            .shard_engines()
+            .map(|e| e.num_trie_nodes())
+            .collect();
+        assert_eq!(
+            per_shard_nodes.iter().sum::<usize>(),
+            plain.num_trie_nodes()
+        );
+        // Every root edge's trie sits on the shard `shard_of` assigns.
+        for q in &queries {
+            for p in covering_paths(q) {
+                let root = GenericEdge::from_pattern(&q.edges()[p.edges[0]]);
+                let owner = shard_of(&root, num_shards);
+                for (s, engine) in sharded.shard_engines().enumerate() {
+                    let has = engine.forest().nodes_for_edge(&root).iter().any(|&n| {
+                        engine.forest().node(n).depth == 0 && engine.forest().node(n).edge == root
+                    });
+                    assert_eq!(
+                        has,
+                        s == owner,
+                        "trie for {root:?} on shard {s}, owner {owner}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_tric_agrees_with_plain_on_random_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for num_shards in [1usize, 2, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut f = Fixture::new();
+            let queries = vec![
+                f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                f.q("?a -e0-> v3"),
+                f.q("?a -e2-> ?a"),
+            ];
+            let mut plain = TricEngine::tric_plus();
+            let mut sharded = TricEngine::tric_plus_sharded(num_shards);
+            for q in &queries {
+                let a = plain.register_query(q).unwrap();
+                let b = sharded.register_query(q).unwrap();
+                assert_eq!(a, b, "query ids must line up");
+            }
+            for step in 0..400 {
+                let label = format!("e{}", rng.gen_range(0..3));
+                let src = format!("v{}", rng.gen_range(0..8));
+                let tgt = format!("v{}", rng.gen_range(0..8));
+                let u = f.u(&label, &src, &tgt);
+                let a = plain.apply_update(u);
+                let b = sharded.apply_update(u);
+                assert_eq!(a, b, "{num_shards} shards diverged at #{step} on {u:?}");
+            }
+            let (ps, ss) = (plain.stats(), sharded.stats());
+            assert_eq!(ps.updates_processed, ss.updates_processed);
+            assert_eq!(ps.notifications, ss.notifications);
+            assert_eq!(ps.embeddings, ss.embeddings);
+            assert!(sharded.heap_bytes() > 0);
         }
     }
 

@@ -38,3 +38,33 @@ pub fn all_engines() -> Vec<Box<dyn gsm_core::ContinuousEngine>> {
         Box::new(gsm_graphdb::GraphDbEngine::new()),
     ]
 }
+
+/// Factories for every engine implementation, in the same order as
+/// [`all_engines`], boxed `Send` so the engines can be distributed across
+/// the worker shards of [`gsm_core::ShardedEngine`].
+pub fn all_engine_factories() -> Vec<fn() -> Box<dyn gsm_core::ContinuousEngine + Send>> {
+    vec![
+        || Box::new(gsm_tric::TricEngine::tric()),
+        || Box::new(gsm_tric::TricEngine::tric_plus()),
+        || Box::new(gsm_baselines::InvEngine::inv()),
+        || Box::new(gsm_baselines::InvEngine::inv_plus()),
+        || Box::new(gsm_baselines::IncEngine::inc()),
+        || Box::new(gsm_baselines::IncEngine::inc_plus()),
+        || Box::new(gsm_graphdb::GraphDbEngine::new()),
+    ]
+}
+
+/// Returns every engine wrapped in a [`gsm_core::ShardedEngine`] with
+/// `num_shards` shards, in the same order as [`all_engines`]. With
+/// `num_shards <= 1` the wrapper delegates to the single inner engine, so
+/// the result is observationally identical to [`all_engines`] either way —
+/// the shard-count differential tests replay both and assert exactly that.
+pub fn all_engines_sharded(num_shards: usize) -> Vec<Box<dyn gsm_core::ContinuousEngine>> {
+    all_engine_factories()
+        .into_iter()
+        .map(|factory| {
+            Box::new(gsm_core::ShardedEngine::new(num_shards, factory))
+                as Box<dyn gsm_core::ContinuousEngine>
+        })
+        .collect()
+}

@@ -8,9 +8,9 @@
 //! only the covering-path decomposition and the relational kernel, so
 //! agreement across all seven is strong evidence each one is right.
 
-use graph_stream_matching::all_engines;
 use graph_stream_matching::core::prelude::*;
 use graph_stream_matching::datagen::{Dataset, Workload, WorkloadConfig};
+use graph_stream_matching::{all_engines, all_engines_sharded};
 
 /// Replays a workload against every engine, asserting identical reports.
 fn assert_engines_agree(workload: &Workload) {
@@ -116,6 +116,104 @@ fn assert_batch_equals_sequential(workload: &Workload) {
     }
 }
 
+/// Shard counts the sharded differential matrix replays every workload
+/// with. `GSM_SHARDS=<n>` (the CI shard job) narrows the matrix to a single
+/// count; the default covers the degenerate single-shard delegation plus
+/// three genuinely partitioned deployments.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("GSM_SHARDS") {
+        Ok(v) => vec![v
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid GSM_SHARDS value {v:?}"))],
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// The shard-count differential matrix: for every engine and every shard
+/// count, a sharded replay of `workload` must produce exactly the reports of
+/// the unsharded engine — per update (chunk size 1, via `apply_update`) and
+/// batched at the PR 2 chunk sizes, where the expected batch report is the
+/// merge of the unsharded per-update reports of that chunk.
+fn assert_sharded_equals_unsharded(workload: &Workload) {
+    // Unsharded reference: per-engine, per-update reports.
+    let mut ref_engines = all_engines();
+    for engine in ref_engines.iter_mut() {
+        for q in &workload.queries {
+            engine.register_query(q).expect("register");
+        }
+    }
+    let per_update: Vec<Vec<MatchReport>> = ref_engines
+        .iter_mut()
+        .map(|engine| {
+            workload
+                .stream
+                .iter()
+                .map(|u| engine.apply_update(*u))
+                .collect()
+        })
+        .collect();
+
+    for shards in shard_counts() {
+        for chunk_size in BATCH_CHUNK_SIZES {
+            let chunk = chunk_size.min(workload.stream.len().max(1));
+            let mut engines = all_engines_sharded(shards);
+            for engine in engines.iter_mut() {
+                for q in &workload.queries {
+                    engine.register_query(q).expect("register");
+                }
+            }
+            for (engine_idx, engine) in engines.iter_mut().enumerate() {
+                if chunk == 1 {
+                    // Per-update replay through the single-update entry point.
+                    for (i, u) in workload.stream.iter().enumerate() {
+                        let got = engine.apply_update(*u);
+                        assert_eq!(
+                            got,
+                            per_update[engine_idx][i],
+                            "{} × {shards} shards diverged at update #{i} ({u:?}) of {}",
+                            engine.name(),
+                            workload.name
+                        );
+                    }
+                } else {
+                    for (batch_idx, batch) in workload.stream.as_slice().chunks(chunk).enumerate() {
+                        let expected = MatchReport::from_counts(
+                            per_update[engine_idx][batch_idx * chunk..]
+                                .iter()
+                                .take(batch.len())
+                                .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                                .collect(),
+                        );
+                        let got = engine.apply_batch(batch);
+                        assert_eq!(
+                            got,
+                            expected,
+                            "{} × {shards} shards, batch #{batch_idx} (chunk {chunk}) of {} \
+                             diverged from unsharded",
+                            engine.name(),
+                            workload.name
+                        );
+                    }
+                }
+                // Same stream, same embeddings; notification granularity is
+                // per apply call and therefore comparable only at chunk 1.
+                let ref_stats = ref_engines[engine_idx].stats();
+                let stats = engine.stats();
+                assert_eq!(stats.updates_processed, ref_stats.updates_processed);
+                assert_eq!(stats.embeddings, ref_stats.embeddings, "{}", engine.name());
+                if chunk == 1 {
+                    assert_eq!(
+                        stats.notifications,
+                        ref_stats.notifications,
+                        "{}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn engines_agree_on_snb_workload() {
     let workload =
@@ -132,7 +230,19 @@ fn engines_agree_on_taxi_workload() {
 
 #[test]
 fn engines_agree_on_biogrid_workload() {
-    // Small and short queries: the single-label stress test explodes quickly.
+    // Scaled-down seed of the single-label BioGrid stress test (it explodes
+    // quickly); the full-size scenario runs under `--features slow-tests`.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 250, 20).with_query_size(3));
+    assert_engines_agree(&workload);
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "large BioGrid scenario; run with --features slow-tests"
+)]
+fn engines_agree_on_biogrid_workload_large() {
     let workload =
         Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 400, 25).with_query_size(3));
     assert_engines_agree(&workload);
@@ -140,6 +250,22 @@ fn engines_agree_on_biogrid_workload() {
 
 #[test]
 fn engines_agree_with_high_overlap_and_long_queries() {
+    // Scaled-down seed; the full-size scenario runs under
+    // `--features slow-tests`.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 400, 20)
+            .with_query_size(7)
+            .with_overlap(0.8),
+    );
+    assert_engines_agree(&workload);
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "large overlap scenario; run with --features slow-tests"
+)]
+fn engines_agree_with_high_overlap_and_long_queries_large() {
     let workload = Workload::generate(
         WorkloadConfig::new(Dataset::Snb, 700, 30)
             .with_query_size(7)
@@ -183,6 +309,41 @@ fn batch_equals_sequential_with_high_overlap_and_long_queries() {
             .with_overlap(0.8),
     );
     assert_batch_equals_sequential(&workload);
+}
+
+#[test]
+fn sharded_equals_unsharded_on_snb_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 400, 20).with_selectivity(0.4));
+    assert_sharded_equals_unsharded(&workload);
+}
+
+#[test]
+fn sharded_equals_unsharded_on_taxi_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Taxi, 400, 20).with_query_size(3));
+    assert_sharded_equals_unsharded(&workload);
+}
+
+#[test]
+fn sharded_equals_unsharded_on_biogrid_workload() {
+    // The matrix replays the stream (chunk sizes × shard counts) per engine,
+    // so the explosive single-label generator stays small here.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 150, 12).with_query_size(3));
+    assert_sharded_equals_unsharded(&workload);
+}
+
+#[test]
+fn sharded_equals_unsharded_with_high_overlap_and_long_queries() {
+    // High overlap plus long queries maximises shared trie prefixes and
+    // multi-path (spanning-prone) query shapes.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 250, 14)
+            .with_query_size(7)
+            .with_overlap(0.8),
+    );
+    assert_sharded_equals_unsharded(&workload);
 }
 
 #[test]

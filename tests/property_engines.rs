@@ -4,10 +4,10 @@
 
 use proptest::prelude::*;
 
-use graph_stream_matching::all_engines;
 use graph_stream_matching::baselines::BaselineEngine;
 use graph_stream_matching::core::prelude::*;
 use graph_stream_matching::tric::TricEngine;
+use graph_stream_matching::{all_engines, all_engines_sharded};
 
 /// The engines with a real (non-default) batched implementation: TRIC, TRIC+
 /// and the four inverted-index baselines. The graph database keeps the
@@ -165,6 +165,160 @@ proptest! {
                     &expected,
                     "{} diverged on batch at offset {} (len {})",
                     bat.name(),
+                    offset,
+                    len
+                );
+            }
+            offset += len;
+            chunk_idx += 1;
+        }
+    }
+
+    /// The report merge the shard wrapper relies on is **associative and
+    /// commutative** with the empty report as identity: shards may be merged
+    /// in any order or grouping without changing the result.
+    #[test]
+    fn match_report_merge_is_associative_and_commutative(
+        a_pairs in proptest::collection::vec((0u32..16, 0u64..50), 0..10),
+        b_pairs in proptest::collection::vec((0u32..16, 0u64..50), 0..10),
+        c_pairs in proptest::collection::vec((0u32..16, 0u64..50), 0..10),
+    ) {
+        let report = |pairs: &Vec<(u32, u64)>| {
+            MatchReport::from_counts(pairs.iter().map(|&(q, n)| (QueryId(q), n)).collect())
+        };
+        let (a, b, c) = (report(&a_pairs), report(&b_pairs), report(&c_pairs));
+        // Associativity.
+        prop_assert_eq!(a.merge(&b.merge(&c)), a.merge(&b).merge(&c));
+        // Commutativity, pairwise and under a full permutation of the fold.
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), c.merge(&b).merge(&a));
+        prop_assert_eq!(b.merge(&c).merge(&a), a.merge(&b.merge(&c)));
+        // Identity.
+        let empty = MatchReport::empty();
+        prop_assert_eq!(a.merge(&empty), a.clone());
+        prop_assert_eq!(empty.merge(&a), a);
+    }
+
+    /// Sharded engines are observationally equivalent to their unsharded
+    /// counterparts on random workloads at random shard counts, per update.
+    #[test]
+    fn sharded_engines_agree_on_random_workloads(
+        query_specs in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u8..5, 0u8..5, any::<bool>(), any::<bool>()), 1..4),
+            1..5,
+        ),
+        stream_specs in proptest::collection::vec((0u8..3, 0u8..5, 0u8..5), 1..90),
+        num_shards in 1usize..9,
+    ) {
+        let mut symbols = SymbolTable::new();
+        let queries: Vec<QueryPattern> = query_specs
+            .iter()
+            .filter_map(|specs| build_query(specs, &mut symbols))
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        let mut plain = all_engines();
+        let mut sharded = all_engines_sharded(num_shards);
+        for engine in plain.iter_mut().chain(sharded.iter_mut()) {
+            for q in &queries {
+                engine.register_query(q).expect("valid query");
+            }
+        }
+        for (i, &(label, src, tgt)) in stream_specs.iter().enumerate() {
+            let update = Update::new(
+                symbols.intern(&format!("e{label}")),
+                symbols.intern(&format!("v{src}")),
+                symbols.intern(&format!("v{tgt}")),
+            );
+            for (p, s) in plain.iter_mut().zip(sharded.iter_mut()) {
+                let expected = p.apply_update(update);
+                let got = s.apply_update(update);
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{} × {} shards diverged at update #{} ({:?})",
+                    p.name(),
+                    num_shards,
+                    i,
+                    update
+                );
+            }
+        }
+    }
+
+    /// Sharded batched replay under random batch partitions matches the
+    /// merged sequential reports of the unsharded engine — the combination
+    /// of the two wrapper entry points with real multi-update batches, which
+    /// is also what drives the worker-thread absorption path.
+    #[test]
+    fn sharded_batch_partitions_equal_sequential(
+        query_specs in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u8..5, 0u8..5, any::<bool>(), any::<bool>()), 1..4),
+            1..4,
+        ),
+        stream_specs in proptest::collection::vec((0u8..3, 0u8..5, 0u8..5), 1..80),
+        chunk_lens in proptest::collection::vec(1usize..16, 1..10),
+        num_shards in 2usize..9,
+    ) {
+        let mut symbols = SymbolTable::new();
+        let queries: Vec<QueryPattern> = query_specs
+            .iter()
+            .filter_map(|specs| build_query(specs, &mut symbols))
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        // Unsharded sequential reference vs sharded batched replay, for the
+        // two engines at the ends of the spectrum (TRIC+ and the fold-free
+        // batched GraphDB would be redundant with the full matrix in
+        // engine_equivalence; keep the property test lean).
+        let mut references: Vec<Box<dyn ContinuousEngine>> = vec![
+            Box::new(TricEngine::tric_plus()),
+            Box::new(BaselineEngine::inc()),
+        ];
+        let mut sharded: Vec<Box<dyn ContinuousEngine>> = vec![
+            Box::new(TricEngine::tric_plus_sharded(num_shards)),
+            Box::new(BaselineEngine::sharded(
+                graph_stream_matching::baselines::BaselineMode::Inc,
+                false,
+                num_shards,
+            )),
+        ];
+        for engine in references.iter_mut().chain(sharded.iter_mut()) {
+            for q in &queries {
+                engine.register_query(q).expect("valid query");
+            }
+        }
+        let stream: Vec<Update> = stream_specs
+            .iter()
+            .map(|&(label, src, tgt)| {
+                Update::new(
+                    symbols.intern(&format!("e{label}")),
+                    symbols.intern(&format!("v{src}")),
+                    symbols.intern(&format!("v{tgt}")),
+                )
+            })
+            .collect();
+
+        let mut offset = 0usize;
+        let mut chunk_idx = 0usize;
+        while offset < stream.len() {
+            let len = chunk_lens[chunk_idx % chunk_lens.len()].min(stream.len() - offset);
+            let batch = &stream[offset..offset + len];
+            for (seq, bat) in references.iter_mut().zip(sharded.iter_mut()) {
+                let expected = MatchReport::from_counts(
+                    batch
+                        .iter()
+                        .flat_map(|&u| seq.apply_update(u).matches)
+                        .map(|m| (m.query, m.new_embeddings))
+                        .collect(),
+                );
+                let got = bat.apply_batch(batch);
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{} × {} shards diverged on batch at offset {} (len {})",
+                    bat.name(),
+                    num_shards,
                     offset,
                     len
                 );
