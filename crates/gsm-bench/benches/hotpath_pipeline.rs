@@ -1,0 +1,92 @@
+//! Pipelined streaming throughput: TRIC and TRIC+ updates/sec through the
+//! latency-budgeted [`PipelinedEngine`] front end.
+//!
+//! Same measurement discipline as `hotpath_batch`: one SNB-like workload is
+//! generated once, and every timed iteration replays the same 400-update
+//! measured suffix on a freshly built engine warmed with the 3600-update
+//! prefix (`iter_batched`, setup untimed) — but the suffix is *streamed*
+//! update by update through `PipelinedEngine::push` with a real-clock flush
+//! deadline, so the timed region covers the batcher, the staged window
+//! (answer of batch *N* after the routing/propagation of batch *N + 1*) and
+//! the final drain. A flush size of 64 makes the run directly comparable
+//! with the `hotpath_batch` batch-64 numbers in BENCH_PR2.json: the
+//! acceptance bar is that the pipeline sustains at least that throughput
+//! while bounding how long any update can sit buffered (the 5 ms deadline).
+//! Results land in BENCH_PR4.json.
+
+mod common;
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use gsm_bench::harness::EngineKind;
+use gsm_core::engine::ContinuousEngine;
+use gsm_core::pipeline::{PipelineConfig, PipelinedEngine};
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+use std::time::Duration;
+
+/// Updates the engine is warmed with before the timed replay.
+const WARM_UPDATES: usize = 3_600;
+
+/// Updates replayed inside the timed region.
+const MEASURED_UPDATES: usize = 400;
+
+/// Swept batcher flush sizes (64 matches the `hotpath_batch` sweep point).
+const FLUSH_SIZES: [usize; 3] = [8, 64, 512];
+
+/// The batcher's flush deadline: no update waits longer than this buffered.
+const FLUSH_DEADLINE: Duration = Duration::from_millis(5);
+
+fn warmed_engine(kind: EngineKind, workload: &Workload) -> Box<dyn ContinuousEngine + Send> {
+    let mut engine = kind.build();
+    for q in &workload.queries {
+        engine.register_query(q).expect("valid query");
+    }
+    for u in &workload.stream.as_slice()[..WARM_UPDATES] {
+        engine.apply_update(*u);
+    }
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let total = WARM_UPDATES + MEASURED_UPDATES;
+    let workload = Workload::generate(WorkloadConfig::new(Dataset::Snb, total, 60));
+
+    let mut group = c.benchmark_group("hotpath_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(400));
+    group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
+
+    for kind in [EngineKind::Tric, EngineKind::TricPlus] {
+        for flush_size in FLUSH_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), flush_size),
+                &flush_size,
+                |b, &flush_size| {
+                    b.iter_batched(
+                        || {
+                            PipelinedEngine::new(
+                                warmed_engine(kind, &workload),
+                                PipelineConfig::new(flush_size, FLUSH_DEADLINE),
+                            )
+                        },
+                        |mut pipe| {
+                            let suffix = &workload.stream.as_slice()[WARM_UPDATES..];
+                            for &u in suffix {
+                                black_box(pipe.push(u));
+                            }
+                            black_box(pipe.drain());
+                            pipe
+                        },
+                        BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p gsm-bench --release --bin experiments -- [--figure <id>|all]
 //!     [--scale <factor>] [--budget <seconds>] [--batch <n>] [--shards <n>]
-//!     [--out <dir>]
+//!     [--pipeline] [--flush-ms <ms>] [--out <dir>]
 //! ```
 //!
 //! * `--figure` — one of fig12a…fig14c / tab13c, or `all` (default).
@@ -13,11 +13,16 @@
 //!   (default 1 = the paper's per-update answering, 0 = whole stream at once).
 //! * `--shards` — worker shards the engines are partitioned into by root
 //!   generic edge (default 1 = unsharded).
+//! * `--pipeline` — drive the stream through the pipelined streaming
+//!   executor: `--batch` becomes the latency-budgeted batcher's flush size
+//!   and each batch's answer phase overlaps the next batch's routing.
+//! * `--flush-ms` — the pipelined batcher's flush deadline in milliseconds
+//!   (default 5; implies `--pipeline`).
 //! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
 
 use std::fs;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gsm_bench::figures::{all_figure_ids, run_figure, ExperimentScale};
 use gsm_bench::harness::RunLimits;
@@ -28,6 +33,8 @@ struct Args {
     budget_secs: u64,
     batch_size: usize,
     shards: usize,
+    pipeline: bool,
+    flush_ms: u64,
     out_dir: PathBuf,
 }
 
@@ -38,6 +45,8 @@ fn parse_args() -> Result<Args, String> {
         budget_secs: 15,
         batch_size: 1,
         shards: 1,
+        pipeline: false,
+        flush_ms: 5,
         out_dir: PathBuf::from("results"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -79,13 +88,25 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid --shards: {e}"))?;
                 i += 2;
             }
+            "--pipeline" => {
+                args.pipeline = true;
+                i += 1;
+            }
+            "--flush-ms" => {
+                args.flush_ms = value
+                    .ok_or("--flush-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --flush-ms: {e}"))?;
+                args.pipeline = true;
+                i += 2;
+            }
             "--out" | "-o" => {
                 args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--out <dir>]\n\nknown figures: {}",
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--out <dir>]\n\nknown figures: {}",
                     all_figure_ids().join(", ")
                 );
                 std::process::exit(0);
@@ -109,6 +130,11 @@ fn main() {
     scale.limits = RunLimits::seconds(args.budget_secs)
         .with_batch_size(args.batch_size)
         .with_shards(args.shards);
+    if args.pipeline {
+        scale.limits = scale
+            .limits
+            .with_pipeline(Duration::from_millis(args.flush_ms));
+    }
 
     let requested: Vec<String> = if args.figures.iter().any(|f| f == "all") {
         all_figure_ids().iter().map(|s| s.to_string()).collect()
@@ -119,8 +145,16 @@ fn main() {
     fs::create_dir_all(&args.out_dir).expect("create output directory");
     let mut summary = String::new();
     summary.push_str(&format!(
-        "# Reproduced evaluation (scale {:.2}, budget {}s per run, batch size {}, {} shard(s))\n\n",
-        args.scale, args.budget_secs, args.batch_size, args.shards
+        "# Reproduced evaluation (scale {:.2}, budget {}s per run, batch size {}, {} shard(s){})\n\n",
+        args.scale,
+        args.budget_secs,
+        args.batch_size,
+        args.shards,
+        if args.pipeline {
+            format!(", pipelined with a {} ms flush deadline", args.flush_ms)
+        } else {
+            String::new()
+        }
     ));
 
     for id in &requested {

@@ -4,6 +4,7 @@ use std::time::{Duration, Instant};
 
 use gsm_baselines::BaselineEngine;
 use gsm_core::engine::ContinuousEngine;
+use gsm_core::pipeline::{PipelineConfig, PipelinedEngine};
 use gsm_core::shard::ShardedEngine;
 use gsm_core::stats::LatencyRecorder;
 use gsm_datagen::Workload;
@@ -128,6 +129,13 @@ pub struct RunLimits {
     /// Number of worker shards the engine is partitioned into by root
     /// generic edge. `1` (the default) runs the plain unsharded engine.
     pub shards: usize,
+    /// When set, the stream is driven through the pipelined streaming
+    /// executor ([`gsm_core::pipeline::PipelinedEngine`]) instead of plain
+    /// `apply_batch` chunking: `batch_size` becomes the batcher's flush
+    /// size and this duration its flush deadline, and the answer phase of
+    /// each batch overlaps the staging of the next. `None` (the default)
+    /// reproduces the historical chunked replay exactly.
+    pub pipeline: Option<Duration>,
 }
 
 impl Default for RunLimits {
@@ -136,6 +144,7 @@ impl Default for RunLimits {
             time_budget: Duration::from_secs(20),
             batch_size: 1,
             shards: 1,
+            pipeline: None,
         }
     }
 }
@@ -161,6 +170,13 @@ impl RunLimits {
         self.shards = shards.max(1);
         self
     }
+
+    /// Routes the stream through the pipelined streaming executor with the
+    /// given flush deadline (`batch_size` is the flush size).
+    pub fn with_pipeline(mut self, flush: Duration) -> Self {
+        self.pipeline = Some(flush);
+        self
+    }
 }
 
 /// The outcome of one (engine, workload) run.
@@ -174,6 +190,8 @@ pub struct RunResult {
     pub batch_size: usize,
     /// Number of worker shards used for the run (1 = unsharded).
     pub shards: usize,
+    /// True if the stream was driven through the pipelined executor.
+    pub pipelined: bool,
     /// Time spent registering the query set, total.
     pub indexing_total: Duration,
     /// Average query-insertion time in milliseconds.
@@ -217,6 +235,9 @@ impl RunResult {
 /// answering exactly (engines fall back to `apply_update` for singleton
 /// batches).
 pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> RunResult {
+    if let Some(flush) = limits.pipeline {
+        return run_engine_pipelined(kind, workload, limits, flush);
+    }
     let mut engine = kind.build_sharded(limits.shards);
 
     // Query indexing phase.
@@ -259,6 +280,7 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
         workload: workload.name.clone(),
         batch_size: chunk,
         shards: limits.shards.max(1),
+        pipelined: false,
         indexing_total,
         indexing_ms_per_query: if workload.queries.is_empty() {
             0.0
@@ -276,6 +298,93 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
         notifications,
         embeddings,
         heap_bytes: engine.heap_bytes(),
+        timed_out,
+    }
+}
+
+/// The pipelined variant of [`run_engine`]: the stream is pushed update by
+/// update into a [`PipelinedEngine`] whose batcher flushes at
+/// `limits.batch_size` updates or after `flush`, whichever comes first, and
+/// whose staged window overlaps each batch's answer phase with the next
+/// batch's routing/propagation. Latencies are recorded per `push` call (the
+/// streaming caller's view: most pushes just buffer, the flushing push pays
+/// the stage + deferred answer), and the final drain is timed too.
+fn run_engine_pipelined(
+    kind: EngineKind,
+    workload: &Workload,
+    limits: RunLimits,
+    flush: Duration,
+) -> RunResult {
+    let engine = kind.build_sharded(limits.shards);
+    let chunk = if limits.batch_size == 0 {
+        workload.stream.len().max(1)
+    } else {
+        limits.batch_size
+    };
+    let mut pipe = PipelinedEngine::new(engine, PipelineConfig::new(chunk, flush));
+
+    // Query indexing phase.
+    let index_start = Instant::now();
+    for query in &workload.queries {
+        pipe.register_query(query)
+            .expect("generated queries are valid");
+    }
+    let indexing_total = index_start.elapsed();
+
+    // Streaming answering phase.
+    let mut latencies = LatencyRecorder::with_capacity(workload.stream.len() + 1);
+    let mut notifications = 0u64;
+    let mut embeddings = 0u64;
+    let mut processed = 0usize;
+    let mut timed_out = false;
+    let answering_start = Instant::now();
+    for u in workload.stream.iter() {
+        let t = Instant::now();
+        let done = pipe.push(*u);
+        latencies.record(t.elapsed());
+        for b in &done {
+            notifications += b.report.len() as u64;
+            embeddings += b.report.total_embeddings();
+        }
+        processed += 1;
+        if answering_start.elapsed() > limits.time_budget {
+            timed_out = processed < workload.stream.len();
+            break;
+        }
+    }
+    // Drain the window so every pushed update is answered.
+    let t = Instant::now();
+    let done = pipe.drain();
+    latencies.record(t.elapsed());
+    for b in &done {
+        notifications += b.report.len() as u64;
+        embeddings += b.report.total_embeddings();
+    }
+    let answering_total = answering_start.elapsed();
+
+    RunResult {
+        engine: kind.name(),
+        workload: workload.name.clone(),
+        batch_size: chunk,
+        shards: limits.shards.max(1),
+        pipelined: true,
+        indexing_total,
+        indexing_ms_per_query: if workload.queries.is_empty() {
+            0.0
+        } else {
+            indexing_total.as_secs_f64() * 1e3 / workload.queries.len() as f64
+        },
+        answer_ms_per_update: if processed == 0 {
+            0.0
+        } else {
+            latencies.total().as_secs_f64() * 1e3 / processed as f64
+        },
+        answer_p95_ms: latencies.p95_ms(),
+        answering_total,
+        updates_processed: processed,
+        notifications,
+        embeddings,
+        heap_bytes: pipe.heap_bytes(),
         timed_out,
     }
 }
@@ -381,6 +490,41 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_runs_report_the_same_embeddings() {
+        let w = tiny_workload();
+        let reference = run_engine(EngineKind::TricPlus, &w, RunLimits::seconds(30));
+        assert!(!reference.pipelined);
+        for batch_size in [1usize, 16] {
+            let r = run_engine(
+                EngineKind::TricPlus,
+                &w,
+                RunLimits::seconds(30)
+                    .with_batch_size(batch_size)
+                    .with_pipeline(Duration::from_millis(5)),
+            );
+            assert!(r.pipelined);
+            assert!(!r.timed_out);
+            assert_eq!(r.updates_processed, w.num_updates());
+            // The pipeline answers every update exactly once, so the
+            // embedding total matches sequential execution; notification
+            // granularity is per completed batch and therefore ≤ per-update.
+            assert_eq!(r.embeddings, reference.embeddings, "batch {batch_size}");
+            assert!(r.notifications <= reference.notifications);
+        }
+        // Pipeline × sharding composition through the harness entry point.
+        let r = run_engine(
+            EngineKind::TricPlus,
+            &w,
+            RunLimits::seconds(30)
+                .with_batch_size(16)
+                .with_shards(2)
+                .with_pipeline(Duration::from_millis(5)),
+        );
+        assert!(r.pipelined && !r.timed_out);
+        assert_eq!(r.embeddings, reference.embeddings);
+    }
+
+    #[test]
     fn zero_budget_times_out() {
         let w = tiny_workload();
         let result = run_engine(
@@ -390,6 +534,7 @@ mod tests {
                 time_budget: Duration::ZERO,
                 batch_size: 1,
                 shards: 1,
+                pipeline: None,
             },
         );
         assert!(result.timed_out);

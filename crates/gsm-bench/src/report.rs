@@ -67,7 +67,7 @@ impl FigureResult {
     /// Renders the underlying runs as CSV (one row per engine × x-value).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "figure,x,engine,batch_size,shards,answer_ms_per_update,p95_ms,indexing_ms_per_query,updates_processed,notifications,embeddings,heap_bytes,timed_out\n",
+            "figure,x,engine,batch_size,shards,pipelined,answer_ms_per_update,p95_ms,indexing_ms_per_query,updates_processed,notifications,embeddings,heap_bytes,timed_out\n",
         );
         let per_x = self.series.len();
         for (i, run) in self.runs.iter().enumerate() {
@@ -77,12 +77,13 @@ impl FigureResult {
                 .copied()
                 .unwrap_or(f64::NAN);
             out.push_str(&format!(
-                "{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{:.6},{:.6},{:.6},{},{},{},{},{}\n",
                 self.id,
                 x,
                 run.engine,
                 run.batch_size,
                 run.shards,
+                run.pipelined,
                 run.answer_ms_per_update,
                 run.answer_p95_ms,
                 run.indexing_ms_per_query,
@@ -160,6 +161,7 @@ mod tests {
             workload: "w".into(),
             batch_size: 1,
             shards: 1,
+            pipelined: false,
             indexing_total: Duration::from_millis(5),
             indexing_ms_per_query: 0.05,
             answer_ms_per_update: ms,

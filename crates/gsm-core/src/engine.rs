@@ -138,6 +138,83 @@ impl MatchReport {
     }
 }
 
+/// The token handed from [`ContinuousEngine::stage_batch`] to
+/// [`ContinuousEngine::answer_staged`]: a batch whose routing/propagation
+/// phase has run but whose final covering-path join (answering) phase may
+/// still be pending.
+///
+/// Engines that do not split their phases produce **immediate** tokens (the
+/// report was already computed at stage time); engines that do split —
+/// TRIC/TRIC+ and the sharded wrapper — produce **deferred** tokens carrying
+/// the engine-specific data the answer phase needs (per-path delta relations
+/// plus the version watermarks of the views to join against). The token is
+/// deliberately type-erased (`Box<dyn Any>`) so the trait stays
+/// object-safe; an engine only ever downcasts tokens it produced itself.
+#[derive(Debug)]
+pub struct StagedBatch(StagedRepr);
+
+enum StagedRepr {
+    /// Answering already happened at stage time; the report is final.
+    Immediate(MatchReport),
+    /// Engine-specific deferred-answer state.
+    Deferred(Box<dyn std::any::Any + Send>),
+}
+
+impl std::fmt::Debug for StagedRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagedRepr::Immediate(r) => f.debug_tuple("Immediate").field(r).finish(),
+            StagedRepr::Deferred(_) => f.debug_tuple("Deferred").finish(),
+        }
+    }
+}
+
+impl StagedBatch {
+    /// Wraps a report computed eagerly at stage time (the default
+    /// implementation's token).
+    pub fn immediate(report: MatchReport) -> Self {
+        StagedBatch(StagedRepr::Immediate(report))
+    }
+
+    /// Wraps engine-specific deferred-answer state. An engine returning
+    /// deferred tokens from [`ContinuousEngine::stage_batch`] **must**
+    /// override [`ContinuousEngine::answer_staged`] to consume them.
+    pub fn deferred<T: std::any::Any + Send>(token: T) -> Self {
+        StagedBatch(StagedRepr::Deferred(Box::new(token)))
+    }
+
+    /// True if the report was already computed at stage time.
+    pub fn is_immediate(&self) -> bool {
+        matches!(self.0, StagedRepr::Immediate(_))
+    }
+
+    /// Consumes an immediate token. Panics on a deferred token: the engine
+    /// that produced it failed to override `answer_staged`.
+    pub fn into_immediate(self) -> MatchReport {
+        match self.0 {
+            StagedRepr::Immediate(report) => report,
+            StagedRepr::Deferred(_) => panic!(
+                "deferred StagedBatch reached the default answer_staged; \
+                 an engine overriding stage_batch must override answer_staged"
+            ),
+        }
+    }
+
+    /// Consumes a deferred token of concrete type `T`, or returns the
+    /// immediate report (`Err`) so overriding engines can pass through
+    /// tokens produced by the default stage path. Panics if the deferred
+    /// token has a different concrete type — tokens must be answered by the
+    /// engine that staged them.
+    pub fn into_deferred<T: std::any::Any>(self) -> std::result::Result<T, MatchReport> {
+        match self.0 {
+            StagedRepr::Immediate(report) => Err(report),
+            StagedRepr::Deferred(any) => Ok(*any
+                .downcast::<T>()
+                .expect("StagedBatch answered by an engine that did not stage it")),
+        }
+    }
+}
+
 /// Cumulative counters every engine keeps; used by the harness for sanity
 /// checks and by EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -229,6 +306,47 @@ pub trait ContinuousEngine {
         MatchReport::from_counts(counts)
     }
 
+    /// Phase 1 of split batch answering: routing, delta propagation and view
+    /// appends for `updates`, with the final covering-path join (the answer
+    /// phase) deferred into the returned token.
+    ///
+    /// # Staging contract
+    ///
+    /// Together with [`answer_staged`](Self::answer_staged) this is the
+    /// substrate of the pipelined executor ([`crate::pipeline`]):
+    ///
+    /// * `stage_batch(N)` followed eventually by `answer_staged(N)` must
+    ///   report exactly what `apply_batch(N)` would have.
+    /// * **Later stages may run first**: `stage_batch(N + 1)` (and further
+    ///   stages) may execute *before* `answer_staged(N)`. Engines guarantee
+    ///   this by answering against version watermarks captured at stage
+    ///   time — the insert-only views ([`crate::relation::Relation`]
+    ///   versioning) make rows appended by later stages invisible to an
+    ///   earlier batch's answer pass.
+    /// * Tokens must be answered in stage (FIFO) order, each exactly once,
+    ///   and by the engine that staged them.
+    /// * [`register_query`](Self::register_query) must not be called while
+    ///   staged tokens are outstanding (registration may restructure the
+    ///   very tries and views the deferred answer joins against); the
+    ///   pipelined executor drains its window before registering.
+    /// * Stats granularity: `updates_processed` advances at stage time,
+    ///   `notifications`/`embeddings` at answer time.
+    ///
+    /// The default implementation runs the whole `apply_batch` eagerly and
+    /// stores the report in an immediate token, which trivially satisfies
+    /// the contract; engines with a genuine phase split (TRIC/TRIC+, the
+    /// sharded wrapper) override both methods.
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        StagedBatch::immediate(self.apply_batch(updates))
+    }
+
+    /// Phase 2 of split batch answering: consumes a token produced by
+    /// [`stage_batch`](Self::stage_batch) and returns the batch's report.
+    /// See the staging contract on `stage_batch`.
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        staged.into_immediate()
+    }
+
     /// Number of registered queries.
     fn num_queries(&self) -> usize;
 
@@ -280,6 +398,12 @@ impl<T: ContinuousEngine + ?Sized> ContinuousEngine for Box<T> {
     }
     fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
         (**self).apply_batch(updates)
+    }
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        (**self).stage_batch(updates)
+    }
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        (**self).answer_staged(staged)
     }
     fn num_queries(&self) -> usize {
         (**self).num_queries()
@@ -417,6 +541,46 @@ mod tests {
         };
         let notifications = engine.apply_stream(&updates);
         assert_eq!(notifications, 7);
+    }
+
+    #[test]
+    fn default_stage_then_answer_equals_apply_batch() {
+        let updates = toy_updates();
+        let mut split = ToyEngine {
+            stats: EngineStats::default(),
+        };
+        let staged = split.stage_batch(&updates);
+        assert!(staged.is_immediate());
+        let report = split.answer_staged(staged);
+
+        let mut whole = ToyEngine {
+            stats: EngineStats::default(),
+        };
+        assert_eq!(report, whole.apply_batch(&updates));
+        assert_eq!(split.stats(), whole.stats());
+    }
+
+    #[test]
+    fn staged_batch_token_roundtrips() {
+        let report = MatchReport::from_counts(vec![(QueryId(1), 2)]);
+        assert_eq!(
+            StagedBatch::immediate(report.clone()).into_immediate(),
+            report
+        );
+        // An overriding engine passes immediate tokens through as Err.
+        assert_eq!(
+            StagedBatch::immediate(report.clone()).into_deferred::<u32>(),
+            Err(report)
+        );
+        let token = StagedBatch::deferred(41u32);
+        assert!(!token.is_immediate());
+        assert_eq!(token.into_deferred::<u32>(), Ok(41));
+    }
+
+    #[test]
+    #[should_panic(expected = "must override answer_staged")]
+    fn deferred_token_in_default_answer_panics() {
+        StagedBatch::deferred(()).into_immediate();
     }
 
     #[test]

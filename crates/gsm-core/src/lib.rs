@@ -20,6 +20,8 @@
 //!   plus match reports.
 //! * [`shard`] — [`ShardedEngine`], the root-generic-edge partitioning of
 //!   any engine across worker shards with a deterministic report merge.
+//! * [`pipeline`] — [`PipelinedEngine`], the latency-budgeted batcher and
+//!   pipelined streaming executor built on delta-view versioning.
 //! * [`stats`] / [`memory`] — latency statistics and heap accounting used by
 //!   the benchmark harness.
 //!
@@ -43,27 +45,29 @@ pub mod error;
 pub mod interner;
 pub mod memory;
 pub mod model;
+pub mod pipeline;
 pub mod query;
 pub mod relation;
 pub mod shard;
 pub mod stats;
 pub mod views;
 
-pub use engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, QueryMatch};
+pub use engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, QueryMatch, StagedBatch};
 pub use error::{Error, Result};
 pub use interner::{Sym, SymbolTable};
 pub use model::generic::{GenTerm, GenericEdge};
 pub use model::graph::AttributeGraph;
 pub use model::term::{PatternEdge, Term, VarId};
 pub use model::update::{GraphStream, Update};
+pub use pipeline::{CompletedBatch, DeadlineBatcher, PipelineConfig, PipelinedEngine};
 pub use query::classes::QueryClass;
 pub use query::paths::{covering_paths, CoveringPath};
 pub use query::pattern::{QVertexId, QueryPattern};
 pub use relation::cache::JoinCache;
 pub use relation::eval::{join_paths, PathBinding};
-pub use relation::Relation;
+pub use relation::{Relation, RelationSnapshot};
 pub use shard::{shard_of, ShardedEngine};
-pub use views::EdgeViewStore;
+pub use views::{EdgeViewStore, ViewsVersion};
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use crate::model::graph::AttributeGraph;
     pub use crate::model::term::{PatternEdge, Term, VarId};
     pub use crate::model::update::{GraphStream, Update};
+    pub use crate::pipeline::{CompletedBatch, PipelineConfig, PipelinedEngine};
     pub use crate::query::classes::QueryClass;
     pub use crate::query::paths::{covering_paths, CoveringPath};
     pub use crate::query::pattern::{QVertexId, QueryPattern};

@@ -1,0 +1,615 @@
+//! The pipelined streaming executor: a latency-budgeted batcher in front of
+//! any [`ContinuousEngine`], overlapping the answer phase of one batch with
+//! the routing/propagation of the next.
+//!
+//! # Why this exists
+//!
+//! The three phases of the paper's answering algorithm — routing updates to
+//! materialized views, delta propagation down the trie forest, and the final
+//! covering-path join — run strictly serialized in `apply_batch`. But the
+//! views are insert-only, so a version watermark ([`Relation::version`])
+//! frozen when batch *N* finishes propagation identifies exactly the state
+//! its join pass must read **forever**: batch *N + 1* can be routed and
+//! propagated (appending past the watermarks) before batch *N* is answered,
+//! and the deferred answer still produces byte-identical reports. The
+//! [`ContinuousEngine::stage_batch`] / [`ContinuousEngine::answer_staged`]
+//! split encapsulates this per engine; [`PipelinedEngine`] turns it into a
+//! streaming executor:
+//!
+//! ```text
+//!   push(u) ─▶ DeadlineBatcher ──flush (size │ deadline)──▶ stage_batch(N+1)
+//!                                                               │
+//!                staged window (depth ≥ 1)  ◀──────────────────┘
+//!                     │ window full
+//!                     ▼
+//!              answer_staged(N)  ─▶ CompletedBatch reports, arrival order
+//! ```
+//!
+//! With the default window depth of 1, batch *N + 1* is always staged
+//! *before* batch *N* is answered — the phase overlap the ROADMAP's
+//! delta-view-versioning item asks for. Reports complete in arrival order,
+//! so concatenating (or merging) them reproduces sequential execution
+//! exactly; the differential suites in `tests/engine_equivalence.rs` pin
+//! this for every engine, workload, flush size and deadline.
+//!
+//! # The latency budget
+//!
+//! [`DeadlineBatcher`] flushes a batch when it reaches `max_batch` updates
+//! **or** when the oldest buffered update has waited `max_delay` — the
+//! ROADMAP's "adaptive batching" item: throughput keeps rising with batch
+//! size, so a streaming caller batches as much as its latency budget allows
+//! and no more. The executor is single-threaded and deterministic: deadlines
+//! are only observed at [`PipelinedEngine::push_at`] /
+//! [`PipelinedEngine::poll_at`] calls (there is no timer thread), and every
+//! entry point takes an explicit `Instant` so tests can drive a synthetic
+//! clock.
+//!
+//! [`Relation::version`]: crate::relation::Relation::version
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, StagedBatch};
+use crate::error::Result;
+use crate::model::update::Update;
+use crate::query::pattern::QueryPattern;
+
+/// Configuration of the pipelined executor: the batcher's flush policy plus
+/// the staged-window depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Flush when the buffer reaches this many updates (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// Flush when the oldest buffered update has waited this long.
+    pub max_delay: Duration,
+    /// Staged batches allowed in flight before the oldest is answered.
+    /// Depth 1 (the default) answers batch *N* only once batch *N + 1* has
+    /// been staged; depth 0 degenerates to stage-then-answer immediately.
+    pub depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(5),
+            depth: 1,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A config with the given flush size and deadline and the default
+    /// window depth.
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        PipelineConfig {
+            max_batch,
+            max_delay,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the staged-window depth.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+}
+
+/// The latency-budgeted batcher: accumulates updates and emits a batch when
+/// it reaches the size bound **or** the oldest buffered update exceeds the
+/// delay bound, whichever comes first. Time is always passed in explicitly,
+/// so the flush behaviour is deterministic and testable.
+#[derive(Debug)]
+pub struct DeadlineBatcher {
+    max_batch: usize,
+    max_delay: Duration,
+    buffer: Vec<Update>,
+    /// Deadline of the oldest buffered update (`None` when empty).
+    deadline: Option<Instant>,
+}
+
+impl DeadlineBatcher {
+    /// Creates an empty batcher; `max_batch` is clamped to at least 1.
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        DeadlineBatcher {
+            max_batch: max_batch.max(1),
+            max_delay,
+            buffer: Vec::new(),
+            deadline: None,
+        }
+    }
+
+    /// Number of buffered updates.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// The instant the buffered batch must flush by, if any.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Buffers one update at time `now`, returning a full batch if this push
+    /// filled the buffer or the oldest update's deadline has passed.
+    pub fn push(&mut self, update: Update, now: Instant) -> Option<Vec<Update>> {
+        if self.buffer.is_empty() {
+            self.deadline = Some(now + self.max_delay);
+        }
+        self.buffer.push(update);
+        if self.buffer.len() >= self.max_batch || self.deadline.is_some_and(|d| now >= d) {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Deadline check without a new update: flushes the buffer if the oldest
+    /// buffered update has waited past its deadline.
+    pub fn poll(&mut self, now: Instant) -> Option<Vec<Update>> {
+        if self.deadline.is_some_and(|d| now >= d) {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally flushes whatever is buffered.
+    pub fn flush(&mut self) -> Option<Vec<Update>> {
+        self.deadline = None;
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.buffer))
+        }
+    }
+}
+
+/// A batch whose report completed: the number of updates it covered (in
+/// stream order) and its merged [`MatchReport`]. Batches complete strictly
+/// in arrival order, so concatenating `CompletedBatch`es reconstructs the
+/// stream segmentation the batcher chose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedBatch {
+    /// Number of stream updates this batch covered.
+    pub updates: usize,
+    /// The batch's report — identical to `apply_batch` over those updates.
+    pub report: MatchReport,
+}
+
+/// The pipelined streaming executor: a [`DeadlineBatcher`] feeding an
+/// engine's [`stage_batch`](ContinuousEngine::stage_batch) /
+/// [`answer_staged`](ContinuousEngine::answer_staged) split through a small
+/// staged window, so the covering-path join of batch *N* runs after the
+/// routing/propagation of batch *N + 1* (see the [module docs](self)).
+///
+/// The wrapper is itself a [`ContinuousEngine`]: the trait entry points
+/// drain the window first (a pipeline barrier) and then behave exactly like
+/// the inner engine, so the executor can be dropped into any harness.
+/// Reports produced while draining are retained and returned by the next
+/// [`take_completed`](PipelinedEngine::take_completed) /
+/// [`push`](PipelinedEngine::push) / [`drain`](PipelinedEngine::drain) call
+/// — nothing is ever silently discarded.
+#[derive(Debug)]
+pub struct PipelinedEngine<E> {
+    engine: E,
+    batcher: DeadlineBatcher,
+    depth: usize,
+    /// In-flight staged batches, oldest first: `(updates, token)`.
+    staged: VecDeque<(usize, StagedBatch)>,
+    /// Answered batches not yet handed to the caller, arrival order.
+    completed: Vec<CompletedBatch>,
+}
+
+impl<E: ContinuousEngine> PipelinedEngine<E> {
+    /// Wraps `engine` behind a pipelined front end.
+    pub fn new(engine: E, config: PipelineConfig) -> Self {
+        PipelinedEngine {
+            engine,
+            batcher: DeadlineBatcher::new(config.max_batch, config.max_delay),
+            depth: config.depth,
+            staged: VecDeque::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Unwraps the engine. Outstanding staged batches are answered first so
+    /// no staged state is abandoned; any resulting reports are dropped with
+    /// the wrapper, so call [`drain`](Self::drain) first if they matter.
+    pub fn into_inner(mut self) -> E {
+        self.barrier();
+        self.engine
+    }
+
+    /// Number of staged batches whose answer pass has not run yet.
+    pub fn in_flight(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Number of updates buffered by the batcher (not yet staged).
+    pub fn buffered(&self) -> usize {
+        self.batcher.len()
+    }
+
+    /// Streams one update at the current wall-clock time. Returns the
+    /// batches that completed as a result (often none — they complete when
+    /// the window overflows).
+    pub fn push(&mut self, update: Update) -> Vec<CompletedBatch> {
+        self.push_at(update, Instant::now())
+    }
+
+    /// Streams one update at an explicit time `now` (deterministic variant
+    /// of [`push`](Self::push) for tests and replay harnesses).
+    pub fn push_at(&mut self, update: Update, now: Instant) -> Vec<CompletedBatch> {
+        if let Some(batch) = self.batcher.push(update, now) {
+            self.stage(batch);
+        }
+        self.advance();
+        self.take_completed()
+    }
+
+    /// Observes the clock without a new update: flushes the buffered batch
+    /// if its deadline has passed and returns any batches that completed.
+    /// Call this from idle loops — the executor has no timer thread.
+    pub fn poll_at(&mut self, now: Instant) -> Vec<CompletedBatch> {
+        if let Some(batch) = self.batcher.poll(now) {
+            self.stage(batch);
+        }
+        self.advance();
+        self.take_completed()
+    }
+
+    /// Flushes the buffer and answers every staged batch: the pipeline
+    /// barrier. Returns all completed batches, in arrival order.
+    pub fn drain(&mut self) -> Vec<CompletedBatch> {
+        self.barrier();
+        self.take_completed()
+    }
+
+    /// Completed batches accumulated since the last call, arrival order.
+    pub fn take_completed(&mut self) -> Vec<CompletedBatch> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Streams a whole slice through the pipeline (constant synthetic time,
+    /// so segmentation is purely size-driven), drains it, and returns the
+    /// merge of every report — equal to merging the sequential per-update
+    /// reports of the stream. Convenience for benches and tests.
+    pub fn run_stream(&mut self, updates: &[Update]) -> MatchReport {
+        let now = Instant::now();
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        let mut fold = |batches: Vec<CompletedBatch>| {
+            for b in batches {
+                counts.extend(b.report.matches.iter().map(|m| (m.query, m.new_embeddings)));
+            }
+        };
+        for &u in updates {
+            fold(self.push_at(u, now));
+        }
+        fold(self.drain());
+        MatchReport::from_counts(counts)
+    }
+
+    /// Stages one flushed batch into the window.
+    fn stage(&mut self, batch: Vec<Update>) {
+        let token = self.engine.stage_batch(&batch);
+        self.staged.push_back((batch.len(), token));
+    }
+
+    /// Answers staged batches (oldest first) until the window is back under
+    /// its depth.
+    fn advance(&mut self) {
+        while self.staged.len() > self.depth {
+            self.answer_oldest();
+        }
+    }
+
+    /// Answers the oldest staged batch into `completed`.
+    fn answer_oldest(&mut self) {
+        if let Some((updates, token)) = self.staged.pop_front() {
+            let report = self.engine.answer_staged(token);
+            self.completed.push(CompletedBatch { updates, report });
+        }
+    }
+
+    /// Flushes the batcher and empties the staged window.
+    fn barrier(&mut self) {
+        if let Some(batch) = self.batcher.flush() {
+            self.stage(batch);
+        }
+        while !self.staged.is_empty() {
+            self.answer_oldest();
+        }
+    }
+}
+
+impl<E: ContinuousEngine> ContinuousEngine for PipelinedEngine<E> {
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Registers on the inner engine behind a pipeline barrier —
+    /// registration must not interleave with staged batches (see the
+    /// staging contract on [`ContinuousEngine::stage_batch`]).
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        self.barrier();
+        self.engine.register_query(query)
+    }
+
+    /// Barrier, then the inner engine's `apply_update`: the report covers
+    /// exactly this update, like any engine's.
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.barrier();
+        self.engine.apply_update(update)
+    }
+
+    /// Barrier, then the inner engine's `apply_batch`: the report covers
+    /// exactly this batch, like any engine's.
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.barrier();
+        self.engine.apply_batch(updates)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.engine.num_queries()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.engine.heap_bytes()
+    }
+
+    /// The inner engine's counters. While batches are in flight,
+    /// `updates_processed` (stage-time) runs ahead of
+    /// `notifications`/`embeddings` (answer-time); after a
+    /// [`drain`](PipelinedEngine::drain) the counters are exactly those of
+    /// sequential batched execution.
+    fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Sym;
+
+    fn u(label: u32, src: u32, tgt: u32) -> Update {
+        Update::new(Sym(label), Sym(src), Sym(tgt))
+    }
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn batcher_flushes_on_size() {
+        let mut b = DeadlineBatcher::new(3, Duration::from_secs(60));
+        let now = t0();
+        assert!(b.push(u(0, 1, 2), now).is_none());
+        assert!(b.push(u(0, 2, 3), now).is_none());
+        assert_eq!(b.len(), 2);
+        let batch = b.push(u(0, 3, 4), now).expect("size flush");
+        assert_eq!(batch.len(), 3);
+        assert!(b.is_empty());
+        assert!(b.next_deadline().is_none());
+    }
+
+    #[test]
+    fn batcher_flushes_on_deadline() {
+        let mut b = DeadlineBatcher::new(1000, 5 * MS);
+        let now = t0();
+        assert!(b.push(u(0, 1, 2), now).is_none());
+        let deadline = b.next_deadline().expect("armed");
+        assert_eq!(deadline, now + 5 * MS);
+        // Deadline is measured from the *oldest* buffered update.
+        assert!(b.push(u(0, 2, 3), now + 3 * MS).is_none());
+        assert!(b.poll(now + 4 * MS).is_none(), "before the deadline");
+        let batch = b.poll(now + 5 * MS).expect("deadline flush");
+        assert_eq!(batch.len(), 2);
+        // A push at/after the deadline flushes too (no poll needed).
+        assert!(b.push(u(0, 3, 4), now + 10 * MS).is_none());
+        let batch = b.push(u(0, 4, 5), now + 16 * MS).expect("late push flush");
+        assert_eq!(batch.len(), 2);
+        // Empty batcher never deadline-flushes.
+        assert!(b.poll(now + 100 * MS).is_none());
+    }
+
+    #[test]
+    fn batcher_clamps_degenerate_size() {
+        let mut b = DeadlineBatcher::new(0, Duration::from_secs(1));
+        assert_eq!(b.push(u(0, 1, 2), t0()).expect("size 1").len(), 1);
+    }
+
+    /// A deterministic split engine that records the interleaving of its
+    /// stage and answer phases: every update with an even label satisfies
+    /// query 0. Stage stamps the token with a sequence number; answer
+    /// verifies FIFO consumption.
+    #[derive(Default)]
+    struct SplitToy {
+        stats: EngineStats,
+        staged_seq: u64,
+        answered_seq: u64,
+        /// Event log: (phase, batch sequence number).
+        log: Vec<(&'static str, u64)>,
+    }
+
+    struct ToyToken {
+        seq: u64,
+        hits: u64,
+    }
+
+    impl ContinuousEngine for SplitToy {
+        fn name(&self) -> &'static str {
+            "SPLIT-TOY"
+        }
+        fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+            Ok(QueryId(0))
+        }
+        fn apply_update(&mut self, update: Update) -> MatchReport {
+            self.apply_batch(&[update])
+        }
+        fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+            let staged = self.stage_batch(updates);
+            self.answer_staged(staged)
+        }
+        fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+            self.stats.updates_processed += updates.len() as u64;
+            let seq = self.staged_seq;
+            self.staged_seq += 1;
+            self.log.push(("stage", seq));
+            let hits = updates
+                .iter()
+                .filter(|u| u.label.0.is_multiple_of(2))
+                .count() as u64;
+            StagedBatch::deferred(ToyToken { seq, hits })
+        }
+        fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+            let token = staged.into_deferred::<ToyToken>().expect("own token");
+            assert_eq!(token.seq, self.answered_seq, "answers must be FIFO");
+            self.answered_seq += 1;
+            self.log.push(("answer", token.seq));
+            let report = if token.hits > 0 {
+                MatchReport::from_counts(vec![(QueryId(0), token.hits)])
+            } else {
+                MatchReport::empty()
+            };
+            self.stats.notifications += report.len() as u64;
+            self.stats.embeddings += report.total_embeddings();
+            report
+        }
+        fn num_queries(&self) -> usize {
+            1
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> EngineStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn pipeline_overlaps_stage_of_next_with_answer_of_previous() {
+        let config = PipelineConfig::new(2, Duration::from_secs(60));
+        assert_eq!(config.depth, 1);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        let mut completed = Vec::new();
+        for i in 0..8u32 {
+            completed.extend(pipe.push_at(u(i % 3, i, i + 1), now));
+        }
+        completed.extend(pipe.drain());
+
+        // 8 updates in batches of 2 → 4 batches, all completed in order.
+        assert_eq!(completed.len(), 4);
+        assert!(completed.iter().all(|b| b.updates == 2));
+
+        // The log proves the overlap: every batch N is staged before batch
+        // N-1 is answered (depth-1 window).
+        let log = &pipe.engine().log;
+        assert_eq!(
+            log,
+            &vec![
+                ("stage", 0),
+                ("stage", 1),
+                ("answer", 0),
+                ("stage", 2),
+                ("answer", 1),
+                ("stage", 3),
+                ("answer", 2),
+                ("answer", 3),
+            ]
+        );
+
+        // Labels cycle 0,1,2 → even labels 0 and 2 hit on updates
+        // 0,2,3,5,6 → 5 embeddings overall.
+        let total: u64 = completed.iter().map(|b| b.report.total_embeddings()).sum();
+        assert_eq!(total, 5);
+        assert_eq!(pipe.stats().updates_processed, 8);
+        assert_eq!(pipe.stats().embeddings, 5);
+    }
+
+    #[test]
+    fn pipelined_stream_report_equals_sequential() {
+        // Any flush size / depth must reproduce the sequential merged
+        // report (batch semantics are chunk-invariant under merge).
+        let stream: Vec<Update> = (0..50u32).map(|i| u(i % 4, i % 7, (i + 1) % 7)).collect();
+        let mut reference = SplitToy::default();
+        let mut counts = Vec::new();
+        for &up in &stream {
+            let r = reference.apply_update(up);
+            counts.extend(r.matches.iter().map(|m| (m.query, m.new_embeddings)));
+        }
+        let expected = MatchReport::from_counts(counts);
+
+        for max_batch in [1usize, 3, 7, 64] {
+            for depth in [0usize, 1, 3] {
+                let config =
+                    PipelineConfig::new(max_batch, Duration::from_secs(60)).with_depth(depth);
+                let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+                let got = pipe.run_stream(&stream);
+                assert_eq!(got, expected, "max_batch {max_batch} depth {depth}");
+                assert_eq!(pipe.in_flight(), 0);
+                assert_eq!(pipe.buffered(), 0);
+                assert_eq!(pipe.stats().updates_processed, 50);
+                assert_eq!(pipe.stats().embeddings, expected.total_embeddings());
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_flush_completes_underfull_batches() {
+        let config = PipelineConfig::new(1000, 5 * MS).with_depth(0);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert_eq!(pipe.buffered(), 1);
+        // The deadline passes with no new updates: poll completes the batch.
+        let done = pipe.poll_at(now + 6 * MS);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].updates, 1);
+        assert_eq!(done[0].report.total_embeddings(), 1);
+        assert_eq!(pipe.buffered(), 0);
+    }
+
+    #[test]
+    fn trait_entry_points_barrier_first() {
+        let config = PipelineConfig::new(1000, Duration::from_secs(60));
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert_eq!(pipe.buffered(), 1);
+
+        // apply_update drains the pipeline, then reports exactly its own
+        // update; the flushed batch's report is retained, not lost.
+        let own = pipe.apply_update(u(2, 5, 6));
+        assert_eq!(own.total_embeddings(), 1);
+        let earlier = pipe.take_completed();
+        assert_eq!(earlier.len(), 1);
+        assert_eq!(earlier[0].updates, 1);
+
+        // register_query also barriers (no staged state may be outstanding).
+        assert!(pipe.push_at(u(0, 9, 9), now).is_empty());
+        let mut symbols = crate::interner::SymbolTable::new();
+        let q = QueryPattern::parse("?a -x-> ?b", &mut symbols).unwrap();
+        pipe.register_query(&q).unwrap();
+        assert_eq!(pipe.in_flight(), 0);
+        assert_eq!(pipe.take_completed().len(), 1);
+
+        // into_inner barriers too.
+        let inner = pipe.into_inner();
+        assert_eq!(inner.staged_seq, inner.answered_seq);
+    }
+}

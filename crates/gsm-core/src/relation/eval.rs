@@ -10,15 +10,20 @@
 use std::borrow::Cow;
 
 use super::fasthash::FxHashMap;
-use super::join::hash_join;
+use super::join::hash_join_prefix;
 use super::Relation;
 use crate::query::pattern::QVertexId;
 
 /// A per-path relation together with the query vertex each column binds.
 ///
-/// Both fields are borrowed: bindings are built per affected path on every
-/// update, so they must not copy the path's vertex sequence (or worse, its
-/// relation) just to describe it.
+/// The relation and vertex sequence are borrowed: bindings are built per
+/// affected path on every update, so they must not copy the path's vertex
+/// sequence (or worse, its relation) just to describe it. A binding may
+/// additionally be **version-bounded** ([`PathBinding::at_version`]): only
+/// the rows below the watermark participate in joins, which is how the
+/// deferred answering phase of the pipelined executor joins a batch's
+/// deltas against frozen snapshots of the other covering paths' insert-only
+/// views (see [`Relation::snapshot_at`]).
 #[derive(Debug, Clone, Copy)]
 pub struct PathBinding<'a> {
     /// The path's materialized view (or delta).
@@ -26,13 +31,32 @@ pub struct PathBinding<'a> {
     /// For each column of `rel`, the query vertex it binds. Columns may
     /// repeat a vertex (e.g. a path that traverses a cycle).
     pub vertices: &'a [QVertexId],
+    /// Number of leading rows of `rel` visible to the join (always
+    /// `<= rel.len()`); `rel.len()` for an unbounded binding.
+    pub limit: usize,
 }
 
 impl<'a> PathBinding<'a> {
-    /// Creates a binding; the number of vertices must match the arity.
+    /// Creates an unbounded binding; the number of vertices must match the
+    /// arity.
     pub fn new(rel: &'a Relation, vertices: &'a [QVertexId]) -> Self {
+        Self::at_version(rel, vertices, rel.len())
+    }
+
+    /// Creates a binding frozen at a version watermark: only the first
+    /// `version` rows of `rel` participate (clamped to the current length).
+    pub fn at_version(rel: &'a Relation, vertices: &'a [QVertexId], version: usize) -> Self {
         assert_eq!(rel.arity(), vertices.len());
-        PathBinding { rel, vertices }
+        PathBinding {
+            rel,
+            vertices,
+            limit: version.min(rel.len()),
+        }
+    }
+
+    /// True if no rows are visible to the join.
+    pub fn is_empty(&self) -> bool {
+        self.limit == 0
     }
 }
 
@@ -60,17 +84,22 @@ impl VertexRelation {
 
 /// A normalised binding: the relation is borrowed straight from the input
 /// when no repeated-vertex work was needed (the common case), and owned only
-/// when a selection/projection actually had to materialise rows.
+/// when a selection/projection actually had to materialise rows. `limit`
+/// carries the binding's version bound through the join pipeline (it equals
+/// the relation's length for owned intermediates, which are built already
+/// bounded).
 #[derive(Debug, Clone)]
 struct Normalised<'a> {
     rel: Cow<'a, Relation>,
     vertices: Vec<QVertexId>,
+    limit: usize,
 }
 
 /// Normalises a single path binding: enforce repeated vertices (selection)
 /// and project to one column per distinct vertex (first occurrence order).
 /// Bindings without repeated vertices — the overwhelming majority — are
-/// passed through without copying a single row.
+/// passed through without copying a single row; the version bound of the
+/// binding is respected in either case.
 fn normalise<'a>(binding: &PathBinding<'a>) -> Normalised<'a> {
     // Find repeated vertices and the first-occurrence projection in one scan.
     let mut groups: FxHashMap<QVertexId, Vec<usize>> = FxHashMap::default();
@@ -82,10 +111,15 @@ fn normalise<'a>(binding: &PathBinding<'a>) -> Normalised<'a> {
         return Normalised {
             rel: Cow::Borrowed(binding.rel),
             vertices: binding.vertices.to_vec(),
+            limit: binding.limit,
         };
     }
     let filter_groups: Vec<Vec<usize>> = groups.values().filter(|g| g.len() > 1).cloned().collect();
-    let filtered = binding.rel.filter_equal_groups(&filter_groups);
+    // Bounded selection: only the rows below the binding's watermark are
+    // considered (the materialised result is then unbounded by construction).
+    let filtered = binding
+        .rel
+        .filter_equal_groups_prefix(&filter_groups, binding.limit);
     // Project to the first occurrence of each vertex.
     let mut seen = Vec::new();
     let mut cols = Vec::new();
@@ -95,9 +129,12 @@ fn normalise<'a>(binding: &PathBinding<'a>) -> Normalised<'a> {
             cols.push(col);
         }
     }
+    let projected = filtered.project(&cols);
+    let limit = projected.len();
     Normalised {
-        rel: Cow::Owned(filtered.project(&cols)),
+        rel: Cow::Owned(projected),
         vertices: seen,
+        limit,
     }
 }
 
@@ -113,11 +150,11 @@ pub fn join_paths(bindings: &[PathBinding<'_>]) -> Option<VertexRelation> {
         return None;
     }
     let mut normalised: Vec<Normalised<'_>> = bindings.iter().map(normalise).collect();
-    if normalised.iter().any(|n| n.rel.is_empty()) {
+    if normalised.iter().any(|n| n.limit == 0) {
         return None;
     }
     // Start from the smallest relation.
-    normalised.sort_by_key(|n| n.rel.len());
+    normalised.sort_by_key(|n| n.limit);
     let mut acc = normalised.remove(0);
 
     while !normalised.is_empty() {
@@ -132,7 +169,7 @@ pub fn join_paths(bindings: &[PathBinding<'_>]) -> Option<VertexRelation> {
                     .iter()
                     .filter(|v| acc.vertices.contains(v))
                     .count();
-                (shared, usize::MAX - n.rel.len())
+                (shared, usize::MAX - n.limit)
             })
             .expect("non-empty");
         let next = normalised.remove(idx);
@@ -154,11 +191,18 @@ pub fn join_paths(bindings: &[PathBinding<'_>]) -> Option<VertexRelation> {
 
         let joined = if shared.is_empty() {
             // Cross product: join on zero columns. Implemented by a nested
-            // loop through `hash_join` with an empty key (all rows share the
-            // empty key).
-            hash_join(&acc.rel, &next.rel, &[], &[])
+            // loop through the hash join with an empty key (all rows share
+            // the empty key).
+            hash_join_prefix(&acc.rel, acc.limit, &next.rel, next.limit, &[], &[])
         } else {
-            hash_join(&acc.rel, &next.rel, &left_keys, &right_keys)
+            hash_join_prefix(
+                &acc.rel,
+                acc.limit,
+                &next.rel,
+                next.limit,
+                &left_keys,
+                &right_keys,
+            )
         };
         if joined.is_empty() {
             return None;
@@ -170,17 +214,30 @@ pub fn join_paths(bindings: &[PathBinding<'_>]) -> Option<VertexRelation> {
                 .copied()
                 .filter(|v| !shared.contains(v)),
         );
-        // hash_join output: left columns then right columns minus key cols —
+        // The join output: left columns then right columns minus key cols —
         // but right may still contain a *duplicate* vertex under a different
         // column if the vertex appeared twice; normalise() already removed
         // duplicates, so columns line up with `vertices`.
+        let limit = joined.len();
         acc = Normalised {
             rel: Cow::Owned(joined),
             vertices,
+            limit,
         };
     }
+    // Single-binding passthrough: a version-bounded borrowed binding must
+    // not leak rows past its watermark when materialised.
+    let rel = if acc.limit < acc.rel.len() {
+        let mut cut = Relation::new(acc.rel.arity());
+        for row in acc.rel.iter().take(acc.limit) {
+            cut.push(row);
+        }
+        cut
+    } else {
+        acc.rel.into_owned()
+    };
     Some(VertexRelation {
-        rel: acc.rel.into_owned(),
+        rel,
         vertices: acc.vertices,
     })
 }
@@ -284,6 +341,51 @@ mod tests {
             join_paths(&[PathBinding::new(&a, &[0, 1]), PathBinding::new(&b, &[0, 1])]).unwrap();
         assert_eq!(out.rel.len(), 1);
         assert_eq!(out.rel.row(0), &[s(3), s(4)]);
+    }
+
+    #[test]
+    fn version_bounded_bindings_ignore_rows_past_the_watermark() {
+        // Path A over [0,1] with 2 rows; path B over [1,2] grows from 1 to 3
+        // rows. A binding frozen at version 1 of B must join as if B still
+        // had one row, whatever was appended after the watermark.
+        let a = rel(2, &[&[1, 2], &[3, 9]]);
+        let mut b = rel(2, &[&[2, 10]]);
+        let v = b.version();
+        b.push(&[s(2), s(11)]); // appended after the watermark
+        b.push(&[s(9), s(12)]);
+
+        let bounded = join_paths(&[
+            PathBinding::new(&a, &[0, 1]),
+            PathBinding::at_version(&b, &[1, 2], v),
+        ])
+        .unwrap();
+        assert_eq!(bounded.rel.len(), 1, "only the pre-watermark row joins");
+        assert_eq!(bounded.canonicalize().rel.row(0), &[s(1), s(2), s(10)]);
+
+        // Unbounded sees all three rows of B: (1,2,10), (1,2,11), (3,9,12).
+        let full =
+            join_paths(&[PathBinding::new(&a, &[0, 1]), PathBinding::new(&b, &[1, 2])]).unwrap();
+        assert_eq!(full.rel.len(), 3);
+
+        // A zero-version binding short-circuits like an empty relation.
+        assert!(join_paths(&[
+            PathBinding::new(&a, &[0, 1]),
+            PathBinding::at_version(&b, &[1, 2], 0),
+        ])
+        .is_none());
+
+        // Single bounded binding: the passthrough must truncate.
+        let single = join_paths(&[PathBinding::at_version(&b, &[1, 2], v)]).unwrap();
+        assert_eq!(single.rel.len(), 1);
+        assert_eq!(single.rel.row(0), &[s(2), s(10)]);
+
+        // Bounded binding with a repeated vertex: selection is bounded too.
+        let mut loops = rel(2, &[&[4, 4]]);
+        let lv = loops.version();
+        loops.push(&[s(5), s(5)]);
+        let looped = join_paths(&[PathBinding::at_version(&loops, &[7, 7], lv)]).unwrap();
+        assert_eq!(looped.rel.len(), 1);
+        assert_eq!(looped.rel.row(0), &[s(4)]);
     }
 
     #[test]

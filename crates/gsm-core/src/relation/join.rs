@@ -26,12 +26,20 @@ pub struct JoinBuild {
 impl JoinBuild {
     /// Builds a hash table over `rel` keyed by `key_cols`.
     pub fn build(rel: &Relation, key_cols: &[usize]) -> Self {
+        Self::build_prefix(rel, key_cols, rel.len())
+    }
+
+    /// Builds a hash table over the first `len` rows of `rel` keyed by
+    /// `key_cols` — the build side of a join against a version snapshot of
+    /// an insert-only relation (see [`Relation::snapshot_at`]): probes can
+    /// only ever hit rows below the watermark.
+    pub fn build_prefix(rel: &Relation, key_cols: &[usize], len: usize) -> Self {
         let mut b = JoinBuild {
             key_cols: key_cols.to_vec(),
             buckets: FxHashMap::default(),
             rows_indexed: 0,
         };
-        b.update(rel);
+        b.update_to(rel, len);
         b
     }
 
@@ -50,14 +58,22 @@ impl JoinBuild {
     /// Allocation-free except when a collision chain spills: keys are hashed
     /// in place via [`hash_projected`], never materialised.
     pub fn update(&mut self, rel: &Relation) {
-        if self.rows_indexed == rel.len() {
+        self.update_to(rel, rel.len());
+    }
+
+    /// Indexes rows up to (exclusive) row `len` — [`update`](Self::update)
+    /// bounded by a version watermark. A no-op when `len` rows are already
+    /// indexed; `len` is clamped to the relation's current length.
+    pub fn update_to(&mut self, rel: &Relation, len: usize) {
+        let len = len.min(rel.len());
+        if self.rows_indexed >= len {
             return;
         }
-        for i in self.rows_indexed..rel.len() {
+        for i in self.rows_indexed..len {
             let h = hash_projected(rel.row(i), &self.key_cols);
             self.buckets.entry(h).or_default().push(i as u32);
         }
-        self.rows_indexed = rel.len();
+        self.rows_indexed = len;
     }
 
     /// Returns the indices of rows of `rel` whose key equals `key`
@@ -170,10 +186,33 @@ pub fn hash_join(
     hash_join_with_build(left, right, left_keys, right_keys, &build)
 }
 
-/// Joins `left` and `right` re-using an existing (possibly cached) build over
-/// `right` keyed by `right_keys`.
-pub fn hash_join_with_build(
+/// [`hash_join`] bounded by version watermarks: only the first `left_len`
+/// rows of `left` and the first `right_len` rows of `right` participate
+/// (the build is constructed over exactly the right prefix, so probes can
+/// never hit a post-watermark row). This is the join kernel of the
+/// pipelined executor's deferred answering phase, which joins a batch's
+/// deltas against the *snapshots* of the other covering paths' insert-only
+/// views while newer batches append behind the watermarks (see
+/// [`Relation::snapshot_at`]).
+pub fn hash_join_prefix(
     left: &Relation,
+    left_len: usize,
+    right: &Relation,
+    right_len: usize,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Relation {
+    let build = JoinBuild::build_prefix(right, right_keys, right_len);
+    probe_join(left, left_len, right, left_keys, right_keys, &build)
+}
+
+/// The shared probe-side kernel of every hash join: probes `build` (over
+/// some prefix of `right`) with the first `left_len` rows of `left` and
+/// assembles output rows. Callers choose the build (fresh, cached, or
+/// prefix-bounded); this is the single copy of the hot loop.
+fn probe_join(
+    left: &Relation,
+    left_len: usize,
     right: &Relation,
     left_keys: &[usize],
     right_keys: &[usize],
@@ -183,7 +222,8 @@ pub fn hash_join_with_build(
     debug_assert_eq!(build.key_cols(), right_keys);
     let out_arity = join_output_arity(left, right, right_keys);
     let mut out = Relation::new(out_arity);
-    if left.is_empty() || right.is_empty() {
+    let left_len = left_len.min(left.len());
+    if left_len == 0 || build.rows_indexed() == 0 {
         return out;
     }
     let extra_cols: Vec<usize> = (0..right.arity())
@@ -191,7 +231,7 @@ pub fn hash_join_with_build(
         .collect();
     let mut key = Vec::with_capacity(left_keys.len());
     let mut row_buf = vec![Sym(0); out_arity];
-    for lrow in left.iter() {
+    for lrow in left.iter().take(left_len) {
         key_of(lrow, left_keys, &mut key);
         for ridx in build.probe_iter(right, &key) {
             let rrow = right.row(ridx);
@@ -203,6 +243,18 @@ pub fn hash_join_with_build(
         }
     }
     out
+}
+
+/// Joins `left` and `right` re-using an existing (possibly cached) build over
+/// `right` keyed by `right_keys`.
+pub fn hash_join_with_build(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    build: &JoinBuild,
+) -> Relation {
+    probe_join(left, left.len(), right, left_keys, right_keys, build)
 }
 
 /// Reference nested-loop join used to validate [`hash_join`] in property
@@ -359,6 +411,42 @@ mod tests {
         build.update(&r);
         assert_eq!(build.rows_indexed(), 2);
         assert_eq!(build.probe(&r, &[s(1)]).len(), 1, "no duplicate indexing");
+    }
+
+    #[test]
+    fn prefix_build_and_join_ignore_rows_past_the_watermark() {
+        let left = rel(2, &[&[1, 2], &[3, 2], &[5, 6]]);
+        let right = rel(2, &[&[2, 10], &[6, 60], &[2, 11]]);
+
+        // Build over the 2-row prefix: the later (2, 11) row is invisible.
+        let build = JoinBuild::build_prefix(&right, &[0], 2);
+        assert_eq!(build.rows_indexed(), 2);
+        assert_eq!(build.probe(&right, &[s(2)]).len(), 1);
+
+        // update_to is monotone and clamps.
+        let mut b2 = JoinBuild::build_prefix(&right, &[0], 1);
+        b2.update_to(&right, 1); // no-op
+        assert_eq!(b2.rows_indexed(), 1);
+        b2.update_to(&right, 100); // clamped to len
+        assert_eq!(b2.rows_indexed(), 3);
+
+        // Bounded join == fresh join over physically truncated inputs.
+        let joined = hash_join_prefix(&left, 2, &right, 2, &[1], &[0]);
+        let left_cut = rel(2, &[&[1, 2], &[3, 2]]);
+        let right_cut = rel(2, &[&[2, 10], &[6, 60]]);
+        let expected = hash_join(&left_cut, &right_cut, &[1], &[0]);
+        assert_eq!(joined.to_sorted_vec(), expected.to_sorted_vec());
+
+        // Full-length bounds reproduce the unbounded join.
+        let full = hash_join_prefix(&left, usize::MAX, &right, usize::MAX, &[1], &[0]);
+        assert_eq!(
+            full.to_sorted_vec(),
+            hash_join(&left, &right, &[1], &[0]).to_sorted_vec()
+        );
+
+        // Zero-length sides are empty.
+        assert!(hash_join_prefix(&left, 0, &right, 3, &[1], &[0]).is_empty());
+        assert!(hash_join_prefix(&left, 3, &right, 0, &[1], &[0]).is_empty());
     }
 
     #[test]

@@ -52,7 +52,7 @@
 use std::collections::BTreeSet;
 use std::hash::BuildHasher;
 
-use crate::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
+use crate::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, StagedBatch};
 use crate::error::Result;
 use crate::interner::Sym;
 use crate::memory::HeapSize;
@@ -78,9 +78,11 @@ pub fn shard_of(root: &GenericEdge, num_shards: usize) -> usize {
 }
 
 /// The materialized state of one spanning covering path: the path's full
-/// relation (one column per path position) and the delta produced by the
-/// current batch. Owned by the shard of the path's root generic edge and
-/// shared by every spanning query with the same generic-edge sequence.
+/// relation (one column per path position). Owned by the shard of the
+/// path's root generic edge and shared by every spanning query with the
+/// same generic-edge sequence; the per-batch delta travels in the staged
+/// token ([`StagedSharded`]) rather than living here, so later batches can
+/// be staged while earlier deltas await their join pass.
 #[derive(Debug)]
 struct PathState {
     /// Generic edges along the path.
@@ -91,19 +93,11 @@ struct PathState {
     /// double the memory and per-batch write work —
     /// [`Shard::spanning_full`] resolves the right relation at join time.
     full: Relation,
-    /// Rows added by the current batch; cleared after the join pass.
-    delta: Relation,
-}
-
-impl PathState {
-    fn arity(&self) -> usize {
-        self.edges.len() + 1
-    }
 }
 
 impl HeapSize for PathState {
     fn heap_size(&self) -> usize {
-        self.edges.heap_size() + self.full.heap_size() + self.delta.heap_size()
+        self.edges.heap_size() + self.full.heap_size()
     }
 }
 
@@ -115,9 +109,6 @@ struct SpanningState {
     paths: Vec<PathState>,
     /// Edge sequence → index into `paths` (path-state sharing).
     by_key: FxHashMap<Vec<GenericEdge>, usize>,
-    /// Indices of path states whose delta is non-empty for the current
-    /// batch; cleared after the covering-path join pass.
-    dirty: Vec<usize>,
     /// Row assembly scratch for the shared path-join kernels.
     row_buf: Vec<Sym>,
 }
@@ -127,9 +118,30 @@ impl HeapSize for SpanningState {
         self.views.heap_size()
             + self.paths.heap_size()
             + self.by_key.heap_size()
-            + self.dirty.capacity() * std::mem::size_of::<usize>()
             + self.row_buf.capacity() * std::mem::size_of::<Sym>()
     }
+}
+
+/// One shard's contribution to a staged batch: the inner engine's own
+/// staged token, the spanning path deltas this batch produced here, and the
+/// post-batch version watermark of every path state's full relation (the
+/// frozen prefix the deferred join pass reads — see
+/// [`crate::relation::Relation::snapshot_at`]).
+#[derive(Debug, Default)]
+struct StagedShard {
+    inner: Option<StagedBatch>,
+    /// `(path-state index, delta relation)` for every path that gained rows.
+    spanning_deltas: Vec<(usize, Relation)>,
+    /// Per path-state index: version of [`Shard::spanning_full`] at stage
+    /// end (covers this batch's appends, not later batches').
+    watermarks: Vec<usize>,
+}
+
+/// The deferred-answer token of the sharded wrapper: one [`StagedShard`]
+/// per shard, in shard order.
+#[derive(Debug, Default)]
+struct StagedSharded {
+    shards: Vec<StagedShard>,
 }
 
 /// One shard: an inner engine for shard-local queries plus the spanning
@@ -141,8 +153,10 @@ struct Shard<E> {
     spanning: SpanningState,
     /// Slice of the current batch routed to this shard (reused buffer).
     slice: Vec<Update>,
-    /// Local report of the current batch, in inner-engine query ids.
-    report: MatchReport,
+    /// Inner staged token of the current batch (set by [`Shard::absorb`]).
+    staged_inner: Option<StagedBatch>,
+    /// Spanning path deltas of the current batch (set by [`Shard::absorb`]).
+    staged_deltas: Vec<(usize, Relation)>,
     /// Total updates routed to this shard (observability).
     routed: u64,
 }
@@ -154,7 +168,8 @@ impl<E: ContinuousEngine> Shard<E> {
             local_to_global: Vec::new(),
             spanning: SpanningState::default(),
             slice: Vec::new(),
-            report: MatchReport::empty(),
+            staged_inner: None,
+            staged_deltas: Vec::new(),
             routed: 0,
         }
     }
@@ -200,22 +215,22 @@ impl<E: ContinuousEngine> Shard<E> {
         self.spanning.paths.push(PathState {
             edges: edges.to_vec(),
             full,
-            delta: Relation::new(edges.len() + 1),
         });
         self.spanning.by_key.insert(edges.to_vec(), pid);
         pid
     }
 
     /// Absorbs this shard's slice of the current batch: the inner engine
-    /// answers its local queries, and every spanning path state owned here
-    /// computes (and appends) its batch delta. Runs on a worker thread when
-    /// several shards are active.
+    /// **stages** its local queries (routing + propagation, answer deferred
+    /// into `staged_inner`), and every spanning path state owned here
+    /// computes (and appends) its batch delta into `staged_deltas`. Runs on
+    /// a worker thread when several shards are active.
     fn absorb(&mut self) {
-        self.spanning.dirty.clear();
-        self.report = if self.slice.is_empty() {
-            MatchReport::empty()
+        self.staged_deltas.clear();
+        self.staged_inner = if self.slice.is_empty() {
+            None
         } else {
-            self.engine.apply_batch(&self.slice)
+            Some(self.engine.stage_batch(&self.slice))
         };
         if self.slice.is_empty() || self.spanning.paths.is_empty() {
             return;
@@ -249,8 +264,7 @@ impl<E: ContinuousEngine> Shard<E> {
             if ps.edges.len() > 1 {
                 ps.full.extend_from(&delta);
             }
-            ps.delta = delta;
-            self.spanning.dirty.push(pid);
+            self.staged_deltas.push((pid, delta));
         }
     }
 }
@@ -335,15 +349,17 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
         self.spanning_queries.len()
     }
 
-    /// The shared answering core for `num_shards > 1`: route the batch into
-    /// per-shard slices, absorb the slices (in parallel when at least two
-    /// shards are active and the batch is a real batch), then merge the
-    /// per-shard reports and run the covering-path join pass for spanning
-    /// queries.
-    fn apply_batch_routed(&mut self, updates: &[Update]) -> MatchReport {
+    /// The staging core for `num_shards > 1`: route the batch into
+    /// per-shard slices and absorb the slices (in parallel when at least two
+    /// shards are active and the batch is a real batch). Inner engines stage
+    /// their local queries, spanning path deltas are computed and appended,
+    /// and everything the deferred merge + covering-path join pass needs —
+    /// inner tokens, spanning deltas, per-path version watermarks — is
+    /// collected into the returned token.
+    fn stage_batch_routed(&mut self, updates: &[Update]) -> StagedSharded {
         self.stats.updates_processed += updates.len() as u64;
         if updates.is_empty() {
-            return MatchReport::empty();
+            return StagedSharded::default();
         }
 
         // Route: an update goes to every shard observing one of its
@@ -381,8 +397,8 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
             std::thread::scope(|scope| {
                 for shard in self.shards.iter_mut() {
                     if shard.slice.is_empty() {
-                        shard.report = MatchReport::empty();
-                        shard.spanning.dirty.clear();
+                        shard.staged_inner = None;
+                        shard.staged_deltas.clear();
                     } else {
                         scope.spawn(move || shard.absorb());
                     }
@@ -391,69 +407,110 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
         } else {
             for shard in self.shards.iter_mut() {
                 if shard.slice.is_empty() {
-                    shard.report = MatchReport::empty();
-                    shard.spanning.dirty.clear();
+                    shard.staged_inner = None;
+                    shard.staged_deltas.clear();
                 } else {
                     shard.absorb();
                 }
             }
         }
 
-        // Merge: translate every shard's local report to wrapper query ids
-        // (each query is reported by at most one shard, so one sort-and-fold
-        // over the concatenated pairs merges all shards at once), then
-        // combine with the spanning join pass via the associative,
-        // order-insensitive report merge.
+        // Collect the token: inner staged tokens and spanning deltas move
+        // out of the shards, and every path state's full relation is
+        // watermarked — including on shards this batch never touched, whose
+        // fulls the join pass may still read (they must be frozen against
+        // appends by later staged batches). When *no* spanning path gained
+        // rows anywhere — the common case for sparse per-update staging —
+        // the join pass never reads a watermark, so none are captured.
+        let any_spanning_delta = self.shards.iter().any(|s| !s.staged_deltas.is_empty());
+        StagedSharded {
+            shards: self
+                .shards
+                .iter_mut()
+                .map(|shard| StagedShard {
+                    inner: shard.staged_inner.take(),
+                    spanning_deltas: std::mem::take(&mut shard.staged_deltas),
+                    watermarks: if any_spanning_delta {
+                        (0..shard.spanning.paths.len())
+                            .map(|pid| shard.spanning_full(pid).version())
+                            .collect()
+                    } else {
+                        Vec::new()
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// The deferred merge + answer pass for `num_shards > 1`: every shard's
+    /// inner engine answers its staged token (translating local ids to
+    /// wrapper ids; each query is reported by at most one shard, so one
+    /// sort-and-fold over the concatenated pairs merges all shards at once),
+    /// then the spanning covering-path join pass joins the staged deltas
+    /// against the other paths' watermarked fulls, and the two reports
+    /// combine via the associative, order-insensitive report merge.
+    fn answer_batch_routed(&mut self, mut token: StagedSharded) -> MatchReport {
         let mut counts: Vec<(QueryId, u64)> = Vec::new();
-        for shard in &self.shards {
-            counts.extend(
-                shard
-                    .report
-                    .matches
-                    .iter()
-                    .map(|m| (shard.local_to_global[m.query.index()], m.new_embeddings)),
-            );
+        for (s, staged) in token.shards.iter_mut().enumerate() {
+            let Some(inner) = staged.inner.take() else {
+                continue;
+            };
+            let report = self.shards[s].engine.answer_staged(inner);
+            counts.extend(report.matches.iter().map(|m| {
+                (
+                    self.shards[s].local_to_global[m.query.index()],
+                    m.new_embeddings,
+                )
+            }));
         }
-        let merged = MatchReport::from_counts(counts).merge(&self.answer_spanning());
-
-        // The join pass is done with the deltas; reset them for the next
-        // batch.
-        for shard in &mut self.shards {
-            for i in 0..shard.spanning.dirty.len() {
-                let pid = shard.spanning.dirty[i];
-                let ps = &mut shard.spanning.paths[pid];
-                ps.delta = Relation::new(ps.arity());
-            }
-        }
-
+        let merged = MatchReport::from_counts(counts).merge(&self.answer_spanning(&token));
         self.stats.notifications += merged.len() as u64;
         self.stats.embeddings += merged.total_embeddings();
         merged
     }
 
     /// The post-merge covering-path join pass: for every spanning query with
-    /// at least one non-empty path delta, join each affected path's delta
-    /// against the other paths' full (post-batch) relations — exactly the
-    /// final answering step the engines run locally (Fig. 8, lines 8–13 of
-    /// the paper), lifted across shards.
-    fn answer_spanning(&self) -> MatchReport {
-        // The dirty lists absorb() maintains say exactly whether any path
-        // state gained rows this batch; without one, no spanning query can
+    /// at least one non-empty staged path delta, join each affected path's
+    /// delta against the other paths' full relations **frozen at the staged
+    /// watermarks** — exactly the final answering step the engines run
+    /// locally (Fig. 8, lines 8–13 of the paper), lifted across shards.
+    /// Rows appended to the fulls by later staged batches sit past the
+    /// watermarks and are invisible.
+    fn answer_spanning(&self, token: &StagedSharded) -> MatchReport {
+        // The staged delta lists say exactly whether any path state gained
+        // rows in the staged batch; without one, no spanning query can
         // report, so skip the per-query delta scan entirely.
         if self.spanning_queries.is_empty()
-            || self.shards.iter().all(|s| s.spanning.dirty.is_empty())
+            || token.shards.iter().all(|s| s.spanning_deltas.is_empty())
         {
             return MatchReport::empty();
         }
+        // (path-state id → staged delta) per shard, for O(1) lookups below.
+        let delta_index: Vec<FxHashMap<usize, &Relation>> = token
+            .shards
+            .iter()
+            .map(|s| {
+                s.spanning_deltas
+                    .iter()
+                    .map(|(pid, delta)| (*pid, delta))
+                    .collect()
+            })
+            .collect();
+        let watermark = |shard: usize, pid: usize| -> usize {
+            token.shards[shard]
+                .watermarks
+                .get(pid)
+                .copied()
+                .unwrap_or(0)
+        };
         let mut counts: Vec<(QueryId, u64)> = Vec::new();
         let mut bindings: Vec<PathBinding<'_>> = Vec::new();
         for sq in &self.spanning_queries {
             let mut embeddings: Option<Relation> = None;
             for (i, (shard_i, pid_i, verts_i)) in sq.paths.iter().enumerate() {
-                let delta = &self.shards[*shard_i].spanning.paths[*pid_i].delta;
-                if delta.is_empty() {
+                let Some(&delta) = delta_index[*shard_i].get(pid_i) else {
                     continue;
-                }
+                };
                 bindings.clear();
                 bindings.push(PathBinding::new(delta, verts_i));
                 let mut all_present = true;
@@ -462,11 +519,12 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
                         continue;
                     }
                     let full = self.shards[*shard_j].spanning_full(*pid_j);
-                    if full.is_empty() {
+                    let wm = watermark(*shard_j, *pid_j);
+                    if wm == 0 {
                         all_present = false;
                         break;
                     }
-                    bindings.push(PathBinding::new(full, verts_j));
+                    bindings.push(PathBinding::at_version(full, verts_j, wm));
                 }
                 if !all_present {
                     continue;
@@ -560,14 +618,39 @@ impl<E: ContinuousEngine + Send> ContinuousEngine for ShardedEngine<E> {
         if self.shards.len() == 1 {
             return self.shards[0].engine.apply_update(update);
         }
-        self.apply_batch_routed(&[update])
+        let token = self.stage_batch_routed(&[update]);
+        self.answer_batch_routed(token)
     }
 
     fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
         if self.shards.len() == 1 {
             return self.shards[0].engine.apply_batch(updates);
         }
-        self.apply_batch_routed(updates)
+        let token = self.stage_batch_routed(updates);
+        self.answer_batch_routed(token)
+    }
+
+    /// Routing + per-shard absorption with the merge and spanning join pass
+    /// deferred: inner engines stage their slices (in parallel when several
+    /// shards are active) and the token freezes every path state's version
+    /// watermark. See the staging contract on
+    /// [`ContinuousEngine::stage_batch`].
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        if self.shards.len() == 1 {
+            return self.shards[0].engine.stage_batch(updates);
+        }
+        let token = self.stage_batch_routed(updates);
+        StagedBatch::deferred(token)
+    }
+
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        if self.shards.len() == 1 {
+            return self.shards[0].engine.answer_staged(staged);
+        }
+        match staged.into_deferred::<StagedSharded>() {
+            Ok(token) => self.answer_batch_routed(token),
+            Err(report) => report,
+        }
     }
 
     fn num_queries(&self) -> usize {

@@ -106,6 +106,106 @@ impl EdgeViewStore {
     pub fn iter(&self) -> impl Iterator<Item = (&GenericEdge, &Relation)> {
         self.views.iter()
     }
+
+    /// Captures the current version of every registered view — an O(#views)
+    /// map of row-count watermarks.
+    ///
+    /// # Versioning contract
+    ///
+    /// Views are insert-only (see [`Relation::version`]), so the captured
+    /// watermarks identify a consistent frozen prefix of the whole store
+    /// for as long as the store lives: [`snapshot_at`] exposes exactly the
+    /// rows each view held at capture time, and [`delta_since`] exactly the
+    /// rows routed in afterwards — regardless of how many updates a writer
+    /// has applied in between. Single-writer discipline is assumed: capture
+    /// the version *between* `apply_update`/`apply_batch` calls, never
+    /// concurrently with one.
+    ///
+    /// [`snapshot_at`]: EdgeViewStore::snapshot_at
+    /// [`delta_since`]: EdgeViewStore::delta_since
+    pub fn version(&self) -> ViewsVersion {
+        ViewsVersion {
+            versions: self
+                .views
+                .iter()
+                .map(|(e, rel)| (*e, rel.version()))
+                .collect(),
+        }
+    }
+
+    /// A read view of the store frozen at `version`: every view is bounded
+    /// by its captured watermark, and views registered after the capture are
+    /// invisible.
+    pub fn snapshot_at<'a>(&'a self, version: &'a ViewsVersion) -> ViewsSnapshot<'a> {
+        ViewsSnapshot {
+            store: self,
+            version,
+        }
+    }
+
+    /// Iterates over the views that gained rows since `version` was
+    /// captured, yielding one [`ViewDelta`] per grown view (views registered
+    /// after the capture report all their rows as delta).
+    pub fn delta_since<'a>(
+        &'a self,
+        version: &'a ViewsVersion,
+    ) -> impl Iterator<Item = ViewDelta<'a>> {
+        self.views.iter().filter_map(move |(edge, view)| {
+            let from = version.versions.get(edge).copied().unwrap_or(0);
+            (view.len() > from).then_some(ViewDelta { edge, view, from })
+        })
+    }
+}
+
+/// A row-count watermark for every view of an [`EdgeViewStore`] at one
+/// instant — see [`EdgeViewStore::version`].
+#[derive(Debug, Clone, Default)]
+pub struct ViewsVersion {
+    versions: FxHashMap<GenericEdge, usize>,
+}
+
+impl ViewsVersion {
+    /// The captured watermark of `edge`'s view (0 if the view did not exist
+    /// at capture time).
+    pub fn of(&self, edge: &GenericEdge) -> usize {
+        self.versions.get(edge).copied().unwrap_or(0)
+    }
+}
+
+/// A read view of an [`EdgeViewStore`] frozen at a [`ViewsVersion`] — see
+/// [`EdgeViewStore::snapshot_at`].
+#[derive(Debug, Clone, Copy)]
+pub struct ViewsSnapshot<'a> {
+    store: &'a EdgeViewStore,
+    version: &'a ViewsVersion,
+}
+
+impl<'a> ViewsSnapshot<'a> {
+    /// The frozen prefix of `edge`'s view, if the view existed at capture
+    /// time (views registered after the capture are invisible).
+    pub fn get(&self, edge: &GenericEdge) -> Option<crate::relation::RelationSnapshot<'a>> {
+        let watermark = *self.version.versions.get(edge)?;
+        Some(self.store.get(edge)?.snapshot_at(watermark))
+    }
+}
+
+/// The rows one view gained since a [`ViewsVersion`] capture — see
+/// [`EdgeViewStore::delta_since`].
+#[derive(Debug, Clone, Copy)]
+pub struct ViewDelta<'a> {
+    /// The generic edge whose view grew.
+    pub edge: &'a GenericEdge,
+    /// The grown view.
+    pub view: &'a Relation,
+    /// Watermark the delta starts at: `view` rows `from..` are the delta.
+    pub from: usize,
+}
+
+impl<'a> ViewDelta<'a> {
+    /// Iterates over the delta rows.
+    pub fn rows(&self) -> impl Iterator<Item = &'a [Sym]> {
+        self.view.delta_since(self.from)
+    }
 }
 
 impl HeapSize for EdgeViewStore {
@@ -379,6 +479,51 @@ mod tests {
         let mut store = EdgeViewStore::new();
         store.register(ge(0, Term::Var(0), Term::Var(1)));
         assert!(store.apply_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn store_snapshot_isolation_freezes_every_view() {
+        let mut store = EdgeViewStore::new();
+        let var_var = ge(0, Term::Var(0), Term::Var(1));
+        let other = ge(1, Term::Var(0), Term::Var(1));
+        store.register(var_var);
+        store.register(other);
+        store.apply_update(&Update::new(Sym(0), Sym(1), Sym(2)));
+
+        let v = store.version();
+        assert_eq!(v.of(&var_var), 1);
+        assert_eq!(v.of(&other), 0);
+
+        // Writer keeps routing behind the watermark — including into a view
+        // registered only after the capture.
+        let late = ge(2, Term::Var(0), Term::Var(1));
+        store.register(late);
+        store.apply_batch(&[
+            Update::new(Sym(0), Sym(3), Sym(4)),
+            Update::new(Sym(1), Sym(5), Sym(6)),
+            Update::new(Sym(2), Sym(7), Sym(8)),
+        ]);
+
+        let snap = store.snapshot_at(&v);
+        let frozen = snap.get(&var_var).expect("registered at capture");
+        assert_eq!(frozen.len(), 1, "reader at v sees only pre-v rows");
+        assert_eq!(frozen.row(0), &[Sym(1), Sym(2)]);
+        assert!(snap.get(&other).expect("registered, empty").is_empty());
+        assert!(
+            snap.get(&late).is_none(),
+            "view registered after the capture is invisible"
+        );
+
+        // The delta is exactly what was routed after the capture.
+        let mut deltas: Vec<(GenericEdge, Vec<Vec<Sym>>)> = store
+            .delta_since(&v)
+            .map(|d| (*d.edge, d.rows().map(|r| r.to_vec()).collect()))
+            .collect();
+        deltas.sort_by_key(|(e, _)| e.label);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].1, vec![vec![Sym(3), Sym(4)]]);
+        assert_eq!(deltas[1].1, vec![vec![Sym(5), Sym(6)]]);
+        assert_eq!(deltas[2].1, vec![vec![Sym(7), Sym(8)]]);
     }
 
     #[test]

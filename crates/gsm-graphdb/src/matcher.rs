@@ -140,13 +140,18 @@ fn backtrack(
             }
         }
         (Some(s), None) => {
-            // Copy out the candidate targets to avoid holding a borrow of the
-            // store across the recursive call (the store is immutable here, a
-            // plain iteration is fine).
-            for &(l, t) in store.out_edges(s) {
-                if l != label {
-                    continue;
-                }
+            // Candidate targets via a zero-allocation hash probe of the
+            // label's (src, tgt) relation keyed on src — the same
+            // probe_iter substrate the relational engines use, replacing
+            // the former label-filtered scan of the vertex's adjacency
+            // list. The iterator borrows the store immutably, so recursing
+            // while it is live is fine.
+            let Some(probe) = store.label_probe(label) else {
+                return; // no edge carries this label yet
+            };
+            let key = [s];
+            for idx in probe.by_src.probe_iter(&probe.edges, &key) {
+                let t = probe.edges.row(idx)[1];
                 if sv == tv && t != s {
                     continue;
                 }
@@ -159,10 +164,13 @@ fn backtrack(
             }
         }
         (None, Some(t)) => {
-            for &(l, s) in store.in_edges(t) {
-                if l != label {
-                    continue;
-                }
+            // Symmetric probe keyed on tgt.
+            let Some(probe) = store.label_probe(label) else {
+                return;
+            };
+            let key = [t];
+            for idx in probe.by_tgt.probe_iter(&probe.edges, &key) {
+                let s = probe.edges.row(idx)[0];
                 if sv == tv && s != t {
                     continue;
                 }
@@ -176,8 +184,12 @@ fn backtrack(
         }
         (None, None) => {
             // Disconnected start (only possible for the very first edge of an
-            // un-anchored plan): scan the label index.
-            for &(s, t) in store.edges_with_label(label) {
+            // un-anchored plan): scan the label's edge relation.
+            let Some(probe) = store.label_probe(label) else {
+                return;
+            };
+            for row in probe.edges.iter() {
+                let (s, t) = (row[0], row[1]);
                 if sv == tv && s != t {
                     continue;
                 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
+use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, StagedBatch};
 use gsm_core::error::Result;
 use gsm_core::interner::Sym;
 use gsm_core::memory::HeapSize;
@@ -57,6 +57,29 @@ impl HeapSize for QueryInfo {
     }
 }
 
+/// The deferred-answer token of the TRIC engines: everything the final
+/// covering-path join pass (step 4) needs, captured at stage time so the
+/// answer may run after later batches have already been routed and
+/// propagated.
+///
+/// `truly_new` owns the per-end-node delta relations of the staged batch;
+/// `watermarks` freezes the version ([`Relation::version`]) of every
+/// affected query's end-node views *after* this batch's appends, so the
+/// answer pass joins against exactly the state the views had when the batch
+/// was absorbed — rows appended by later staged batches sit past the
+/// watermarks and are invisible (see the staging contract on
+/// [`ContinuousEngine::stage_batch`]).
+#[derive(Debug, Default)]
+struct StagedTric {
+    /// Per-node truly-new rows of the staged batch (step 3 output).
+    truly_new: FxHashMap<NodeId, Relation>,
+    /// Queries with at least one affected covering path, sorted.
+    affected_queries: Vec<QueryId>,
+    /// Post-batch version watermark of every end-node view of every path of
+    /// every affected query.
+    watermarks: FxHashMap<NodeId, usize>,
+}
+
 /// Update-scoped scratch buffers, reused across `apply_update` calls so the
 /// per-update hot path performs no bookkeeping allocations once the buffers
 /// have grown to the working-set size.
@@ -69,15 +92,12 @@ struct UpdateScratch {
     processed: FxHashSet<NodeId>,
     /// Row assembly buffer shared by seed construction and delta extension.
     row_buf: Vec<Sym>,
-    /// Queries whose views gained rows in the current update.
-    affected_queries: Vec<QueryId>,
 }
 
 impl UpdateScratch {
     fn reset(&mut self) {
         self.affected_nodes.clear();
         self.processed.clear();
-        self.affected_queries.clear();
     }
 }
 
@@ -287,12 +307,70 @@ impl ContinuousEngine for TricEngine {
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {
+        let staged = self.stage_update(update);
+        self.answer_tric(staged)
+    }
+
+    /// Batched answering (the scaling step of the ROADMAP): routing, join
+    /// builds and covering-path joins are amortized across the whole batch
+    /// instead of being paid once per update.
+    ///
+    /// The pipeline mirrors [`apply_update`](ContinuousEngine::apply_update)
+    /// step for step, but every per-update quantity is replaced by its merged
+    /// batch counterpart: the per-edge **batch delta relations** collected by
+    /// one routing pass ([`EdgeViewStore::apply_batch`]), per-node seeds
+    /// joining each parent's pre-batch view against the merged edge delta
+    /// (one hash-join build per affected node per batch), one delta
+    /// propagation pass down the affected sub-tries, and one covering-path
+    /// join per affected query against the merged truly-new rows.
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        let staged = self.stage_updates(updates);
+        self.answer_tric(staged)
+    }
+
+    /// Routing + propagation of a batch with the covering-path join pass
+    /// deferred: steps 0–3 run now, step 4 runs in
+    /// [`answer_staged`](ContinuousEngine::answer_staged) against the
+    /// version watermarks captured in the token. See the staging contract on
+    /// [`ContinuousEngine::stage_batch`].
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        StagedBatch::deferred(self.stage_updates(updates))
+    }
+
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        match staged.into_deferred::<StagedTric>() {
+            Ok(token) => self.answer_tric(token),
+            Err(report) => report,
+        }
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.forest.heap_size()
+            + self.views.heap_size()
+            + self.cache.heap_size()
+            + self.queries.heap_size()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+impl TricEngine {
+    /// The staging phase for a single update: steps 0–3 of the answering
+    /// algorithm (routing, seeding, propagation, view appends), with the
+    /// covering-path join pass captured in the returned token.
+    fn stage_update(&mut self, update: Update) -> StagedTric {
         self.stats.updates_processed += 1;
 
         // Step 0: route the update to the per-edge materialized views.
         let affected_edges = self.views.apply_update(&update);
         if affected_edges.is_empty() {
-            return MatchReport::empty();
+            return StagedTric::default();
         }
 
         // Step 1: locate the affected trie nodes (paper: edgeInd lookup plus
@@ -307,7 +385,7 @@ impl ContinuousEngine for TricEngine {
         self.scratch.affected_nodes.sort_unstable();
         self.scratch.affected_nodes.dedup();
         if self.scratch.affected_nodes.is_empty() {
-            return MatchReport::empty();
+            return StagedTric::default();
         }
 
         let caching = self.config.caching;
@@ -357,27 +435,18 @@ impl ContinuousEngine for TricEngine {
             }
         }
 
-        self.propagate_and_answer(deltas, by_depth)
+        self.propagate_and_stage(deltas, by_depth)
     }
 
-    /// Batched answering (the scaling step of the ROADMAP): routing, join
-    /// builds and covering-path joins are amortized across the whole batch
-    /// instead of being paid once per update.
-    ///
-    /// The pipeline mirrors [`apply_update`](ContinuousEngine::apply_update)
-    /// step for step, but every per-update quantity is replaced by its merged
-    /// batch counterpart: the per-edge **batch delta relations** collected by
-    /// one routing pass ([`EdgeViewStore::apply_batch`]), per-node seeds
-    /// joining each parent's pre-batch view against the merged edge delta
-    /// (one hash-join build per affected node per batch), one delta
-    /// propagation pass down the affected sub-tries, and one covering-path
-    /// join per affected query against the merged truly-new rows.
-    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
-        // Tiny batches take the single-update fast path — the batched
-        // machinery only pays off once builds are shared.
+    /// The staging phase for a whole batch: steps 0–3 with every per-update
+    /// quantity replaced by its merged batch counterpart (see
+    /// [`ContinuousEngine::apply_batch`] on this type). Tiny batches take
+    /// the single-update path — the batched machinery only pays off once
+    /// builds are shared.
+    fn stage_updates(&mut self, updates: &[Update]) -> StagedTric {
         match updates {
-            [] => return MatchReport::empty(),
-            [u] => return self.apply_update(*u),
+            [] => return StagedTric::default(),
+            [u] => return self.stage_update(*u),
             _ => {}
         }
         self.stats.updates_processed += updates.len() as u64;
@@ -386,7 +455,7 @@ impl ContinuousEngine for TricEngine {
         // collecting the merged delta relation of every affected edge.
         let edge_deltas = self.views.apply_batch(updates);
         if edge_deltas.is_empty() {
-            return MatchReport::empty();
+            return StagedTric::default();
         }
 
         // Step 1: locate the affected trie nodes once per batch, so the
@@ -400,7 +469,7 @@ impl ContinuousEngine for TricEngine {
         self.scratch.affected_nodes.sort_unstable();
         self.scratch.affected_nodes.dedup();
         if self.scratch.affected_nodes.is_empty() {
-            return MatchReport::empty();
+            return StagedTric::default();
         }
 
         let caching = self.config.caching;
@@ -466,37 +535,22 @@ impl ContinuousEngine for TricEngine {
             }
         }
 
-        self.propagate_and_answer(deltas, by_depth)
+        self.propagate_and_stage(deltas, by_depth)
     }
 
-    fn num_queries(&self) -> usize {
-        self.queries.len()
-    }
-
-    fn heap_bytes(&self) -> usize {
-        self.forest.heap_size()
-            + self.views.heap_size()
-            + self.cache.heap_size()
-            + self.queries.heap_size()
-    }
-
-    fn stats(&self) -> EngineStats {
-        self.stats
-    }
-}
-
-impl TricEngine {
-    /// Steps 2b–4 of the answering algorithm, shared by the single-update and
+    /// Steps 2b–3 of the answering algorithm, shared by the single-update and
     /// batched front-ends: propagate the seeded deltas down the affected
-    /// sub-tries, append the truly new rows to the node views, and join the
-    /// per-path deltas against the other covering paths of every affected
-    /// query. The seeds must have been computed against **pre-append** node
-    /// views; this method performs all view appends itself.
-    fn propagate_and_answer(
+    /// sub-tries, append the truly new rows to the node views, and capture
+    /// everything the deferred covering-path join pass needs — the truly-new
+    /// relations, the affected queries, and the post-append version
+    /// watermarks of their end-node views. The seeds must have been computed
+    /// against **pre-append** node views; this method performs all view
+    /// appends itself.
+    fn propagate_and_stage(
         &mut self,
         mut deltas: FxHashMap<NodeId, Relation>,
         mut by_depth: BTreeMap<usize, Vec<NodeId>>,
-    ) -> MatchReport {
+    ) -> StagedTric {
         let caching = self.config.caching;
 
         // Step 2b: propagate deltas down the affected sub-tries in depth
@@ -594,12 +648,12 @@ impl TricEngine {
             }
         }
 
-        // Step 4: per affected query, join the delta of each affected
-        // covering path with the full views of the remaining paths
-        // (Fig. 8, lines 8-13, restricted to new embeddings). Bindings
-        // borrow the deltas/views and each path's vertex sequence — nothing
-        // is copied to describe a join.
-        let affected_queries = &mut self.scratch.affected_queries;
+        // Capture the deferred answer pass: the affected queries and the
+        // post-append version watermark of every end-node view any of them
+        // will join against. Freezing the watermarks here is what allows
+        // later batches to be staged (appending past the watermarks) before
+        // this batch is answered.
+        let mut affected_queries: Vec<QueryId> = Vec::new();
         for n in truly_new.keys() {
             for reg in &self.forest.node(*n).registrations {
                 affected_queries.push(reg.query);
@@ -607,6 +661,39 @@ impl TricEngine {
         }
         affected_queries.sort_unstable();
         affected_queries.dedup();
+
+        let mut watermarks: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for &qid in &affected_queries {
+            for path in &self.queries[qid.index()].paths {
+                watermarks.insert(
+                    path.end_node,
+                    self.forest.node(path.end_node).mat_view.version(),
+                );
+            }
+        }
+
+        StagedTric {
+            truly_new,
+            affected_queries,
+            watermarks,
+        }
+    }
+
+    /// Step 4 — the deferred covering-path join pass: per affected query,
+    /// join the truly-new delta of each affected covering path with the
+    /// other paths' views **frozen at the staged watermarks** (Fig. 8,
+    /// lines 8–13, restricted to new embeddings). Rows appended to the views
+    /// by batches staged after this one sit past the watermarks and are
+    /// invisible, so the report is identical whether the answer runs
+    /// immediately or after any number of later stages. Bindings borrow the
+    /// deltas/views and each path's vertex sequence — nothing is copied to
+    /// describe a join.
+    fn answer_tric(&mut self, staged: StagedTric) -> MatchReport {
+        let StagedTric {
+            truly_new,
+            affected_queries,
+            watermarks,
+        } = staged;
 
         let mut counts: Vec<(QueryId, u64)> = Vec::new();
         let mut bindings: Vec<PathBinding<'_>> = Vec::new();
@@ -626,11 +713,15 @@ impl TricEngine {
                         continue;
                     }
                     let view = &self.forest.node(other.end_node).mat_view;
-                    if view.is_empty() {
+                    let watermark = watermarks
+                        .get(&other.end_node)
+                        .copied()
+                        .unwrap_or_else(|| view.version());
+                    if watermark == 0 {
                         all_present = false;
                         break;
                     }
-                    bindings.push(PathBinding::new(view, &other.vertices));
+                    bindings.push(PathBinding::at_version(view, &other.vertices, watermark));
                 }
                 if !all_present {
                     continue;
@@ -938,6 +1029,61 @@ mod tests {
                 }
                 assert_eq!(seq.stats().updates_processed, bat.stats().updates_processed);
                 assert_eq!(seq.stats().embeddings, bat.stats().embeddings);
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_answers_survive_later_stages() {
+        // The staging contract: answer(N) may run after stage(N+1), …,
+        // stage(N+k), and must still report exactly what apply_batch would
+        // have — the version watermarks in the token freeze the views. Replay
+        // a random stream in chunks, staging the whole window before
+        // answering any of it, against a sequential reference.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for caching in [false, true] {
+            for window in [2usize, 3, 5] {
+                let mut rng = StdRng::seed_from_u64(23);
+                let mut f = Fixture::new();
+                let queries = vec![
+                    f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                    f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                    f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                    f.q("?a -e2-> ?a"),
+                ];
+                let config = TricConfig { caching };
+                let mut reference = TricEngine::with_config(config);
+                let mut staged_engine = TricEngine::with_config(config);
+                for q in &queries {
+                    reference.register_query(q).unwrap();
+                    staged_engine.register_query(q).unwrap();
+                }
+                let stream: Vec<Update> = (0..300)
+                    .map(|_| {
+                        let label = format!("e{}", rng.gen_range(0..3));
+                        let src = format!("v{}", rng.gen_range(0..8));
+                        let tgt = format!("v{}", rng.gen_range(0..8));
+                        f.u(&label, &src, &tgt)
+                    })
+                    .collect();
+                let chunk = 4usize;
+                let batches: Vec<&[Update]> = stream.chunks(chunk).collect();
+                for group in batches.chunks(window) {
+                    // Stage the whole window first…
+                    let tokens: Vec<_> =
+                        group.iter().map(|b| staged_engine.stage_batch(b)).collect();
+                    // …then answer FIFO, each against its frozen watermarks.
+                    for (batch, token) in group.iter().zip(tokens) {
+                        let expected = reference.apply_batch(batch);
+                        let got = staged_engine.answer_staged(token);
+                        assert_eq!(
+                            got, expected,
+                            "caching {caching} window {window} diverged on {batch:?}"
+                        );
+                    }
+                }
+                assert_eq!(reference.stats(), staged_engine.stats());
             }
         }
     }

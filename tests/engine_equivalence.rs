@@ -8,6 +8,8 @@
 //! only the covering-path decomposition and the relational kernel, so
 //! agreement across all seven is strong evidence each one is right.
 
+use std::time::{Duration, Instant};
+
 use graph_stream_matching::core::prelude::*;
 use graph_stream_matching::datagen::{Dataset, Workload, WorkloadConfig};
 use graph_stream_matching::{all_engines, all_engines_sharded};
@@ -214,6 +216,110 @@ fn assert_sharded_equals_unsharded(workload: &Workload) {
     }
 }
 
+/// The pipeline configurations the pipelined differential matrix drives,
+/// as `(max_batch, max_delay_ticks, tick_advance)` with a synthetic clock
+/// that advances `tick_advance` milliseconds per pushed update: a
+/// size-driven sweep (deadline never fires), a deadline-driven sweep (the
+/// buffer never fills, batches cut every `max_delay` ticks), and a mixed
+/// config where both bounds fire. Singleton batches exercise the engines'
+/// fast path through the staged window.
+const PIPELINE_CONFIGS: [(usize, u64, u64); 4] =
+    [(1, 1_000, 0), (7, 1_000, 0), (1_000, 5, 1), (10, 3, 1)];
+
+/// Differential pipelined-vs-sequential harness: replays `workload`
+/// sequentially once per engine (recording every per-update report), then
+/// streams it through [`PipelinedEngine`] under each flush configuration on
+/// fresh engines of the same kinds. Every completed batch must equal the
+/// merge of the per-update reports of exactly the updates it covered —
+/// whatever segmentation the size/deadline bounds chose — and the batches
+/// must arrive in order and cover the stream exactly. `engines` lets the
+/// sharded matrix reuse the harness.
+fn assert_pipelined_equals_sequential_for(
+    workload: &Workload,
+    engines: impl Fn() -> Vec<Box<dyn ContinuousEngine>>,
+) {
+    // Sequential reference: per-engine, per-update reports.
+    let mut seq_engines = engines();
+    for engine in seq_engines.iter_mut() {
+        for q in &workload.queries {
+            engine.register_query(q).expect("register");
+        }
+    }
+    let per_update: Vec<Vec<MatchReport>> = seq_engines
+        .iter_mut()
+        .map(|engine| {
+            workload
+                .stream
+                .iter()
+                .map(|u| engine.apply_update(*u))
+                .collect()
+        })
+        .collect();
+
+    for (max_batch, delay_ticks, tick_ms) in PIPELINE_CONFIGS {
+        let config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks));
+        let mut pipe_engines: Vec<_> = engines()
+            .into_iter()
+            .map(|e| PipelinedEngine::new(e, config))
+            .collect();
+        for pipe in pipe_engines.iter_mut() {
+            for q in &workload.queries {
+                pipe.register_query(q).expect("register");
+            }
+        }
+        let t0 = Instant::now();
+        for (engine_idx, pipe) in pipe_engines.iter_mut().enumerate() {
+            let mut completed: Vec<CompletedBatch> = Vec::new();
+            for (i, u) in workload.stream.iter().enumerate() {
+                let now = t0 + Duration::from_millis(i as u64 * tick_ms);
+                completed.extend(pipe.push_at(*u, now));
+            }
+            completed.extend(pipe.drain());
+
+            // The completed batches tile the stream in arrival order; each
+            // report must equal the merged sequential reports of its tile.
+            let mut offset = 0usize;
+            for (batch_idx, batch) in completed.iter().enumerate() {
+                assert!(batch.updates > 0, "empty completed batch");
+                let expected = MatchReport::from_counts(
+                    per_update[engine_idx][offset..offset + batch.updates]
+                        .iter()
+                        .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                        .collect(),
+                );
+                assert_eq!(
+                    batch.report,
+                    expected,
+                    "{} pipelined batch #{batch_idx} (updates {offset}..{}) under \
+                     (max_batch {max_batch}, delay {delay_ticks} ticks) of {} \
+                     diverged from sequential",
+                    pipe.name(),
+                    offset + batch.updates,
+                    workload.name
+                );
+                offset += batch.updates;
+            }
+            assert_eq!(
+                offset,
+                workload.stream.len(),
+                "{} pipeline dropped or duplicated updates",
+                pipe.name()
+            );
+
+            // Same stream, same embeddings; notification granularity is per
+            // answered batch and therefore not compared.
+            let seq_stats = seq_engines[engine_idx].stats();
+            let stats = pipe.stats();
+            assert_eq!(stats.updates_processed, seq_stats.updates_processed);
+            assert_eq!(stats.embeddings, seq_stats.embeddings, "{}", pipe.name());
+        }
+    }
+}
+
+fn assert_pipelined_equals_sequential(workload: &Workload) {
+    assert_pipelined_equals_sequential_for(workload, all_engines);
+}
+
 #[test]
 fn engines_agree_on_snb_workload() {
     let workload =
@@ -344,6 +450,54 @@ fn sharded_equals_unsharded_with_high_overlap_and_long_queries() {
             .with_overlap(0.8),
     );
     assert_sharded_equals_unsharded(&workload);
+}
+
+#[test]
+fn pipelined_equals_sequential_on_snb_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 400, 20).with_selectivity(0.4));
+    assert_pipelined_equals_sequential(&workload);
+}
+
+#[test]
+fn pipelined_equals_sequential_on_taxi_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Taxi, 400, 20).with_query_size(3));
+    assert_pipelined_equals_sequential(&workload);
+}
+
+#[test]
+fn pipelined_equals_sequential_on_biogrid_workload() {
+    // The explosive single-label generator stays small: the harness replays
+    // the stream once sequentially plus once per pipeline config.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 200, 16).with_query_size(3));
+    assert_pipelined_equals_sequential(&workload);
+}
+
+#[test]
+fn pipelined_equals_sequential_with_high_overlap_and_long_queries() {
+    // High overlap plus long queries maximises multi-path queries, whose
+    // covering-path joins are exactly what the pipeline defers.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 250, 14)
+            .with_query_size(7)
+            .with_overlap(0.8),
+    );
+    assert_pipelined_equals_sequential(&workload);
+}
+
+#[test]
+fn pipelined_sharded_equals_sequential_on_snb_workload() {
+    // Pipeline × sharding composition: the pipelined executor in front of
+    // the sharded wrapper, so the deferred spanning join pass runs after
+    // later batches were absorbed on worker shards. `GSM_SHARDS=<n>` (the
+    // CI shard job) pins the shard count like the other sharded suites.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 300, 16).with_selectivity(0.4));
+    for shards in shard_counts() {
+        assert_pipelined_equals_sequential_for(&workload, || all_engines_sharded(shards));
+    }
 }
 
 #[test]

@@ -328,6 +328,112 @@ proptest! {
         }
     }
 
+    /// The pipelined executor is differentially equivalent to sequential
+    /// answering under *random* flush sizes, flush deadlines and inter-update
+    /// arrival gaps (driven through a synthetic clock): whatever stream
+    /// segmentation the latency-budgeted batcher picks, every completed
+    /// batch's report must equal the merged sequential reports of exactly
+    /// the updates it covered, and the batches must tile the stream in
+    /// order. Exercised on the two ends of the engine spectrum (TRIC+ with
+    /// its deferred join pass, INC with the default immediate staging),
+    /// plus TRIC+ behind the sharded wrapper.
+    #[test]
+    fn pipelined_random_flush_bounds_equal_sequential(
+        query_specs in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0u8..5, 0u8..5, any::<bool>(), any::<bool>()), 1..4),
+            1..5,
+        ),
+        stream_specs in proptest::collection::vec((0u8..3, 0u8..5, 0u8..5), 1..90),
+        max_batch in 1usize..20,
+        delay_ticks in 1u64..8,
+        gaps in proptest::collection::vec(0u64..4, 1..12),
+        num_shards in 1usize..5,
+    ) {
+        use std::time::{Duration, Instant};
+
+        let mut symbols = SymbolTable::new();
+        let queries: Vec<QueryPattern> = query_specs
+            .iter()
+            .filter_map(|specs| build_query(specs, &mut symbols))
+            .collect();
+        prop_assume!(!queries.is_empty());
+
+        let mut references: Vec<Box<dyn ContinuousEngine>> = vec![
+            Box::new(TricEngine::tric_plus()),
+            Box::new(BaselineEngine::inc()),
+            Box::new(TricEngine::tric_plus()),
+        ];
+        let config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks));
+        let mut pipelines: Vec<PipelinedEngine<Box<dyn ContinuousEngine>>> = vec![
+            PipelinedEngine::new(Box::new(TricEngine::tric_plus()), config),
+            PipelinedEngine::new(Box::new(BaselineEngine::inc()), config),
+            PipelinedEngine::new(
+                Box::new(TricEngine::tric_plus_sharded(num_shards)),
+                config,
+            ),
+        ];
+        for engine in references.iter_mut() {
+            for q in &queries {
+                engine.register_query(q).expect("valid query");
+            }
+        }
+        for pipe in pipelines.iter_mut() {
+            for q in &queries {
+                pipe.register_query(q).expect("valid query");
+            }
+        }
+
+        let stream: Vec<Update> = stream_specs
+            .iter()
+            .map(|&(label, src, tgt)| {
+                Update::new(
+                    symbols.intern(&format!("e{label}")),
+                    symbols.intern(&format!("v{src}")),
+                    symbols.intern(&format!("v{tgt}")),
+                )
+            })
+            .collect();
+
+        // Sequential reference reports, per engine per update.
+        let per_update: Vec<Vec<MatchReport>> = references
+            .iter_mut()
+            .map(|engine| stream.iter().map(|u| engine.apply_update(*u)).collect())
+            .collect();
+
+        let t0 = Instant::now();
+        for (engine_idx, pipe) in pipelines.iter_mut().enumerate() {
+            let mut completed: Vec<CompletedBatch> = Vec::new();
+            let mut clock_ms = 0u64;
+            for (i, u) in stream.iter().enumerate() {
+                clock_ms += gaps[i % gaps.len()];
+                completed.extend(pipe.push_at(*u, t0 + Duration::from_millis(clock_ms)));
+            }
+            completed.extend(pipe.drain());
+
+            let mut offset = 0usize;
+            for batch in &completed {
+                let expected = MatchReport::from_counts(
+                    per_update[engine_idx][offset..offset + batch.updates]
+                        .iter()
+                        .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                        .collect(),
+                );
+                prop_assert_eq!(
+                    &batch.report,
+                    &expected,
+                    "{} diverged on batch at offset {} (len {}, max_batch {}, delay {})",
+                    pipe.name(),
+                    offset,
+                    batch.updates,
+                    max_batch,
+                    delay_ticks
+                );
+                offset += batch.updates;
+            }
+            prop_assert_eq!(offset, stream.len(), "pipeline must tile the stream");
+        }
+    }
+
     /// Engines never panic on arbitrary streams even with no queries, or with
     /// queries whose labels never appear in the stream.
     #[test]

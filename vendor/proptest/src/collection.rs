@@ -2,7 +2,7 @@
 
 use crate::{SizeRange, Strategy, TestRng};
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
