@@ -1,6 +1,8 @@
 //! The INV / INV+ / INC / INC+ answering engines (Sections 5.1 and 5.2).
 
-use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
+use gsm_core::engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
+};
 use gsm_core::error::Result;
 use gsm_core::interner::Sym;
 use gsm_core::memory::HeapSize;
@@ -13,7 +15,7 @@ use gsm_core::relation::eval::{join_paths, PathBinding};
 use gsm_core::relation::fasthash::FxHashMap;
 use gsm_core::relation::Relation;
 use gsm_core::shard::ShardedEngine;
-use gsm_core::views::{self, EdgeViewStore};
+use gsm_core::views::{self, EdgeViewStore, FrozenViews, ViewSource};
 
 use crate::index::{InvertedIndexes, PathRecord, QueryRecord};
 
@@ -99,44 +101,175 @@ impl BaselineEngine {
         self.cache.hits()
     }
 
-    /// Computes the **full** relation of a covering path by joining the
-    /// edge-level materialized views left to right (INV's expensive step).
-    /// Returns `None` as soon as an intermediate result is empty. Delegates
-    /// to the shared [`gsm_core::views::full_path_relation`] kernel, wiring
-    /// in this engine's join-structure cache when caching is enabled.
-    fn full_path_relation(&mut self, path: &PathRecord) -> Option<Relation> {
-        let cache = self.caching.then_some(&mut self.cache);
-        let rel = views::full_path_relation(&self.views, &path.edges, cache, &mut self.row_buf);
-        if rel.is_empty() {
-            None
-        } else {
-            Some(rel)
+    /// Resolves the queries affected by a routed batch via edgeInd and
+    /// clones their records — the per-batch working set both the eager and
+    /// the staged answer passes iterate.
+    fn affected_records(
+        &self,
+        edge_deltas: &FxHashMap<GenericEdge, Relation>,
+    ) -> Vec<(QueryId, QueryRecord)> {
+        let affected_edges: Vec<GenericEdge> = edge_deltas.keys().copied().collect();
+        self.indexes
+            .affected_queries(&affected_edges)
+            .into_iter()
+            .map(|qid| (qid, self.indexes.record(qid).clone()))
+            .collect()
+    }
+}
+
+/// The deferred-answer token of the INV/INC baselines: the routed batch's
+/// per-edge delta relations, the affected queries' records, and the
+/// affected views **frozen at the post-batch watermarks**
+/// ([`EdgeViewStore::freeze_at`]). The token owns everything the join-and-
+/// explore pass reads, so the deferred answer is identical whether it runs
+/// immediately, after later batches were staged, or on another thread.
+struct StagedBaseline {
+    edge_deltas: FxHashMap<GenericEdge, Relation>,
+    affected: Vec<(QueryId, QueryRecord)>,
+    frozen: FrozenViews,
+}
+
+/// The baselines' answer pass (steps 2–3 plus the final join of
+/// `apply_batch_core`), shared verbatim by the eager path (live views plus
+/// the engine's join cache) and the staged/detached paths (frozen views, no
+/// cache — snapshot relations are born fresh per batch, so caching their
+/// builds would only pollute the cache). Returns the per-query embedding
+/// counts.
+fn answer_affected(
+    mode: BaselineMode,
+    views: &impl ViewSource,
+    mut cache: Option<&mut JoinCache>,
+    row_buf: &mut Vec<Sym>,
+    edge_deltas: &FxHashMap<GenericEdge, Relation>,
+    affected: &[(QueryId, QueryRecord)],
+) -> Vec<(QueryId, u64)> {
+    let mut counts: Vec<(QueryId, u64)> = Vec::new();
+
+    'queries: for (qid, record) in affected {
+        for edge in &record.edges {
+            match views.view(edge) {
+                Some(view) if !view.is_empty() => {}
+                _ => continue 'queries,
+            }
+        }
+
+        // Step 2/3: path examination and materialization.
+        //
+        // INV computes the full relation of *every* covering path (the
+        // "join and explore" cost the paper attributes to it); INC only
+        // computes full relations for the paths the update does not
+        // touch. Both then derive the new embeddings by joining the
+        // update-seeded delta of each affected path with the other
+        // paths' relations.
+        let path_affected: Vec<bool> = record
+            .paths
+            .iter()
+            .map(|p| p.edges.iter().any(|e| edge_deltas.contains_key(e)))
+            .collect();
+
+        let mut full_relations: Vec<Option<Relation>> = vec![None; record.paths.len()];
+        let mut all_present = true;
+        for (i, path) in record.paths.iter().enumerate() {
+            let need_full = match mode {
+                BaselineMode::Inv => true,
+                BaselineMode::Inc => !path_affected[i],
+            };
+            if need_full {
+                let rel =
+                    views::full_path_relation(views, &path.edges, cache.as_deref_mut(), row_buf);
+                if rel.is_empty() {
+                    all_present = false;
+                    break;
+                }
+                full_relations[i] = Some(rel);
+            }
+        }
+        if !all_present {
+            continue;
+        }
+
+        let mut deltas: Vec<Option<Relation>> = vec![None; record.paths.len()];
+        for (i, path) in record.paths.iter().enumerate() {
+            if path_affected[i] {
+                let d = views::delta_path_relation(
+                    views,
+                    &path.edges,
+                    edge_deltas,
+                    cache.as_deref_mut(),
+                    row_buf,
+                );
+                if !d.is_empty() {
+                    deltas[i] = Some(d);
+                }
+            }
+        }
+        if deltas.iter().all(Option::is_none) {
+            continue;
+        }
+
+        // INC may not yet have computed the full relation of an affected
+        // path that is needed as "the other path" during the final join;
+        // compute those now (only when at least two paths are involved).
+        if record.paths.len() > 1 {
+            for (j, path) in record.paths.iter().enumerate() {
+                let needed = deltas
+                    .iter()
+                    .enumerate()
+                    .any(|(i, d)| i != j && d.is_some());
+                if needed && full_relations[j].is_none() {
+                    let rel = views::full_path_relation(
+                        views,
+                        &path.edges,
+                        cache.as_deref_mut(),
+                        row_buf,
+                    );
+                    if !rel.is_empty() {
+                        full_relations[j] = Some(rel);
+                    }
+                }
+            }
+        }
+
+        // Final join per affected path, union of distinct embeddings.
+        let mut embeddings: Option<Relation> = None;
+        for (i, delta) in deltas.iter().enumerate() {
+            let Some(delta) = delta else { continue };
+            let mut bindings = Vec::with_capacity(record.paths.len());
+            bindings.push(PathBinding::new(delta, &record.paths[i].vertices));
+            let mut usable = true;
+            for (j, other) in record.paths.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                match &full_relations[j] {
+                    Some(rel) => bindings.push(PathBinding::new(rel, &other.vertices)),
+                    None => {
+                        usable = false;
+                        break;
+                    }
+                }
+            }
+            if !usable {
+                continue;
+            }
+            if let Some(result) = join_paths(&bindings) {
+                let canon = result.canonicalize();
+                match &mut embeddings {
+                    None => embeddings = Some(canon.rel),
+                    Some(acc) => {
+                        acc.extend_from(&canon.rel);
+                    }
+                }
+            }
+        }
+        if let Some(emb) = embeddings {
+            if !emb.is_empty() {
+                counts.push((*qid, emb.len() as u64));
+            }
         }
     }
 
-    /// Computes the **delta** relation of a covering path: the path tuples
-    /// that use at least one tuple of the batch's per-edge delta relations
-    /// at a position whose generic edge gained it. Columns correspond to
-    /// path positions. For a single-update batch the per-edge deltas are
-    /// one-row relations and this is exactly the paper's per-update seeding;
-    /// for larger batches every matched position is seeded with the whole
-    /// merged delta at once, so the extension joins along the path are built
-    /// once per batch instead of once per update. Delegates to the shared
-    /// [`gsm_core::views::delta_path_relation`] kernel.
-    fn delta_path_relation(
-        &mut self,
-        path: &PathRecord,
-        edge_deltas: &FxHashMap<GenericEdge, Relation>,
-    ) -> Relation {
-        let cache = self.caching.then_some(&mut self.cache);
-        views::delta_path_relation(
-            &self.views,
-            &path.edges,
-            edge_deltas,
-            cache,
-            &mut self.row_buf,
-        )
-    }
+    counts
 }
 
 impl ContinuousEngine for BaselineEngine {
@@ -189,6 +322,83 @@ impl ContinuousEngine for BaselineEngine {
         self.apply_batch_core(updates)
     }
 
+    /// Routing with the join-and-explore pass deferred: the batch is routed
+    /// into the views now, and the token captures the per-edge deltas, the
+    /// affected query records and the affected views **frozen at the
+    /// post-batch watermarks** ([`EdgeViewStore::freeze_at`]) — so the
+    /// answer may run after later batches were routed, or on another thread,
+    /// and still reads exactly the state this batch saw. See the staging
+    /// contract on [`ContinuousEngine::stage_batch`].
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        self.stats.updates_processed += updates.len() as u64;
+        let edge_deltas = self.views.apply_batch(updates);
+        if edge_deltas.is_empty() {
+            return StagedBatch::immediate(MatchReport::empty());
+        }
+        let affected = self.affected_records(&edge_deltas);
+        let mut needed: Vec<GenericEdge> = Vec::new();
+        for (_, record) in &affected {
+            for &edge in &record.edges {
+                if !needed.contains(&edge) {
+                    needed.push(edge);
+                }
+            }
+        }
+        let frozen = self.views.freeze_edges(&needed);
+        StagedBatch::deferred(StagedBaseline {
+            edge_deltas,
+            affected,
+            frozen,
+        })
+    }
+
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        match staged.into_deferred::<StagedBaseline>() {
+            Ok(token) => {
+                let counts = answer_affected(
+                    self.mode,
+                    &token.frozen,
+                    None,
+                    &mut self.row_buf,
+                    &token.edge_deltas,
+                    &token.affected,
+                );
+                let report = MatchReport::from_counts(counts);
+                self.stats.notifications += report.len() as u64;
+                self.stats.embeddings += report.total_embeddings();
+                report
+            }
+            Err(report) => report,
+        }
+    }
+
+    /// The cross-thread form of the deferred join-and-explore pass: the
+    /// staged token already owns everything (deltas, records, frozen
+    /// views), so detaching is just moving it into the task. See the
+    /// detachment contract on [`ContinuousEngine::detach_staged`].
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        let mode = self.mode;
+        match staged.into_deferred::<StagedBaseline>() {
+            Ok(token) => DetachedAnswer::task(move || {
+                let mut row_buf = Vec::new();
+                MatchReport::from_counts(answer_affected(
+                    mode,
+                    &token.frozen,
+                    None,
+                    &mut row_buf,
+                    &token.edge_deltas,
+                    &token.affected,
+                ))
+            }),
+            Err(report) => DetachedAnswer::ready(report),
+        }
+    }
+
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+    }
+
     fn num_queries(&self) -> usize {
         self.indexes.num_queries()
     }
@@ -219,124 +429,19 @@ impl BaselineEngine {
         if edge_deltas.is_empty() {
             return MatchReport::empty();
         }
-        let affected_edges: Vec<GenericEdge> = edge_deltas.keys().copied().collect();
 
-        // Step 1: locate the affected queries via edgeInd once per batch and
-        // quick-reject queries with an empty view on any edge.
-        let affected_queries = self.indexes.affected_queries(&affected_edges);
-
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
-
-        'queries: for qid in affected_queries {
-            let record = self.indexes.record(qid).clone();
-            for edge in &record.edges {
-                match self.views.get(edge) {
-                    Some(view) if !view.is_empty() => {}
-                    _ => continue 'queries,
-                }
-            }
-
-            // Step 2/3: path examination and materialization.
-            //
-            // INV computes the full relation of *every* covering path (the
-            // "join and explore" cost the paper attributes to it); INC only
-            // computes full relations for the paths the update does not
-            // touch. Both then derive the new embeddings by joining the
-            // update-seeded delta of each affected path with the other
-            // paths' relations.
-            let path_affected: Vec<bool> = record
-                .paths
-                .iter()
-                .map(|p| p.edges.iter().any(|e| affected_edges.contains(e)))
-                .collect();
-
-            let mut full_relations: Vec<Option<Relation>> = vec![None; record.paths.len()];
-            let mut all_present = true;
-            for (i, path) in record.paths.iter().enumerate() {
-                let need_full = match self.mode {
-                    BaselineMode::Inv => true,
-                    BaselineMode::Inc => !path_affected[i],
-                };
-                if need_full {
-                    match self.full_path_relation(path) {
-                        Some(rel) => full_relations[i] = Some(rel),
-                        None => {
-                            all_present = false;
-                            break;
-                        }
-                    }
-                }
-            }
-            if !all_present {
-                continue;
-            }
-
-            let mut deltas: Vec<Option<Relation>> = vec![None; record.paths.len()];
-            for (i, path) in record.paths.iter().enumerate() {
-                if path_affected[i] {
-                    let d = self.delta_path_relation(path, &edge_deltas);
-                    if !d.is_empty() {
-                        deltas[i] = Some(d);
-                    }
-                }
-            }
-            if deltas.iter().all(Option::is_none) {
-                continue;
-            }
-
-            // INC may not yet have computed the full relation of an affected
-            // path that is needed as "the other path" during the final join;
-            // compute those now (only when at least two paths are involved).
-            if record.paths.len() > 1 {
-                for (j, path) in record.paths.iter().enumerate() {
-                    let needed = deltas
-                        .iter()
-                        .enumerate()
-                        .any(|(i, d)| i != j && d.is_some());
-                    if needed && full_relations[j].is_none() {
-                        full_relations[j] = self.full_path_relation(path);
-                    }
-                }
-            }
-
-            // Final join per affected path, union of distinct embeddings.
-            let mut embeddings: Option<Relation> = None;
-            for (i, delta) in deltas.iter().enumerate() {
-                let Some(delta) = delta else { continue };
-                let mut bindings = Vec::with_capacity(record.paths.len());
-                bindings.push(PathBinding::new(delta, &record.paths[i].vertices));
-                let mut usable = true;
-                for (j, other) in record.paths.iter().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    match &full_relations[j] {
-                        Some(rel) => bindings.push(PathBinding::new(rel, &other.vertices)),
-                        None => {
-                            usable = false;
-                            break;
-                        }
-                    }
-                }
-                if !usable {
-                    continue;
-                }
-                if let Some(result) = join_paths(&bindings) {
-                    let canon = result.canonicalize();
-                    match &mut embeddings {
-                        None => embeddings = Some(canon.rel),
-                        Some(acc) => {
-                            acc.extend_from(&canon.rel);
-                        }
-                    }
-                }
-            }
-            if let Some(emb) = embeddings {
-                if !emb.is_empty() {
-                    counts.push((qid, emb.len() as u64));
-                }
-            }
-        }
+        // Step 1: locate the affected queries via edgeInd once per batch,
+        // then run the shared answer pass against the live views (wiring in
+        // the join cache when caching is enabled).
+        let affected = self.affected_records(&edge_deltas);
+        let counts = answer_affected(
+            self.mode,
+            &self.views,
+            self.caching.then_some(&mut self.cache),
+            &mut self.row_buf,
+            &edge_deltas,
+            &affected,
+        );
 
         let report = MatchReport::from_counts(counts);
         self.stats.notifications += report.len() as u64;
@@ -511,6 +616,72 @@ mod tests {
                     assert_eq!(got, expected, "{} chunk {chunk} diverged", bat.name());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn staged_answers_survive_later_stages_and_detachment() {
+        // The staging + detachment contracts for the baselines' new real
+        // phase split: stage a whole window, then answer FIFO — half the
+        // windows through answer_staged, half through detached tasks run on
+        // worker threads — always matching an eager reference.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for (mode, caching) in [
+            (BaselineMode::Inv, false),
+            (BaselineMode::Inv, true),
+            (BaselineMode::Inc, false),
+            (BaselineMode::Inc, true),
+        ] {
+            let mut rng = StdRng::seed_from_u64(57);
+            let mut f = Fixture::new();
+            let queries = vec![
+                f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                f.q("?a -e2-> ?a"),
+            ];
+            let mut reference = BaselineEngine::with_mode(mode, caching);
+            let mut staged_engine = BaselineEngine::with_mode(mode, caching);
+            for q in &queries {
+                reference.register_query(q).unwrap();
+                staged_engine.register_query(q).unwrap();
+            }
+            let stream: Vec<Update> = (0..240)
+                .map(|_| {
+                    let label = format!("e{}", rng.gen_range(0..3));
+                    let src = format!("v{}", rng.gen_range(0..7));
+                    let tgt = format!("v{}", rng.gen_range(0..7));
+                    f.u(&label, &src, &tgt)
+                })
+                .collect();
+            let batches: Vec<&[Update]> = stream.chunks(6).collect();
+            for (w, group) in batches.chunks(3).enumerate() {
+                // Stage the whole window before answering any of it.
+                let tokens: Vec<_> = group.iter().map(|b| staged_engine.stage_batch(b)).collect();
+                if w % 2 == 0 {
+                    for (batch, token) in group.iter().zip(tokens) {
+                        let expected = reference.apply_batch(batch);
+                        let got = staged_engine.answer_staged(token);
+                        assert_eq!(got, expected, "{} staged diverged", staged_engine.name());
+                    }
+                } else {
+                    let handles: Vec<_> = tokens
+                        .into_iter()
+                        .map(|t| {
+                            let task = staged_engine.detach_staged(t);
+                            std::thread::spawn(move || task.run())
+                        })
+                        .collect();
+                    for (batch, handle) in group.iter().zip(handles) {
+                        let expected = reference.apply_batch(batch);
+                        let got = handle.join().expect("detached task");
+                        assert_eq!(got, expected, "{} detached diverged", staged_engine.name());
+                        staged_engine.absorb_answered(&got);
+                    }
+                }
+            }
+            assert_eq!(reference.stats(), staged_engine.stats());
         }
     }
 

@@ -13,6 +13,15 @@
 //! acceptance bar is that the pipeline sustains at least that throughput
 //! while bounding how long any update can sit buffered (the 5 ms deadline).
 //! Results land in BENCH_PR4.json.
+//!
+//! The `<engine>-threaded` series runs the same sweep with the answer phase
+//! on the dedicated answer thread (`PipelineConfig::answer_thread`): each
+//! batch is staged on the bench thread, detached — freezing chunk-sharing
+//! view snapshots into the task — and answered on the worker while the next
+//! batch is routed. On a 1-core box this records the **overhead floor** of
+//! the cross-thread handoff (snapshot freezing, channel hops, absorb), the
+//! same role BENCH_PR3.json played for sharding; multi-core hosts read it
+//! as the speedup baseline. Results land in BENCH_PR5.json.
 
 mod common;
 
@@ -59,30 +68,38 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
 
     for kind in [EngineKind::Tric, EngineKind::TricPlus] {
-        for flush_size in FLUSH_SIZES {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), flush_size),
-                &flush_size,
-                |b, &flush_size| {
-                    b.iter_batched(
-                        || {
-                            PipelinedEngine::new(
-                                warmed_engine(kind, &workload),
-                                PipelineConfig::new(flush_size, FLUSH_DEADLINE),
-                            )
-                        },
-                        |mut pipe| {
-                            let suffix = &workload.stream.as_slice()[WARM_UPDATES..];
-                            for &u in suffix {
-                                black_box(pipe.push(u));
-                            }
-                            black_box(pipe.drain());
-                            pipe
-                        },
-                        BatchSize::LargeInput,
-                    );
-                },
-            );
+        for threaded in [false, true] {
+            for flush_size in FLUSH_SIZES {
+                let series = if threaded {
+                    format!("{}-threaded", kind.name())
+                } else {
+                    kind.name().to_string()
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(series, flush_size),
+                    &flush_size,
+                    |b, &flush_size| {
+                        b.iter_batched(
+                            || {
+                                let mut config = PipelineConfig::new(flush_size, FLUSH_DEADLINE);
+                                if threaded {
+                                    config = config.threaded();
+                                }
+                                PipelinedEngine::new(warmed_engine(kind, &workload), config)
+                            },
+                            |mut pipe| {
+                                let suffix = &workload.stream.as_slice()[WARM_UPDATES..];
+                                for &u in suffix {
+                                    black_box(pipe.push(u));
+                                }
+                                black_box(pipe.drain());
+                                pipe
+                            },
+                            BatchSize::LargeInput,
+                        );
+                    },
+                );
+            }
         }
     }
     group.finish();

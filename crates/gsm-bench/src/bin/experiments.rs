@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p gsm-bench --release --bin experiments -- [--figure <id>|all]
 //!     [--scale <factor>] [--budget <seconds>] [--batch <n>] [--shards <n>]
-//!     [--pipeline] [--flush-ms <ms>] [--out <dir>]
+//!     [--pipeline] [--flush-ms <ms>] [--threads <n>] [--out <dir>]
 //! ```
 //!
 //! * `--figure` — one of fig12a…fig14c / tab13c, or `all` (default).
@@ -18,6 +18,9 @@
 //!   and each batch's answer phase overlaps the next batch's routing.
 //! * `--flush-ms` — the pipelined batcher's flush deadline in milliseconds
 //!   (default 5; implies `--pipeline`).
+//! * `--threads` — threads for the pipelined executor (default 1; `>= 2`
+//!   runs each batch's covering-path join on a dedicated answer thread
+//!   while the next batch is routed; implies `--pipeline`).
 //! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
 
 use std::fs;
@@ -35,6 +38,7 @@ struct Args {
     shards: usize,
     pipeline: bool,
     flush_ms: u64,
+    threads: usize,
     out_dir: PathBuf,
 }
 
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         pipeline: false,
         flush_ms: 5,
+        threads: 1,
         out_dir: PathBuf::from("results"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -100,13 +105,23 @@ fn parse_args() -> Result<Args, String> {
                 args.pipeline = true;
                 i += 2;
             }
+            "--threads" => {
+                args.threads = value
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+                if args.threads >= 2 {
+                    args.pipeline = true;
+                }
+                i += 2;
+            }
             "--out" | "-o" => {
                 args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--out <dir>]\n\nknown figures: {}",
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--threads <n>] [--out <dir>]\n\nknown figures: {}",
                     all_figure_ids().join(", ")
                 );
                 std::process::exit(0);
@@ -129,7 +144,8 @@ fn main() {
     let mut scale = ExperimentScale::scaled(args.scale);
     scale.limits = RunLimits::seconds(args.budget_secs)
         .with_batch_size(args.batch_size)
-        .with_shards(args.shards);
+        .with_shards(args.shards)
+        .with_threads(args.threads);
     if args.pipeline {
         scale.limits = scale
             .limits
@@ -151,7 +167,11 @@ fn main() {
         args.batch_size,
         args.shards,
         if args.pipeline {
-            format!(", pipelined with a {} ms flush deadline", args.flush_ms)
+            format!(
+                ", pipelined with a {} ms flush deadline on {} thread(s)",
+                args.flush_ms,
+                args.threads.max(1)
+            )
         } else {
             String::new()
         }

@@ -136,6 +136,13 @@ pub struct RunLimits {
     /// each batch overlaps the staging of the next. `None` (the default)
     /// reproduces the historical chunked replay exactly.
     pub pipeline: Option<Duration>,
+    /// Number of threads the pipelined executor may use: `>= 2` runs the
+    /// answer phase on the dedicated answer thread
+    /// ([`gsm_core::pipeline::PipelineConfig::answer_thread`]) so the
+    /// covering-path join of batch *N* overlaps the staging of batch
+    /// *N + 1* across cores. `1` (the default) answers inline on the
+    /// calling thread. Ignored without `pipeline`.
+    pub threads: usize,
 }
 
 impl Default for RunLimits {
@@ -145,6 +152,7 @@ impl Default for RunLimits {
             batch_size: 1,
             shards: 1,
             pipeline: None,
+            threads: 1,
         }
     }
 }
@@ -177,6 +185,13 @@ impl RunLimits {
         self.pipeline = Some(flush);
         self
     }
+
+    /// Sets the pipelined executor's thread count (`>= 2` moves the answer
+    /// phase onto the dedicated answer thread).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 /// The outcome of one (engine, workload) run.
@@ -192,6 +207,8 @@ pub struct RunResult {
     pub shards: usize,
     /// True if the stream was driven through the pipelined executor.
     pub pipelined: bool,
+    /// Threads used by the pipelined executor (1 = inline answering).
+    pub threads: usize,
     /// Time spent registering the query set, total.
     pub indexing_total: Duration,
     /// Average query-insertion time in milliseconds.
@@ -281,6 +298,7 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
         batch_size: chunk,
         shards: limits.shards.max(1),
         pipelined: false,
+        threads: 1,
         indexing_total,
         indexing_ms_per_query: if workload.queries.is_empty() {
             0.0
@@ -321,7 +339,11 @@ fn run_engine_pipelined(
     } else {
         limits.batch_size
     };
-    let mut pipe = PipelinedEngine::new(engine, PipelineConfig::new(chunk, flush));
+    let mut config = PipelineConfig::new(chunk, flush);
+    if limits.threads >= 2 {
+        config = config.threaded();
+    }
+    let mut pipe = PipelinedEngine::new(engine, config);
 
     // Query indexing phase.
     let index_start = Instant::now();
@@ -368,6 +390,7 @@ fn run_engine_pipelined(
         batch_size: chunk,
         shards: limits.shards.max(1),
         pipelined: true,
+        threads: limits.threads.max(1),
         indexing_total,
         indexing_ms_per_query: if workload.queries.is_empty() {
             0.0
@@ -522,6 +545,23 @@ mod tests {
         );
         assert!(r.pipelined && !r.timed_out);
         assert_eq!(r.embeddings, reference.embeddings);
+
+        // Threaded answer stage (with and without sharding): same
+        // embeddings, `threads` recorded in the result.
+        for shards in [1usize, 2] {
+            let r = run_engine(
+                EngineKind::TricPlus,
+                &w,
+                RunLimits::seconds(30)
+                    .with_batch_size(16)
+                    .with_shards(shards)
+                    .with_pipeline(Duration::from_millis(5))
+                    .with_threads(2),
+            );
+            assert!(r.pipelined && !r.timed_out);
+            assert_eq!(r.threads, 2);
+            assert_eq!(r.embeddings, reference.embeddings, "shards {shards}");
+        }
     }
 
     #[test]
@@ -535,6 +575,7 @@ mod tests {
                 batch_size: 1,
                 shards: 1,
                 pipeline: None,
+                threads: 1,
             },
         );
         assert!(result.timed_out);

@@ -215,6 +215,62 @@ impl StagedBatch {
     }
 }
 
+/// A staged batch's answer pass, detached from its engine: a self-contained
+/// task that can run on **any thread** — see
+/// [`ContinuousEngine::detach_staged`].
+///
+/// Detached answers come in two flavours. A *ready* answer carries a report
+/// that was already computed (eager engines, empty batches); a *task* answer
+/// carries a `Send` closure that owns everything the covering-path join pass
+/// needs — batch deltas plus frozen snapshots of the views at the staged
+/// watermarks ([`crate::relation::Relation::snapshot_owned`]) — so running
+/// it never touches the engine. This is what lets the pipelined executor's
+/// dedicated answer thread work on batch *N* while the engine, on the caller
+/// thread, is already staging batch *N + 1*.
+pub struct DetachedAnswer(DetachedRepr);
+
+enum DetachedRepr {
+    Ready(MatchReport),
+    Task(Box<dyn FnOnce() -> MatchReport + Send>),
+}
+
+impl std::fmt::Debug for DetachedAnswer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            DetachedRepr::Ready(r) => f.debug_tuple("Ready").field(r).finish(),
+            DetachedRepr::Task(_) => f.debug_tuple("Task").finish(),
+        }
+    }
+}
+
+impl DetachedAnswer {
+    /// Wraps an already-computed report (nothing left to run).
+    pub fn ready(report: MatchReport) -> Self {
+        DetachedAnswer(DetachedRepr::Ready(report))
+    }
+
+    /// Wraps a self-contained answer task. The closure must own (or share
+    /// via `Arc`) every piece of state it reads; it runs at most once, on an
+    /// arbitrary thread.
+    pub fn task(f: impl FnOnce() -> MatchReport + Send + 'static) -> Self {
+        DetachedAnswer(DetachedRepr::Task(Box::new(f)))
+    }
+
+    /// True if the report was already computed when the answer was detached.
+    pub fn is_ready(&self) -> bool {
+        matches!(self.0, DetachedRepr::Ready(_))
+    }
+
+    /// Runs the answer pass (a no-op for ready answers) and returns the
+    /// batch's report.
+    pub fn run(self) -> MatchReport {
+        match self.0 {
+            DetachedRepr::Ready(report) => report,
+            DetachedRepr::Task(f) => f(),
+        }
+    }
+}
+
 /// Cumulative counters every engine keeps; used by the harness for sanity
 /// checks and by EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -347,6 +403,55 @@ pub trait ContinuousEngine {
         staged.into_immediate()
     }
 
+    /// Converts a staged token into a **self-contained** answer task that
+    /// may run on another thread — the cross-thread form of
+    /// [`answer_staged`](Self::answer_staged).
+    ///
+    /// # Detachment contract (`Send`/`Sync` requirements)
+    ///
+    /// * `detach_staged` itself runs on the engine's thread (it may read the
+    ///   live views to freeze snapshots into the task); only the returned
+    ///   [`DetachedAnswer`] crosses threads, and it is `Send` by
+    ///   construction. An overriding engine must capture every input of its
+    ///   answer pass as owned or `Send + Sync` shared data — batch deltas,
+    ///   [`crate::relation::Relation::snapshot_owned`] view snapshots frozen
+    ///   at the staged watermarks, cloned query metadata — and the task must
+    ///   not rely on `&self`.
+    /// * Running the tasks of several staged batches **concurrently or in
+    ///   any order** must produce the same per-batch reports as FIFO
+    ///   `answer_staged` calls: each task joins against its own frozen
+    ///   watermarks, so later stages are invisible to it (same insert-only
+    ///   versioning argument as the staging contract).
+    /// * Tokens must still each be detached (in stage order, by the engine
+    ///   that staged them) exactly once, and every task's report must be
+    ///   folded back with [`absorb_answered`](Self::absorb_answered) exactly
+    ///   once, from the engine's thread.
+    /// * Stats granularity: `updates_processed` advanced at stage time;
+    ///   `notifications`/`embeddings` advance in `absorb_answered` for
+    ///   detached answers (the task itself cannot touch the engine).
+    ///
+    /// The default implementation answers **inline** (on this thread, right
+    /// now) and returns a ready answer — correct for every engine, with no
+    /// cross-thread overlap; engines with a real phase split (TRIC/TRIC+,
+    /// INV/INC and the sharded wrapper) override it together with
+    /// `absorb_answered`.
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        DetachedAnswer::ready(self.answer_staged(staged))
+    }
+
+    /// Folds the report of a detached answer task back into the engine's
+    /// cumulative counters. Must be called exactly once per
+    /// [`detach_staged`](Self::detach_staged) token, in stage (FIFO) order,
+    /// from the engine's thread.
+    ///
+    /// The default is a no-op, pairing with the default `detach_staged`
+    /// (which answered inline through `answer_staged` and therefore already
+    /// counted); engines overriding `detach_staged` with genuinely deferred
+    /// tasks override this to advance `notifications`/`embeddings`.
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        let _ = report;
+    }
+
     /// Number of registered queries.
     fn num_queries(&self) -> usize;
 
@@ -404,6 +509,12 @@ impl<T: ContinuousEngine + ?Sized> ContinuousEngine for Box<T> {
     }
     fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
         (**self).answer_staged(staged)
+    }
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        (**self).detach_staged(staged)
+    }
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        (**self).absorb_answered(report)
     }
     fn num_queries(&self) -> usize {
         (**self).num_queries()
@@ -581,6 +692,40 @@ mod tests {
     #[should_panic(expected = "must override answer_staged")]
     fn deferred_token_in_default_answer_panics() {
         StagedBatch::deferred(()).into_immediate();
+    }
+
+    #[test]
+    fn default_detach_answers_inline_and_absorb_is_a_noop() {
+        let updates = toy_updates();
+        let mut split = ToyEngine {
+            stats: EngineStats::default(),
+        };
+        let staged = split.stage_batch(&updates);
+        let detached = split.detach_staged(staged);
+        assert!(detached.is_ready(), "default detach answers eagerly");
+        // Stats were already counted by the inline answer; the report can
+        // run on another thread and absorb must not double count.
+        let stats_before = split.stats();
+        let report = std::thread::spawn(move || detached.run())
+            .join()
+            .expect("detached answers are Send");
+        split.absorb_answered(&report);
+        assert_eq!(split.stats(), stats_before);
+
+        let mut whole = ToyEngine {
+            stats: EngineStats::default(),
+        };
+        assert_eq!(report, whole.apply_batch(&updates));
+    }
+
+    #[test]
+    fn detached_task_runs_once_on_demand() {
+        let task = DetachedAnswer::task(|| MatchReport::from_counts(vec![(QueryId(2), 3)]));
+        assert!(!task.is_ready());
+        assert_eq!(task.run().total_embeddings(), 3);
+        let ready = DetachedAnswer::ready(MatchReport::empty());
+        assert!(ready.is_ready());
+        assert!(ready.run().is_empty());
     }
 
     #[test]

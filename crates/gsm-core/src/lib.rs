@@ -21,7 +21,10 @@
 //! * [`shard`] — [`ShardedEngine`], the root-generic-edge partitioning of
 //!   any engine across worker shards with a deterministic report merge.
 //! * [`pipeline`] — [`PipelinedEngine`], the latency-budgeted batcher and
-//!   pipelined streaming executor built on delta-view versioning.
+//!   pipelined streaming executor built on delta-view versioning, with an
+//!   optional cross-thread answer stage.
+//! * [`pool`] — [`WorkerPool`], the persistent worker threads behind the
+//!   sharded absorb phase and the pipelined answer stage.
 //! * [`stats`] / [`memory`] — latency statistics and heap accounting used by
 //!   the benchmark harness.
 //!
@@ -46,13 +49,16 @@ pub mod interner;
 pub mod memory;
 pub mod model;
 pub mod pipeline;
+pub mod pool;
 pub mod query;
 pub mod relation;
 pub mod shard;
 pub mod stats;
 pub mod views;
 
-pub use engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, QueryMatch, StagedBatch};
+pub use engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, QueryMatch, StagedBatch,
+};
 pub use error::{Error, Result};
 pub use interner::{Sym, SymbolTable};
 pub use model::generic::{GenTerm, GenericEdge};
@@ -60,6 +66,7 @@ pub use model::graph::AttributeGraph;
 pub use model::term::{PatternEdge, Term, VarId};
 pub use model::update::{GraphStream, Update};
 pub use pipeline::{CompletedBatch, DeadlineBatcher, PipelineConfig, PipelinedEngine};
+pub use pool::WorkerPool;
 pub use query::classes::QueryClass;
 pub use query::paths::{covering_paths, CoveringPath};
 pub use query::pattern::{QVertexId, QueryPattern};
@@ -67,7 +74,7 @@ pub use relation::cache::JoinCache;
 pub use relation::eval::{join_paths, PathBinding};
 pub use relation::{Relation, RelationSnapshot};
 pub use shard::{shard_of, ShardedEngine};
-pub use views::{EdgeViewStore, ViewsVersion};
+pub use views::{EdgeViewStore, FrozenViews, ViewSource, ViewsVersion};
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {

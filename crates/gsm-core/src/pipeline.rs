@@ -29,8 +29,33 @@
 //! *before* batch *N* is answered — the phase overlap the ROADMAP's
 //! delta-view-versioning item asks for. Reports complete in arrival order,
 //! so concatenating (or merging) them reproduces sequential execution
-//! exactly; the differential suites in `tests/engine_equivalence.rs` pin
-//! this for every engine, workload, flush size and deadline.
+//! exactly; the differential suites in `tests/engine_equivalence.rs` and
+//! `tests/concurrent_pipeline.rs` pin this for every engine, workload,
+//! flush size and deadline.
+//!
+//! # True cross-thread pipelining
+//!
+//! With [`PipelineConfig::answer_thread`] the staged window stops being an
+//! interleaving on one thread and becomes a real pipeline across two:
+//!
+//! ```text
+//!   caller thread:  stage(N) ─ stage(N+1) ─ stage(N+2) ─ …
+//!                       │detach      │detach      │detach
+//!                       ▼            ▼            ▼
+//!   answer thread:  answer(N) ── answer(N+1) ── answer(N+2)   (FIFO)
+//! ```
+//!
+//! Each flushed batch is staged on the calling thread, then **detached**
+//! ([`ContinuousEngine::detach_staged`]): the engine freezes everything its
+//! covering-path join pass reads — batch deltas plus
+//! [`Relation::snapshot_owned`] view snapshots at the staged watermarks —
+//! into a self-contained `Send` task, which a dedicated answer worker (a
+//! single-thread [`WorkerPool`]) executes while the calling thread routes
+//! and propagates the next batch. The chunked append-only relation storage
+//! is what makes the snapshots cheap: frozen chunks are shared by `Arc`,
+//! never copied. Reports return over a channel and are completed strictly
+//! FIFO; when more than `depth` batches are in flight the caller blocks on
+//! the oldest answer, which bounds the window exactly like the inline mode.
 //!
 //! # The latency budget
 //!
@@ -38,24 +63,31 @@
 //! **or** when the oldest buffered update has waited `max_delay` — the
 //! ROADMAP's "adaptive batching" item: throughput keeps rising with batch
 //! size, so a streaming caller batches as much as its latency budget allows
-//! and no more. The executor is single-threaded and deterministic: deadlines
-//! are only observed at [`PipelinedEngine::push_at`] /
-//! [`PipelinedEngine::poll_at`] calls (there is no timer thread), and every
-//! entry point takes an explicit `Instant` so tests can drive a synthetic
-//! clock.
+//! and no more. The executor is deterministic: deadlines are only observed
+//! at [`PipelinedEngine::push_at`] / [`PipelinedEngine::poll_at`] calls
+//! (there is no timer thread), and every entry point takes an explicit
+//! `Instant` so tests can drive a synthetic clock — in threaded mode only
+//! *where* the answer pass runs changes, never which batches exist or what
+//! they report.
 //!
 //! [`Relation::version`]: crate::relation::Relation::version
+//! [`Relation::snapshot_owned`]: crate::relation::Relation::snapshot_owned
+//! [`WorkerPool`]: crate::pool::WorkerPool
 
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
-use crate::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, StagedBatch};
+use crate::engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
+};
 use crate::error::Result;
 use crate::model::update::Update;
+use crate::pool::WorkerPool;
 use crate::query::pattern::QueryPattern;
 
 /// Configuration of the pipelined executor: the batcher's flush policy plus
-/// the staged-window depth.
+/// the staged-window depth and the answer-stage placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Flush when the buffer reaches this many updates (clamped to ≥ 1).
@@ -66,6 +98,16 @@ pub struct PipelineConfig {
     /// Depth 1 (the default) answers batch *N* only once batch *N + 1* has
     /// been staged; depth 0 degenerates to stage-then-answer immediately.
     pub depth: usize,
+    /// Run the answer phase on a dedicated worker thread (**true
+    /// cross-thread pipelining**): each flushed batch is staged on the
+    /// calling thread, detached ([`ContinuousEngine::detach_staged`]) and
+    /// handed to the answer worker, so the covering-path join of batch *N*
+    /// runs concurrently with the routing/propagation of batch *N + 1*.
+    /// `depth` bounds the in-flight window either way (the caller blocks on
+    /// the oldest answer when the window is full — bounded-channel
+    /// backpressure). False (the default) answers inline on the calling
+    /// thread, exactly as before.
+    pub answer_thread: bool,
 }
 
 impl Default for PipelineConfig {
@@ -74,6 +116,7 @@ impl Default for PipelineConfig {
             max_batch: 64,
             max_delay: Duration::from_millis(5),
             depth: 1,
+            answer_thread: false,
         }
     }
 }
@@ -92,6 +135,13 @@ impl PipelineConfig {
     /// Sets the staged-window depth.
     pub fn with_depth(mut self, depth: usize) -> Self {
         self.depth = depth;
+        self
+    }
+
+    /// Moves the answer phase onto a dedicated worker thread (see
+    /// [`PipelineConfig::answer_thread`]).
+    pub fn threaded(mut self) -> Self {
+        self.answer_thread = true;
         self
     }
 }
@@ -200,10 +250,61 @@ pub struct PipelinedEngine<E> {
     engine: E,
     batcher: DeadlineBatcher,
     depth: usize,
-    /// In-flight staged batches, oldest first: `(updates, token)`.
+    /// In-flight staged batches, oldest first: `(updates, token)`. Used in
+    /// inline mode only; the threaded answer stage tracks its window in
+    /// [`AnswerStage::pending`].
     staged: VecDeque<(usize, StagedBatch)>,
+    /// The dedicated answer thread (`Some` iff
+    /// [`PipelineConfig::answer_thread`]).
+    answer: Option<AnswerStage>,
     /// Answered batches not yet handed to the caller, arrival order.
     completed: Vec<CompletedBatch>,
+}
+
+/// The cross-thread answer stage: a single persistent worker (a
+/// [`WorkerPool`] of one — the same primitive the sharded absorb phase
+/// runs on) executing detached answer tasks strictly in submission order,
+/// plus the FIFO bookkeeping that keeps [`CompletedBatch`]es in arrival
+/// order. The caller thread submits `(detach → execute)` per flushed batch
+/// and collects reports from `results`; blocking on the oldest report when
+/// the window exceeds its depth is what bounds the in-flight tokens.
+#[derive(Debug)]
+struct AnswerStage {
+    results_tx: Sender<std::thread::Result<MatchReport>>,
+    results_rx: Receiver<std::thread::Result<MatchReport>>,
+    /// Update counts of submitted, not-yet-collected batches (FIFO).
+    pending: VecDeque<usize>,
+    /// The dedicated answer worker. Declared last: dropped after the result
+    /// channel, once every queued task has drained.
+    pool: WorkerPool,
+}
+
+impl AnswerStage {
+    fn new() -> Self {
+        let (results_tx, results_rx) = channel();
+        AnswerStage {
+            results_tx,
+            results_rx,
+            pending: VecDeque::new(),
+            pool: WorkerPool::new(1),
+        }
+    }
+
+    /// Submits one detached answer task for execution on the answer thread.
+    /// Panics inside the task are caught and shipped back as the result, so
+    /// the worker survives and the caller re-raises the panic on its own
+    /// thread when it collects the answer — a buggy join pass fails the
+    /// test/run instead of deadlocking the executor against a dead worker.
+    fn submit(&mut self, updates: usize, task: DetachedAnswer) {
+        let tx = self.results_tx.clone();
+        self.pool.execute(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run()));
+            // The receiver only hangs up when the executor is being torn
+            // down; the result is then intentionally discarded.
+            let _ = tx.send(result);
+        });
+        self.pending.push_back(updates);
+    }
 }
 
 impl<E: ContinuousEngine> PipelinedEngine<E> {
@@ -214,6 +315,7 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
             batcher: DeadlineBatcher::new(config.max_batch, config.max_delay),
             depth: config.depth,
             staged: VecDeque::new(),
+            answer: config.answer_thread.then(AnswerStage::new),
             completed: Vec::new(),
         }
     }
@@ -231,9 +333,14 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
         self.engine
     }
 
-    /// Number of staged batches whose answer pass has not run yet.
+    /// Number of staged batches whose answer has not been collected yet.
     pub fn in_flight(&self) -> usize {
-        self.staged.len()
+        self.staged.len() + self.answer.as_ref().map_or(0, |a| a.pending.len())
+    }
+
+    /// True if the answer phase runs on the dedicated answer thread.
+    pub fn is_threaded(&self) -> bool {
+        self.answer.is_some()
     }
 
     /// Number of updates buffered by the batcher (not yet staged).
@@ -300,21 +407,42 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
         MatchReport::from_counts(counts)
     }
 
-    /// Stages one flushed batch into the window.
+    /// Stages one flushed batch into the window: inline mode keeps the
+    /// token for a later `answer_staged` on this thread; threaded mode
+    /// detaches it immediately and ships the self-contained answer task to
+    /// the answer thread, which starts the covering-path join while this
+    /// thread returns to stage the next batch.
     fn stage(&mut self, batch: Vec<Update>) {
+        let updates = batch.len();
         let token = self.engine.stage_batch(&batch);
-        self.staged.push_back((batch.len(), token));
-    }
-
-    /// Answers staged batches (oldest first) until the window is back under
-    /// its depth.
-    fn advance(&mut self) {
-        while self.staged.len() > self.depth {
-            self.answer_oldest();
+        if self.answer.is_none() {
+            self.staged.push_back((updates, token));
+            return;
+        }
+        let task = self.engine.detach_staged(token);
+        if let Some(stage) = self.answer.as_mut() {
+            stage.submit(updates, task);
         }
     }
 
-    /// Answers the oldest staged batch into `completed`.
+    /// Answers/collects staged batches (oldest first) until the window is
+    /// back under its depth. In threaded mode, already-finished reports are
+    /// drained without blocking first; only an over-full window blocks on
+    /// the oldest outstanding answer (the pipeline's backpressure).
+    fn advance(&mut self) {
+        if self.answer.is_some() {
+            self.collect_ready();
+            while self.answer.as_ref().expect("threaded mode").pending.len() > self.depth {
+                self.complete_one_blocking();
+            }
+        } else {
+            while self.staged.len() > self.depth {
+                self.answer_oldest();
+            }
+        }
+    }
+
+    /// Answers the oldest staged batch into `completed` (inline mode).
     fn answer_oldest(&mut self) {
         if let Some((updates, token)) = self.staged.pop_front() {
             let report = self.engine.answer_staged(token);
@@ -322,10 +450,64 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
         }
     }
 
-    /// Flushes the batcher and empties the staged window.
+    /// Drains every answer-thread report that is already available, in
+    /// FIFO order, without blocking.
+    fn collect_ready(&mut self) {
+        loop {
+            let Some(stage) = self.answer.as_mut() else {
+                return;
+            };
+            if stage.pending.is_empty() {
+                return;
+            }
+            let Ok(result) = stage.results_rx.try_recv() else {
+                return;
+            };
+            let updates = stage.pending.pop_front().expect("pending answer");
+            let report = match result {
+                Ok(report) => report,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            self.engine.absorb_answered(&report);
+            self.completed.push(CompletedBatch { updates, report });
+        }
+    }
+
+    /// Blocks for the oldest outstanding answer-thread report and completes
+    /// it. A panic caught inside the answer task resumes here, on the
+    /// caller thread.
+    fn complete_one_blocking(&mut self) {
+        let (updates, report) = {
+            let stage = self.answer.as_mut().expect("threaded mode");
+            if stage.pending.is_empty() {
+                return;
+            }
+            let result = stage
+                .results_rx
+                .recv()
+                .expect("answer worker outlives the executor");
+            let updates = stage.pending.pop_front().expect("pending answer");
+            let report = match result {
+                Ok(report) => report,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (updates, report)
+        };
+        self.engine.absorb_answered(&report);
+        self.completed.push(CompletedBatch { updates, report });
+    }
+
+    /// Flushes the batcher and empties the staged window (both modes).
     fn barrier(&mut self) {
         if let Some(batch) = self.batcher.flush() {
             self.stage(batch);
+        }
+        while self
+            .answer
+            .as_ref()
+            .is_some_and(|stage| !stage.pending.is_empty())
+        {
+            self.complete_one_blocking();
         }
         while !self.staged.is_empty() {
             self.answer_oldest();
@@ -582,6 +764,193 @@ mod tests {
         assert_eq!(done[0].updates, 1);
         assert_eq!(done[0].report.total_embeddings(), 1);
         assert_eq!(pipe.buffered(), 0);
+    }
+
+    #[test]
+    fn threaded_stream_report_equals_sequential() {
+        // The threaded answer stage must reproduce the inline pipeline (and
+        // therefore sequential execution) bit for bit, across flush sizes
+        // and window depths. SplitToy uses the default detach (inline
+        // answer at detach time), so this exercises the executor's window
+        // bookkeeping, channel plumbing and FIFO collection.
+        let stream: Vec<Update> = (0..50u32).map(|i| u(i % 4, i % 7, (i + 1) % 7)).collect();
+        let mut reference = SplitToy::default();
+        let mut counts = Vec::new();
+        for &up in &stream {
+            let r = reference.apply_update(up);
+            counts.extend(r.matches.iter().map(|m| (m.query, m.new_embeddings)));
+        }
+        let expected = MatchReport::from_counts(counts);
+
+        for max_batch in [1usize, 7, 64] {
+            for depth in [0usize, 1, 3] {
+                let config = PipelineConfig::new(max_batch, Duration::from_secs(60))
+                    .with_depth(depth)
+                    .threaded();
+                let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+                assert!(pipe.is_threaded());
+                let got = pipe.run_stream(&stream);
+                assert_eq!(got, expected, "max_batch {max_batch} depth {depth}");
+                assert_eq!(pipe.in_flight(), 0);
+                assert_eq!(pipe.stats().updates_processed, 50);
+                assert_eq!(pipe.stats().embeddings, expected.total_embeddings());
+            }
+        }
+    }
+
+    /// An engine whose detached answers genuinely run on the answer thread
+    /// (and record which thread that was), with a deliberately slow first
+    /// batch so FIFO completion is exercised under maximal reordering
+    /// temptation.
+    #[derive(Default)]
+    struct SlowDetachToy {
+        stats: EngineStats,
+        seq: u64,
+    }
+
+    struct SlowToken {
+        seq: u64,
+        updates: u64,
+    }
+
+    impl ContinuousEngine for SlowDetachToy {
+        fn name(&self) -> &'static str {
+            "SLOW-DETACH-TOY"
+        }
+        fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+            Ok(QueryId(0))
+        }
+        fn apply_update(&mut self, update: Update) -> MatchReport {
+            self.apply_batch(&[update])
+        }
+        fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+            let staged = self.stage_batch(updates);
+            self.answer_staged(staged)
+        }
+        fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+            self.stats.updates_processed += updates.len() as u64;
+            let seq = self.seq;
+            self.seq += 1;
+            StagedBatch::deferred(SlowToken {
+                seq,
+                updates: updates.len() as u64,
+            })
+        }
+        fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+            let token = staged.into_deferred::<SlowToken>().expect("own token");
+            let report = MatchReport::from_counts(vec![(QueryId(token.seq as u32), token.updates)]);
+            self.stats.notifications += report.len() as u64;
+            self.stats.embeddings += report.total_embeddings();
+            report
+        }
+        fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+            let token = staged.into_deferred::<SlowToken>().expect("own token");
+            DetachedAnswer::task(move || {
+                // The first batch is the slowest: any out-of-order
+                // completion would surface as reordered reports.
+                if token.seq == 0 {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                MatchReport::from_counts(vec![(QueryId(token.seq as u32), token.updates)])
+            })
+        }
+        fn absorb_answered(&mut self, report: &MatchReport) {
+            self.stats.notifications += report.len() as u64;
+            self.stats.embeddings += report.total_embeddings();
+        }
+        fn num_queries(&self) -> usize {
+            1
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> EngineStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn threaded_answers_complete_in_arrival_order_despite_slow_answer() {
+        let config = PipelineConfig::new(2, Duration::from_secs(60))
+            .with_depth(3)
+            .threaded();
+        let mut pipe = PipelinedEngine::new(SlowDetachToy::default(), config);
+        let now = t0();
+        let mut completed = Vec::new();
+        for i in 0..12u32 {
+            completed.extend(pipe.push_at(u(0, i, i + 1), now));
+        }
+        completed.extend(pipe.drain());
+
+        // 12 updates in batches of 2 → 6 batches; each batch's report names
+        // its own sequence number, so arrival order is directly observable.
+        assert_eq!(completed.len(), 6);
+        for (i, batch) in completed.iter().enumerate() {
+            assert_eq!(batch.updates, 2);
+            assert_eq!(
+                batch.report.satisfied_queries(),
+                vec![QueryId(i as u32)],
+                "batch #{i} out of order"
+            );
+        }
+        assert_eq!(pipe.stats().updates_processed, 12);
+        assert_eq!(pipe.stats().embeddings, 12);
+        assert_eq!(pipe.stats().notifications, 6);
+    }
+
+    /// An engine whose detached answers always panic — the failure mode a
+    /// buggy covering-path join would exhibit on the answer thread.
+    #[derive(Default)]
+    struct PanickingDetachToy {
+        stats: EngineStats,
+    }
+
+    impl ContinuousEngine for PanickingDetachToy {
+        fn name(&self) -> &'static str {
+            "PANIC-TOY"
+        }
+        fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+            Ok(QueryId(0))
+        }
+        fn apply_update(&mut self, update: Update) -> MatchReport {
+            self.apply_batch(&[update])
+        }
+        fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+            self.stats.updates_processed += updates.len() as u64;
+            StagedBatch::deferred(())
+        }
+        fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+            let _ = staged.into_deferred::<()>();
+            MatchReport::empty()
+        }
+        fn detach_staged(&mut self, _staged: StagedBatch) -> DetachedAnswer {
+            DetachedAnswer::task(|| panic!("join pass exploded"))
+        }
+        fn num_queries(&self) -> usize {
+            1
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> EngineStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "join pass exploded")]
+    fn answer_task_panic_propagates_to_the_caller_instead_of_hanging() {
+        // The worker catches the panic and ships it back; collecting the
+        // answer re-raises it on this thread. Without that, the drain below
+        // would block forever on a channel whose sender died — a CI
+        // timeout instead of a test failure.
+        let config = PipelineConfig::new(2, Duration::from_secs(60)).threaded();
+        let mut pipe = PipelinedEngine::new(PanickingDetachToy::default(), config);
+        let now = t0();
+        for i in 0..4u32 {
+            pipe.push_at(u(0, i, i + 1), now);
+        }
+        pipe.drain();
     }
 
     #[test]

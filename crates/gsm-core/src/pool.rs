@@ -1,0 +1,214 @@
+//! A persistent pool of worker threads.
+//!
+//! The scaling wrappers used to pay thread spawn/teardown on every batch
+//! ([`crate::shard::ShardedEngine`] spawned scoped workers per
+//! `apply_batch`). This module replaces that with long-lived, channel-fed
+//! workers created once and reused for the engine's whole life:
+//!
+//! * [`ShardedEngine`](crate::shard::ShardedEngine) runs its per-shard
+//!   absorb phase as a [`scatter`](WorkerPool::scatter) over a pool sized to
+//!   `min(shards, available_parallelism)` — each shard's state *moves*
+//!   through the job (and back out with the result), so no `unsafe` scoped
+//!   borrowing is needed.
+//! * [`PipelinedEngine`](crate::pipeline::PipelinedEngine) runs its answer
+//!   stage on a single-worker pool — the dedicated answer thread — feeding
+//!   it the engine's detached answer tasks
+//!   ([`crate::engine::DetachedAnswer`]) and collecting reports FIFO.
+//!
+//! Jobs are plain `FnOnce() + Send` closures pulled from one shared injector
+//! channel; a single-worker pool therefore executes jobs strictly in
+//! submission order, which is what makes it usable as an ordered pipeline
+//! stage. Workers exit when the pool is dropped (the injector closes).
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads fed from one shared
+/// injector queue. See the [module docs](self).
+#[derive(Debug)]
+pub struct WorkerPool {
+    injector: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (injector, jobs) = channel::<Job>();
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..threads)
+            .map(|i| {
+                let jobs = Arc::clone(&jobs);
+                std::thread::Builder::new()
+                    .name(format!("gsm-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeuing, never while
+                        // running a job, so workers drain the queue in
+                        // parallel.
+                        let job = { jobs.lock().expect("injector poisoned").recv() };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped, injector closed
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            injector: Some(injector),
+            workers,
+        }
+    }
+
+    /// The default worker count: the machine's available parallelism
+    /// (`GSM_THREADS` overrides it, mirroring the harness `--threads` flag;
+    /// 1 when neither is available).
+    pub fn default_threads() -> usize {
+        if let Ok(v) = std::env::var("GSM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one fire-and-forget job. Jobs are dequeued in submission
+    /// order; with a single worker they also *complete* in submission order.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.injector
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive while pool is alive");
+    }
+
+    /// Runs every job on the pool and blocks until all complete, returning
+    /// the results **in job order** (scatter/gather). Jobs may finish in any
+    /// order on any worker; the gather re-indexes them.
+    pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                // The gather side hangs up early only if it panicked; a
+                // failed send is then irrelevant.
+                let _ = tx.send((i, job()));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, value) = rx.recv().expect("worker delivered its result");
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reported"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the injector wakes every worker out of `recv`.
+        self.injector.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_returns_results_in_job_order() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so out-of-order completion is
+                    // actually exercised.
+                    if i % 3 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let results = pool.scatter(jobs);
+        assert_eq!(results, (0..32u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_executes_fifo() {
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..16 {
+            let counter = Arc::clone(&counter);
+            let order = Arc::clone(&order);
+            pool.execute(move || {
+                order.lock().unwrap().push(i);
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Jobs owned by the single worker run strictly in submission order.
+        let results: Vec<usize> = pool.scatter(vec![|| 7usize]);
+        assert_eq!(results, vec![7]);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_can_move_state_through_and_back() {
+        // The ownership ping-pong the sharded absorb phase relies on: move a
+        // value into the job, mutate it there, get it back from scatter.
+        let pool = WorkerPool::new(2);
+        let shards: Vec<Vec<u32>> = vec![vec![1], vec![2, 2], vec![3, 3, 3]];
+        let jobs: Vec<_> = shards
+            .into_iter()
+            .map(|mut shard| {
+                move || {
+                    shard.push(99);
+                    shard
+                }
+            })
+            .collect();
+        let back = pool.scatter(jobs);
+        assert_eq!(back[0], vec![1, 99]);
+        assert_eq!(back[2], vec![3, 3, 3, 99]);
+    }
+
+    #[test]
+    fn clamps_to_one_thread_and_drops_cleanly() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.scatter(vec![|| 1, || 2]), vec![1, 2]);
+        drop(pool); // join must not hang
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(WorkerPool::default_threads() >= 1);
+    }
+}

@@ -450,6 +450,57 @@ mod tests {
     }
 
     #[test]
+    fn prefix_kernels_are_exact_at_chunk_boundaries() {
+        use crate::relation::CHUNK_ROWS;
+        // Cross the frozen-chunk edge with every version-bounded kernel:
+        // builds, probes and prefix joins must behave identically whether
+        // the watermark falls one row before, exactly at, or one row past a
+        // chunk boundary — and whether the probed rows live in a frozen
+        // chunk or in the tail.
+        let mut right = Relation::new(2);
+        for i in 0..(CHUNK_ROWS + 2) as u32 {
+            // Key 7 appears at rows CHUNK_ROWS-1 (last row of the frozen
+            // chunk), CHUNK_ROWS and CHUNK_ROWS+1 (first rows of the tail).
+            let key = if i >= (CHUNK_ROWS - 1) as u32 {
+                7
+            } else {
+                i % 5
+            };
+            right.push(&[s(key), s(1000 + i)]);
+        }
+
+        for len in [CHUNK_ROWS - 1, CHUNK_ROWS, CHUNK_ROWS + 1, CHUNK_ROWS + 2] {
+            let build = JoinBuild::build_prefix(&right, &[0], len);
+            assert_eq!(build.rows_indexed(), len);
+            let hits = build.probe_iter(&right, &[s(7)]).count();
+            // Rows with key 7 visible below the watermark.
+            let expected = len - (CHUNK_ROWS - 1);
+            assert_eq!(hits, expected, "len {len}");
+
+            // The bounded join equals a join over physically truncated copies.
+            let left = rel(1, &[&[7], &[3]]);
+            let joined = hash_join_prefix(&left, left.len(), &right, len, &[0], &[0]);
+            let mut cut = Relation::new(2);
+            for row in right.iter().take(len) {
+                cut.push(row);
+            }
+            let expected_join = hash_join(&left, &cut, &[0], &[0]);
+            assert_eq!(
+                joined.to_sorted_vec(),
+                expected_join.to_sorted_vec(),
+                "len {len}"
+            );
+        }
+
+        // Incremental update_to across the boundary: index the frozen chunk
+        // first, then extend into the tail.
+        let mut build = JoinBuild::build_prefix(&right, &[0], CHUNK_ROWS - 1);
+        assert_eq!(build.probe(&right, &[s(7)]).len(), 0);
+        build.update_to(&right, CHUNK_ROWS + 2);
+        assert_eq!(build.probe(&right, &[s(7)]).len(), 3);
+    }
+
+    #[test]
     fn probe_verifies_collisions() {
         // Construct many keys; even if two hash to the same bucket the probe
         // must not return rows with a different key.

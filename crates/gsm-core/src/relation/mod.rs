@@ -12,6 +12,7 @@ pub mod fasthash;
 pub mod join;
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::interner::Sym;
 use crate::memory::HeapSize;
@@ -19,6 +20,13 @@ use crate::memory::HeapSize;
 use fasthash::{hash_syms, Bucket, FxHashMap};
 
 static NEXT_RELATION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Rows per storage chunk (a power of two, so row addressing is a shift and
+/// a mask). A chunk that fills up is **frozen** — wrapped in an `Arc` and
+/// never touched again — which is what makes [`Relation::snapshot_owned`]
+/// cheap: a snapshot shares the frozen chunks by reference count and copies
+/// at most one partial chunk.
+pub const CHUNK_ROWS: usize = 1024;
 
 /// A duplicate-free table of `Sym` tuples with fixed arity.
 ///
@@ -30,12 +38,26 @@ static NEXT_RELATION_ID: AtomicU64 = AtomicU64::new(1);
 /// extends a distinct input row with a distinct matching tuple. Those tables
 /// are built once, read many times and discarded, so the per-row index
 /// insert (a random-access hash-map touch) is pure overhead on the hot path.
+///
+/// # Chunked append-only storage
+///
+/// Rows live in fixed-size segments of [`CHUNK_ROWS`] rows: a list of
+/// **frozen** chunks (full, immutable forever, shared by `Arc`) followed by
+/// one growing **tail** chunk. Together with the insert-only discipline this
+/// is what makes the versioning contract ([`Relation::version`]) *shareable
+/// across threads*: any prefix below a watermark is physically immutable, so
+/// [`snapshot_owned`](Relation::snapshot_owned) can hand out a `Send + Sync`
+/// read view that shares the frozen chunks lock-free while the writer keeps
+/// appending to the tail.
 #[derive(Debug, Clone)]
 pub struct Relation {
     id: u64,
     arity: usize,
-    /// Row-major storage: `rows.len() == arity * len()`.
-    rows: Vec<Sym>,
+    /// Full, immutable storage chunks of exactly `CHUNK_ROWS * arity` syms
+    /// each. Shared (never copied) by clones and owned snapshots.
+    frozen: Vec<Arc<[Sym]>>,
+    /// The growing tail chunk: row-major, `< CHUNK_ROWS` rows.
+    tail: Vec<Sym>,
     /// Row-hash → indices of rows with that hash (collision chains verified
     /// on insert), used to keep the table duplicate-free. Keyed by the fast
     /// [`hash_syms`] row hash; chains stay inline until they spill. Unused
@@ -52,7 +74,8 @@ impl Relation {
         Relation {
             id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
             arity,
-            rows: Vec::new(),
+            frozen: Vec::new(),
+            tail: Vec::new(),
             index: FxHashMap::default(),
             indexed: true,
         }
@@ -102,12 +125,12 @@ impl Relation {
 
     /// Number of (distinct) rows.
     pub fn len(&self) -> usize {
-        self.rows.len().checked_div(self.arity).unwrap_or(0)
+        self.frozen.len() * CHUNK_ROWS + self.tail.len().checked_div(self.arity).unwrap_or(0)
     }
 
     /// True if the relation has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.frozen.is_empty() && self.tail.is_empty()
     }
 
     /// Monotonically increasing version: the current number of rows.
@@ -147,19 +170,100 @@ impl Relation {
         self.iter_from(version)
     }
 
+    /// An owned, `Send + Sync` read view of the first `version` rows,
+    /// packaged as an index-free [`Relation`] so every join kernel of the
+    /// workspace accepts it unchanged. Versions past the current length are
+    /// clamped, like [`snapshot_at`](Relation::snapshot_at).
+    ///
+    /// Frozen chunks wholly below the watermark are **shared** (`Arc`
+    /// clones, no row is copied); only the partial chunk the watermark cuts
+    /// through — at most [`CHUNK_ROWS`] rows — is copied. The result is
+    /// bitwise stable forever: later appends to this relation land past the
+    /// watermark, in chunks the snapshot either fully owns a frozen copy of
+    /// or never references. This is the substrate of cross-thread deferred
+    /// answering: the stage phase freezes snapshots into its token, and the
+    /// answer phase joins against them on another thread while the writer
+    /// keeps appending.
+    pub fn snapshot_owned(&self, version: usize) -> Relation {
+        let len = version.min(self.len());
+        let full = len / CHUNK_ROWS;
+        let rem = len % CHUNK_ROWS;
+        let frozen: Vec<Arc<[Sym]>> = self.frozen[..full.min(self.frozen.len())].to_vec();
+        let tail = if rem > 0 {
+            let src: &[Sym] = if full < self.frozen.len() {
+                &self.frozen[full]
+            } else {
+                &self.tail
+            };
+            src[..rem * self.arity].to_vec()
+        } else {
+            Vec::new()
+        };
+        Relation {
+            id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
+            arity: self.arity,
+            frozen,
+            tail,
+            index: FxHashMap::default(),
+            indexed: false,
+        }
+    }
+
     /// Returns row `i`.
+    #[inline]
     pub fn row(&self, i: usize) -> &[Sym] {
-        &self.rows[i * self.arity..(i + 1) * self.arity]
+        let chunk = i / CHUNK_ROWS;
+        if chunk < self.frozen.len() {
+            let start = (i % CHUNK_ROWS) * self.arity;
+            &self.frozen[chunk][start..start + self.arity]
+        } else {
+            let start = (i - self.frozen.len() * CHUNK_ROWS) * self.arity;
+            &self.tail[start..start + self.arity]
+        }
+    }
+
+    /// The storage chunks in row order: every frozen chunk, then the tail.
+    #[inline]
+    fn chunk_slices(&self) -> impl Iterator<Item = &[Sym]> {
+        self.frozen
+            .iter()
+            .map(|c| c.as_ref())
+            .chain(std::iter::once(self.tail.as_slice()))
     }
 
     /// Iterates over all rows.
     pub fn iter(&self) -> impl Iterator<Item = &[Sym]> {
-        self.rows.chunks_exact(self.arity.max(1))
+        let arity = self.arity.max(1);
+        self.chunk_slices().flat_map(move |s| s.chunks_exact(arity))
     }
 
     /// Iterates over the rows added at or after version `from`.
     pub fn iter_from(&self, from: usize) -> impl Iterator<Item = &[Sym]> {
-        self.rows[(from.min(self.len())) * self.arity..].chunks_exact(self.arity.max(1))
+        let arity = self.arity.max(1);
+        let from = from.min(self.len());
+        let start_chunk = from / CHUNK_ROWS;
+        let offset = (from % CHUNK_ROWS) * arity;
+        self.frozen[start_chunk.min(self.frozen.len())..]
+            .iter()
+            .map(|c| c.as_ref())
+            .chain(std::iter::once(self.tail.as_slice()))
+            .enumerate()
+            .flat_map(move |(k, s)| {
+                let skip = if k == 0 { offset.min(s.len()) } else { 0 };
+                s[skip..].chunks_exact(arity)
+            })
+    }
+
+    /// Appends one row of raw storage, freezing the tail chunk when it
+    /// fills. The caller maintains the dedup discipline.
+    #[inline]
+    fn append_row(&mut self, row: &[Sym]) {
+        self.tail.extend_from_slice(row);
+        if self.tail.len() == CHUNK_ROWS * self.arity {
+            let full =
+                std::mem::replace(&mut self.tail, Vec::with_capacity(CHUNK_ROWS * self.arity));
+            self.frozen.push(full.into());
+        }
     }
 
     /// True if an identical row is already present. O(1) via the index for
@@ -227,7 +331,7 @@ impl Relation {
             // dedup pushes, so the guarantee only saves the chain comparison.
             self.push_hashed(hash_syms(row), row);
         } else {
-            self.rows.extend_from_slice(row);
+            self.append_row(row);
         }
     }
 
@@ -237,17 +341,27 @@ impl Relation {
     /// never depends on hash quality.
     fn push_hashed(&mut self, h: u64, row: &[Sym]) -> bool {
         let new_index = self.len() as u32;
-        let arity = self.arity;
-        let rows = &self.rows;
-        let bucket = self.index.entry(h).or_default();
-        if bucket.as_slice().iter().any(|&i| {
-            let start = i as usize * arity;
-            &rows[start..start + arity] == row
-        }) {
-            return false;
+        {
+            let arity = self.arity;
+            let frozen = &self.frozen;
+            let tail = &self.tail;
+            let row_at = |i: usize| -> &[Sym] {
+                let chunk = i / CHUNK_ROWS;
+                if chunk < frozen.len() {
+                    let start = (i % CHUNK_ROWS) * arity;
+                    &frozen[chunk][start..start + arity]
+                } else {
+                    let start = (i - frozen.len() * CHUNK_ROWS) * arity;
+                    &tail[start..start + arity]
+                }
+            };
+            let bucket = self.index.entry(h).or_default();
+            if bucket.as_slice().iter().any(|&i| row_at(i as usize) == row) {
+                return false;
+            }
+            bucket.push(new_index);
         }
-        self.rows.extend_from_slice(row);
-        bucket.push(new_index);
+        self.append_row(row);
         true
     }
 
@@ -339,7 +453,16 @@ impl Relation {
 
 impl HeapSize for Relation {
     fn heap_size(&self) -> usize {
-        self.rows.heap_size() + self.index.heap_size()
+        // Shared frozen chunks are charged to every holder: heap accounting
+        // here answers "how much data does this relation give access to",
+        // which is what the memory experiments compare across engines.
+        self.frozen
+            .iter()
+            .map(|c| std::mem::size_of_val::<[Sym]>(c))
+            .sum::<usize>()
+            + self.frozen.capacity() * std::mem::size_of::<Arc<[Sym]>>()
+            + self.tail.heap_size()
+            + self.index.heap_size()
     }
 }
 
@@ -630,5 +753,115 @@ mod tests {
         let distinct: std::collections::HashSet<Vec<Sym>> =
             r.iter().map(|row| row.to_vec()).collect();
         assert_eq!(distinct.len(), r.len());
+    }
+
+    /// A relation of `n` distinct single-column rows `0..n`.
+    fn counted(n: usize) -> Relation {
+        let mut r = Relation::new(1);
+        for i in 0..n {
+            r.push(&[s(i as u32)]);
+        }
+        r
+    }
+
+    #[test]
+    fn chunk_boundaries_preserve_row_addressing() {
+        // One row before, exactly at, and one row past a chunk edge — and a
+        // multi-chunk table — must all read back exactly, through row(),
+        // iter(), iter_from() and contains().
+        for n in [
+            CHUNK_ROWS - 1,
+            CHUNK_ROWS,
+            CHUNK_ROWS + 1,
+            2 * CHUNK_ROWS + 3,
+        ] {
+            let r = counted(n);
+            assert_eq!(r.len(), n, "len at {n}");
+            for i in [0, n / 2, n - 1] {
+                assert_eq!(r.row(i), &[s(i as u32)], "row {i} of {n}");
+            }
+            let all: Vec<u32> = r.iter().map(|row| row[0].0).collect();
+            assert_eq!(all, (0..n as u32).collect::<Vec<_>>(), "iter at {n}");
+            for from in [0, 1, CHUNK_ROWS - 1, CHUNK_ROWS, CHUNK_ROWS + 1, n] {
+                let suffix: Vec<u32> = r.iter_from(from).map(|row| row[0].0).collect();
+                assert_eq!(
+                    suffix,
+                    (from as u32..n as u32).collect::<Vec<_>>(),
+                    "iter_from({from}) at {n}"
+                );
+            }
+            assert!(r.contains(&[s(0)]) && r.contains(&[s(n as u32 - 1)]));
+            assert!(!r.contains(&[s(n as u32)]));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_past_the_end_panics_even_in_a_later_chunk_slot() {
+        // Index CHUNK_ROWS of a table that has no frozen chunk must panic,
+        // not alias row 0 of the tail.
+        let r = counted(2);
+        let _ = r.row(CHUNK_ROWS);
+    }
+
+    #[test]
+    fn dedup_survives_chunk_freezes() {
+        let mut r = counted(CHUNK_ROWS + 10);
+        // Duplicates of rows in frozen chunks and in the tail are rejected.
+        assert!(!r.push(&[s(0)]));
+        assert!(!r.push(&[s((CHUNK_ROWS - 1) as u32)]));
+        assert!(!r.push(&[s((CHUNK_ROWS + 5) as u32)]));
+        assert_eq!(r.len(), CHUNK_ROWS + 10);
+    }
+
+    #[test]
+    fn snapshot_owned_is_stable_under_later_appends() {
+        // Watermarks below, at and above the chunk edge; the snapshot must
+        // expose exactly the prefix and stay bitwise identical while the
+        // writer grows the relation past further chunk boundaries.
+        let mut r = counted(CHUNK_ROWS + 5);
+        for v in [
+            0,
+            1,
+            CHUNK_ROWS - 1,
+            CHUNK_ROWS,
+            CHUNK_ROWS + 1,
+            CHUNK_ROWS + 5,
+        ] {
+            let snap = r.snapshot_owned(v);
+            assert_eq!(snap.len(), v);
+            assert_eq!(snap.arity(), 1);
+            assert!(!snap.is_indexed(), "snapshots carry no dedup index");
+            let before: Vec<u32> = snap.iter().map(|row| row[0].0).collect();
+            assert_eq!(before, (0..v as u32).collect::<Vec<_>>());
+
+            // Writer appends past another chunk edge behind the snapshot.
+            let grown = r.len();
+            for i in 0..CHUNK_ROWS {
+                r.push(&[s((10_000 + grown + i) as u32)]);
+            }
+            let after: Vec<u32> = snap.iter().map(|row| row[0].0).collect();
+            assert_eq!(after, before, "snapshot at {v} moved under the writer");
+        }
+        // Clamping matches snapshot_at.
+        assert_eq!(r.snapshot_owned(usize::MAX).len(), r.len());
+    }
+
+    #[test]
+    fn snapshot_owned_is_send_sync_and_readable_cross_thread() {
+        let mut r = counted(CHUNK_ROWS + 7);
+        let snap = r.snapshot_owned(CHUNK_ROWS + 3);
+        let handle = std::thread::spawn(move || {
+            // Reads on another thread while the original keeps growing.
+            assert_eq!(snap.len(), CHUNK_ROWS + 3);
+            assert_eq!(snap.row(CHUNK_ROWS)[0], s(CHUNK_ROWS as u32));
+            snap.iter().map(|row| row[0].0 as u64).sum::<u64>()
+        });
+        for i in 0..100 {
+            r.push(&[s(50_000 + i)]);
+        }
+        let sum = handle.join().expect("reader thread");
+        let n = (CHUNK_ROWS + 3) as u64;
+        assert_eq!(sum, n * (n - 1) / 2);
     }
 }

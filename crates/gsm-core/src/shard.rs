@@ -6,9 +6,16 @@
 //! whole trie (or path state) hanging under it, plus the edge views reachable
 //! from it — to one of `N` shards. Each shard owns a disjoint subset of root
 //! generic edges and absorbs its slice of a routed update batch
-//! independently (on worker threads when `N > 1`); a deterministic,
-//! order-insensitive merge of the per-shard [`MatchReport`]s (see
-//! [`MatchReport::merge`]) produces the final report.
+//! independently — on the engine's **persistent worker pool**
+//! ([`crate::pool::WorkerPool`], long-lived channel-fed threads sized to
+//! `min(shards, available_parallelism)`, spawned once and reused for every
+//! batch) when `N > 1`; a deterministic, order-insensitive merge of the
+//! per-shard [`MatchReport`]s (see [`MatchReport::merge`]) produces the
+//! final report. The staged answer pass can additionally be **detached**
+//! ([`ContinuousEngine::detach_staged`]): inner answers and the cross-shard
+//! spanning join then run as one self-contained task on the pipelined
+//! executor's answer thread, against full relations frozen at the staged
+//! watermarks.
 //!
 //! Two kinds of queries arise:
 //!
@@ -52,12 +59,15 @@
 use std::collections::BTreeSet;
 use std::hash::BuildHasher;
 
-use crate::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, StagedBatch};
+use crate::engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
+};
 use crate::error::Result;
 use crate::interner::Sym;
 use crate::memory::HeapSize;
 use crate::model::generic::GenericEdge;
 use crate::model::update::Update;
+use crate::pool::WorkerPool;
 use crate::query::paths::covering_paths;
 use crate::query::pattern::{QVertexId, QueryPattern};
 use crate::relation::eval::{join_paths, PathBinding};
@@ -269,12 +279,100 @@ impl<E: ContinuousEngine> Shard<E> {
     }
 }
 
-/// A query whose covering paths live on at least two shards. `paths` holds,
-/// per covering path, the owning shard, the index of the (shared) path state
-/// inside that shard, and the query-vertex sequence the path's columns bind.
+/// One covering path of a spanning query: the owning shard, the index of
+/// the (shared) path state inside that shard, and the query-vertex sequence
+/// the path's columns bind.
+type SpanningPathInfo = (usize, usize, Vec<QVertexId>);
+
+/// A query whose covering paths live on at least two shards.
 struct SpanningQuery {
     query: QueryId,
-    paths: Vec<(usize, usize, Vec<QVertexId>)>,
+    paths: Vec<SpanningPathInfo>,
+}
+
+/// The spanning covering-path join pass, shared by the engine-resident
+/// answer path ([`ShardedEngine::answer_spanning`]) and the detached
+/// cross-thread path ([`DetachedSpanning::answer`]): for every spanning
+/// query with at least one staged path delta, join each affected path's
+/// delta against the other paths' full relations frozen at the staged
+/// watermarks. `delta_of` resolves a path's staged delta, `full_of` its
+/// full relation plus watermark (`None`, or a zero watermark, means the
+/// path had no tuples at stage time — the query cannot match).
+fn join_spanning_queries<'a, Q, D, F>(queries: Q, delta_of: D, full_of: F) -> MatchReport
+where
+    Q: Iterator<Item = (QueryId, &'a [SpanningPathInfo])>,
+    D: Fn(usize, usize) -> Option<&'a Relation>,
+    F: Fn(usize, usize) -> Option<(&'a Relation, usize)>,
+{
+    let mut counts: Vec<(QueryId, u64)> = Vec::new();
+    let mut bindings: Vec<PathBinding<'a>> = Vec::new();
+    for (query, paths) in queries {
+        let mut embeddings: Option<Relation> = None;
+        for (i, (shard_i, pid_i, verts_i)) in paths.iter().enumerate() {
+            let Some(delta) = delta_of(*shard_i, *pid_i) else {
+                continue;
+            };
+            bindings.clear();
+            bindings.push(PathBinding::new(delta, verts_i));
+            let mut all_present = true;
+            for (j, (shard_j, pid_j, verts_j)) in paths.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                match full_of(*shard_j, *pid_j) {
+                    Some((full, watermark)) if watermark > 0 => {
+                        bindings.push(PathBinding::at_version(full, verts_j, watermark));
+                    }
+                    _ => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if !all_present {
+                continue;
+            }
+            if let Some(result) = join_paths(&bindings) {
+                let canon = result.canonicalize();
+                match &mut embeddings {
+                    None => embeddings = Some(canon.rel),
+                    Some(acc) => {
+                        acc.extend_from(&canon.rel);
+                    }
+                }
+            }
+        }
+        if let Some(emb) = embeddings {
+            if !emb.is_empty() {
+                counts.push((query, emb.len() as u64));
+            }
+        }
+    }
+    MatchReport::from_counts(counts)
+}
+
+/// The spanning half of a detached sharded answer: affected spanning-query
+/// descriptors, the staged path deltas, and the other paths' full relations
+/// frozen at the staged watermarks ([`Relation::snapshot_owned`]) — all
+/// owned, so the covering-path join pass can run on any thread while the
+/// shards absorb later batches.
+struct DetachedSpanning {
+    queries: Vec<(QueryId, Vec<SpanningPathInfo>)>,
+    /// (shard, path-state index) → staged delta.
+    deltas: FxHashMap<(usize, usize), Relation>,
+    /// (shard, path-state index) → full relation frozen at the staged
+    /// watermark (absent when the watermark was zero).
+    fulls: FxHashMap<(usize, usize), Relation>,
+}
+
+impl DetachedSpanning {
+    fn answer(&self) -> MatchReport {
+        join_spanning_queries(
+            self.queries.iter().map(|(q, p)| (*q, p.as_slice())),
+            |shard, pid| self.deltas.get(&(shard, pid)),
+            |shard, pid| self.fulls.get(&(shard, pid)).map(|full| (full, full.len())),
+        )
+    }
 }
 
 /// Partitions any [`ContinuousEngine`] into `N` shards by root generic edge.
@@ -285,6 +383,11 @@ struct SpanningQuery {
 /// by the shard-count differential matrix in the workspace test suites.
 pub struct ShardedEngine<E> {
     shards: Vec<Shard<E>>,
+    /// Persistent absorb workers (lazily spawned on the first genuinely
+    /// parallel batch; never spawned for `shards == 1`). Long-lived and
+    /// channel-fed — shards *move* through absorb jobs and back — replacing
+    /// the per-batch scoped threads of earlier revisions.
+    pool: Option<WorkerPool>,
     spanning_queries: Vec<SpanningQuery>,
     /// Reverse routing index: generic edge → shards observing it (sorted,
     /// deduplicated). Routing an update is then O(shapes) lookups,
@@ -299,7 +402,7 @@ pub struct ShardedEngine<E> {
     stats: EngineStats,
 }
 
-impl<E: ContinuousEngine + Send> ShardedEngine<E> {
+impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
     /// Builds a sharded engine with `num_shards` shards (clamped to at least
     /// one), each backed by a fresh inner engine from `factory`.
     pub fn new(num_shards: usize, mut factory: impl FnMut() -> E) -> Self {
@@ -308,6 +411,7 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
         let name = shards[0].engine.name();
         ShardedEngine {
             shards,
+            pool: None,
             spanning_queries: Vec::new(),
             route_index: FxHashMap::default(),
             route_marks: vec![false; n],
@@ -391,19 +495,32 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
 
         // Absorb. Worker threads only pay off when several shards have real
         // work; single-update calls and single-active-shard batches take the
-        // in-place sequential path.
+        // in-place sequential path. The parallel path scatters the shards
+        // over the persistent worker pool — each shard (engine, spanning
+        // state and routed slice) *moves* into its absorb job and comes back
+        // with the gathered results, so the long-lived workers need no
+        // scoped borrows. The pool is spawned once, on the first batch that
+        // needs it, and reused for the engine's whole life.
         let active = self.shards.iter().filter(|s| !s.slice.is_empty()).count();
         if active >= 2 && updates.len() > 1 {
-            std::thread::scope(|scope| {
-                for shard in self.shards.iter_mut() {
-                    if shard.slice.is_empty() {
-                        shard.staged_inner = None;
-                        shard.staged_deltas.clear();
-                    } else {
-                        scope.spawn(move || shard.absorb());
+            let threads = self.shards.len().min(WorkerPool::default_threads());
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(threads));
+            let shards = std::mem::take(&mut self.shards);
+            let jobs: Vec<_> = shards
+                .into_iter()
+                .map(|mut shard| {
+                    move || {
+                        if shard.slice.is_empty() {
+                            shard.staged_inner = None;
+                            shard.staged_deltas.clear();
+                        } else {
+                            shard.absorb();
+                        }
+                        shard
                     }
-                }
-            });
+                })
+                .collect();
+            self.shards = pool.scatter(jobs);
         } else {
             for shard in self.shards.iter_mut() {
                 if shard.slice.is_empty() {
@@ -496,60 +613,111 @@ impl<E: ContinuousEngine + Send> ShardedEngine<E> {
                     .collect()
             })
             .collect();
-        let watermark = |shard: usize, pid: usize| -> usize {
-            token.shards[shard]
-                .watermarks
-                .get(pid)
-                .copied()
-                .unwrap_or(0)
-        };
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
-        let mut bindings: Vec<PathBinding<'_>> = Vec::new();
-        for sq in &self.spanning_queries {
-            let mut embeddings: Option<Relation> = None;
-            for (i, (shard_i, pid_i, verts_i)) in sq.paths.iter().enumerate() {
-                let Some(&delta) = delta_index[*shard_i].get(pid_i) else {
-                    continue;
-                };
-                bindings.clear();
-                bindings.push(PathBinding::new(delta, verts_i));
-                let mut all_present = true;
-                for (j, (shard_j, pid_j, verts_j)) in sq.paths.iter().enumerate() {
-                    if i == j {
-                        continue;
-                    }
-                    let full = self.shards[*shard_j].spanning_full(*pid_j);
-                    let wm = watermark(*shard_j, *pid_j);
-                    if wm == 0 {
-                        all_present = false;
-                        break;
-                    }
-                    bindings.push(PathBinding::at_version(full, verts_j, wm));
-                }
-                if !all_present {
-                    continue;
-                }
-                if let Some(result) = join_paths(&bindings) {
-                    let canon = result.canonicalize();
-                    match &mut embeddings {
-                        None => embeddings = Some(canon.rel),
-                        Some(acc) => {
-                            acc.extend_from(&canon.rel);
-                        }
-                    }
-                }
-            }
-            if let Some(emb) = embeddings {
-                if !emb.is_empty() {
-                    counts.push((sq.query, emb.len() as u64));
-                }
+        join_spanning_queries(
+            self.spanning_queries
+                .iter()
+                .map(|sq| (sq.query, sq.paths.as_slice())),
+            |shard, pid| delta_index[shard].get(&pid).copied(),
+            |shard, pid| {
+                let watermark = token.shards[shard]
+                    .watermarks
+                    .get(pid)
+                    .copied()
+                    .unwrap_or(0);
+                Some((self.shards[shard].spanning_full(pid), watermark))
+            },
+        )
+    }
+
+    /// The cross-thread form of [`answer_batch_routed`]
+    /// (`ShardedEngine::answer_batch_routed`): every shard's inner engine
+    /// detaches its own staged token (freezing whatever its answer pass
+    /// reads), the spanning machinery freezes the staged deltas plus the
+    /// other paths' fulls at the staged watermarks, and the combined task —
+    /// inner answers, id translation, one merged fold, spanning join —
+    /// owns all of it and runs on any thread.
+    fn detach_batch_routed(&mut self, mut token: StagedSharded) -> DetachedAnswer {
+        let mut inners: Vec<(DetachedAnswer, Vec<QueryId>)> = Vec::new();
+        for (s, staged) in token.shards.iter_mut().enumerate() {
+            if let Some(inner) = staged.inner.take() {
+                inners.push((
+                    self.shards[s].engine.detach_staged(inner),
+                    self.shards[s].local_to_global.clone(),
+                ));
             }
         }
-        MatchReport::from_counts(counts)
+
+        let any_delta = token.shards.iter().any(|s| !s.spanning_deltas.is_empty());
+        let spanning = if any_delta && !self.spanning_queries.is_empty() {
+            // Only queries with at least one staged path delta can report;
+            // capture exactly those (and the fulls their joins will read).
+            let queries: Vec<(QueryId, Vec<SpanningPathInfo>)> = self
+                .spanning_queries
+                .iter()
+                .filter(|sq| {
+                    sq.paths.iter().any(|(s, pid, _)| {
+                        token.shards[*s]
+                            .spanning_deltas
+                            .iter()
+                            .any(|(p, _)| p == pid)
+                    })
+                })
+                .map(|sq| (sq.query, sq.paths.clone()))
+                .collect();
+            let mut fulls: FxHashMap<(usize, usize), Relation> = FxHashMap::default();
+            for (_, paths) in &queries {
+                for (s, pid, _) in paths {
+                    let watermark = token.shards[*s].watermarks.get(*pid).copied().unwrap_or(0);
+                    if watermark > 0 {
+                        fulls.entry((*s, *pid)).or_insert_with(|| {
+                            self.shards[*s]
+                                .spanning_full(*pid)
+                                .snapshot_owned(watermark)
+                        });
+                    }
+                }
+            }
+            let deltas: FxHashMap<(usize, usize), Relation> = token
+                .shards
+                .into_iter()
+                .enumerate()
+                .flat_map(|(s, staged)| {
+                    staged
+                        .spanning_deltas
+                        .into_iter()
+                        .map(move |(pid, delta)| ((s, pid), delta))
+                })
+                .collect();
+            Some(DetachedSpanning {
+                queries,
+                deltas,
+                fulls,
+            })
+        } else {
+            None
+        };
+
+        DetachedAnswer::task(move || {
+            let mut counts: Vec<(QueryId, u64)> = Vec::new();
+            for (inner, local_to_global) in inners {
+                let report = inner.run();
+                counts.extend(
+                    report
+                        .matches
+                        .iter()
+                        .map(|m| (local_to_global[m.query.index()], m.new_embeddings)),
+                );
+            }
+            let spanning_report = spanning
+                .as_ref()
+                .map(DetachedSpanning::answer)
+                .unwrap_or_default();
+            MatchReport::from_counts(counts).merge(&spanning_report)
+        })
     }
 }
 
-impl<E: ContinuousEngine + Send> ContinuousEngine for ShardedEngine<E> {
+impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E> {
     fn name(&self) -> &'static str {
         self.name
     }
@@ -651,6 +819,33 @@ impl<E: ContinuousEngine + Send> ContinuousEngine for ShardedEngine<E> {
             Ok(token) => self.answer_batch_routed(token),
             Err(report) => report,
         }
+    }
+
+    /// Detaches the deferred merge + spanning join pass into a
+    /// self-contained task (see the detachment contract on
+    /// [`ContinuousEngine::detach_staged`]): inner tokens detach through
+    /// their shard's inner engine, and the spanning join captures the staged
+    /// deltas plus [`Relation::snapshot_owned`] copies of the fulls at the
+    /// staged watermarks.
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        if self.shards.len() == 1 {
+            return self.shards[0].engine.detach_staged(staged);
+        }
+        match staged.into_deferred::<StagedSharded>() {
+            Ok(token) => self.detach_batch_routed(token),
+            Err(report) => DetachedAnswer::ready(report),
+        }
+    }
+
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        if self.shards.len() == 1 {
+            return self.shards[0].engine.absorb_answered(report);
+        }
+        // Inner engines answered inside the detached task and could not
+        // count; in sharded deployments the wrapper's counters are the
+        // authoritative ones (see `stats`).
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
     }
 
     fn num_queries(&self) -> usize {

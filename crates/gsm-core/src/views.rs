@@ -155,6 +155,114 @@ impl EdgeViewStore {
             (view.len() > from).then_some(ViewDelta { edge, view, from })
         })
     }
+
+    /// An **owned**, `Send + Sync` read view of the store frozen at
+    /// `version`: every view registered at capture time becomes an
+    /// index-free snapshot relation ([`Relation::snapshot_owned`]) cut at
+    /// its captured watermark, sharing the underlying frozen storage chunks
+    /// instead of copying rows. Views registered after the capture are
+    /// invisible, exactly like [`snapshot_at`](EdgeViewStore::snapshot_at).
+    ///
+    /// `edges` restricts the freeze to the views a deferred answer pass will
+    /// actually read (`None` freezes every view registered at capture
+    /// time) — the staged engines pass the affected queries' edges so a
+    /// batch's token does not pay for untouched views.
+    ///
+    /// This is the handoff point of the cross-thread pipeline: the stage
+    /// phase freezes the store into its token, and the answer phase joins
+    /// against the frozen views on another thread while this store keeps
+    /// absorbing later batches.
+    pub fn freeze_at(&self, version: &ViewsVersion, edges: Option<&[GenericEdge]>) -> FrozenViews {
+        let mut frozen = FrozenViews {
+            views: FxHashMap::default(),
+        };
+        let mut add = |edge: &GenericEdge| {
+            if let (Some(&watermark), Some(view)) =
+                (version.versions.get(edge), self.views.get(edge))
+            {
+                frozen
+                    .views
+                    .entry(*edge)
+                    .or_insert_with(|| view.snapshot_owned(watermark));
+            }
+        };
+        match edges {
+            Some(edges) => edges.iter().for_each(&mut add),
+            None => self.views.keys().for_each(add),
+        }
+        frozen
+    }
+
+    /// [`freeze_at`](EdgeViewStore::freeze_at) specialised to "now": freezes
+    /// exactly the given edges' views at their **current** versions, without
+    /// materialising a store-wide [`ViewsVersion`] first. This is the staged
+    /// engines' per-batch hot path — the post-routing state of the affected
+    /// views *is* the watermark the deferred answer must read, and a batch
+    /// typically touches a handful of views out of the whole store.
+    pub fn freeze_edges(&self, edges: &[GenericEdge]) -> FrozenViews {
+        let mut frozen = FrozenViews {
+            views: FxHashMap::default(),
+        };
+        for edge in edges {
+            if let Some(view) = self.views.get(edge) {
+                frozen
+                    .views
+                    .entry(*edge)
+                    .or_insert_with(|| view.snapshot_owned(view.version()));
+            }
+        }
+        frozen
+    }
+}
+
+/// A read abstraction over a set of per-edge materialized views: the live
+/// [`EdgeViewStore`] or an owned [`FrozenViews`] snapshot. The shared path
+/// join kernels ([`full_path_relation`], [`delta_path_relation`]) are
+/// generic over this, so an engine's deferred answer pass runs the exact
+/// same code against frozen views on another thread that its eager pass
+/// runs against the live store.
+pub trait ViewSource {
+    /// The view of `edge`, if visible in this source.
+    fn view(&self, edge: &GenericEdge) -> Option<&Relation>;
+}
+
+impl ViewSource for EdgeViewStore {
+    fn view(&self, edge: &GenericEdge) -> Option<&Relation> {
+        self.get(edge)
+    }
+}
+
+/// An owned, `Send + Sync` snapshot of an [`EdgeViewStore`] frozen at a
+/// [`ViewsVersion`] — see [`EdgeViewStore::freeze_at`]. Each contained view
+/// is an index-free snapshot relation sharing the store's frozen storage
+/// chunks.
+#[derive(Debug, Default)]
+pub struct FrozenViews {
+    views: FxHashMap<GenericEdge, Relation>,
+}
+
+impl FrozenViews {
+    /// The frozen view of `edge`, if it was registered (and requested) at
+    /// capture time.
+    pub fn get(&self, edge: &GenericEdge) -> Option<&Relation> {
+        self.views.get(edge)
+    }
+
+    /// Number of frozen views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True if no view was frozen.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+impl ViewSource for FrozenViews {
+    fn view(&self, edge: &GenericEdge) -> Option<&Relation> {
+        self.views.get(edge)
+    }
 }
 
 /// A row-count watermark for every view of an [`EdgeViewStore`] at one
@@ -290,15 +398,17 @@ fn extend_path_left(
 /// joined left-to-right from the per-edge views of `views`. Returns an empty
 /// relation of arity `edges.len() + 1` as soon as any view is missing or any
 /// intermediate result is empty. Shared by the INV/INC baselines and the
-/// spanning-path machinery of [`crate::shard::ShardedEngine`].
+/// spanning-path machinery of [`crate::shard::ShardedEngine`]; generic over
+/// [`ViewSource`] so deferred answer passes can run it against
+/// [`FrozenViews`] on another thread.
 pub fn full_path_relation(
-    views: &EdgeViewStore,
+    views: &impl ViewSource,
     edges: &[GenericEdge],
     mut cache: Option<&mut JoinCache>,
     buf: &mut Vec<Sym>,
 ) -> Relation {
     let empty = || Relation::new(edges.len() + 1);
-    let Some(first) = views.get(&edges[0]) else {
+    let Some(first) = views.view(&edges[0]) else {
         return empty();
     };
     if first.is_empty() {
@@ -306,7 +416,7 @@ pub fn full_path_relation(
     }
     let mut rel = first.clone();
     for e in &edges[1..] {
-        let Some(view) = views.get(e) else {
+        let Some(view) = views.view(e) else {
             return empty();
         };
         rel = extend_path_right(&rel, view, cache.as_deref_mut(), buf);
@@ -325,7 +435,7 @@ pub fn full_path_relation(
 /// exactly `full_after − full_before`. For a single-update batch the seeds
 /// are one-row relations and this is the paper's per-update seeding.
 pub fn delta_path_relation(
-    views: &EdgeViewStore,
+    views: &impl ViewSource,
     edges: &[GenericEdge],
     edge_deltas: &FxHashMap<GenericEdge, Relation>,
     mut cache: Option<&mut JoinCache>,
@@ -340,7 +450,7 @@ pub fn delta_path_relation(
         let mut rel = seed.clone();
         let mut ok = true;
         for e in &edges[pos + 1..] {
-            match views.get(e) {
+            match views.view(e) {
                 Some(view) => rel = extend_path_right(&rel, view, cache.as_deref_mut(), buf),
                 None => {
                     ok = false;
@@ -356,7 +466,7 @@ pub fn delta_path_relation(
             continue;
         }
         for e in edges[..pos].iter().rev() {
-            match views.get(e) {
+            match views.view(e) {
                 Some(view) => rel = extend_path_left(&rel, view, cache.as_deref_mut(), buf),
                 None => {
                     ok = false;
@@ -524,6 +634,45 @@ mod tests {
         assert_eq!(deltas[0].1, vec![vec![Sym(3), Sym(4)]]);
         assert_eq!(deltas[1].1, vec![vec![Sym(5), Sym(6)]]);
         assert_eq!(deltas[2].1, vec![vec![Sym(7), Sym(8)]]);
+    }
+
+    #[test]
+    fn frozen_views_are_owned_stable_snapshots() {
+        let mut store = EdgeViewStore::new();
+        let var_var = ge(0, Term::Var(0), Term::Var(1));
+        let other = ge(1, Term::Var(0), Term::Var(1));
+        store.register(var_var);
+        store.register(other);
+        store.apply_update(&Update::new(Sym(0), Sym(1), Sym(2)));
+
+        // freeze_at an older watermark vs freeze_edges "now".
+        let v = store.version();
+        store.apply_update(&Update::new(Sym(0), Sym(3), Sym(4)));
+        let at_v = store.freeze_at(&v, Some(&[var_var]));
+        let now = store.freeze_edges(&[var_var]);
+        assert_eq!(at_v.len(), 1);
+        assert!(at_v.get(&other).is_none(), "not requested");
+        assert_eq!(at_v.get(&var_var).unwrap().len(), 1, "frozen at v");
+        assert_eq!(now.get(&var_var).unwrap().len(), 2, "frozen at now");
+        // ViewSource resolution matches direct access.
+        assert_eq!(now.view(&var_var).unwrap().len(), 2);
+
+        // The writer keeps routing; both snapshots are unmoved, and they
+        // can cross threads (Send) while it happens.
+        store.apply_update(&Update::new(Sym(0), Sym(5), Sym(6)));
+        let handle = std::thread::spawn(move || (at_v, now));
+        store.apply_update(&Update::new(Sym(0), Sym(7), Sym(8)));
+        let (at_v, now) = handle.join().expect("snapshots are Send");
+        assert_eq!(at_v.get(&var_var).unwrap().len(), 1);
+        assert_eq!(now.get(&var_var).unwrap().len(), 2);
+        assert_eq!(store.get(&var_var).unwrap().len(), 4);
+
+        // Unregistered edges are simply absent; freezing none is empty.
+        assert!(store
+            .freeze_edges(&[ge(9, Term::Var(0), Term::Var(1))])
+            .is_empty());
+        let all = store.freeze_at(&store.version(), None);
+        assert_eq!(all.len(), 2);
     }
 
     #[test]

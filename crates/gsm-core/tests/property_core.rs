@@ -149,3 +149,91 @@ proptest! {
         prop_assert!(projected.len() <= rel.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chunked-storage snapshot contract under a concurrent writer:
+    /// whatever interleaving of appends, snapshots and `delta_since` reads
+    /// happens, a snapshot taken at watermark `v` is bitwise stable while
+    /// the writer — moved to a second thread — keeps appending (including
+    /// across chunk-freeze boundaries), and prefix + delta always
+    /// repartition the final relation exactly.
+    #[test]
+    fn chunked_snapshots_are_stable_under_a_threaded_writer(
+        // Offsets around the chunk edge so freezes happen mid-test: the
+        // relation starts within one chunk, the writer pushes it past the
+        // boundary.
+        initial_rows in 1usize..40,
+        near_edge in any::<bool>(),
+        watermark_pct in 0usize..=100,
+        writer_appends in 1usize..80,
+    ) {
+        use gsm_core::relation::CHUNK_ROWS;
+        let base = if near_edge { CHUNK_ROWS - 20 } else { 0 };
+        let n = base + initial_rows;
+        let mut rel = Relation::new(2);
+        for i in 0..n as u32 {
+            rel.push(&[Sym(i), Sym(i.wrapping_mul(7))]);
+        }
+        let v = n * watermark_pct / 100;
+        let snap = rel.snapshot_owned(v);
+        let before: Vec<Vec<Sym>> = snap.to_vec();
+        prop_assert_eq!(snap.len(), v);
+
+        // Writer thread appends (distinct) rows behind the watermark; the
+        // snapshot is read back on this thread afterwards.
+        let writer = std::thread::spawn(move || {
+            for i in 0..writer_appends as u32 {
+                rel.push(&[Sym(1_000_000 + i), Sym(i)]);
+            }
+            rel
+        });
+        let rel = writer.join().expect("writer thread");
+
+        let after: Vec<Vec<Sym>> = snap.to_vec();
+        prop_assert_eq!(&after, &before, "snapshot moved under the writer");
+
+        // The snapshot is exactly the first v rows of the final relation…
+        let prefix: Vec<Vec<Sym>> = rel.iter().take(v).map(|r| r.to_vec()).collect();
+        prop_assert_eq!(&after, &prefix);
+        // …and delta_since(v) is exactly the rest.
+        let delta: Vec<Vec<Sym>> = rel.delta_since(v).map(|r| r.to_vec()).collect();
+        prop_assert_eq!(delta.len(), rel.len() - v);
+        let mut reassembled = after.clone();
+        reassembled.extend(delta);
+        let all: Vec<Vec<Sym>> = rel.iter().map(|r| r.to_vec()).collect();
+        prop_assert_eq!(reassembled, all);
+    }
+
+    /// Version-bounded joins around chunk edges: for relations whose length
+    /// and watermark both straddle a chunk boundary, `hash_join_prefix`
+    /// equals a join over physically truncated copies.
+    #[test]
+    fn prefix_joins_match_truncated_joins_across_chunk_edges(
+        extra in 0usize..4,
+        cut_back in 0usize..40,
+        keys in proptest::collection::vec(0u32..9, 1..6),
+    ) {
+        use gsm_core::relation::CHUNK_ROWS;
+        let n = CHUNK_ROWS - 2 + extra; // lengths straddling the edge
+        let mut right = Relation::new(2);
+        for i in 0..n as u32 {
+            right.push(&[Sym(i % 9), Sym(i)]);
+        }
+        let cut = n.saturating_sub(cut_back);
+        let mut left = Relation::new(1);
+        for &k in &keys {
+            left.push(&[Sym(k)]);
+        }
+
+        let bounded = gsm_core::relation::join::hash_join_prefix(
+            &left, left.len(), &right, cut, &[0], &[0]);
+        let mut truncated = Relation::new(2);
+        for row in right.iter().take(cut) {
+            truncated.push(row);
+        }
+        let expected = hash_join(&left, &truncated, &[0], &[0]);
+        prop_assert_eq!(bounded.to_sorted_vec(), expected.to_sorted_vec());
+    }
+}

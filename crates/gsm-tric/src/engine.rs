@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId, StagedBatch};
+use gsm_core::engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
+};
 use gsm_core::error::Result;
 use gsm_core::interner::Sym;
 use gsm_core::memory::HeapSize;
@@ -342,6 +344,53 @@ impl ContinuousEngine for TricEngine {
             Ok(token) => self.answer_tric(token),
             Err(report) => report,
         }
+    }
+
+    /// The cross-thread form of the deferred covering-path join pass (see
+    /// the detachment contract on [`ContinuousEngine::detach_staged`]): the
+    /// token's per-node truly-new deltas travel as-is, each affected
+    /// end-node view is frozen at its staged watermark via the chunk-sharing
+    /// [`Relation::snapshot_owned`], and the affected queries' path
+    /// descriptors are cloned — so the returned task owns everything step 4
+    /// reads and can run while this engine stages later batches.
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        let token = match staged.into_deferred::<StagedTric>() {
+            Ok(token) => token,
+            Err(report) => return DetachedAnswer::ready(report),
+        };
+        let mut frozen: FxHashMap<NodeId, Relation> = FxHashMap::default();
+        let mut queries: Vec<Vec<(NodeId, Vec<QVertexId>)>> =
+            Vec::with_capacity(token.affected_queries.len());
+        for &qid in &token.affected_queries {
+            let info = &self.queries[qid.index()];
+            for path in &info.paths {
+                frozen.entry(path.end_node).or_insert_with(|| {
+                    let view = &self.forest.node(path.end_node).mat_view;
+                    let watermark = token
+                        .watermarks
+                        .get(&path.end_node)
+                        .copied()
+                        .unwrap_or_else(|| view.version());
+                    view.snapshot_owned(watermark)
+                });
+            }
+            queries.push(
+                info.paths
+                    .iter()
+                    .map(|p| (p.end_node, p.vertices.clone()))
+                    .collect(),
+            );
+        }
+        let affected_queries = token.affected_queries;
+        let truly_new = token.truly_new;
+        DetachedAnswer::task(move || {
+            answer_tric_detached(&affected_queries, &queries, &truly_new, &frozen)
+        })
+    }
+
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
     }
 
     fn num_queries(&self) -> usize {
@@ -695,59 +744,136 @@ impl TricEngine {
             watermarks,
         } = staged;
 
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
-        let mut bindings: Vec<PathBinding<'_>> = Vec::new();
-        for &qid in affected_queries.iter() {
-            let info = &self.queries[qid.index()];
-            // Accumulate distinct new embeddings across affected paths.
-            let mut embeddings: Option<Relation> = None;
-            for path in info.paths.iter() {
-                let Some(delta) = truly_new.get(&path.end_node) else {
-                    continue; // this covering path gained nothing new
-                };
-                bindings.clear();
-                bindings.push(PathBinding::new(delta, &path.vertices));
-                let mut all_present = true;
-                for other in info.paths.iter() {
-                    if std::ptr::eq(other, path) {
-                        continue;
-                    }
-                    let view = &self.forest.node(other.end_node).mat_view;
-                    let watermark = watermarks
-                        .get(&other.end_node)
-                        .copied()
-                        .unwrap_or_else(|| view.version());
-                    if watermark == 0 {
-                        all_present = false;
-                        break;
-                    }
-                    bindings.push(PathBinding::at_version(view, &other.vertices, watermark));
-                }
-                if !all_present {
-                    continue;
-                }
-                if let Some(result) = join_paths(&bindings) {
-                    let canon = result.canonicalize();
-                    match &mut embeddings {
-                        None => embeddings = Some(canon.rel),
-                        Some(acc) => {
-                            acc.extend_from(&canon.rel);
-                        }
-                    }
-                }
-            }
-            if let Some(emb) = embeddings {
-                if !emb.is_empty() {
-                    counts.push((qid, emb.len() as u64));
-                }
-            }
-        }
+        let counts = join_covering_paths(
+            affected_queries
+                .iter()
+                .map(|qid| (*qid, self.queries[qid.index()].paths.as_slice())),
+            |end_node| truly_new.get(&end_node),
+            |end_node| {
+                let view = &self.forest.node(end_node).mat_view;
+                let watermark = watermarks
+                    .get(&end_node)
+                    .copied()
+                    .unwrap_or_else(|| view.version());
+                Some((view, watermark))
+            },
+        );
 
         let report = MatchReport::from_counts(counts);
         self.stats.notifications += report.len() as u64;
         self.stats.embeddings += report.total_embeddings();
         report
     }
+}
+
+/// One covering path of a query as [`join_covering_paths`] sees it: the
+/// trie node its materialized view lives at, and the query vertex each
+/// view column binds.
+trait CoveringPathRef {
+    fn end_node(&self) -> NodeId;
+    fn vertices(&self) -> &[QVertexId];
+}
+
+impl CoveringPathRef for PathInfo {
+    fn end_node(&self) -> NodeId {
+        self.end_node
+    }
+    fn vertices(&self) -> &[QVertexId] {
+        &self.vertices
+    }
+}
+
+impl CoveringPathRef for (NodeId, Vec<QVertexId>) {
+    fn end_node(&self) -> NodeId {
+        self.0
+    }
+    fn vertices(&self) -> &[QVertexId] {
+        &self.1
+    }
+}
+
+/// Step 4's join loop (Fig. 8, lines 8–13, restricted to new embeddings),
+/// shared by the engine-resident pass — live views bounded by the staged
+/// watermarks — and the detached cross-thread pass — pre-cut
+/// [`Relation::snapshot_owned`] views, whose limit is simply their length.
+/// Per affected query, each path's truly-new delta (resolved by `delta_of`)
+/// joins the other paths' views (resolved with their visible-row limit by
+/// `other_of`; `None` or a zero limit means the path has no tuples and the
+/// query cannot match), and the distinct embeddings union across paths.
+fn join_covering_paths<'a, P, Q, D, F>(queries: Q, delta_of: D, other_of: F) -> Vec<(QueryId, u64)>
+where
+    P: CoveringPathRef + 'a,
+    Q: Iterator<Item = (QueryId, &'a [P])>,
+    D: Fn(NodeId) -> Option<&'a Relation>,
+    F: Fn(NodeId) -> Option<(&'a Relation, usize)>,
+{
+    let mut counts: Vec<(QueryId, u64)> = Vec::new();
+    let mut bindings: Vec<PathBinding<'a>> = Vec::new();
+    for (qid, paths) in queries {
+        // Accumulate distinct new embeddings across affected paths.
+        let mut embeddings: Option<Relation> = None;
+        for (i, path) in paths.iter().enumerate() {
+            let Some(delta) = delta_of(path.end_node()) else {
+                continue; // this covering path gained nothing new
+            };
+            bindings.clear();
+            bindings.push(PathBinding::new(delta, path.vertices()));
+            let mut all_present = true;
+            for (j, other) in paths.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                match other_of(other.end_node()) {
+                    Some((view, limit)) if limit > 0 => {
+                        bindings.push(PathBinding::at_version(view, other.vertices(), limit));
+                    }
+                    _ => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if !all_present {
+                continue;
+            }
+            if let Some(result) = join_paths(&bindings) {
+                let canon = result.canonicalize();
+                match &mut embeddings {
+                    None => embeddings = Some(canon.rel),
+                    Some(acc) => {
+                        acc.extend_from(&canon.rel);
+                    }
+                }
+            }
+        }
+        if let Some(emb) = embeddings {
+            if !emb.is_empty() {
+                counts.push((qid, emb.len() as u64));
+            }
+        }
+    }
+    counts
+}
+
+/// Step 4 over detached state ([`join_covering_paths`] with owned inputs):
+/// the staged truly-new deltas, the affected queries' `(end node, vertex
+/// sequence)` path descriptors (parallel to `affected_queries`), and the
+/// end-node views frozen at the staged watermarks — an empty frozen view is
+/// the `watermark == 0` case (the query cannot match yet).
+fn answer_tric_detached(
+    affected_queries: &[QueryId],
+    query_paths: &[Vec<(NodeId, Vec<QVertexId>)>],
+    truly_new: &FxHashMap<NodeId, Relation>,
+    frozen: &FxHashMap<NodeId, Relation>,
+) -> MatchReport {
+    MatchReport::from_counts(join_covering_paths(
+        affected_queries
+            .iter()
+            .copied()
+            .zip(query_paths.iter().map(Vec::as_slice)),
+        |end_node| truly_new.get(&end_node),
+        |end_node| frozen.get(&end_node).map(|view| (view, view.len())),
+    ))
 }
 
 #[cfg(test)]
@@ -1085,6 +1211,69 @@ mod tests {
                 }
                 assert_eq!(reference.stats(), staged_engine.stats());
             }
+        }
+    }
+
+    #[test]
+    fn detached_answers_match_sequential_even_run_out_of_order() {
+        // The detachment contract: tasks are self-contained, Send, and may
+        // run on any thread in any order after later batches have been
+        // staged — each must still report exactly what apply_batch would
+        // have. Stage a whole window, detach every token, run the tasks on
+        // worker threads in *reverse* order, then compare FIFO.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for caching in [false, true] {
+            let mut rng = StdRng::seed_from_u64(41);
+            let mut f = Fixture::new();
+            let queries = vec![
+                f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                f.q("?a -e2-> ?a"),
+            ];
+            let config = TricConfig { caching };
+            let mut reference = TricEngine::with_config(config);
+            let mut staged_engine = TricEngine::with_config(config);
+            for q in &queries {
+                reference.register_query(q).unwrap();
+                staged_engine.register_query(q).unwrap();
+            }
+            let stream: Vec<Update> = (0..240)
+                .map(|_| {
+                    let label = format!("e{}", rng.gen_range(0..3));
+                    let src = format!("v{}", rng.gen_range(0..8));
+                    let tgt = format!("v{}", rng.gen_range(0..8));
+                    f.u(&label, &src, &tgt)
+                })
+                .collect();
+            let batches: Vec<&[Update]> = stream.chunks(5).collect();
+            for group in batches.chunks(4) {
+                let tasks: Vec<_> = group
+                    .iter()
+                    .map(|b| {
+                        let token = staged_engine.stage_batch(b);
+                        staged_engine.detach_staged(token)
+                    })
+                    .collect();
+                // Run every detached task concurrently on its own thread —
+                // completion order is up to the scheduler; reports are
+                // gathered back in stage order.
+                let handles: Vec<_> = tasks
+                    .into_iter()
+                    .map(|t| std::thread::spawn(move || t.run()))
+                    .collect();
+                let reports: Vec<MatchReport> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("detached task"))
+                    .collect();
+                for (batch, report) in group.iter().zip(reports) {
+                    let expected = reference.apply_batch(batch);
+                    assert_eq!(report, expected, "caching {caching} diverged on {batch:?}");
+                    staged_engine.absorb_answered(&report);
+                }
+            }
+            assert_eq!(reference.stats(), staged_engine.stats());
         }
     }
 

@@ -1,0 +1,473 @@
+//! The concurrency differential suite: the **threaded** pipelined executor
+//! (stage on the caller thread, covering-path joins on the dedicated answer
+//! thread — `PipelineConfig::answer_thread`) must produce byte-identical
+//! reports to sequential per-update execution, for every engine, on every
+//! workload generator, including composed with the sharded wrapper and its
+//! persistent worker pool.
+//!
+//! This is the proof obligation of the cross-thread refactor: chunked
+//! relation snapshots, detached answer tasks and the worker pool may change
+//! *where* and *when* the answer pass runs, but never what it reports. The
+//! suite also pins the executor's FIFO completion order under a
+//! deliberately slow answer stage, and (behind `slow-tests`) soaks the
+//! worker pool with a long randomized stream and injected thread yields.
+
+use std::time::{Duration, Instant};
+
+use graph_stream_matching::core::prelude::*;
+use graph_stream_matching::core::{DetachedAnswer, EngineStats, StagedBatch};
+use graph_stream_matching::datagen::{Dataset, Workload, WorkloadConfig};
+use graph_stream_matching::{all_engines, all_engines_sharded};
+
+/// The threaded-pipeline configurations the suite drives, as
+/// `(max_batch, max_delay_ticks, tick_advance_ms)` with a synthetic clock —
+/// one size-driven sweep (the deadline never fires) and one deadline-driven
+/// sweep (the buffer never fills; batches are cut by the clock). Threading
+/// changes where answers run, not how batches are segmented, so both
+/// segmentation regimes must hold.
+const THREADED_CONFIGS: [(usize, u64, u64); 2] = [(7, 1_000, 0), (1_000, 5, 1)];
+
+/// Differential threaded-pipeline-vs-sequential harness: replays `workload`
+/// sequentially once per engine (recording every per-update report), then
+/// streams it through a **threaded** [`PipelinedEngine`] on fresh engines of
+/// the same kinds. Every completed batch must equal the merge of the
+/// per-update reports of exactly the updates it covered, the batches must
+/// tile the stream in arrival order, and the post-drain stats must match
+/// sequential execution.
+fn assert_threaded_equals_sequential_for(
+    workload: &Workload,
+    engines: impl Fn() -> Vec<Box<dyn ContinuousEngine>>,
+) {
+    let mut seq_engines = engines();
+    for engine in seq_engines.iter_mut() {
+        for q in &workload.queries {
+            engine.register_query(q).expect("register");
+        }
+    }
+    let per_update: Vec<Vec<MatchReport>> = seq_engines
+        .iter_mut()
+        .map(|engine| {
+            workload
+                .stream
+                .iter()
+                .map(|u| engine.apply_update(*u))
+                .collect()
+        })
+        .collect();
+
+    for (max_batch, delay_ticks, tick_ms) in THREADED_CONFIGS {
+        let config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks)).threaded();
+        let mut pipe_engines: Vec<_> = engines()
+            .into_iter()
+            .map(|e| PipelinedEngine::new(e, config))
+            .collect();
+        for pipe in pipe_engines.iter_mut() {
+            for q in &workload.queries {
+                pipe.register_query(q).expect("register");
+            }
+        }
+        let t0 = Instant::now();
+        for (engine_idx, pipe) in pipe_engines.iter_mut().enumerate() {
+            assert!(pipe.is_threaded());
+            let mut completed: Vec<CompletedBatch> = Vec::new();
+            for (i, u) in workload.stream.iter().enumerate() {
+                let now = t0 + Duration::from_millis(i as u64 * tick_ms);
+                completed.extend(pipe.push_at(*u, now));
+            }
+            completed.extend(pipe.drain());
+
+            let mut offset = 0usize;
+            for (batch_idx, batch) in completed.iter().enumerate() {
+                assert!(batch.updates > 0, "empty completed batch");
+                let expected = MatchReport::from_counts(
+                    per_update[engine_idx][offset..offset + batch.updates]
+                        .iter()
+                        .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                        .collect(),
+                );
+                assert_eq!(
+                    batch.report,
+                    expected,
+                    "{} threaded batch #{batch_idx} (updates {offset}..{}) under \
+                     (max_batch {max_batch}, delay {delay_ticks} ticks) of {} \
+                     diverged from sequential",
+                    pipe.name(),
+                    offset + batch.updates,
+                    workload.name
+                );
+                offset += batch.updates;
+            }
+            assert_eq!(
+                offset,
+                workload.stream.len(),
+                "{} threaded pipeline dropped or duplicated updates",
+                pipe.name()
+            );
+
+            let seq_stats = seq_engines[engine_idx].stats();
+            let stats = pipe.stats();
+            assert_eq!(stats.updates_processed, seq_stats.updates_processed);
+            assert_eq!(stats.embeddings, seq_stats.embeddings, "{}", pipe.name());
+        }
+    }
+}
+
+fn assert_threaded_equals_sequential(workload: &Workload) {
+    assert_threaded_equals_sequential_for(workload, all_engines);
+}
+
+/// Shard counts for the threaded × sharded composition. `GSM_SHARDS=<n>`
+/// (the CI jobs) pins one count; the default exercises the genuinely
+/// partitioned two-shard deployment the CI job uses.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("GSM_SHARDS") {
+        Ok(v) => vec![v
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid GSM_SHARDS value {v:?}"))],
+        Err(_) => vec![2],
+    }
+}
+
+#[test]
+fn threaded_pipeline_equals_sequential_on_snb_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 350, 18).with_selectivity(0.4));
+    assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_equals_sequential_on_taxi_workload() {
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Taxi, 350, 18).with_query_size(3));
+    assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_equals_sequential_on_biogrid_workload() {
+    // The explosive single-label generator stays small: the harness replays
+    // the stream once sequentially plus once per threaded config.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::BioGrid, 180, 14).with_query_size(3));
+    assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_equals_sequential_with_high_overlap_and_long_queries() {
+    // High overlap plus long queries maximises multi-path queries, whose
+    // deferred covering-path joins are exactly what crosses threads here.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 220, 12)
+            .with_query_size(7)
+            .with_overlap(0.8),
+    );
+    assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_over_sharded_engine_equals_sequential() {
+    // The full composition: DeadlineBatcher → stage on the caller thread →
+    // routed absorb on the persistent per-shard worker pool → detached
+    // merge + spanning join on the answer thread. Three thread domains, one
+    // report stream.
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, 280, 15).with_selectivity(0.4));
+    for shards in shard_counts() {
+        assert_threaded_equals_sequential_for(&workload, || all_engines_sharded(shards));
+    }
+}
+
+/// A wrapper that makes the *first* staged batch's detached answer
+/// deliberately slow (and stamps every batch with its stage sequence), so
+/// any executor bug that completed batches out of arrival order would
+/// surface immediately.
+struct SlowFirstAnswer<E> {
+    inner: E,
+    staged: u64,
+}
+
+impl<E: ContinuousEngine> SlowFirstAnswer<E> {
+    fn new(inner: E) -> Self {
+        SlowFirstAnswer { inner, staged: 0 }
+    }
+}
+
+impl<E: ContinuousEngine> ContinuousEngine for SlowFirstAnswer<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn register_query(
+        &mut self,
+        query: &QueryPattern,
+    ) -> graph_stream_matching::core::Result<QueryId> {
+        self.inner.register_query(query)
+    }
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.inner.apply_update(update)
+    }
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.inner.apply_batch(updates)
+    }
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        self.staged += 1;
+        self.inner.stage_batch(updates)
+    }
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        self.inner.answer_staged(staged)
+    }
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        let task = self.inner.detach_staged(staged);
+        let delay = if self.staged == 1 {
+            Duration::from_millis(40)
+        } else {
+            Duration::from_millis(1)
+        };
+        DetachedAnswer::task(move || {
+            std::thread::sleep(delay);
+            task.run()
+        })
+    }
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.inner.absorb_answered(report)
+    }
+    fn num_queries(&self) -> usize {
+        self.inner.num_queries()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+    fn stats(&self) -> EngineStats {
+        self.inner.stats()
+    }
+}
+
+#[test]
+fn completed_batches_stay_fifo_under_a_slow_answer_stage() {
+    // Batch #0's answer sleeps 40 ms while batches #1.. are staged (and
+    // their answers queued) behind it; a deep window keeps them all in
+    // flight. Completion must still be arrival-ordered and the reports must
+    // tile the stream exactly like an untimed run.
+    let mut symbols = SymbolTable::new();
+    let q = QueryPattern::parse("?a -e-> ?b; ?b -e-> ?c", &mut symbols).unwrap();
+    let e = symbols.intern("e");
+    let stream: Vec<Update> = (0..24u32)
+        .map(|i| {
+            Update::new(
+                e,
+                symbols.intern(&format!("v{}", i % 5)),
+                symbols.intern(&format!("v{}", (i + 1) % 6)),
+            )
+        })
+        .collect();
+
+    // Reference: per-update reports from a plain engine.
+    let mut reference = graph_stream_matching::tric::TricEngine::tric_plus();
+    reference.register_query(&q).unwrap();
+    let per_update: Vec<MatchReport> = stream.iter().map(|u| reference.apply_update(*u)).collect();
+
+    let config = PipelineConfig::new(3, Duration::from_secs(60))
+        .with_depth(8)
+        .threaded();
+    let mut pipe = PipelinedEngine::new(
+        SlowFirstAnswer::new(graph_stream_matching::tric::TricEngine::tric_plus()),
+        config,
+    );
+    pipe.register_query(&q).unwrap();
+    let now = Instant::now();
+    let mut completed = Vec::new();
+    for &u in &stream {
+        completed.extend(pipe.push_at(u, now));
+    }
+    completed.extend(pipe.drain());
+
+    // 24 updates in flush-3 batches → 8 batches, in arrival order: batch k
+    // covers updates 3k..3k+3 and must carry exactly their merged report.
+    assert_eq!(completed.len(), 8);
+    let mut offset = 0;
+    for (k, batch) in completed.iter().enumerate() {
+        assert_eq!(batch.updates, 3, "batch #{k} has the wrong tile");
+        let expected = MatchReport::from_counts(
+            per_update[offset..offset + 3]
+                .iter()
+                .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                .collect(),
+        );
+        assert_eq!(batch.report, expected, "batch #{k} out of order or wrong");
+        offset += 3;
+    }
+    assert_eq!(pipe.stats().embeddings, reference.stats().embeddings);
+}
+
+/// A wrapper injecting `thread::yield_now` at seeded-random points of the
+/// stage phase and of every detached answer task, shaking out scheduling
+/// assumptions between the batcher thread, the shard workers and the answer
+/// thread.
+struct YieldInjector<E> {
+    inner: E,
+    state: u64,
+}
+
+impl<E> YieldInjector<E> {
+    fn new(inner: E, seed: u64) -> Self {
+        YieldInjector {
+            inner,
+            state: seed.max(1),
+        }
+    }
+    fn chance(&mut self, one_in: u64) -> bool {
+        // xorshift64* — deterministic per seed, no rand dependency needed.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state
+            .wrapping_mul(0x2545F4914F6CDD1D)
+            .is_multiple_of(one_in)
+    }
+}
+
+impl<E: ContinuousEngine> ContinuousEngine for YieldInjector<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn register_query(
+        &mut self,
+        query: &QueryPattern,
+    ) -> graph_stream_matching::core::Result<QueryId> {
+        self.inner.register_query(query)
+    }
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.inner.apply_update(update)
+    }
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.inner.apply_batch(updates)
+    }
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        if self.chance(3) {
+            std::thread::yield_now();
+        }
+        self.inner.stage_batch(updates)
+    }
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        self.inner.answer_staged(staged)
+    }
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        let task = self.inner.detach_staged(staged);
+        let yield_before = self.chance(2);
+        let yield_after = self.chance(2);
+        DetachedAnswer::task(move || {
+            if yield_before {
+                std::thread::yield_now();
+            }
+            let report = task.run();
+            if yield_after {
+                std::thread::yield_now();
+            }
+            report
+        })
+    }
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.inner.absorb_answered(report)
+    }
+    fn num_queries(&self) -> usize {
+        self.inner.num_queries()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+    fn stats(&self) -> EngineStats {
+        self.inner.stats()
+    }
+}
+
+/// Seeded stress/soak for the persistent worker pool and the threaded
+/// answer stage: long random streams, random flush sizes and deadlines,
+/// random mid-stream polls and randomized thread-yield injection, composed
+/// over the sharded engine (GSM_SHARDS, default 2). Iteration count scales
+/// with `GSM_SOAK_ITERS`; gated behind `slow-tests` so the 1-core tier-1
+/// debug suite keeps its budget.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "worker-pool soak; run with --features slow-tests (GSM_SOAK_ITERS scales it)"
+)]
+fn worker_pool_soak_randomized_streams_stay_equivalent() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let iterations: u64 = std::env::var("GSM_SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let shards = shard_counts()[0];
+
+    for iteration in 0..iterations {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE + iteration);
+        let updates = rng.gen_range(400..900);
+        let queries = rng.gen_range(12..28);
+        let workload = Workload::generate(
+            WorkloadConfig::new(Dataset::Snb, updates, queries)
+                .with_selectivity(0.3 + 0.4 * rng.gen::<f64>()),
+        );
+
+        // Sequential reference.
+        let mut reference = graph_stream_matching::tric::TricEngine::tric_plus();
+        for q in &workload.queries {
+            reference.register_query(q).unwrap();
+        }
+        let per_update: Vec<MatchReport> = workload
+            .stream
+            .iter()
+            .map(|u| reference.apply_update(*u))
+            .collect();
+
+        // Threaded pipeline over yield-injected sharded TRIC+.
+        let flush = rng.gen_range(1..64);
+        let delay_ticks = rng.gen_range(1..8u64);
+        let tick_ms = rng.gen_range(0..3u64);
+        let depth = rng.gen_range(0..4);
+        let config = PipelineConfig::new(flush, Duration::from_millis(delay_ticks))
+            .with_depth(depth)
+            .threaded();
+        let engine = YieldInjector::new(
+            graph_stream_matching::tric::TricEngine::tric_plus_sharded(shards),
+            0xBAD5EED + iteration,
+        );
+        let mut pipe = PipelinedEngine::new(engine, config);
+        for q in &workload.queries {
+            pipe.register_query(q).unwrap();
+        }
+
+        let t0 = Instant::now();
+        let mut completed = Vec::new();
+        for (i, u) in workload.stream.iter().enumerate() {
+            let now = t0 + Duration::from_millis(i as u64 * tick_ms);
+            completed.extend(pipe.push_at(*u, now));
+            // Random flush-deadline polls between pushes.
+            if rng.gen_bool(0.05) {
+                completed.extend(pipe.poll_at(now + Duration::from_millis(rng.gen_range(0..10))));
+            }
+        }
+        completed.extend(pipe.drain());
+
+        let mut offset = 0usize;
+        for batch in &completed {
+            let expected = MatchReport::from_counts(
+                per_update[offset..offset + batch.updates]
+                    .iter()
+                    .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                    .collect(),
+            );
+            assert_eq!(
+                batch.report, expected,
+                "soak iteration {iteration} (flush {flush}, delay {delay_ticks}, depth {depth}, \
+                 {shards} shards) diverged at updates {offset}.."
+            );
+            offset += batch.updates;
+        }
+        assert_eq!(offset, workload.stream.len(), "soak dropped updates");
+        assert_eq!(
+            pipe.stats().embeddings,
+            reference.stats().embeddings,
+            "soak iteration {iteration} embeddings diverged"
+        );
+    }
+}

@@ -256,8 +256,18 @@ fn assert_pipelined_equals_sequential_for(
         })
         .collect();
 
+    // `GSM_THREADS>=2` (the CI threads job) re-runs the whole matrix with
+    // the answer phase on the dedicated answer thread — same batches, same
+    // reports, different thread.
+    let threaded = std::env::var("GSM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .is_some_and(|n| n >= 2);
     for (max_batch, delay_ticks, tick_ms) in PIPELINE_CONFIGS {
-        let config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks));
+        let mut config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks));
+        if threaded {
+            config = config.threaded();
+        }
         let mut pipe_engines: Vec<_> = engines()
             .into_iter()
             .map(|e| PipelinedEngine::new(e, config))

@@ -210,6 +210,80 @@ fn self_loop_root_shared_by_queries_on_different_shards() {
     assert_all_engines_agree_sharded(&[q1, q2], &stream, num_shards);
 }
 
+/// Pins the **documented limitation** of mid-stream registration (the
+/// "Late registration" note in `gsm_core::shard`): a query registered after
+/// updates have streamed in catches up only with *shard-local* history.
+/// This is the contract a future cross-shard backfill change must update —
+/// until then, the exact reduced-history behaviour is asserted here, not
+/// just documented.
+///
+/// Topology: `q1` (shard-local, label `la` on shard 0) streams history
+/// first; `q2` (spanning: `la` on shard 0 + `lb` on shard 1) registers
+/// mid-stream. The unsharded engine shares one view store, so `q2`'s paths
+/// catch up with `q1`'s `la` history and a single `lb` edge completes a
+/// match. The sharded engine keeps spanning path state in per-shard
+/// spanning views that never absorbed the pre-registration history, so the
+/// same `lb` edge completes **nothing** — and only embeddings built
+/// entirely from post-registration edges match on both.
+#[test]
+fn mid_stream_registration_only_catches_up_with_shard_local_history() {
+    let num_shards = 2;
+    let mut symbols = SymbolTable::new();
+    let la = label_on_shard(&mut symbols, "a", 0, num_shards, false);
+    let lb = label_on_shard(&mut symbols, "b", 1, num_shards, false);
+    let q1 = QueryPattern::parse(&format!("?a -{la}-> ?x"), &mut symbols).unwrap();
+    let q2 = QueryPattern::parse(&format!("?c -{la}-> ?x; ?c -{lb}-> ?y"), &mut symbols).unwrap();
+
+    for make in [TricEngine::tric, TricEngine::tric_plus] {
+        let mut plain = make();
+        let mut sharded = ShardedEngine::new(num_shards, make);
+        plain.register_query(&q1).unwrap();
+        sharded.register_query(&q1).unwrap();
+
+        // Pre-registration history on la: routed to shard 0 for q1's inner
+        // engine, but never into any spanning path state.
+        for x in ["x1", "x2"] {
+            let u = update(&mut symbols, &la, "hub", x);
+            assert_eq!(plain.apply_update(u), sharded.apply_update(u));
+        }
+
+        plain.register_query(&q2).unwrap();
+        sharded.register_query(&q2).unwrap();
+        assert_eq!(sharded.num_spanning_queries(), 1, "q2 must span");
+
+        // The lb edge that would complete q2 against the pre-registration
+        // la history: the unsharded engine catches up through the shared
+        // edge view and reports both embeddings; the sharded engine's
+        // spanning la path state starts empty — shard-local catch-up found
+        // no history in shard 0's *spanning* views — so it reports nothing.
+        let completing = update(&mut symbols, &lb, "hub", "y1");
+        let plain_report = plain.apply_update(completing);
+        let sharded_report = sharded.apply_update(completing);
+        assert_eq!(
+            plain_report.total_embeddings(),
+            2,
+            "unsharded q2 must catch up with q1's la history"
+        );
+        assert!(
+            sharded_report.is_empty(),
+            "sharded q2 caught up with cross-query history — the documented \
+             shard-local-catch-up limitation has changed; update the Late \
+             registration contract in gsm_core::shard and this test"
+        );
+
+        // Embeddings built entirely from post-registration edges agree on
+        // both engines (the exact case the docs promise stays equivalent):
+        // fresh la edges land in the spanning path state too.
+        let u = update(&mut symbols, &la, "hub2", "x9");
+        assert_eq!(plain.apply_update(u), sharded.apply_update(u));
+        let u = update(&mut symbols, &lb, "hub2", "y9");
+        let p = plain.apply_update(u);
+        let s = sharded.apply_update(u);
+        assert_eq!(p, s, "post-registration embeddings must agree");
+        assert_eq!(p.total_embeddings(), 1);
+    }
+}
+
 /// A spanning query registered mid-stream, over labels the stream has not
 /// used yet (fresh edges have no history anywhere, which is the case where
 /// sharded and unsharded late registration provably coincide — see the
