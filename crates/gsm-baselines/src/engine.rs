@@ -10,7 +10,9 @@ use gsm_core::model::generic::GenericEdge;
 use gsm_core::model::update::Update;
 use gsm_core::query::paths::covering_paths;
 use gsm_core::query::pattern::QueryPattern;
-use gsm_core::relation::cache::JoinCache;
+use std::sync::Arc;
+
+use gsm_core::relation::cache::{BuildCache, FrozenJoinCache, JoinCache};
 use gsm_core::relation::eval::{join_paths, PathBinding};
 use gsm_core::relation::fasthash::FxHashMap;
 use gsm_core::relation::Relation;
@@ -101,19 +103,48 @@ impl BaselineEngine {
         self.cache.hits()
     }
 
-    /// Resolves the queries affected by a routed batch via edgeInd and
-    /// clones their records — the per-batch working set both the eager and
-    /// the staged answer passes iterate.
+    /// Resolves the queries affected by a routed batch via edgeInd and takes
+    /// shared handles to their records — the per-batch working set both the
+    /// eager and the staged answer passes iterate. Records are immutable
+    /// after registration, so the handles are `Arc` bumps, not deep copies.
     fn affected_records(
         &self,
         edge_deltas: &FxHashMap<GenericEdge, Relation>,
-    ) -> Vec<(QueryId, QueryRecord)> {
+    ) -> Vec<(QueryId, Arc<QueryRecord>)> {
         let affected_edges: Vec<GenericEdge> = edge_deltas.keys().copied().collect();
         self.indexes
             .affected_queries(&affected_edges)
             .into_iter()
-            .map(|qid| (qid, self.indexes.record(qid).clone()))
+            .map(|qid| (qid, self.indexes.record_shared(qid)))
             .collect()
+    }
+
+    /// Brings the engine's join cache up to date for every build the answer
+    /// pass over `affected` will probe — `[0]` builds of each path's
+    /// non-first edges and `[1]` builds of each path's non-last edges — and
+    /// publishes the result as an immutable [`FrozenJoinCache`]. Runs at
+    /// stage time, after routing, so every published build indexes exactly
+    /// the post-batch watermark the frozen views are cut at.
+    fn publish_builds(&mut self, affected: &[(QueryId, Arc<QueryRecord>)]) -> FrozenJoinCache {
+        for (_, record) in affected {
+            for path in &record.paths {
+                let n = path.edges.len();
+                if n < 2 {
+                    continue;
+                }
+                for (i, edge) in path.edges.iter().enumerate() {
+                    if let Some(view) = self.views.get(edge) {
+                        if i > 0 {
+                            self.cache.get_or_build(view, &[0]);
+                        }
+                        if i < n - 1 {
+                            self.cache.get_or_build(view, &[1]);
+                        }
+                    }
+                }
+            }
+        }
+        self.cache.freeze()
     }
 }
 
@@ -125,23 +156,30 @@ impl BaselineEngine {
 /// immediately, after later batches were staged, or on another thread.
 struct StagedBaseline {
     edge_deltas: FxHashMap<GenericEdge, Relation>,
-    affected: Vec<(QueryId, QueryRecord)>,
+    affected: Vec<(QueryId, Arc<QueryRecord>)>,
     frozen: FrozenViews,
+    /// The `+` variants' stage-time build publication (empty for the
+    /// cacheless variants): the answer pass probes these instead of
+    /// rebuilding hash tables per batch. Because the frozen views share
+    /// their source relations' identities and the builds index exactly the
+    /// post-batch watermarks, every published build is valid for the
+    /// frozen snapshots.
+    cache: FrozenJoinCache,
 }
 
 /// The baselines' answer pass (steps 2–3 plus the final join of
 /// `apply_batch_core`), shared verbatim by the eager path (live views plus
-/// the engine's join cache) and the staged/detached paths (frozen views, no
-/// cache — snapshot relations are born fresh per batch, so caching their
-/// builds would only pollute the cache). Returns the per-query embedding
-/// counts.
+/// the engine's live join cache) and the staged/detached paths (frozen
+/// views plus the stage-time frozen build publication — snapshot relations
+/// share their sources' identities, so published builds are recognised).
+/// Returns the per-query embedding counts.
 fn answer_affected(
     mode: BaselineMode,
     views: &impl ViewSource,
-    mut cache: Option<&mut JoinCache>,
+    mut cache: BuildCache<'_>,
     row_buf: &mut Vec<Sym>,
     edge_deltas: &FxHashMap<GenericEdge, Relation>,
-    affected: &[(QueryId, QueryRecord)],
+    affected: &[(QueryId, Arc<QueryRecord>)],
 ) -> Vec<(QueryId, u64)> {
     let mut counts: Vec<(QueryId, u64)> = Vec::new();
 
@@ -175,8 +213,7 @@ fn answer_affected(
                 BaselineMode::Inc => !path_affected[i],
             };
             if need_full {
-                let rel =
-                    views::full_path_relation(views, &path.edges, cache.as_deref_mut(), row_buf);
+                let rel = views::full_path_relation(views, &path.edges, cache.reborrow(), row_buf);
                 if rel.is_empty() {
                     all_present = false;
                     break;
@@ -195,7 +232,7 @@ fn answer_affected(
                     views,
                     &path.edges,
                     edge_deltas,
-                    cache.as_deref_mut(),
+                    cache.reborrow(),
                     row_buf,
                 );
                 if !d.is_empty() {
@@ -217,12 +254,8 @@ fn answer_affected(
                     .enumerate()
                     .any(|(i, d)| i != j && d.is_some());
                 if needed && full_relations[j].is_none() {
-                    let rel = views::full_path_relation(
-                        views,
-                        &path.edges,
-                        cache.as_deref_mut(),
-                        row_buf,
-                    );
+                    let rel =
+                        views::full_path_relation(views, &path.edges, cache.reborrow(), row_buf);
                     if !rel.is_empty() {
                         full_relations[j] = Some(rel);
                     }
@@ -324,11 +357,12 @@ impl ContinuousEngine for BaselineEngine {
 
     /// Routing with the join-and-explore pass deferred: the batch is routed
     /// into the views now, and the token captures the per-edge deltas, the
-    /// affected query records and the affected views **frozen at the
-    /// post-batch watermarks** ([`EdgeViewStore::freeze_at`]) — so the
-    /// answer may run after later batches were routed, or on another thread,
-    /// and still reads exactly the state this batch saw. See the staging
-    /// contract on [`ContinuousEngine::stage_batch`].
+    /// affected query records (`Arc`-shared), the affected views **frozen
+    /// at the post-batch watermarks** ([`EdgeViewStore::freeze_at`]) and —
+    /// for the `+` variants — the stage-time join-build publication — so
+    /// the answer may run after later batches were routed, or on another
+    /// thread, and still reads exactly the state this batch saw. See the
+    /// staging contract on [`ContinuousEngine::stage_batch`].
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
         self.stats.updates_processed += updates.len() as u64;
         let edge_deltas = self.views.apply_batch(updates);
@@ -336,6 +370,11 @@ impl ContinuousEngine for BaselineEngine {
             return StagedBatch::immediate(MatchReport::empty());
         }
         let affected = self.affected_records(&edge_deltas);
+        let cache = if self.caching {
+            self.publish_builds(&affected)
+        } else {
+            FrozenJoinCache::default()
+        };
         let mut needed: Vec<GenericEdge> = Vec::new();
         for (_, record) in &affected {
             for &edge in &record.edges {
@@ -349,6 +388,7 @@ impl ContinuousEngine for BaselineEngine {
             edge_deltas,
             affected,
             frozen,
+            cache,
         })
     }
 
@@ -358,7 +398,7 @@ impl ContinuousEngine for BaselineEngine {
                 let counts = answer_affected(
                     self.mode,
                     &token.frozen,
-                    None,
+                    BuildCache::Frozen(&token.cache),
                     &mut self.row_buf,
                     &token.edge_deltas,
                     &token.affected,
@@ -384,7 +424,7 @@ impl ContinuousEngine for BaselineEngine {
                 MatchReport::from_counts(answer_affected(
                     mode,
                     &token.frozen,
-                    None,
+                    BuildCache::Frozen(&token.cache),
                     &mut row_buf,
                     &token.edge_deltas,
                     &token.affected,
@@ -437,7 +477,7 @@ impl BaselineEngine {
         let counts = answer_affected(
             self.mode,
             &self.views,
-            self.caching.then_some(&mut self.cache),
+            BuildCache::from(self.caching.then_some(&mut self.cache)),
             &mut self.row_buf,
             &edge_deltas,
             &affected,

@@ -1,6 +1,7 @@
 //! The inverted indexes of the INV/INC baselines (Section 5.1, Step 2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gsm_core::engine::QueryId;
 use gsm_core::memory::HeapSize;
@@ -47,8 +48,11 @@ pub struct InvertedIndexes {
     pub source_index: HashMap<GenTerm, Vec<GenericEdge>>,
     /// targetInd: target vertex position → generic edges with that target.
     pub target_index: HashMap<GenTerm, Vec<GenericEdge>>,
-    /// queryInd: query id → its covering paths.
-    pub query_index: Vec<QueryRecord>,
+    /// queryInd: query id → its covering paths. Records are `Arc`-shared so
+    /// a staged batch's working set references them instead of deep-copying
+    /// every path of every affected query (the records are immutable after
+    /// registration, and registration barriers the pipeline first).
+    pub query_index: Vec<Arc<QueryRecord>>,
 }
 
 impl InvertedIndexes {
@@ -74,7 +78,7 @@ impl InvertedIndexes {
                 targets.push(*edge);
             }
         }
-        self.query_index.push(record);
+        self.query_index.push(Arc::new(record));
     }
 
     /// Queries containing any of the given generic edges, deduplicated and
@@ -99,6 +103,12 @@ impl InvertedIndexes {
     /// The record of a query.
     pub fn record(&self, qid: QueryId) -> &QueryRecord {
         &self.query_index[qid.index()]
+    }
+
+    /// A shared handle to the record of a query — an `Arc` bump, not a deep
+    /// copy. This is what staged batches capture.
+    pub fn record_shared(&self, qid: QueryId) -> Arc<QueryRecord> {
+        Arc::clone(&self.query_index[qid.index()])
     }
 }
 

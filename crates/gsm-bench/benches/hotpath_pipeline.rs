@@ -14,14 +14,17 @@
 //! while bounding how long any update can sit buffered (the 5 ms deadline).
 //! Results land in BENCH_PR4.json.
 //!
-//! The `<engine>-threaded` series runs the same sweep with the answer phase
-//! on the dedicated answer thread (`PipelineConfig::answer_thread`): each
-//! batch is staged on the bench thread, detached — freezing chunk-sharing
-//! view snapshots into the task — and answered on the worker while the next
-//! batch is routed. On a 1-core box this records the **overhead floor** of
-//! the cross-thread handoff (snapshot freezing, channel hops, absorb), the
-//! same role BENCH_PR3.json played for sharding; multi-core hosts read it
-//! as the speedup baseline. Results land in BENCH_PR5.json.
+//! The `<engine>-threaded-w{N}` series run the same sweep with the answer
+//! phase on the answer-stage worker pool (`PipelineConfig::threaded` +
+//! `with_answer_workers`), N swept over {1, 2, 4}: each batch is staged on
+//! the bench thread, detached — publishing Arc-shared read-mostly state
+//! into the task — and answered on a pool worker while the next batch is
+//! routed, with the reorder buffer re-sequencing completions. On a 1-core
+//! box this records the **overhead floor** of the cross-thread handoff
+//! (publication, channel hops, reordering, absorb), the same role
+//! BENCH_PR3.json played for sharding; multi-core hosts read it as the
+//! speedup baseline. Results land in BENCH_PR6.json (w1 is directly
+//! comparable to BENCH_PR5.json's single-worker `-threaded` series).
 
 mod common;
 
@@ -68,10 +71,11 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
 
     for kind in [EngineKind::Tric, EngineKind::TricPlus] {
-        for threaded in [false, true] {
+        // 0 = inline (no answer pool); N >= 1 = threaded with N answer workers.
+        for answer_workers in [0usize, 1, 2, 4] {
             for flush_size in FLUSH_SIZES {
-                let series = if threaded {
-                    format!("{}-threaded", kind.name())
+                let series = if answer_workers > 0 {
+                    format!("{}-threaded-w{answer_workers}", kind.name())
                 } else {
                     kind.name().to_string()
                 };
@@ -82,8 +86,8 @@ fn bench(c: &mut Criterion) {
                         b.iter_batched(
                             || {
                                 let mut config = PipelineConfig::new(flush_size, FLUSH_DEADLINE);
-                                if threaded {
-                                    config = config.threaded();
+                                if answer_workers > 0 {
+                                    config = config.threaded().with_answer_workers(answer_workers);
                                 }
                                 PipelinedEngine::new(warmed_engine(kind, &workload), config)
                             },

@@ -21,6 +21,8 @@
 //! * `--threads` — threads for the pipelined executor (default 1; `>= 2`
 //!   runs each batch's covering-path join on a dedicated answer thread
 //!   while the next batch is routed; implies `--pipeline`).
+//! * `--answer-threads` — answer-stage workers for the threaded pipeline
+//!   (default: `GSM_ANSWER_THREADS` or 1). Ignored unless `--threads >= 2`.
 //! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
 
 use std::fs;
@@ -39,7 +41,18 @@ struct Args {
     pipeline: bool,
     flush_ms: u64,
     threads: usize,
+    answer_threads: usize,
     out_dir: PathBuf,
+}
+
+/// The default answer-worker count: `GSM_ANSWER_THREADS` when set and
+/// parseable, 1 otherwise (mirroring the `--answer-threads` flag).
+fn default_answer_threads() -> usize {
+    std::env::var("GSM_ANSWER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         pipeline: false,
         flush_ms: 5,
         threads: 1,
+        answer_threads: default_answer_threads(),
         out_dir: PathBuf::from("results"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -115,13 +129,20 @@ fn parse_args() -> Result<Args, String> {
                 }
                 i += 2;
             }
+            "--answer-threads" => {
+                args.answer_threads = value
+                    .ok_or("--answer-threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --answer-threads: {e}"))?;
+                i += 2;
+            }
             "--out" | "-o" => {
                 args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--threads <n>] [--out <dir>]\n\nknown figures: {}",
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--threads <n>] [--answer-threads <n>] [--out <dir>]\n\nknown figures: {}",
                     all_figure_ids().join(", ")
                 );
                 std::process::exit(0);
@@ -145,7 +166,8 @@ fn main() {
     scale.limits = RunLimits::seconds(args.budget_secs)
         .with_batch_size(args.batch_size)
         .with_shards(args.shards)
-        .with_threads(args.threads);
+        .with_threads(args.threads)
+        .with_answer_threads(args.answer_threads);
     if args.pipeline {
         scale.limits = scale
             .limits
@@ -168,9 +190,14 @@ fn main() {
         args.shards,
         if args.pipeline {
             format!(
-                ", pipelined with a {} ms flush deadline on {} thread(s)",
+                ", pipelined with a {} ms flush deadline on {} thread(s), {} answer worker(s)",
                 args.flush_ms,
-                args.threads.max(1)
+                args.threads.max(1),
+                if args.threads >= 2 {
+                    args.answer_threads.max(1)
+                } else {
+                    1
+                }
             )
         } else {
             String::new()

@@ -143,6 +143,12 @@ pub struct RunLimits {
     /// *N + 1* across cores. `1` (the default) answers inline on the
     /// calling thread. Ignored without `pipeline`.
     pub threads: usize,
+    /// Number of answer workers of the threaded pipelined executor
+    /// ([`gsm_core::pipeline::PipelineConfig::answer_workers`]): with more
+    /// than one, detached answer tasks run concurrently and the reorder
+    /// buffer restores arrival order. Ignored unless `pipeline` is set and
+    /// `threads >= 2`. Mirrors `--answer-threads` / `GSM_ANSWER_THREADS`.
+    pub answer_threads: usize,
 }
 
 impl Default for RunLimits {
@@ -153,6 +159,7 @@ impl Default for RunLimits {
             shards: 1,
             pipeline: None,
             threads: 1,
+            answer_threads: 1,
         }
     }
 }
@@ -187,9 +194,15 @@ impl RunLimits {
     }
 
     /// Sets the pipelined executor's thread count (`>= 2` moves the answer
-    /// phase onto the dedicated answer thread).
+    /// phase onto the answer workers).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the threaded pipelined executor's answer-worker count.
+    pub fn with_answer_threads(mut self, answer_threads: usize) -> Self {
+        self.answer_threads = answer_threads.max(1);
         self
     }
 }
@@ -209,6 +222,9 @@ pub struct RunResult {
     pub pipelined: bool,
     /// Threads used by the pipelined executor (1 = inline answering).
     pub threads: usize,
+    /// Answer workers used by the threaded pipelined executor (1 unless
+    /// pipelined with `threads >= 2`).
+    pub answer_threads: usize,
     /// Time spent registering the query set, total.
     pub indexing_total: Duration,
     /// Average query-insertion time in milliseconds.
@@ -299,6 +315,7 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
         shards: limits.shards.max(1),
         pipelined: false,
         threads: 1,
+        answer_threads: 1,
         indexing_total,
         indexing_ms_per_query: if workload.queries.is_empty() {
             0.0
@@ -341,7 +358,7 @@ fn run_engine_pipelined(
     };
     let mut config = PipelineConfig::new(chunk, flush);
     if limits.threads >= 2 {
-        config = config.threaded();
+        config = config.threaded().with_answer_workers(limits.answer_threads);
     }
     let mut pipe = PipelinedEngine::new(engine, config);
 
@@ -391,6 +408,11 @@ fn run_engine_pipelined(
         shards: limits.shards.max(1),
         pipelined: true,
         threads: limits.threads.max(1),
+        answer_threads: if limits.threads >= 2 {
+            limits.answer_threads.max(1)
+        } else {
+            1
+        },
         indexing_total,
         indexing_ms_per_query: if workload.queries.is_empty() {
             0.0
@@ -562,6 +584,31 @@ mod tests {
             assert_eq!(r.threads, 2);
             assert_eq!(r.embeddings, reference.embeddings, "shards {shards}");
         }
+
+        // Multi-worker answer stage: same embeddings, worker count recorded
+        // (and clamped to 1 when the pipeline is inline).
+        let r = run_engine(
+            EngineKind::TricPlus,
+            &w,
+            RunLimits::seconds(30)
+                .with_batch_size(16)
+                .with_pipeline(Duration::from_millis(5))
+                .with_threads(2)
+                .with_answer_threads(4),
+        );
+        assert!(r.pipelined && !r.timed_out);
+        assert_eq!(r.answer_threads, 4);
+        assert_eq!(r.embeddings, reference.embeddings);
+        let r = run_engine(
+            EngineKind::TricPlus,
+            &w,
+            RunLimits::seconds(30)
+                .with_batch_size(16)
+                .with_pipeline(Duration::from_millis(5))
+                .with_answer_threads(4),
+        );
+        assert_eq!(r.answer_threads, 1, "inline pipeline has no answer pool");
+        assert_eq!(r.embeddings, reference.embeddings);
     }
 
     #[test]
@@ -576,6 +623,7 @@ mod tests {
                 shards: 1,
                 pipeline: None,
                 threads: 1,
+                answer_threads: 1,
             },
         );
         assert!(result.timed_out);

@@ -415,8 +415,14 @@ pub trait ContinuousEngine {
     ///   construction. An overriding engine must capture every input of its
     ///   answer pass as owned or `Send + Sync` shared data — batch deltas,
     ///   [`crate::relation::Relation::snapshot_owned`] view snapshots frozen
-    ///   at the staged watermarks, cloned query metadata — and the task must
-    ///   not rely on `&self`.
+    ///   at the staged watermarks, `Arc`-shared read-mostly metadata (query
+    ///   records, routing maps, published
+    ///   [`crate::relation::cache::FrozenJoinCache`] builds) — and the task
+    ///   must not rely on `&self`. Read-mostly state should be published
+    ///   copy-on-write rather than deep-copied per batch: the engine thread
+    ///   mutates via `Arc::make_mut` (safe because registration barriers
+    ///   the pipeline first, and cache mutation drops the publication
+    ///   handle), so detaching is an `Arc` bump.
     /// * Running the tasks of several staged batches **concurrently or in
     ///   any order** must produce the same per-batch reports as FIFO
     ///   `answer_staged` calls: each task joins against its own frozen

@@ -75,6 +75,14 @@ impl<T: HeapSize> HeapSize for Box<T> {
     }
 }
 
+impl<T: HeapSize> HeapSize for std::sync::Arc<T> {
+    /// Attributes the full payload to every handle (shared ownership is not
+    /// tracked), plus the two reference counts of the Arc header.
+    fn heap_size(&self) -> usize {
+        std::mem::size_of::<T>() + 2 * std::mem::size_of::<usize>() + self.as_ref().heap_size()
+    }
+}
+
 impl<T: HeapSize> HeapSize for Vec<T> {
     fn heap_size(&self) -> usize {
         self.capacity() * std::mem::size_of::<T>()

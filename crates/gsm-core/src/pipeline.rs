@@ -36,26 +36,34 @@
 //! # True cross-thread pipelining
 //!
 //! With [`PipelineConfig::answer_thread`] the staged window stops being an
-//! interleaving on one thread and becomes a real pipeline across two:
+//! interleaving on one thread and becomes a real pipeline across threads:
 //!
 //! ```text
-//!   caller thread:  stage(N) ─ stage(N+1) ─ stage(N+2) ─ …
-//!                       │detach      │detach      │detach
-//!                       ▼            ▼            ▼
-//!   answer thread:  answer(N) ── answer(N+1) ── answer(N+2)   (FIFO)
+//!   caller thread:   stage(N) ─ stage(N+1) ─ stage(N+2) ─ …
+//!                        │detach      │detach      │detach
+//!                        ▼            ▼            ▼
+//!   answer workers:  answer(N)    answer(N+1)  answer(N+2)   (any order,
+//!                        │            │            │          any worker)
+//!                        ▼            ▼            ▼
+//!   reorder buffer:  CompletedBatch(N), (N+1), (N+2)          (FIFO)
 //! ```
 //!
 //! Each flushed batch is staged on the calling thread, then **detached**
 //! ([`ContinuousEngine::detach_staged`]): the engine freezes everything its
 //! covering-path join pass reads — batch deltas plus
 //! [`Relation::snapshot_owned`] view snapshots at the staged watermarks —
-//! into a self-contained `Send` task, which a dedicated answer worker (a
-//! single-thread [`WorkerPool`]) executes while the calling thread routes
-//! and propagates the next batch. The chunked append-only relation storage
-//! is what makes the snapshots cheap: frozen chunks are shared by `Arc`,
-//! never copied. Reports return over a channel and are completed strictly
-//! FIFO; when more than `depth` batches are in flight the caller blocks on
-//! the oldest answer, which bounds the window exactly like the inline mode.
+//! into a self-contained `Send` task, which the answer stage (a
+//! [`WorkerPool`] of [`PipelineConfig::answer_workers`] threads) executes
+//! while the calling thread routes and propagates the next batch. The
+//! chunked append-only relation storage is what makes the snapshots cheap:
+//! frozen chunks are shared by `Arc`, never copied. With more than one
+//! worker, answer tasks run concurrently and may *finish* in any order;
+//! every result is tagged with its submission sequence number and a
+//! [`ReorderBuffer`] releases reports strictly in arrival order, so the
+//! FIFO [`CompletedBatch`] contract holds for any worker count. When more
+//! than `max(depth, answer_workers)` batches are in flight the caller
+//! blocks on the oldest answer, which bounds the window exactly like the
+//! inline mode while still letting every worker stay busy.
 //!
 //! # The latency budget
 //!
@@ -98,16 +106,25 @@ pub struct PipelineConfig {
     /// Depth 1 (the default) answers batch *N* only once batch *N + 1* has
     /// been staged; depth 0 degenerates to stage-then-answer immediately.
     pub depth: usize,
-    /// Run the answer phase on a dedicated worker thread (**true
+    /// Run the answer phase on dedicated worker threads (**true
     /// cross-thread pipelining**): each flushed batch is staged on the
     /// calling thread, detached ([`ContinuousEngine::detach_staged`]) and
-    /// handed to the answer worker, so the covering-path join of batch *N*
+    /// handed to the answer stage, so the covering-path join of batch *N*
     /// runs concurrently with the routing/propagation of batch *N + 1*.
-    /// `depth` bounds the in-flight window either way (the caller blocks on
-    /// the oldest answer when the window is full — bounded-channel
-    /// backpressure). False (the default) answers inline on the calling
-    /// thread, exactly as before.
+    /// The in-flight window is bounded by `max(depth, answer_workers)`
+    /// (the caller blocks on the oldest answer when the window is full —
+    /// bounded-channel backpressure). False (the default) answers inline on
+    /// the calling thread, exactly as before.
     pub answer_thread: bool,
+    /// Number of answer workers in threaded mode (clamped to ≥ 1; ignored
+    /// inline). With several workers, detached answer tasks execute
+    /// concurrently and complete out of order; a sequence-numbered
+    /// [`ReorderBuffer`] restores arrival order before any
+    /// [`CompletedBatch`] is released, so reports are byte-identical to the
+    /// single-worker (and sequential) execution. Defaults to
+    /// `GSM_ANSWER_THREADS` (see
+    /// [`default_answer_workers`](PipelineConfig::default_answer_workers)).
+    pub answer_workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -117,6 +134,7 @@ impl Default for PipelineConfig {
             max_delay: Duration::from_millis(5),
             depth: 1,
             answer_thread: false,
+            answer_workers: Self::default_answer_workers(),
         }
     }
 }
@@ -138,11 +156,30 @@ impl PipelineConfig {
         self
     }
 
-    /// Moves the answer phase onto a dedicated worker thread (see
+    /// Moves the answer phase onto dedicated worker threads (see
     /// [`PipelineConfig::answer_thread`]).
     pub fn threaded(mut self) -> Self {
         self.answer_thread = true;
         self
+    }
+
+    /// Sets the answer-worker count for threaded mode (see
+    /// [`PipelineConfig::answer_workers`]); clamped to ≥ 1.
+    pub fn with_answer_workers(mut self, workers: usize) -> Self {
+        self.answer_workers = workers.max(1);
+        self
+    }
+
+    /// The default answer-worker count: `GSM_ANSWER_THREADS` when set to a
+    /// positive integer (mirroring the harness `--answer-threads` flag),
+    /// 1 otherwise. One worker reproduces the pre-existing dedicated
+    /// answer-thread behaviour exactly.
+    pub fn default_answer_workers() -> usize {
+        std::env::var("GSM_ANSWER_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(1))
+            .unwrap_or(1)
     }
 }
 
@@ -220,6 +257,67 @@ impl DeadlineBatcher {
     }
 }
 
+/// A sequence-numbered reorder buffer: completions tagged `0, 1, 2, …` are
+/// accepted in **any** order and released strictly in sequence order.
+///
+/// This is what lets the threaded answer stage run [`PipelineConfig::
+/// answer_workers`] concurrent answer tasks while preserving the FIFO
+/// [`CompletedBatch`] contract: each detached task is tagged with its
+/// submission sequence number, finished results park here, and
+/// [`pop_next`](ReorderBuffer::pop_next) only ever yields the oldest
+/// outstanding sequence number. The type is deliberately public (and
+/// generic) so its ordering contract can be property-tested in isolation.
+#[derive(Debug, Default)]
+pub struct ReorderBuffer<T> {
+    /// The next sequence number to release.
+    next: u64,
+    /// Completed-but-not-yet-oldest values, keyed by sequence number.
+    parked: std::collections::BTreeMap<u64, T>,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer expecting sequence number 0 first.
+    pub fn new() -> Self {
+        ReorderBuffer {
+            next: 0,
+            parked: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Parks one completion. `seq` must not have been released or parked
+    /// before (every sequence number completes exactly once).
+    pub fn insert(&mut self, seq: u64, value: T) {
+        debug_assert!(seq >= self.next, "sequence {seq} already released");
+        let prev = self.parked.insert(seq, value);
+        debug_assert!(prev.is_none(), "sequence {seq} completed twice");
+    }
+
+    /// Releases the value with the oldest outstanding sequence number, or
+    /// `None` if that sequence number has not completed yet (younger parked
+    /// values keep waiting — out-of-order release never happens).
+    pub fn pop_next(&mut self) -> Option<T> {
+        let value = self.parked.remove(&self.next)?;
+        self.next += 1;
+        Some(value)
+    }
+
+    /// The sequence number the next [`pop_next`](ReorderBuffer::pop_next)
+    /// will release.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of parked (completed but unreleased) values.
+    pub fn len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// True if nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+}
+
 /// A batch whose report completed: the number of updates it covered (in
 /// stream order) and its merged [`MatchReport`]. Batches complete strictly
 /// in arrival order, so concatenating `CompletedBatch`es reconstructs the
@@ -261,49 +359,93 @@ pub struct PipelinedEngine<E> {
     completed: Vec<CompletedBatch>,
 }
 
-/// The cross-thread answer stage: a single persistent worker (a
-/// [`WorkerPool`] of one — the same primitive the sharded absorb phase
-/// runs on) executing detached answer tasks strictly in submission order,
-/// plus the FIFO bookkeeping that keeps [`CompletedBatch`]es in arrival
-/// order. The caller thread submits `(detach → execute)` per flushed batch
-/// and collects reports from `results`; blocking on the oldest report when
-/// the window exceeds its depth is what bounds the in-flight tokens.
+/// The cross-thread answer stage: a persistent [`WorkerPool`] of
+/// [`PipelineConfig::answer_workers`] threads (the same primitive the
+/// sharded absorb phase runs on) executing detached answer tasks, plus the
+/// FIFO bookkeeping that keeps [`CompletedBatch`]es in arrival order. Tasks
+/// are dequeued in submission order but, with several workers, may *finish*
+/// in any order; every result returns over `results` tagged with its
+/// submission sequence number and parks in the [`ReorderBuffer`] until it
+/// is the oldest outstanding one. The caller thread submits
+/// `(detach → execute)` per flushed batch; blocking on the oldest report
+/// when the window exceeds `max(depth, workers)` is what bounds the
+/// in-flight tokens.
 #[derive(Debug)]
 struct AnswerStage {
-    results_tx: Sender<std::thread::Result<MatchReport>>,
-    results_rx: Receiver<std::thread::Result<MatchReport>>,
+    results_tx: Sender<(u64, std::thread::Result<MatchReport>)>,
+    results_rx: Receiver<(u64, std::thread::Result<MatchReport>)>,
     /// Update counts of submitted, not-yet-collected batches (FIFO).
     pending: VecDeque<usize>,
-    /// The dedicated answer worker. Declared last: dropped after the result
-    /// channel, once every queued task has drained.
+    /// Sequence number of the next submission.
+    next_seq: u64,
+    /// Out-of-order completions awaiting their FIFO turn. A caught panic
+    /// parks here like any result and is re-raised only at its own FIFO
+    /// position, so reports of earlier batches are never lost to a later
+    /// batch's failure.
+    reorder: ReorderBuffer<std::thread::Result<MatchReport>>,
+    /// The answer workers. Declared last: dropped after the result channel,
+    /// once every queued task has drained.
     pool: WorkerPool,
 }
 
 impl AnswerStage {
-    fn new() -> Self {
+    fn new(workers: usize) -> Self {
         let (results_tx, results_rx) = channel();
         AnswerStage {
             results_tx,
             results_rx,
             pending: VecDeque::new(),
-            pool: WorkerPool::new(1),
+            next_seq: 0,
+            reorder: ReorderBuffer::new(),
+            pool: WorkerPool::new(workers.max(1)),
         }
     }
 
-    /// Submits one detached answer task for execution on the answer thread.
+    /// Number of answer workers.
+    fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Submits one detached answer task for execution on the answer workers.
     /// Panics inside the task are caught and shipped back as the result, so
     /// the worker survives and the caller re-raises the panic on its own
     /// thread when it collects the answer — a buggy join pass fails the
     /// test/run instead of deadlocking the executor against a dead worker.
     fn submit(&mut self, updates: usize, task: DetachedAnswer) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let tx = self.results_tx.clone();
         self.pool.execute(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run()));
             // The receiver only hangs up when the executor is being torn
             // down; the result is then intentionally discarded.
-            let _ = tx.send(result);
+            let _ = tx.send((seq, result));
         });
         self.pending.push_back(updates);
+    }
+
+    /// Parks every result already sitting in the channel, then releases the
+    /// oldest outstanding one if it has completed (non-blocking).
+    fn try_collect(&mut self) -> Option<std::thread::Result<MatchReport>> {
+        while let Ok((seq, result)) = self.results_rx.try_recv() {
+            self.reorder.insert(seq, result);
+        }
+        self.reorder.pop_next()
+    }
+
+    /// Blocks until the oldest outstanding result has completed and releases
+    /// it. Must only be called with at least one pending submission.
+    fn collect_blocking(&mut self) -> std::thread::Result<MatchReport> {
+        loop {
+            if let Some(result) = self.reorder.pop_next() {
+                return result;
+            }
+            let (seq, result) = self
+                .results_rx
+                .recv()
+                .expect("answer workers outlive the executor");
+            self.reorder.insert(seq, result);
+        }
     }
 }
 
@@ -315,7 +457,9 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
             batcher: DeadlineBatcher::new(config.max_batch, config.max_delay),
             depth: config.depth,
             staged: VecDeque::new(),
-            answer: config.answer_thread.then(AnswerStage::new),
+            answer: config
+                .answer_thread
+                .then(|| AnswerStage::new(config.answer_workers)),
             completed: Vec::new(),
         }
     }
@@ -426,13 +570,17 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     }
 
     /// Answers/collects staged batches (oldest first) until the window is
-    /// back under its depth. In threaded mode, already-finished reports are
-    /// drained without blocking first; only an over-full window blocks on
-    /// the oldest outstanding answer (the pipeline's backpressure).
+    /// back under its bound. In threaded mode, already-finished reports are
+    /// drained without blocking first, and the bound is
+    /// `max(depth, answer_workers)` — a window at least as deep as the
+    /// worker count, so every worker can hold a task; only an over-full
+    /// window blocks on the oldest outstanding answer (the pipeline's
+    /// backpressure). Inline mode bounds by `depth` exactly as before.
     fn advance(&mut self) {
-        if self.answer.is_some() {
+        if let Some(stage) = self.answer.as_ref() {
+            let window = self.depth.max(stage.workers());
             self.collect_ready();
-            while self.answer.as_ref().expect("threaded mode").pending.len() > self.depth {
+            while self.answer.as_ref().expect("threaded mode").pending.len() > window {
                 self.complete_one_blocking();
             }
         } else {
@@ -460,7 +608,7 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
             if stage.pending.is_empty() {
                 return;
             }
-            let Ok(result) = stage.results_rx.try_recv() else {
+            let Some(result) = stage.try_collect() else {
                 return;
             };
             let updates = stage.pending.pop_front().expect("pending answer");
@@ -482,10 +630,7 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
             if stage.pending.is_empty() {
                 return;
             }
-            let result = stage
-                .results_rx
-                .recv()
-                .expect("answer worker outlives the executor");
+            let result = stage.collect_blocking();
             let updates = stage.pending.pop_front().expect("pending answer");
             let report = match result {
                 Ok(report) => report,
@@ -980,5 +1125,81 @@ mod tests {
         // into_inner barriers too.
         let inner = pipe.into_inner();
         assert_eq!(inner.staged_seq, inner.answered_seq);
+    }
+
+    #[test]
+    fn reorder_buffer_releases_in_sequence_order() {
+        let mut buf = ReorderBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.next_seq(), 0);
+        // Out-of-order arrivals park until their predecessors complete.
+        buf.insert(2, "c");
+        buf.insert(1, "b");
+        assert_eq!(buf.pop_next(), None);
+        assert_eq!(buf.len(), 2);
+        buf.insert(0, "a");
+        assert_eq!(buf.pop_next(), Some("a"));
+        assert_eq!(buf.pop_next(), Some("b"));
+        assert_eq!(buf.pop_next(), Some("c"));
+        assert_eq!(buf.pop_next(), None);
+        assert!(buf.is_empty());
+        assert_eq!(buf.next_seq(), 3);
+        // The sequence keeps advancing across later arrivals.
+        buf.insert(4, "e");
+        assert_eq!(buf.pop_next(), None);
+        buf.insert(3, "d");
+        assert_eq!(buf.pop_next(), Some("d"));
+        assert_eq!(buf.pop_next(), Some("e"));
+    }
+
+    #[test]
+    fn multi_worker_answers_complete_in_arrival_order() {
+        // With 4 answer workers the slow batch 0 finishes long after
+        // batches 1..4 — the reorder buffer must still deliver FIFO.
+        let config = PipelineConfig::new(2, Duration::from_secs(60))
+            .with_depth(3)
+            .threaded()
+            .with_answer_workers(4);
+        let mut pipe = PipelinedEngine::new(SlowDetachToy::default(), config);
+        let now = t0();
+        let mut completed = Vec::new();
+        for i in 0..12u32 {
+            completed.extend(pipe.push_at(u(0, i, i + 1), now));
+        }
+        completed.extend(pipe.drain());
+
+        assert_eq!(completed.len(), 6);
+        for (i, batch) in completed.iter().enumerate() {
+            assert_eq!(batch.updates, 2);
+            assert_eq!(
+                batch.report.satisfied_queries(),
+                vec![QueryId(i as u32)],
+                "batch #{i} out of order"
+            );
+        }
+        assert_eq!(pipe.stats().updates_processed, 12);
+        assert_eq!(pipe.stats().embeddings, 12);
+        assert_eq!(pipe.stats().notifications, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "join pass exploded")]
+    fn multi_worker_answer_panic_propagates_to_the_caller() {
+        let config = PipelineConfig::new(2, Duration::from_secs(60))
+            .threaded()
+            .with_answer_workers(2);
+        let mut pipe = PipelinedEngine::new(PanickingDetachToy::default(), config);
+        let now = t0();
+        for i in 0..4u32 {
+            pipe.push_at(u(0, i, i + 1), now);
+        }
+        pipe.drain();
+    }
+
+    #[test]
+    fn answer_worker_count_is_clamped_positive() {
+        assert!(PipelineConfig::default_answer_workers() >= 1);
+        let config = PipelineConfig::new(2, Duration::from_secs(60)).with_answer_workers(0);
+        assert_eq!(config.answer_workers, 1);
     }
 }

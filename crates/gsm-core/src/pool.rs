@@ -11,14 +11,31 @@
 //!   through the job (and back out with the result), so no `unsafe` scoped
 //!   borrowing is needed.
 //! * [`PipelinedEngine`](crate::pipeline::PipelinedEngine) runs its answer
-//!   stage on a single-worker pool — the dedicated answer thread — feeding
-//!   it the engine's detached answer tasks
-//!   ([`crate::engine::DetachedAnswer`]) and collecting reports FIFO.
+//!   stage on a pool of `answer_workers` threads, feeding it the engine's
+//!   detached answer tasks ([`crate::engine::DetachedAnswer`]); completed
+//!   reports are re-sequenced by the pipeline's reorder buffer
+//!   ([`crate::pipeline::ReorderBuffer`]), so the pool itself needs no
+//!   ordering guarantee beyond FIFO dequeue.
 //!
 //! Jobs are plain `FnOnce() + Send` closures pulled from one shared injector
-//! channel; a single-worker pool therefore executes jobs strictly in
-//! submission order, which is what makes it usable as an ordered pipeline
-//! stage. Workers exit when the pool is dropped (the injector closes).
+//! channel; jobs are *dequeued* in submission order, and a single-worker
+//! pool therefore also *completes* them strictly in submission order. With
+//! several workers, completion order is unconstrained — callers needing
+//! order re-sequence results themselves ([`WorkerPool::scatter`] gathers by
+//! index; the pipeline reorders by sequence number).
+//!
+//! Workers exit when the pool is dropped (the injector closes).
+//!
+//! # Core pinning (`GSM_PIN_CORES`)
+//!
+//! Setting `GSM_PIN_CORES=1` (or `true`/`on`/`yes`) makes every worker pin
+//! itself to one CPU core (`worker index % available_parallelism`) at
+//! startup — **best effort**: on Linux the pin is applied by shelling out
+//! to `taskset(1)` against the worker's kernel tid (this crate forbids
+//! `unsafe`, so no direct `sched_setaffinity` call); anywhere that fails —
+//! other platforms, missing `taskset`, restricted environments — the
+//! worker silently runs unpinned. The flag trades scheduler freedom for
+//! cache locality on dedicated benchmark boxes; leave it off elsewhere.
 
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
@@ -35,9 +52,20 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns a pool of `threads` persistent workers (clamped to ≥ 1).
+    /// Spawns a pool of `threads` persistent workers (clamped to ≥ 1),
+    /// honouring the `GSM_PIN_CORES` best-effort pinning flag (see the
+    /// [module docs](self)).
     pub fn new(threads: usize) -> Self {
+        Self::with_pinning(threads, pin_cores_enabled())
+    }
+
+    /// Spawns a pool with pinning explicitly on or off — the testable core
+    /// of [`new`](Self::new).
+    fn with_pinning(threads: usize, pin: bool) -> Self {
         let threads = threads.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let (injector, jobs) = channel::<Job>();
         let jobs = Arc::new(Mutex::new(jobs));
         let workers = (0..threads)
@@ -45,14 +73,19 @@ impl WorkerPool {
                 let jobs = Arc::clone(&jobs);
                 std::thread::Builder::new()
                     .name(format!("gsm-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only while dequeuing, never while
-                        // running a job, so workers drain the queue in
-                        // parallel.
-                        let job = { jobs.lock().expect("injector poisoned").recv() };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break, // pool dropped, injector closed
+                    .spawn(move || {
+                        if pin {
+                            pin_current_thread(i % cores);
+                        }
+                        loop {
+                            // Hold the lock only while dequeuing, never while
+                            // running a job, so workers drain the queue in
+                            // parallel.
+                            let job = { jobs.lock().expect("injector poisoned").recv() };
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break, // pool dropped, injector closed
+                            }
                         }
                     })
                     .expect("spawn worker thread")
@@ -123,6 +156,48 @@ impl WorkerPool {
             .collect()
     }
 }
+
+/// Parses a `GSM_PIN_CORES` value: `1`, `true`, `on` and `yes` (any case,
+/// surrounding whitespace ignored) enable pinning; anything else — including
+/// an unset variable — leaves it off.
+fn parse_pin_flag(value: Option<&str>) -> bool {
+    matches!(
+        value.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+        Some("1" | "true" | "on" | "yes")
+    )
+}
+
+/// True when the `GSM_PIN_CORES` environment variable requests best-effort
+/// worker core pinning.
+pub fn pin_cores_enabled() -> bool {
+    parse_pin_flag(std::env::var("GSM_PIN_CORES").ok().as_deref())
+}
+
+/// Best-effort pin of the calling thread to `core`. Linux only: resolves
+/// the thread's kernel tid from `/proc/thread-self/stat` (first field) and
+/// applies the affinity mask via `taskset(1)` — the crate forbids `unsafe`,
+/// so `sched_setaffinity` cannot be called directly. Every failure mode
+/// (unreadable procfs, missing `taskset`, denied affinity change) is
+/// silently ignored; the thread then simply runs unpinned.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(core: usize) {
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return;
+    };
+    let Some(tid) = stat.split_whitespace().next() else {
+        return;
+    };
+    let _ = std::process::Command::new("taskset")
+        .args(["-pc", &core.to_string(), tid])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status();
+}
+
+/// No-op outside Linux: pinning is strictly best effort.
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_core: usize) {}
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
@@ -210,5 +285,31 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(WorkerPool::default_threads() >= 1);
+    }
+
+    #[test]
+    fn pin_flag_parses_truthy_values_only() {
+        for on in ["1", "true", "on", "yes", " TRUE ", "Yes"] {
+            assert!(parse_pin_flag(Some(on)), "{on:?} must enable pinning");
+        }
+        for off in ["0", "false", "off", "no", "", "2", "enabled"] {
+            assert!(!parse_pin_flag(Some(off)), "{off:?} must not enable");
+        }
+        assert!(!parse_pin_flag(None), "unset must not enable");
+    }
+
+    #[test]
+    fn pinned_pool_still_scatters_in_order() {
+        // Pinning is best effort — the observable contract (scatter results
+        // in job order, clean drop) must hold whether or not any pin call
+        // actually succeeded on this machine.
+        let pool = WorkerPool::with_pinning(4, true);
+        assert_eq!(pool.threads(), 4);
+        let jobs: Vec<_> = (0..16u64).map(|i| move || i + 1).collect();
+        assert_eq!(
+            pool.scatter(jobs),
+            (1..=16u64).collect::<Vec<_>>(),
+            "pinned pool must preserve the scatter contract"
+        );
     }
 }

@@ -184,6 +184,14 @@ impl Relation {
     /// answering: the stage phase freezes snapshots into its token, and the
     /// answer phase joins against them on another thread while the writer
     /// keeps appending.
+    ///
+    /// Like [`Clone`], the snapshot **shares the source's identity**: it is
+    /// the same logical relation at an earlier watermark, so build caches
+    /// keyed by [`id`](Relation::id) recognise it. This is sound because a
+    /// build indexing *more* rows than a snapshot holds is still correct to
+    /// probe — probe hits are bounds-checked against the probe-side length —
+    /// and [`FrozenJoinCache::get`](crate::relation::cache::FrozenJoinCache::get)
+    /// rejects the unsafe under-indexed direction.
     pub fn snapshot_owned(&self, version: usize) -> Relation {
         let len = version.min(self.len());
         let full = len / CHUNK_ROWS;
@@ -200,7 +208,7 @@ impl Relation {
             Vec::new()
         };
         Relation {
-            id: NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed),
+            id: self.id,
             arity: self.arity,
             frozen,
             tail,
@@ -565,6 +573,9 @@ mod tests {
         // Clones share the id (same logical content) — documented behaviour
         // relied on only through explicit cloning in tests.
         assert_eq!(a.id(), b.id());
+        // Version snapshots are clones at an earlier watermark and share
+        // the id too, so published build caches recognise them.
+        assert_eq!(a.id(), a.snapshot_owned(0).id());
     }
 
     #[test]

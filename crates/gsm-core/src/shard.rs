@@ -44,20 +44,32 @@
 //!
 //! # Late registration
 //!
-//! Queries may be added mid-stream. All per-edge history is shard-local:
-//! a query registered after updates have streamed in catches up only with
-//! the history its home shard (or, for a spanning query, each path's owner
-//! shard) has absorbed for edges already registered *there*. An unsharded
-//! engine shares one view store across all queries and may therefore see
-//! strictly more history for an edge first registered by a query on a
-//! different shard; backfilling that history across shards is the classic
-//! partition-bootstrap problem and is out of scope here. Registering the
+//! Queries may be added mid-stream. The wrapper keeps a **history store**
+//! (an [`EdgeViewStore`] mirroring every generic edge any query has
+//! routed), fed once per batch on the routing pass. When a **spanning**
+//! query registers mid-stream, each path's owner shard backfills its
+//! spanning views from the history store
+//! ([`EdgeViewStore::backfill_from`]) before the path's catch-up relation
+//! is computed — so a spanning query sees exactly the history an unsharded
+//! engine's shared view store would have held, even for edges whose
+//! updates previously routed only to *other* shards. The replay is a
+//! set-union into deduplicated insert-only views and registration barriers
+//! the pipeline first, so backfilling is idempotent and invisible to
+//! outstanding work.
+//!
+//! **Shard-local** queries still catch up only with their home shard's
+//! inner-engine history: the inner engine's views are private and
+//! replaying through its public update path would repollute its reports
+//! and statistics. An unsharded engine may therefore see strictly more
+//! history for a *shard-local* query registered mid-stream whose edges
+//! were previously driven by queries on other shards. Registering the
 //! query database before streaming — what every workload in this
 //! workspace does — is always exact, as is mid-stream registration whose
 //! new edges carry no prior history.
 
 use std::collections::BTreeSet;
 use std::hash::BuildHasher;
+use std::sync::Arc;
 
 use crate::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
@@ -159,7 +171,10 @@ struct StagedSharded {
 struct Shard<E> {
     engine: E,
     /// Inner (shard-local) query index → wrapper-level query id.
-    local_to_global: Vec<QueryId>,
+    /// `Arc`-shared with detached answer tasks (registration barriers the
+    /// pipeline first, so the engine thread mutates via [`Arc::make_mut`]
+    /// and detachment is an `Arc` bump instead of a per-batch deep copy).
+    local_to_global: Arc<Vec<QueryId>>,
     spanning: SpanningState,
     /// Slice of the current batch routed to this shard (reused buffer).
     slice: Vec<Update>,
@@ -175,7 +190,7 @@ impl<E: ContinuousEngine> Shard<E> {
     fn new(engine: E) -> Self {
         Shard {
             engine,
-            local_to_global: Vec::new(),
+            local_to_global: Arc::new(Vec::new()),
             spanning: SpanningState::default(),
             slice: Vec::new(),
             staged_inner: None,
@@ -217,7 +232,7 @@ impl<E: ContinuousEngine> Shard<E> {
             full_path_relation(
                 &self.spanning.views,
                 edges,
-                None,
+                crate::relation::cache::BuildCache::None,
                 &mut self.spanning.row_buf,
             )
         };
@@ -261,7 +276,7 @@ impl<E: ContinuousEngine> Shard<E> {
                 &self.spanning.views,
                 &self.spanning.paths[pid].edges,
                 &edge_deltas,
-                None,
+                crate::relation::cache::BuildCache::None,
                 &mut self.spanning.row_buf,
             );
             if delta.is_empty() {
@@ -284,10 +299,14 @@ impl<E: ContinuousEngine> Shard<E> {
 /// the path's columns bind.
 type SpanningPathInfo = (usize, usize, Vec<QVertexId>);
 
-/// A query whose covering paths live on at least two shards.
+/// A query whose covering paths live on at least two shards. The path
+/// descriptors are `Arc`-shared with detached answer tasks (immutable after
+/// registration, which barriers the pipeline first), so detaching a batch
+/// captures them by reference count instead of deep-copying every vertex
+/// sequence.
 struct SpanningQuery {
     query: QueryId,
-    paths: Vec<SpanningPathInfo>,
+    paths: Arc<Vec<SpanningPathInfo>>,
 }
 
 /// The spanning covering-path join pass, shared by the engine-resident
@@ -357,7 +376,7 @@ where
 /// owned, so the covering-path join pass can run on any thread while the
 /// shards absorb later batches.
 struct DetachedSpanning {
-    queries: Vec<(QueryId, Vec<SpanningPathInfo>)>,
+    queries: Vec<(QueryId, Arc<Vec<SpanningPathInfo>>)>,
     /// (shard, path-state index) → staged delta.
     deltas: FxHashMap<(usize, usize), Relation>,
     /// (shard, path-state index) → full relation frozen at the staged
@@ -397,6 +416,10 @@ pub struct ShardedEngine<E> {
     route_marks: Vec<bool>,
     /// Shards marked for the current update (reused buffer).
     route_marked: Vec<usize>,
+    /// Wrapper-level history: one view per generic edge any query has ever
+    /// routed, fed once per batch. Mid-stream spanning registration
+    /// backfills owner shards from here (see the module docs).
+    history: EdgeViewStore,
     num_queries: usize,
     name: &'static str,
     stats: EngineStats,
@@ -416,14 +439,17 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
             route_index: FxHashMap::default(),
             route_marks: vec![false; n],
             route_marked: Vec::new(),
+            history: EdgeViewStore::new(),
             num_queries: 0,
             name,
             stats: EngineStats::default(),
         }
     }
 
-    /// Records that `shard` observes `edge` in the reverse routing index.
+    /// Records that `shard` observes `edge` in the reverse routing index,
+    /// and starts mirroring the edge in the wrapper-level history store.
     fn route_edge_to(&mut self, edge: GenericEdge, shard: usize) {
+        self.history.register(edge);
         let shards = self.route_index.entry(edge).or_default();
         if !shards.contains(&shard) {
             shards.push(shard);
@@ -465,6 +491,10 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
         if updates.is_empty() {
             return StagedSharded::default();
         }
+
+        // Mirror the batch into the wrapper-level history store (dropping
+        // the per-edge deltas — only mid-stream registration reads it).
+        self.history.apply_batch(updates);
 
         // Route: an update goes to every shard observing one of its
         // generic-edge shapes, via the reverse routing index — O(shapes)
@@ -637,12 +667,12 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
     /// inner answers, id translation, one merged fold, spanning join —
     /// owns all of it and runs on any thread.
     fn detach_batch_routed(&mut self, mut token: StagedSharded) -> DetachedAnswer {
-        let mut inners: Vec<(DetachedAnswer, Vec<QueryId>)> = Vec::new();
+        let mut inners: Vec<(DetachedAnswer, Arc<Vec<QueryId>>)> = Vec::new();
         for (s, staged) in token.shards.iter_mut().enumerate() {
             if let Some(inner) = staged.inner.take() {
                 inners.push((
                     self.shards[s].engine.detach_staged(inner),
-                    self.shards[s].local_to_global.clone(),
+                    Arc::clone(&self.shards[s].local_to_global),
                 ));
             }
         }
@@ -651,7 +681,7 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
         let spanning = if any_delta && !self.spanning_queries.is_empty() {
             // Only queries with at least one staged path delta can report;
             // capture exactly those (and the fulls their joins will read).
-            let queries: Vec<(QueryId, Vec<SpanningPathInfo>)> = self
+            let queries: Vec<(QueryId, Arc<Vec<SpanningPathInfo>>)> = self
                 .spanning_queries
                 .iter()
                 .filter(|sq| {
@@ -662,11 +692,11 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
                             .any(|(p, _)| p == pid)
                     })
                 })
-                .map(|sq| (sq.query, sq.paths.clone()))
+                .map(|sq| (sq.query, Arc::clone(&sq.paths)))
                 .collect();
             let mut fulls: FxHashMap<(usize, usize), Relation> = FxHashMap::default();
             for (_, paths) in &queries {
-                for (s, pid, _) in paths {
+                for (s, pid, _) in paths.iter() {
                     let watermark = token.shards[*s].watermarks.get(*pid).copied().unwrap_or(0);
                     if watermark > 0 {
                         fulls.entry((*s, *pid)).or_insert_with(|| {
@@ -755,7 +785,9 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
             let shard = &mut self.shards[s];
             let lid = shard.engine.register_query(query)?;
             debug_assert_eq!(lid.index(), shard.local_to_global.len());
-            shard.local_to_global.push(gqid);
+            // Registration barriers the pipeline first, so no detached task
+            // holds the map and `make_mut` mutates in place.
+            Arc::make_mut(&mut shard.local_to_global).push(gqid);
             for es in &path_edges {
                 for &e in es {
                     self.route_edge_to(e, s);
@@ -765,18 +797,30 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
             // Spanning query: each covering path becomes a path state on
             // the shard owning its root edge; answering is deferred to the
             // post-merge covering-path join pass.
-            let mut sq = SpanningQuery {
-                query: gqid,
-                paths: Vec::with_capacity(paths.len()),
-            };
+            let mut sq_paths: Vec<SpanningPathInfo> = Vec::with_capacity(paths.len());
             for (i, p) in paths.iter().enumerate() {
+                // Backfill the owner shard's spanning views from the
+                // wrapper-level history store *before* the path state's
+                // catch-up relation is computed, so a mid-stream spanning
+                // query sees the history of edges that previously routed
+                // only to other shards (see the module docs). The replay is
+                // a deduplicated set-union, hence idempotent for edges the
+                // shard already observes.
+                for &e in &path_edges[i] {
+                    if let Some(h) = self.history.get(&e) {
+                        self.shards[owners[i]].spanning.views.backfill_from(e, h);
+                    }
+                }
                 let pid = self.shards[owners[i]].register_spanning_path(&path_edges[i]);
                 for &e in &path_edges[i] {
                     self.route_edge_to(e, owners[i]);
                 }
-                sq.paths.push((owners[i], pid, p.vertex_sequence(query)));
+                sq_paths.push((owners[i], pid, p.vertex_sequence(query)));
             }
-            self.spanning_queries.push(sq);
+            self.spanning_queries.push(SpanningQuery {
+                query: gqid,
+                paths: Arc::new(sq_paths),
+            });
         }
         self.num_queries += 1;
         Ok(gqid)
@@ -854,6 +898,7 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
 
     fn heap_bytes(&self) -> usize {
         self.route_index.heap_size()
+            + self.history.heap_size()
             + self
                 .shards
                 .iter()
@@ -953,9 +998,21 @@ mod tests {
         for batch in batches {
             let before = full.to_sorted_vec();
             let deltas = views.apply_batch(&batch);
-            let delta = delta_path_relation(&views, &edges, &deltas, None, &mut buf);
+            let delta = delta_path_relation(
+                &views,
+                &edges,
+                &deltas,
+                crate::relation::cache::BuildCache::None,
+                &mut buf,
+            );
             full.extend_from(&delta);
-            let after_expected = full_path_relation(&views, &edges, None, &mut buf).to_sorted_vec();
+            let after_expected = full_path_relation(
+                &views,
+                &edges,
+                crate::relation::cache::BuildCache::None,
+                &mut buf,
+            )
+            .to_sorted_vec();
             assert_eq!(full.to_sorted_vec(), after_expected);
             for row in delta.iter() {
                 assert!(!before.contains(&row.to_vec()), "delta row not new");

@@ -13,7 +13,7 @@ use crate::interner::Sym;
 use crate::memory::HeapSize;
 use crate::model::generic::GenericEdge;
 use crate::model::update::Update;
-use crate::relation::cache::JoinCache;
+use crate::relation::cache::BuildCache;
 use crate::relation::fasthash::FxHashMap;
 use crate::relation::join::JoinBuild;
 use crate::relation::Relation;
@@ -34,6 +34,25 @@ impl EdgeViewStore {
     /// columns: the concrete source and target vertices of matching updates.
     pub fn register(&mut self, edge: GenericEdge) {
         self.views.entry(edge).or_insert_with(|| Relation::new(2));
+    }
+
+    /// Registers a view for `edge` and replays `source`'s rows into it —
+    /// the catch-up path for views created mid-stream (e.g. a shard whose
+    /// spanning view must see history that was routed before the owning
+    /// query registered). Rows already present are absorbed by the dedup
+    /// push, so backfilling is idempotent and safe to interleave with a
+    /// view that independently received some of the same history. Returns
+    /// the number of rows actually added.
+    pub fn backfill_from(&mut self, edge: GenericEdge, source: &Relation) -> usize {
+        self.register(edge);
+        let view = self.views.get_mut(&edge).expect("just registered");
+        let mut added = 0;
+        for row in source.iter() {
+            if view.push(row) {
+                added += 1;
+            }
+        }
+        added
     }
 
     /// True if a view is registered for `edge`.
@@ -325,12 +344,13 @@ impl HeapSize for EdgeViewStore {
 /// Extends every row of `rel` (last column = frontier vertex) to the right
 /// with the matching tuples of `view` (joined on the view's source column).
 /// `cache` selects between the persistent join-structure cache of the `+`
-/// engine variants and a throw-away build; `buf` is caller-provided row
-/// scratch so repeated extensions share one allocation.
+/// engine variants (live or a frozen stage-time publication) and a
+/// throw-away build; `buf` is caller-provided row scratch so repeated
+/// extensions share one allocation.
 fn extend_path_right(
     rel: &Relation,
     view: &Relation,
-    cache: Option<&mut JoinCache>,
+    cache: BuildCache<'_>,
     buf: &mut Vec<Sym>,
 ) -> Relation {
     let out_arity = rel.arity() + 1;
@@ -345,8 +365,15 @@ fn extend_path_right(
     buf.resize(out_arity, Sym(0));
     let build_storage;
     let build = match cache {
-        Some(cache) => cache.get_or_build(view, &[0]),
-        None => {
+        BuildCache::Live(cache) => cache.get_or_build(view, &[0]),
+        BuildCache::Frozen(frozen) => match frozen.get(view, &[0]) {
+            Some(build) => build,
+            None => {
+                build_storage = JoinBuild::build(view, &[0]);
+                &build_storage
+            }
+        },
+        BuildCache::None => {
             build_storage = JoinBuild::build(view, &[0]);
             &build_storage
         }
@@ -366,7 +393,7 @@ fn extend_path_right(
 fn extend_path_left(
     rel: &Relation,
     view: &Relation,
-    cache: Option<&mut JoinCache>,
+    cache: BuildCache<'_>,
     buf: &mut Vec<Sym>,
 ) -> Relation {
     let out_arity = rel.arity() + 1;
@@ -378,8 +405,15 @@ fn extend_path_left(
     buf.resize(out_arity, Sym(0));
     let build_storage;
     let build = match cache {
-        Some(cache) => cache.get_or_build(view, &[1]),
-        None => {
+        BuildCache::Live(cache) => cache.get_or_build(view, &[1]),
+        BuildCache::Frozen(frozen) => match frozen.get(view, &[1]) {
+            Some(build) => build,
+            None => {
+                build_storage = JoinBuild::build(view, &[1]);
+                &build_storage
+            }
+        },
+        BuildCache::None => {
             build_storage = JoinBuild::build(view, &[1]);
             &build_storage
         }
@@ -404,7 +438,7 @@ fn extend_path_left(
 pub fn full_path_relation(
     views: &impl ViewSource,
     edges: &[GenericEdge],
-    mut cache: Option<&mut JoinCache>,
+    mut cache: BuildCache<'_>,
     buf: &mut Vec<Sym>,
 ) -> Relation {
     let empty = || Relation::new(edges.len() + 1);
@@ -419,7 +453,7 @@ pub fn full_path_relation(
         let Some(view) = views.view(e) else {
             return empty();
         };
-        rel = extend_path_right(&rel, view, cache.as_deref_mut(), buf);
+        rel = extend_path_right(&rel, view, cache.reborrow(), buf);
         if rel.is_empty() {
             return empty();
         }
@@ -438,7 +472,7 @@ pub fn delta_path_relation(
     views: &impl ViewSource,
     edges: &[GenericEdge],
     edge_deltas: &FxHashMap<GenericEdge, Relation>,
-    mut cache: Option<&mut JoinCache>,
+    mut cache: BuildCache<'_>,
     buf: &mut Vec<Sym>,
 ) -> Relation {
     let len = edges.len();
@@ -451,7 +485,7 @@ pub fn delta_path_relation(
         let mut ok = true;
         for e in &edges[pos + 1..] {
             match views.view(e) {
-                Some(view) => rel = extend_path_right(&rel, view, cache.as_deref_mut(), buf),
+                Some(view) => rel = extend_path_right(&rel, view, cache.reborrow(), buf),
                 None => {
                     ok = false;
                     break;
@@ -467,7 +501,7 @@ pub fn delta_path_relation(
         }
         for e in edges[..pos].iter().rev() {
             match views.view(e) {
-                Some(view) => rel = extend_path_left(&rel, view, cache.as_deref_mut(), buf),
+                Some(view) => rel = extend_path_left(&rel, view, cache.reborrow(), buf),
                 None => {
                     ok = false;
                     break;

@@ -1,0 +1,244 @@
+//! Property-based tests for the pipelined executor's ordering machinery:
+//! the [`ReorderBuffer`] in isolation, the multi-worker answer stage end to
+//! end, and panic propagation from detached answer tasks.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use gsm_core::engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
+};
+use gsm_core::error::Result;
+use gsm_core::interner::Sym;
+use gsm_core::model::update::Update;
+use gsm_core::pipeline::{PipelineConfig, PipelinedEngine, ReorderBuffer};
+use gsm_core::query::pattern::QueryPattern;
+
+fn u(label: u32, src: u32, tgt: u32) -> Update {
+    Update::new(Sym(label), Sym(src), Sym(tgt))
+}
+
+/// Strategy: a permutation of `0..n` (a random completion order), built by
+/// repeatedly removing a strategy-chosen index from the remaining pool.
+fn permutation(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u32>(), 1..=max_len).prop_map(|picks| {
+        let mut pool: Vec<u64> = (0..picks.len() as u64).collect();
+        let mut out = Vec::with_capacity(pool.len());
+        for p in picks {
+            out.push(pool.remove(p as usize % pool.len()));
+        }
+        out
+    })
+}
+
+/// A split engine whose detached answer tasks genuinely run on the answer
+/// workers, each sleeping a per-batch delay picked by the strategy — so any
+/// completion interleaving the scheduler allows is actually exercised. Every
+/// batch's report names its own stage sequence number, making completion
+/// order directly observable in the [`gsm_core::pipeline::CompletedBatch`]
+/// stream.
+struct DelayedDetachToy {
+    stats: EngineStats,
+    seq: u64,
+    /// Per-batch answer-task sleep, microseconds (`seq % len` indexes it).
+    delays_us: Vec<u64>,
+    /// Batch sequence number whose answer task panics, if any.
+    panic_at: Option<u64>,
+}
+
+struct DelayedToken {
+    seq: u64,
+    updates: u64,
+}
+
+impl DelayedDetachToy {
+    fn new(delays_us: Vec<u64>, panic_at: Option<u64>) -> Self {
+        DelayedDetachToy {
+            stats: EngineStats::default(),
+            seq: 0,
+            delays_us,
+            panic_at,
+        }
+    }
+}
+
+impl ContinuousEngine for DelayedDetachToy {
+    fn name(&self) -> &'static str {
+        "DELAYED-DETACH-TOY"
+    }
+    fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+        Ok(QueryId(0))
+    }
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.apply_batch(&[update])
+    }
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        let staged = self.stage_batch(updates);
+        self.answer_staged(staged)
+    }
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        self.stats.updates_processed += updates.len() as u64;
+        let seq = self.seq;
+        self.seq += 1;
+        StagedBatch::deferred(DelayedToken {
+            seq,
+            updates: updates.len() as u64,
+        })
+    }
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        let token = staged.into_deferred::<DelayedToken>().expect("own token");
+        let report = MatchReport::from_counts(vec![(QueryId(token.seq as u32), token.updates)]);
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        report
+    }
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        let token = staged.into_deferred::<DelayedToken>().expect("own token");
+        let delay = self.delays_us[token.seq as usize % self.delays_us.len()];
+        let panics = self.panic_at == Some(token.seq);
+        DetachedAnswer::task(move || {
+            if delay > 0 {
+                std::thread::sleep(Duration::from_micros(delay));
+            }
+            if panics {
+                panic!("injected answer panic #{}", token.seq);
+            }
+            MatchReport::from_counts(vec![(QueryId(token.seq as u32), token.updates)])
+        })
+    }
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+    }
+    fn num_queries(&self) -> usize {
+        1
+    }
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever order sequence numbers complete in — and however the drain
+    /// interleaves with the arrivals — the reorder buffer releases exactly
+    /// `0, 1, 2, …`, never early, never duplicated.
+    #[test]
+    fn reorder_buffer_always_releases_in_sequence_order(
+        order in permutation(48),
+        drain_every in 1usize..5,
+    ) {
+        let n = order.len() as u64;
+        let mut buf: ReorderBuffer<u64> = ReorderBuffer::new();
+        let mut released = Vec::new();
+        for (i, &seq) in order.iter().enumerate() {
+            buf.insert(seq, seq);
+            // Interleave partial drains with the arrivals.
+            if i % drain_every == 0 {
+                while let Some(v) = buf.pop_next() {
+                    released.push(v);
+                }
+            }
+            // Nothing younger than a missing predecessor ever escapes.
+            prop_assert_eq!(buf.next_seq(), released.len() as u64);
+        }
+        while let Some(v) = buf.pop_next() {
+            released.push(v);
+        }
+        prop_assert_eq!(released, (0..n).collect::<Vec<_>>());
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(buf.next_seq(), n);
+    }
+}
+
+proptest! {
+    // Each case spins up a worker pool and sleeps real (micro)durations, so
+    // keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any window depth, worker count, flush size and per-batch answer
+    /// delays, the threaded pipeline completes batches strictly in arrival
+    /// order and reproduces the stream's update count exactly.
+    #[test]
+    fn threaded_pipeline_completes_in_arrival_order(
+        depth in 0usize..4,
+        workers in 1usize..5,
+        max_batch in 1usize..5,
+        num_updates in 1usize..25,
+        delays_us in proptest::collection::vec(0u64..400, 1..8),
+    ) {
+        let config = PipelineConfig::new(max_batch, Duration::from_secs(60))
+            .with_depth(depth)
+            .threaded()
+            .with_answer_workers(workers);
+        let mut pipe = PipelinedEngine::new(DelayedDetachToy::new(delays_us, None), config);
+        let now = Instant::now();
+        let mut completed = Vec::new();
+        for i in 0..num_updates as u32 {
+            completed.extend(pipe.push_at(u(0, i, i + 1), now));
+        }
+        completed.extend(pipe.drain());
+
+        // Every batch's report names its stage sequence number: arrival
+        // order is exactly 0, 1, 2, … whatever order the workers finished.
+        for (i, batch) in completed.iter().enumerate() {
+            prop_assert_eq!(
+                batch.report.satisfied_queries(),
+                vec![QueryId(i as u32)],
+                "batch #{} out of order", i
+            );
+        }
+        let total_updates: usize = completed.iter().map(|b| b.updates).sum();
+        prop_assert_eq!(total_updates, num_updates);
+        prop_assert_eq!(pipe.in_flight(), 0);
+        prop_assert_eq!(pipe.stats().updates_processed, num_updates as u64);
+        // One notification per batch, `updates` embeddings per batch.
+        prop_assert_eq!(pipe.stats().notifications, completed.len() as u64);
+        prop_assert_eq!(pipe.stats().embeddings, num_updates as u64);
+    }
+
+    /// A panic injected into any batch's answer task — under any worker
+    /// count and delay pattern — resurfaces on the caller thread with its
+    /// original payload instead of hanging or being swallowed.
+    #[test]
+    fn injected_answer_panic_propagates_with_its_payload(
+        workers in 1usize..5,
+        num_updates in 1usize..17,
+        panic_batch in 0u64..8,
+        delays_us in proptest::collection::vec(0u64..300, 1..6),
+    ) {
+        // Flush size 2 → ceil(num_updates / 2) batches; aim the panic at a
+        // batch that actually exists.
+        let num_batches = num_updates.div_ceil(2) as u64;
+        let panic_at = panic_batch % num_batches;
+        let config = PipelineConfig::new(2, Duration::from_secs(60))
+            .threaded()
+            .with_answer_workers(workers);
+        let mut pipe =
+            PipelinedEngine::new(DelayedDetachToy::new(delays_us, Some(panic_at)), config);
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let now = Instant::now();
+            for i in 0..num_updates as u32 {
+                pipe.push_at(u(0, i, i + 1), now);
+            }
+            pipe.drain();
+        }));
+        let payload = outcome.expect_err("injected panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        prop_assert_eq!(
+            message,
+            format!("injected answer panic #{panic_at}"),
+            "panic payload must survive the trip across the worker"
+        );
+    }
+}

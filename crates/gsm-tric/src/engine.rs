@@ -110,7 +110,13 @@ pub struct TricEngine {
     forest: TrieForest,
     views: EdgeViewStore,
     cache: JoinCache,
-    queries: Vec<QueryInfo>,
+    /// Per-query path descriptors, `Arc`-shared with detached answer tasks:
+    /// registration barriers the pipeline first (no tokens outstanding), so
+    /// the engine thread mutates via [`Arc::make_mut`] — in place while no
+    /// detached task holds a reference, copy-on-write otherwise — and
+    /// `detach_staged` captures the whole table with one `Arc` bump instead
+    /// of deep-copying every affected query's vertex sequences per batch.
+    queries: std::sync::Arc<Vec<QueryInfo>>,
     scratch: UpdateScratch,
     stats: EngineStats,
 }
@@ -304,7 +310,7 @@ impl ContinuousEngine for TricEngine {
                 vertices: path.vertex_sequence(query),
             });
         }
-        self.queries.push(QueryInfo { paths: infos });
+        std::sync::Arc::make_mut(&mut self.queries).push(QueryInfo { paths: infos });
         Ok(qid)
     }
 
@@ -350,20 +356,18 @@ impl ContinuousEngine for TricEngine {
     /// the detachment contract on [`ContinuousEngine::detach_staged`]): the
     /// token's per-node truly-new deltas travel as-is, each affected
     /// end-node view is frozen at its staged watermark via the chunk-sharing
-    /// [`Relation::snapshot_owned`], and the affected queries' path
-    /// descriptors are cloned — so the returned task owns everything step 4
-    /// reads and can run while this engine stages later batches.
+    /// [`Relation::snapshot_owned`], and the query metadata travels as one
+    /// `Arc` bump of the engine's shared table — nothing is deep-copied —
+    /// so the returned task owns everything step 4 reads and can run while
+    /// this engine stages later batches.
     fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
         let token = match staged.into_deferred::<StagedTric>() {
             Ok(token) => token,
             Err(report) => return DetachedAnswer::ready(report),
         };
         let mut frozen: FxHashMap<NodeId, Relation> = FxHashMap::default();
-        let mut queries: Vec<Vec<(NodeId, Vec<QVertexId>)>> =
-            Vec::with_capacity(token.affected_queries.len());
         for &qid in &token.affected_queries {
-            let info = &self.queries[qid.index()];
-            for path in &info.paths {
+            for path in &self.queries[qid.index()].paths {
                 frozen.entry(path.end_node).or_insert_with(|| {
                     let view = &self.forest.node(path.end_node).mat_view;
                     let watermark = token
@@ -374,13 +378,8 @@ impl ContinuousEngine for TricEngine {
                     view.snapshot_owned(watermark)
                 });
             }
-            queries.push(
-                info.paths
-                    .iter()
-                    .map(|p| (p.end_node, p.vertices.clone()))
-                    .collect(),
-            );
         }
+        let queries = std::sync::Arc::clone(&self.queries);
         let affected_queries = token.affected_queries;
         let truly_new = token.truly_new;
         DetachedAnswer::task(move || {
@@ -783,15 +782,6 @@ impl CoveringPathRef for PathInfo {
     }
 }
 
-impl CoveringPathRef for (NodeId, Vec<QVertexId>) {
-    fn end_node(&self) -> NodeId {
-        self.0
-    }
-    fn vertices(&self) -> &[QVertexId] {
-        &self.1
-    }
-}
-
 /// Step 4's join loop (Fig. 8, lines 8–13, restricted to new embeddings),
 /// shared by the engine-resident pass — live views bounded by the staged
 /// watermarks — and the detached cross-thread pass — pre-cut
@@ -856,21 +846,20 @@ where
 }
 
 /// Step 4 over detached state ([`join_covering_paths`] with owned inputs):
-/// the staged truly-new deltas, the affected queries' `(end node, vertex
-/// sequence)` path descriptors (parallel to `affected_queries`), and the
-/// end-node views frozen at the staged watermarks — an empty frozen view is
-/// the `watermark == 0` case (the query cannot match yet).
+/// the staged truly-new deltas, the `Arc`-shared query table (indexed by
+/// the affected query ids), and the end-node views frozen at the staged
+/// watermarks — an empty frozen view is the `watermark == 0` case (the
+/// query cannot match yet).
 fn answer_tric_detached(
     affected_queries: &[QueryId],
-    query_paths: &[Vec<(NodeId, Vec<QVertexId>)>],
+    queries: &[QueryInfo],
     truly_new: &FxHashMap<NodeId, Relation>,
     frozen: &FxHashMap<NodeId, Relation>,
 ) -> MatchReport {
     MatchReport::from_counts(join_covering_paths(
         affected_queries
             .iter()
-            .copied()
-            .zip(query_paths.iter().map(Vec::as_slice)),
+            .map(|qid| (*qid, queries[qid.index()].paths.as_slice())),
         |end_node| truly_new.get(&end_node),
         |end_node| frozen.get(&end_node).map(|view| (view, view.len())),
     ))

@@ -1,16 +1,19 @@
 //! The concurrency differential suite: the **threaded** pipelined executor
-//! (stage on the caller thread, covering-path joins on the dedicated answer
-//! thread — `PipelineConfig::answer_thread`) must produce byte-identical
-//! reports to sequential per-update execution, for every engine, on every
-//! workload generator, including composed with the sharded wrapper and its
-//! persistent worker pool.
+//! (stage on the caller thread, covering-path joins on a pool of answer
+//! workers — `PipelineConfig::answer_thread` / `answer_workers`) must
+//! produce byte-identical reports to sequential per-update execution, for
+//! every engine, on every workload generator, at every answer-worker count,
+//! including composed with the sharded wrapper and its persistent worker
+//! pool.
 //!
 //! This is the proof obligation of the cross-thread refactor: chunked
-//! relation snapshots, detached answer tasks and the worker pool may change
-//! *where* and *when* the answer pass runs, but never what it reports. The
-//! suite also pins the executor's FIFO completion order under a
-//! deliberately slow answer stage, and (behind `slow-tests`) soaks the
-//! worker pool with a long randomized stream and injected thread yields.
+//! relation snapshots, detached answer tasks, the worker pool and the
+//! sequence-numbered reorder buffer may change *where*, *when* and *in what
+//! order* the answer passes run, but never what they report. The suite also
+//! pins the executor's FIFO completion order under a deliberately slow
+//! answer stage (where multiple workers genuinely finish out of order), and
+//! (behind `slow-tests`) soaks the worker pool with a long randomized
+//! stream and injected thread yields.
 
 use std::time::{Duration, Instant};
 
@@ -56,64 +59,81 @@ fn assert_threaded_equals_sequential_for(
         .collect();
 
     for (max_batch, delay_ticks, tick_ms) in THREADED_CONFIGS {
-        let config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks)).threaded();
-        let mut pipe_engines: Vec<_> = engines()
-            .into_iter()
-            .map(|e| PipelinedEngine::new(e, config))
-            .collect();
-        for pipe in pipe_engines.iter_mut() {
-            for q in &workload.queries {
-                pipe.register_query(q).expect("register");
+        for workers in answer_worker_counts() {
+            let config = PipelineConfig::new(max_batch, Duration::from_millis(delay_ticks))
+                .threaded()
+                .with_answer_workers(workers);
+            let mut pipe_engines: Vec<_> = engines()
+                .into_iter()
+                .map(|e| PipelinedEngine::new(e, config))
+                .collect();
+            for pipe in pipe_engines.iter_mut() {
+                for q in &workload.queries {
+                    pipe.register_query(q).expect("register");
+                }
             }
-        }
-        let t0 = Instant::now();
-        for (engine_idx, pipe) in pipe_engines.iter_mut().enumerate() {
-            assert!(pipe.is_threaded());
-            let mut completed: Vec<CompletedBatch> = Vec::new();
-            for (i, u) in workload.stream.iter().enumerate() {
-                let now = t0 + Duration::from_millis(i as u64 * tick_ms);
-                completed.extend(pipe.push_at(*u, now));
-            }
-            completed.extend(pipe.drain());
+            let t0 = Instant::now();
+            for (engine_idx, pipe) in pipe_engines.iter_mut().enumerate() {
+                assert!(pipe.is_threaded());
+                let mut completed: Vec<CompletedBatch> = Vec::new();
+                for (i, u) in workload.stream.iter().enumerate() {
+                    let now = t0 + Duration::from_millis(i as u64 * tick_ms);
+                    completed.extend(pipe.push_at(*u, now));
+                }
+                completed.extend(pipe.drain());
 
-            let mut offset = 0usize;
-            for (batch_idx, batch) in completed.iter().enumerate() {
-                assert!(batch.updates > 0, "empty completed batch");
-                let expected = MatchReport::from_counts(
-                    per_update[engine_idx][offset..offset + batch.updates]
-                        .iter()
-                        .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
-                        .collect(),
-                );
+                let mut offset = 0usize;
+                for (batch_idx, batch) in completed.iter().enumerate() {
+                    assert!(batch.updates > 0, "empty completed batch");
+                    let expected = MatchReport::from_counts(
+                        per_update[engine_idx][offset..offset + batch.updates]
+                            .iter()
+                            .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                            .collect(),
+                    );
+                    assert_eq!(
+                        batch.report,
+                        expected,
+                        "{} threaded batch #{batch_idx} (updates {offset}..{}) under \
+                     (max_batch {max_batch}, delay {delay_ticks} ticks, \
+                     {workers} answer workers) of {} diverged from sequential",
+                        pipe.name(),
+                        offset + batch.updates,
+                        workload.name
+                    );
+                    offset += batch.updates;
+                }
                 assert_eq!(
-                    batch.report,
-                    expected,
-                    "{} threaded batch #{batch_idx} (updates {offset}..{}) under \
-                     (max_batch {max_batch}, delay {delay_ticks} ticks) of {} \
-                     diverged from sequential",
-                    pipe.name(),
-                    offset + batch.updates,
-                    workload.name
+                    offset,
+                    workload.stream.len(),
+                    "{} threaded pipeline dropped or duplicated updates",
+                    pipe.name()
                 );
-                offset += batch.updates;
-            }
-            assert_eq!(
-                offset,
-                workload.stream.len(),
-                "{} threaded pipeline dropped or duplicated updates",
-                pipe.name()
-            );
 
-            let seq_stats = seq_engines[engine_idx].stats();
-            let stats = pipe.stats();
-            assert_eq!(stats.updates_processed, seq_stats.updates_processed);
-            assert_eq!(stats.embeddings, seq_stats.embeddings, "{}", pipe.name());
+                let seq_stats = seq_engines[engine_idx].stats();
+                let stats = pipe.stats();
+                assert_eq!(stats.updates_processed, seq_stats.updates_processed);
+                assert_eq!(stats.embeddings, seq_stats.embeddings, "{}", pipe.name());
+            }
         }
     }
 }
 
 fn assert_threaded_equals_sequential(workload: &Workload) {
     assert_threaded_equals_sequential_for(workload, all_engines);
+}
+
+/// Answer-worker counts for the threaded matrix. `GSM_ANSWER_THREADS=<n>`
+/// (the CI jobs) pins one count; the default sweeps one, two and four
+/// workers so out-of-order completion and the reorder buffer are exercised
+/// alongside the single-worker FIFO baseline.
+fn answer_worker_counts() -> Vec<usize> {
+    match std::env::var("GSM_ANSWER_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid GSM_ANSWER_THREADS value {v:?}"))],
+        Err(_) => vec![1, 2, 4],
+    }
 }
 
 /// Shard counts for the threaded × sharded composition. `GSM_SHARDS=<n>`
@@ -244,8 +264,11 @@ impl<E: ContinuousEngine> ContinuousEngine for SlowFirstAnswer<E> {
 fn completed_batches_stay_fifo_under_a_slow_answer_stage() {
     // Batch #0's answer sleeps 40 ms while batches #1.. are staged (and
     // their answers queued) behind it; a deep window keeps them all in
-    // flight. Completion must still be arrival-ordered and the reports must
-    // tile the stream exactly like an untimed run.
+    // flight. With one worker the queue drains FIFO by construction; with
+    // two or four workers the later batches genuinely *finish* 40 ms before
+    // batch #0 and park in the reorder buffer. Either way completion must
+    // be arrival-ordered and the reports must tile the stream exactly like
+    // an untimed run.
     let mut symbols = SymbolTable::new();
     let q = QueryPattern::parse("?a -e-> ?b; ?b -e-> ?c", &mut symbols).unwrap();
     let e = symbols.intern("e");
@@ -264,37 +287,46 @@ fn completed_batches_stay_fifo_under_a_slow_answer_stage() {
     reference.register_query(&q).unwrap();
     let per_update: Vec<MatchReport> = stream.iter().map(|u| reference.apply_update(*u)).collect();
 
-    let config = PipelineConfig::new(3, Duration::from_secs(60))
-        .with_depth(8)
-        .threaded();
-    let mut pipe = PipelinedEngine::new(
-        SlowFirstAnswer::new(graph_stream_matching::tric::TricEngine::tric_plus()),
-        config,
-    );
-    pipe.register_query(&q).unwrap();
-    let now = Instant::now();
-    let mut completed = Vec::new();
-    for &u in &stream {
-        completed.extend(pipe.push_at(u, now));
-    }
-    completed.extend(pipe.drain());
-
-    // 24 updates in flush-3 batches → 8 batches, in arrival order: batch k
-    // covers updates 3k..3k+3 and must carry exactly their merged report.
-    assert_eq!(completed.len(), 8);
-    let mut offset = 0;
-    for (k, batch) in completed.iter().enumerate() {
-        assert_eq!(batch.updates, 3, "batch #{k} has the wrong tile");
-        let expected = MatchReport::from_counts(
-            per_update[offset..offset + 3]
-                .iter()
-                .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
-                .collect(),
+    for workers in [1usize, 2, 4] {
+        let config = PipelineConfig::new(3, Duration::from_secs(60))
+            .with_depth(8)
+            .threaded()
+            .with_answer_workers(workers);
+        let mut pipe = PipelinedEngine::new(
+            SlowFirstAnswer::new(graph_stream_matching::tric::TricEngine::tric_plus()),
+            config,
         );
-        assert_eq!(batch.report, expected, "batch #{k} out of order or wrong");
-        offset += 3;
+        pipe.register_query(&q).unwrap();
+        let now = Instant::now();
+        let mut completed = Vec::new();
+        for &u in &stream {
+            completed.extend(pipe.push_at(u, now));
+        }
+        completed.extend(pipe.drain());
+
+        // 24 updates in flush-3 batches → 8 batches, in arrival order:
+        // batch k covers updates 3k..3k+3 with exactly their merged report.
+        assert_eq!(completed.len(), 8);
+        let mut offset = 0;
+        for (k, batch) in completed.iter().enumerate() {
+            assert_eq!(
+                batch.updates, 3,
+                "batch #{k} has the wrong tile ({workers} workers)"
+            );
+            let expected = MatchReport::from_counts(
+                per_update[offset..offset + 3]
+                    .iter()
+                    .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
+                    .collect(),
+            );
+            assert_eq!(
+                batch.report, expected,
+                "batch #{k} out of order or wrong ({workers} workers)"
+            );
+            offset += 3;
+        }
+        assert_eq!(pipe.stats().embeddings, reference.stats().embeddings);
     }
-    assert_eq!(pipe.stats().embeddings, reference.stats().embeddings);
 }
 
 /// A wrapper injecting `thread::yield_now` at seeded-random points of the
@@ -424,9 +456,11 @@ fn worker_pool_soak_randomized_streams_stay_equivalent() {
         let delay_ticks = rng.gen_range(1..8u64);
         let tick_ms = rng.gen_range(0..3u64);
         let depth = rng.gen_range(0..4);
+        let workers = rng.gen_range(1..5);
         let config = PipelineConfig::new(flush, Duration::from_millis(delay_ticks))
             .with_depth(depth)
-            .threaded();
+            .threaded()
+            .with_answer_workers(workers);
         let engine = YieldInjector::new(
             graph_stream_matching::tric::TricEngine::tric_plus_sharded(shards),
             0xBAD5EED + iteration,
@@ -459,7 +493,7 @@ fn worker_pool_soak_randomized_streams_stay_equivalent() {
             assert_eq!(
                 batch.report, expected,
                 "soak iteration {iteration} (flush {flush}, delay {delay_ticks}, depth {depth}, \
-                 {shards} shards) diverged at updates {offset}.."
+                 {shards} shards, {workers} answer workers) diverged at updates {offset}.."
             );
             offset += batch.updates;
         }

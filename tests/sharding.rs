@@ -210,23 +210,24 @@ fn self_loop_root_shared_by_queries_on_different_shards() {
     assert_all_engines_agree_sharded(&[q1, q2], &stream, num_shards);
 }
 
-/// Pins the **documented limitation** of mid-stream registration (the
-/// "Late registration" note in `gsm_core::shard`): a query registered after
-/// updates have streamed in catches up only with *shard-local* history.
-/// This is the contract a future cross-shard backfill change must update —
-/// until then, the exact reduced-history behaviour is asserted here, not
-/// just documented.
+/// Pins the **cross-shard backfill** contract of mid-stream registration
+/// (the "Late registration" note in `gsm_core::shard`): a *spanning* query
+/// registered after updates have streamed in catches up with the full
+/// cross-query history via the wrapper-level history store, exactly like an
+/// unsharded engine's shared view store would.
 ///
 /// Topology: `q1` (shard-local, label `la` on shard 0) streams history
 /// first; `q2` (spanning: `la` on shard 0 + `lb` on shard 1) registers
 /// mid-stream. The unsharded engine shares one view store, so `q2`'s paths
-/// catch up with `q1`'s `la` history and a single `lb` edge completes a
-/// match. The sharded engine keeps spanning path state in per-shard
-/// spanning views that never absorbed the pre-registration history, so the
-/// same `lb` edge completes **nothing** — and only embeddings built
-/// entirely from post-registration edges match on both.
+/// catch up with `q1`'s `la` history and a single `lb` edge completes two
+/// embeddings. With backfill, the sharded engine's spanning `la` path state
+/// is seeded from the wrapper history at registration, so the same `lb`
+/// edge completes the **same** two embeddings — the reports must be equal,
+/// not merely the post-registration tail. (Earlier revisions pinned the
+/// opposite: spanning path states started empty and the sharded report was
+/// asserted empty here.)
 #[test]
-fn mid_stream_registration_only_catches_up_with_shard_local_history() {
+fn mid_stream_spanning_registration_catches_up_with_cross_shard_history() {
     let num_shards = 2;
     let mut symbols = SymbolTable::new();
     let la = label_on_shard(&mut symbols, "a", 0, num_shards, false);
@@ -251,11 +252,11 @@ fn mid_stream_registration_only_catches_up_with_shard_local_history() {
         sharded.register_query(&q2).unwrap();
         assert_eq!(sharded.num_spanning_queries(), 1, "q2 must span");
 
-        // The lb edge that would complete q2 against the pre-registration
-        // la history: the unsharded engine catches up through the shared
-        // edge view and reports both embeddings; the sharded engine's
-        // spanning la path state starts empty — shard-local catch-up found
-        // no history in shard 0's *spanning* views — so it reports nothing.
+        // The lb edge that completes q2 against the pre-registration la
+        // history: the unsharded engine catches up through the shared edge
+        // view; the sharded engine's spanning la path state was backfilled
+        // from the wrapper history store at registration. Both must report
+        // the same two embeddings.
         let completing = update(&mut symbols, &lb, "hub", "y1");
         let plain_report = plain.apply_update(completing);
         let sharded_report = sharded.apply_update(completing);
@@ -264,15 +265,14 @@ fn mid_stream_registration_only_catches_up_with_shard_local_history() {
             2,
             "unsharded q2 must catch up with q1's la history"
         );
-        assert!(
-            sharded_report.is_empty(),
-            "sharded q2 caught up with cross-query history — the documented \
-             shard-local-catch-up limitation has changed; update the Late \
-             registration contract in gsm_core::shard and this test"
+        assert_eq!(
+            sharded_report, plain_report,
+            "sharded q2 must catch up with cross-query history via the \
+             wrapper-level backfill (Late registration contract in \
+             gsm_core::shard)"
         );
 
-        // Embeddings built entirely from post-registration edges agree on
-        // both engines (the exact case the docs promise stays equivalent):
+        // Embeddings built from post-registration edges keep agreeing:
         // fresh la edges land in the spanning path state too.
         let u = update(&mut symbols, &la, "hub2", "x9");
         assert_eq!(plain.apply_update(u), sharded.apply_update(u));
@@ -285,10 +285,10 @@ fn mid_stream_registration_only_catches_up_with_shard_local_history() {
 }
 
 /// A spanning query registered mid-stream, over labels the stream has not
-/// used yet (fresh edges have no history anywhere, which is the case where
-/// sharded and unsharded late registration provably coincide — see the
-/// catch-up note in `gsm_core::shard`). Registration must grow the routing
-/// sets and query-id mapping without disturbing the already-running query.
+/// used yet (fresh edges carry no history, so no backfill is even needed —
+/// see the catch-up note in `gsm_core::shard`). Registration must grow the
+/// routing sets and query-id mapping without disturbing the already-running
+/// query.
 /// GraphDB is excluded: it replays history from its store and has its own
 /// late-registration semantics, covered in its crate.
 #[test]
