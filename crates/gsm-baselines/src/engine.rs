@@ -348,11 +348,24 @@ impl ContinuousEngine for BaselineEngine {
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {
-        self.apply_batch_core(&[update])
+        if update.is_retraction() {
+            self.retract_batch_core(&[update])
+        } else {
+            self.apply_batch_core(&[update])
+        }
     }
 
     fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
-        self.apply_batch_core(updates)
+        let mut report = MatchReport::empty();
+        for run in gsm_core::model::update::sign_runs(updates) {
+            let run_report = if run[0].is_retraction() {
+                self.retract_batch_core(run)
+            } else {
+                self.apply_batch_core(run)
+            };
+            report = report.merge(&run_report);
+        }
+        report
     }
 
     /// Routing with the join-and-explore pass deferred: the batch is routed
@@ -364,6 +377,12 @@ impl ContinuousEngine for BaselineEngine {
     /// thread, and still reads exactly the state this batch saw. See the
     /// staging contract on [`ContinuousEngine::stage_batch`].
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        if updates.iter().any(Update::is_retraction) {
+            // Retraction batches compact views in place, which would move
+            // the ground under this token's frozen watermarks if deferred —
+            // answer eagerly at stage time (see the staging contract).
+            return StagedBatch::immediate(self.apply_batch(updates));
+        }
         self.stats.updates_processed += updates.len() as u64;
         let edge_deltas = self.views.apply_batch(updates);
         if edge_deltas.is_empty() {
@@ -488,6 +507,40 @@ impl BaselineEngine {
         self.stats.embeddings += report.total_embeddings();
         report
     }
+
+    /// The retraction mirror of [`apply_batch_core`](Self::apply_batch_core):
+    /// collect the removed rows per generic edge **without** touching the
+    /// views ([`EdgeViewStore::remove_deltas`]), answer the disappearing
+    /// embeddings with the very same join-and-explore pass — seeded with the
+    /// removed-row deltas against the still-pre-removal views, which by the
+    /// deletion-delta property of [`views::delta_path_relation`] yields
+    /// exactly `full_before − full_after` per covering path — and only then
+    /// commit the removal ([`EdgeViewStore::retract_deltas`]), compacting
+    /// the touched views into their next generation.
+    fn retract_batch_core(&mut self, updates: &[Update]) -> MatchReport {
+        self.stats.updates_processed += updates.len() as u64;
+
+        let removed = self.views.remove_deltas(updates);
+        if removed.is_empty() {
+            return MatchReport::empty();
+        }
+
+        let affected = self.affected_records(&removed);
+        let counts = answer_affected(
+            self.mode,
+            &self.views,
+            BuildCache::from(self.caching.then_some(&mut self.cache)),
+            &mut self.row_buf,
+            &removed,
+            &affected,
+        );
+        self.views.retract_deltas(&removed);
+
+        let report = MatchReport::from_retraction_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.retracted += report.total_retracted();
+        report
+    }
 }
 
 #[cfg(test)]
@@ -592,6 +645,144 @@ mod tests {
             let u = f.u("knows", "a", "b");
             assert_eq!(engine.apply_update(u).len(), 1);
             assert_eq!(engine.apply_update(u).len(), 0, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn retraction_reports_disappearing_matches() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            let qid = engine.register_query(&q).unwrap();
+            let ux = f.u("x", "a1", "b1");
+            let uy = f.u("y", "b1", "c1");
+            engine.apply_update(ux);
+            assert_eq!(engine.apply_update(uy).len(), 1, "{}", engine.name());
+
+            let report = engine.apply_update(ux.inverted());
+            assert_eq!(report.matches.len(), 1, "{}", engine.name());
+            assert_eq!(report.matches[0].query, qid);
+            assert_eq!(report.matches[0].new_embeddings, 0);
+            assert_eq!(report.matches[0].retracted_embeddings, 1);
+            assert_eq!(engine.stats().retracted, 1);
+
+            // The match reappears when the edge comes back.
+            let revived = engine.apply_update(ux);
+            assert_eq!(revived.matches[0].new_embeddings, 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn retracting_absent_edges_is_a_noop() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b");
+            engine.register_query(&q).unwrap();
+            let phantom = f.u("x", "nope", "nada").inverted();
+            assert!(engine.apply_update(phantom).is_empty(), "{}", engine.name());
+            engine.apply_update(f.u("x", "a", "b"));
+            // Double retraction in one batch removes the row once and
+            // reports the disappearance once.
+            let gone = f.u("x", "a", "b").inverted();
+            let report = engine.apply_batch(&[gone, gone]);
+            assert_eq!(report.total_retracted(), 1, "{}", engine.name());
+            assert!(engine.apply_update(gone).is_empty(), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn mixed_batch_reports_both_signs_without_cancelling() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            engine.register_query(&q).unwrap();
+            let ux = f.u("x", "a1", "b1");
+            let uy = f.u("y", "b1", "c1");
+            // The match appears (insert run) then disappears (retraction
+            // run) within one batch; both events are reported.
+            let report = engine.apply_batch(&[ux, uy, ux.inverted()]);
+            assert_eq!(report.total_embeddings(), 1, "{}", engine.name());
+            assert_eq!(report.total_retracted(), 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn net_counts_match_a_from_scratch_replay_under_random_deletions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut f = Fixture::new();
+        let queries = vec![
+            f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+            f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+            f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+            f.q("?a -e2-> ?a"),
+        ];
+        let mut live_engines = engines();
+        for q in &queries {
+            for e in live_engines.iter_mut() {
+                e.register_query(q).unwrap();
+            }
+        }
+        // Random mixed stream: inserts of a smallish edge universe with a
+        // 35% chance of retracting a currently-live edge instead.
+        let mut live: Vec<Update> = Vec::new();
+        let mut stream: Vec<Update> = Vec::new();
+        for _ in 0..400 {
+            if !live.is_empty() && rng.gen_bool(0.35) {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                stream.push(victim.inverted());
+            } else {
+                let label = format!("e{}", rng.gen_range(0..3));
+                let src = format!("v{}", rng.gen_range(0..7));
+                let tgt = format!("v{}", rng.gen_range(0..7));
+                let u = f.u(&label, &src, &tgt);
+                if !live.contains(&u) {
+                    live.push(u);
+                }
+                stream.push(u);
+            }
+        }
+        // Stream through each engine, tallying net (new − retracted) per
+        // query; the tally must equal a from-scratch replay of the
+        // surviving edge set.
+        for engine in live_engines.iter_mut() {
+            let mut net: FxHashMap<QueryId, i64> = FxHashMap::default();
+            for batch in stream.chunks(5) {
+                let report = engine.apply_batch(batch);
+                for m in &report.matches {
+                    *net.entry(m.query).or_default() +=
+                        m.new_embeddings as i64 - m.retracted_embeddings as i64;
+                }
+            }
+            net.retain(|_, v| *v != 0);
+            let mut fresh = BaselineEngine::with_mode(engine.mode(), false);
+            for q in &queries {
+                fresh.register_query(q).unwrap();
+            }
+            let mut expected: FxHashMap<QueryId, i64> = FxHashMap::default();
+            for m in &fresh.apply_batch(&live).matches {
+                *expected.entry(m.query).or_default() += m.new_embeddings as i64;
+            }
+            expected.retain(|_, v| *v != 0);
+            assert_eq!(net, expected, "{} net counts diverged", engine.name());
+        }
+    }
+
+    #[test]
+    fn staging_a_retraction_batch_answers_eagerly() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b");
+            engine.register_query(&q).unwrap();
+            let u = f.u("x", "a", "b");
+            let t1 = engine.stage_batch(&[u]);
+            assert_eq!(engine.answer_staged(t1).total_embeddings(), 1);
+            let t2 = engine.stage_batch(&[u.inverted()]);
+            // The token is immediate: the retraction was answered at stage
+            // time, before any later routing could move the views.
+            let report = engine.answer_staged(t2);
+            assert_eq!(report.total_retracted(), 1, "{}", engine.name());
         }
     }
 

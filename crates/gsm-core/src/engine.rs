@@ -27,14 +27,38 @@ impl HeapSize for QueryId {
     }
 }
 
-/// A query satisfied by an update, together with how many new embeddings the
-/// update produced for it.
+/// A query affected by an update, together with how many embeddings the
+/// update created — and, for retraction updates, how many previously
+/// reported embeddings disappeared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryMatch {
-    /// The satisfied query.
+    /// The affected query.
     pub query: QueryId,
     /// Number of distinct new embeddings created by the update.
     pub new_embeddings: u64,
+    /// Number of distinct previously existing embeddings destroyed by the
+    /// update (always 0 for pure addition batches).
+    pub retracted_embeddings: u64,
+}
+
+impl QueryMatch {
+    /// A pure-addition match entry.
+    pub fn new(query: QueryId, new_embeddings: u64) -> Self {
+        QueryMatch {
+            query,
+            new_embeddings,
+            retracted_embeddings: 0,
+        }
+    }
+
+    /// A pure-retraction match entry.
+    pub fn retracted(query: QueryId, retracted_embeddings: u64) -> Self {
+        QueryMatch {
+            query,
+            new_embeddings: 0,
+            retracted_embeddings,
+        }
+    }
 }
 
 /// The result of applying one update: which continuous queries gained at
@@ -66,13 +90,26 @@ impl MatchReport {
         for (query, count) in pairs {
             match matches.last_mut() {
                 Some(last) if last.query == query => last.new_embeddings += count,
-                _ => matches.push(QueryMatch {
-                    query,
-                    new_embeddings: count,
-                }),
+                _ => matches.push(QueryMatch::new(query, count)),
             }
         }
         matches.retain(|m| m.new_embeddings > 0);
+        MatchReport { matches }
+    }
+
+    /// Builds a report from pure-**retraction** (query, destroyed count)
+    /// pairs — [`from_counts`](MatchReport::from_counts) with the counts
+    /// landing on `retracted_embeddings`.
+    pub fn from_retraction_counts(mut pairs: Vec<(QueryId, u64)>) -> Self {
+        pairs.sort_by_key(|(q, _)| *q);
+        let mut matches: Vec<QueryMatch> = Vec::new();
+        for (query, count) in pairs {
+            match matches.last_mut() {
+                Some(last) if last.query == query => last.retracted_embeddings += count,
+                _ => matches.push(QueryMatch::retracted(query, count)),
+            }
+        }
+        matches.retain(|m| m.retracted_embeddings > 0);
         MatchReport { matches }
     }
 
@@ -106,6 +143,7 @@ impl MatchReport {
                     matches.push(QueryMatch {
                         query: a.query,
                         new_embeddings: a.new_embeddings + b.new_embeddings,
+                        retracted_embeddings: a.retracted_embeddings + b.retracted_embeddings,
                     });
                     i += 1;
                     j += 1;
@@ -135,6 +173,11 @@ impl MatchReport {
     /// Total number of new embeddings across all satisfied queries.
     pub fn total_embeddings(&self) -> u64 {
         self.matches.iter().map(|m| m.new_embeddings).sum()
+    }
+
+    /// Total number of retracted embeddings across all affected queries.
+    pub fn total_retracted(&self) -> u64 {
+        self.matches.iter().map(|m| m.retracted_embeddings).sum()
     }
 }
 
@@ -281,6 +324,8 @@ pub struct EngineStats {
     pub notifications: u64,
     /// Total new embeddings reported.
     pub embeddings: u64,
+    /// Total retracted embeddings reported.
+    pub retracted: u64,
 }
 
 /// A continuous multi-query engine over graph streams.
@@ -323,11 +368,16 @@ pub trait ContinuousEngine {
     /// Registers a continuous query and returns its identifier.
     fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId>;
 
-    /// Applies one edge-addition update and reports newly satisfied queries.
+    /// Applies one signed edge update and reports the affected queries: an
+    /// addition reports queries that gained embeddings
+    /// (`new_embeddings`), a retraction ([`Update::is_retraction`]) reports
+    /// queries whose previously reported embeddings disappeared
+    /// (`retracted_embeddings`). Retracting an absent edge is a no-op;
+    /// every engine must accept both signs here.
     fn apply_update(&mut self, update: Update) -> MatchReport;
 
-    /// Applies a batch of edge-addition updates and reports the queries that
-    /// gained new embeddings anywhere in the batch.
+    /// Applies a batch of signed edge updates and reports the queries whose
+    /// embedding sets changed anywhere in the batch.
     ///
     /// # Batch semantics
     ///
@@ -335,10 +385,14 @@ pub trait ContinuousEngine {
     /// sequentially with [`apply_update`](Self::apply_update) and merging the
     /// per-update reports with [`MatchReport::from_counts`]: one entry per
     /// satisfied query, whose `new_embeddings` is the number of distinct new
-    /// embeddings the whole batch created for that query. Duplicate updates
+    /// embeddings the whole batch created for that query and whose
+    /// `retracted_embeddings` is the number it destroyed. Duplicate updates
     /// inside a batch behave exactly as they would sequentially (the second
-    /// occurrence adds nothing). Engines are free to reorder *work* inside a
-    /// batch (routing, delta propagation, joins) but not its outcome.
+    /// occurrence adds nothing), and an insert-then-retract of the same edge
+    /// within one batch reports **both** the created and the destroyed
+    /// embeddings — they do not cancel. Engines are free to reorder *work*
+    /// inside a batch (routing, delta propagation, joins) but not its
+    /// outcome.
     ///
     /// Stats granularity: `updates_processed` advances by `updates.len()`,
     /// `embeddings` by the report's total (both identical to sequential
@@ -354,12 +408,11 @@ pub trait ContinuousEngine {
     /// engines with a cheaper amortized path (TRIC/TRIC+, INV/INC) override
     /// it.
     fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        let mut report = MatchReport::empty();
         for &u in updates {
-            let report = self.apply_update(u);
-            counts.extend(report.matches.iter().map(|m| (m.query, m.new_embeddings)));
+            report = report.merge(&self.apply_update(u));
         }
-        MatchReport::from_counts(counts)
+        report
     }
 
     /// Phase 1 of split batch answering: routing, delta propagation and view
@@ -384,7 +437,16 @@ pub trait ContinuousEngine {
     /// * [`register_query`](Self::register_query) must not be called while
     ///   staged tokens are outstanding (registration may restructure the
     ///   very tries and views the deferred answer joins against); the
-    ///   pipelined executor drains its window before registering.
+    ///   pipelined executor drains its window before registering, and the
+    ///   pipelined/sharded wrappers **enforce** the contract by returning
+    ///   [`crate::error::Error::RegistrationWhileStaged`] when it is
+    ///   violated.
+    /// * **Retraction runs are answered eagerly.** `stage_batch` of a
+    ///   retraction batch compacts views in place, which would invalidate
+    ///   the watermarks of earlier outstanding tokens — so engines answer
+    ///   retraction batches at stage time (immediate tokens) and the
+    ///   pipelined executor drains its window before staging one (see
+    ///   [`crate::pipeline`]).
     /// * Stats granularity: `updates_processed` advances at stage time,
     ///   `notifications`/`embeddings` at answer time.
     ///
@@ -732,6 +794,32 @@ mod tests {
         let ready = DetachedAnswer::ready(MatchReport::empty());
         assert!(ready.is_ready());
         assert!(ready.run().is_empty());
+    }
+
+    #[test]
+    fn retraction_counts_merge_without_cancelling() {
+        let gained = MatchReport::from_counts(vec![(QueryId(1), 3), (QueryId(2), 1)]);
+        let lost = MatchReport::from_retraction_counts(vec![(QueryId(1), 3), (QueryId(3), 2)]);
+        assert_eq!(lost.total_embeddings(), 0);
+        assert_eq!(lost.total_retracted(), 5);
+        assert_eq!(lost.satisfied_queries(), vec![QueryId(1), QueryId(3)]);
+
+        // +3/−3 on query 1 must surface as both counts, not cancel to zero.
+        let merged = gained.merge(&lost);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged.matches[0],
+            QueryMatch {
+                query: QueryId(1),
+                new_embeddings: 3,
+                retracted_embeddings: 3,
+            }
+        );
+        assert_eq!(merged.total_embeddings(), 4);
+        assert_eq!(merged.total_retracted(), 5);
+
+        // Zero-count retraction pairs are dropped like their insert twins.
+        assert!(MatchReport::from_retraction_counts(vec![(QueryId(0), 0)]).is_empty());
     }
 
     #[test]

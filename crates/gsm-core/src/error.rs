@@ -20,6 +20,13 @@ pub enum Error {
     DuplicateQuery(u32),
     /// The engine configuration is invalid (e.g. a zero-sized budget).
     InvalidConfig(String),
+    /// `register_query` was called while staged batch tokens were still
+    /// outstanding; the payload is the number of outstanding tokens.
+    /// Registration may restructure the tries and views a deferred answer
+    /// pass joins against, so the staged window must be drained first (see
+    /// the staging contract on
+    /// [`crate::engine::ContinuousEngine::stage_batch`]).
+    RegistrationWhileStaged(usize),
 }
 
 impl fmt::Display for Error {
@@ -33,6 +40,11 @@ impl fmt::Display for Error {
             Error::UnknownQuery(id) => write!(f, "unknown query identifier {id}"),
             Error::DuplicateQuery(id) => write!(f, "query identifier {id} already registered"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::RegistrationWhileStaged(n) => write!(
+                f,
+                "register_query with {n} staged batch token(s) outstanding; \
+                 drain the staged window first"
+            ),
         }
     }
 }

@@ -33,17 +33,27 @@ impl AttributeGraph {
         Self::default()
     }
 
-    /// Builds a graph by applying every update of a stream.
+    /// Builds a graph by replaying every update of a stream, sign-aware:
+    /// insertions apply, retractions remove. The result is the from-scratch
+    /// state of the surviving edge set — the oracle the retraction
+    /// differential suites compare engines against.
     pub fn from_updates<'a, I: IntoIterator<Item = &'a Update>>(updates: I) -> Self {
         let mut g = Self::new();
         for u in updates {
-            g.apply(*u);
+            if u.is_retraction() {
+                g.remove(*u);
+            } else {
+                g.apply(*u);
+            }
         }
         g
     }
 
-    /// Applies an edge addition. Returns `true` if the edge was new.
+    /// Applies an edge addition. Returns `true` if the edge was new. The
+    /// stored key is the sign-normalized [`Update::edge`] form, so additions
+    /// and the retractions that later target them always agree.
     pub fn apply(&mut self, u: Update) -> bool {
+        let u = u.edge();
         if !self.edges.insert(u) {
             return false;
         }
@@ -55,6 +65,26 @@ impl AttributeGraph {
             .entry(u.label)
             .or_default()
             .push((u.src, u.tgt));
+        true
+    }
+
+    /// Removes the edge named by `u` (either sign — the lookup is
+    /// sign-normalized). Returns `true` if the edge existed. The endpoint
+    /// vertices persist: a retraction removes the edge only.
+    pub fn remove(&mut self, u: Update) -> bool {
+        let e = u.edge();
+        if !self.edges.remove(&e) {
+            return false;
+        }
+        if let Some(v) = self.out.get_mut(&e.src) {
+            v.retain(|&(l, t)| !(l == e.label && t == e.tgt));
+        }
+        if let Some(v) = self.inc.get_mut(&e.tgt) {
+            v.retain(|&(l, s)| !(l == e.label && s == e.src));
+        }
+        if let Some(v) = self.by_label.get_mut(&e.label) {
+            v.retain(|&(s, t)| !(s == e.src && t == e.tgt));
+        }
         true
     }
 
@@ -168,6 +198,25 @@ mod tests {
         }
         assert_eq!(bulk.num_edges(), incremental.num_edges());
         assert_eq!(bulk.num_vertices(), incremental.num_vertices());
+    }
+
+    #[test]
+    fn remove_deletes_the_edge_but_keeps_vertices() {
+        let mut g = AttributeGraph::new();
+        g.apply(u(0, 1, 2));
+        g.apply(u(1, 1, 2));
+        assert!(g.remove(u(0, 1, 2).inverted()), "either sign removes");
+        assert!(!g.remove(u(0, 1, 2)), "second removal is a no-op");
+        assert!(!g.contains(&u(0, 1, 2)));
+        assert!(g.contains(&u(1, 1, 2)), "parallel edge survives");
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_vertices(), 2, "vertices persist");
+        assert_eq!(g.out_degree(Sym(1)), 1);
+        assert_eq!(g.in_degree(Sym(2)), 1);
+        assert!(g.edges_with_label(Sym(0)).is_empty());
+        // Re-adding after removal works as if it never existed.
+        assert!(g.apply(u(0, 1, 2)));
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]

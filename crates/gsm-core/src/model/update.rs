@@ -3,10 +3,16 @@
 use crate::interner::Sym;
 use crate::memory::HeapSize;
 
-/// An edge addition `label = (src, tgt)` applied to the evolving graph.
+/// A signed edge update `label = (src, tgt)` applied to the evolving graph:
+/// an **addition** (the default, [`Update::new`]) or a **retraction**
+/// ([`Update::retraction`]) that removes a previously added edge.
 ///
-/// Following the paper, an update both creates the edge and (implicitly) any
-/// endpoint vertex that did not exist before.
+/// Following the paper, an addition both creates the edge and (implicitly)
+/// any endpoint vertex that did not exist before. A retraction removes the
+/// edge (vertices persist); retracting an absent edge is a no-op. Engines
+/// that key collections by `Update` (edge sets, window maps) must key by the
+/// sign-normalized [`edge`](Update::edge) form, since the derived `Hash`/
+/// `Eq` distinguish the two signs of the same edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Update {
     /// Edge label.
@@ -15,14 +21,66 @@ pub struct Update {
     pub src: Sym,
     /// Target vertex identity.
     pub tgt: Sym,
+    /// True for a retraction (the edge disappears), false for an addition.
+    pub retract: bool,
 }
 
 impl Update {
     /// Creates a new edge-addition update.
     #[inline]
     pub fn new(label: Sym, src: Sym, tgt: Sym) -> Self {
-        Self { label, src, tgt }
+        Self {
+            label,
+            src,
+            tgt,
+            retract: false,
+        }
     }
+
+    /// Creates a retraction of the edge `label = (src, tgt)`.
+    #[inline]
+    pub fn retraction(label: Sym, src: Sym, tgt: Sym) -> Self {
+        Self {
+            label,
+            src,
+            tgt,
+            retract: true,
+        }
+    }
+
+    /// True when this update removes its edge instead of adding it.
+    #[inline]
+    pub fn is_retraction(&self) -> bool {
+        self.retract
+    }
+
+    /// The sign-normalized addition form of this update — the identity of
+    /// the edge itself, usable as a set/map key regardless of sign.
+    #[inline]
+    pub fn edge(&self) -> Update {
+        Update::new(self.label, self.src, self.tgt)
+    }
+
+    /// This update with the opposite sign (an addition becomes the matching
+    /// retraction and vice versa).
+    #[inline]
+    pub fn inverted(&self) -> Update {
+        Update {
+            retract: !self.retract,
+            ..*self
+        }
+    }
+}
+
+/// Splits a batch into maximal runs of same-signed updates, preserving
+/// order: `[+a, +b, -c, +d]` yields `[+a, +b]`, `[-c]`, `[+d]`.
+///
+/// The staged/pipelined executors process addition runs through the
+/// concurrent staging machinery and retraction runs eagerly at a pipeline
+/// barrier, so run splitting is the single place where a mixed batch is
+/// decomposed.
+pub fn sign_runs(batch: &[Update]) -> impl Iterator<Item = &[Update]> {
+    batch.chunk_by(|a, b| a.retract == b.retract)
 }
 
 impl HeapSize for Update {
@@ -124,6 +182,30 @@ mod tests {
 
     fn u(l: u32, s: u32, t: u32) -> Update {
         Update::new(Sym(l), Sym(s), Sym(t))
+    }
+
+    #[test]
+    fn retraction_sign_and_normalization() {
+        let add = u(1, 2, 3);
+        let del = Update::retraction(Sym(1), Sym(2), Sym(3));
+        assert!(!add.is_retraction());
+        assert!(del.is_retraction());
+        assert_ne!(add, del, "signs are distinct update values");
+        assert_eq!(del.edge(), add, "edge() strips the sign");
+        assert_eq!(add.edge(), add);
+        assert_eq!(add.inverted(), del);
+        assert_eq!(del.inverted(), add);
+    }
+
+    #[test]
+    fn sign_runs_split_on_sign_flips() {
+        let batch = vec![u(0, 1, 2), u(0, 2, 3), u(0, 1, 2).inverted(), u(1, 3, 4)];
+        let runs: Vec<&[Update]> = sign_runs(&batch).collect();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].len(), 2);
+        assert!(runs[1][0].is_retraction() && runs[1].len() == 1);
+        assert!(!runs[2][0].is_retraction() && runs[2].len() == 1);
+        assert!(sign_runs(&[]).next().is_none());
     }
 
     #[test]

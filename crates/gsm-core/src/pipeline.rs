@@ -89,10 +89,11 @@ use std::time::{Duration, Instant};
 use crate::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
 };
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::model::update::Update;
 use crate::pool::WorkerPool;
 use crate::query::pattern::QueryPattern;
+use crate::relation::fasthash::FxHashMap;
 
 /// Configuration of the pipelined executor: the batcher's flush policy plus
 /// the staged-window depth and the answer-stage placement.
@@ -125,6 +126,15 @@ pub struct PipelineConfig {
     /// `GSM_ANSWER_THREADS` (see
     /// [`default_answer_workers`](PipelineConfig::default_answer_workers)).
     pub answer_workers: usize,
+    /// Sliding-window TTL: when set, an edge inserted at time *t* is
+    /// retracted automatically at *t + window* unless re-inserted (which
+    /// refreshes its deadline) or explicitly retracted first. The
+    /// [`DeadlineBatcher`] synthesizes the expiry retractions — it already
+    /// owns the clock — and emits them at the front of the next flushed
+    /// batch, so registered queries see their matches disappear as edges
+    /// age out. `None` (the default) keeps the unbounded, insert-only
+    /// stream semantics.
+    pub window: Option<Duration>,
 }
 
 impl Default for PipelineConfig {
@@ -135,6 +145,7 @@ impl Default for PipelineConfig {
             depth: 1,
             answer_thread: false,
             answer_workers: Self::default_answer_workers(),
+            window: None,
         }
     }
 }
@@ -170,6 +181,14 @@ impl PipelineConfig {
         self
     }
 
+    /// Enables sliding-window TTL semantics (see
+    /// [`PipelineConfig::window`]): edges expire `window` after their latest
+    /// insertion.
+    pub fn windowed(mut self, window: Duration) -> Self {
+        self.window = Some(window);
+        self
+    }
+
     /// The default answer-worker count: `GSM_ANSWER_THREADS` when set to a
     /// positive integer (mirroring the harness `--answer-threads` flag),
     /// 1 otherwise. One worker reproduces the pre-existing dedicated
@@ -187,6 +206,17 @@ impl PipelineConfig {
 /// it reaches the size bound **or** the oldest buffered update exceeds the
 /// delay bound, whichever comes first. Time is always passed in explicitly,
 /// so the flush behaviour is deterministic and testable.
+///
+/// With a sliding window ([`DeadlineBatcher::windowed`]) the batcher also
+/// tracks every live edge it has seen and synthesizes an **expiry
+/// retraction** once an edge's latest insertion is `window` old: the
+/// retraction is buffered like any update (arming the flush deadline), so
+/// it reaches the engine at the front of the next flushed batch.
+/// Re-inserting a live edge refreshes its deadline; an explicit retraction
+/// cancels the pending expiry. Expiries are observed at
+/// [`push`](DeadlineBatcher::push)/[`poll`](DeadlineBatcher::poll) time —
+/// there is no timer thread — so a windowed caller should poll its idle
+/// loops at [`next_deadline`](DeadlineBatcher::next_deadline).
 #[derive(Debug)]
 pub struct DeadlineBatcher {
     max_batch: usize,
@@ -194,6 +224,14 @@ pub struct DeadlineBatcher {
     buffer: Vec<Update>,
     /// Deadline of the oldest buffered update (`None` when empty).
     deadline: Option<Instant>,
+    /// Sliding-window TTL (`None`: insert-only, nothing ever expires).
+    window: Option<Duration>,
+    /// Live edge (sign-normalized) → instant of its latest insertion.
+    live: FxHashMap<Update, Instant>,
+    /// `(inserted_at, edge)` expiry queue in insertion order. Entries whose
+    /// edge was re-inserted or explicitly retracted later are stale and
+    /// skipped; `live` holds the authoritative latest insertion time.
+    expiry: VecDeque<(Instant, Update)>,
 }
 
 impl DeadlineBatcher {
@@ -204,7 +242,17 @@ impl DeadlineBatcher {
             max_delay,
             buffer: Vec::new(),
             deadline: None,
+            window: None,
+            live: FxHashMap::default(),
+            expiry: VecDeque::new(),
         }
+    }
+
+    /// Enables the sliding window: edges expire `window` after their latest
+    /// insertion (see the type docs).
+    pub fn windowed(mut self, window: Duration) -> Self {
+        self.window = Some(window);
+        self
     }
 
     /// Number of buffered updates.
@@ -217,14 +265,85 @@ impl DeadlineBatcher {
         self.buffer.is_empty()
     }
 
-    /// The instant the buffered batch must flush by, if any.
+    /// Number of live (unexpired, unretracted) edges the window tracks.
+    /// Always 0 without a window.
+    pub fn live_edges(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The live (unexpired, unretracted) edge set, in arbitrary order. With
+    /// an empty buffer this is exactly the surviving edge set of everything
+    /// flushed so far — the from-scratch state a windowed differential
+    /// oracle replays. Always empty without a window.
+    pub fn live_snapshot(&self) -> Vec<Update> {
+        self.live.keys().copied().collect()
+    }
+
+    /// The next instant something must happen by: the buffered batch's
+    /// flush deadline or the earliest pending edge expiry, whichever comes
+    /// first. (The expiry bound is conservative: a stale queue front may
+    /// report an expiry that turns out to be a no-op — polling then is
+    /// harmless.)
     pub fn next_deadline(&self) -> Option<Instant> {
-        self.deadline
+        let expiry = self
+            .window
+            .and_then(|w| self.expiry.front().map(|&(at, _)| at + w));
+        match (self.deadline, expiry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Records `update` in the live-edge window (no-op without a window):
+    /// an insertion (re-)arms the edge's expiry, a retraction cancels it.
+    fn track(&mut self, update: Update, now: Instant) {
+        if self.window.is_none() {
+            return;
+        }
+        let edge = update.edge();
+        if update.is_retraction() {
+            self.live.remove(&edge);
+        } else {
+            self.live.insert(edge, now);
+            self.expiry.push_back((now, edge));
+        }
+    }
+
+    /// Buffers a synthesized expiry retraction for every live edge whose
+    /// latest insertion is at least `window` old at `now`. Stale queue
+    /// entries (re-inserted or explicitly retracted edges) are skipped.
+    fn absorb_expired(&mut self, now: Instant) {
+        let Some(window) = self.window else {
+            return;
+        };
+        while let Some(&(inserted_at, edge)) = self.expiry.front() {
+            let Some(deadline) = inserted_at.checked_add(window) else {
+                self.expiry.pop_front();
+                continue;
+            };
+            if now < deadline {
+                break;
+            }
+            self.expiry.pop_front();
+            if self.live.get(&edge) != Some(&inserted_at) {
+                continue; // stale: refreshed or retracted since.
+            }
+            self.live.remove(&edge);
+            if self.buffer.is_empty() {
+                self.deadline = Some(now + self.max_delay);
+            }
+            self.buffer.push(edge.inverted());
+        }
     }
 
     /// Buffers one update at time `now`, returning a full batch if this push
-    /// filled the buffer or the oldest update's deadline has passed.
+    /// filled the buffer or the oldest update's deadline has passed. With a
+    /// sliding window, expiry retractions due by `now` are buffered first
+    /// (so a re-inserted expired edge is retracted before its re-insertion
+    /// and stays live).
     pub fn push(&mut self, update: Update, now: Instant) -> Option<Vec<Update>> {
+        self.absorb_expired(now);
+        self.track(update, now);
         if self.buffer.is_empty() {
             self.deadline = Some(now + self.max_delay);
         }
@@ -236,17 +355,22 @@ impl DeadlineBatcher {
         }
     }
 
-    /// Deadline check without a new update: flushes the buffer if the oldest
+    /// Deadline check without a new update: buffers any expiry retractions
+    /// due by `now`, then flushes the buffer if it is full or the oldest
     /// buffered update has waited past its deadline.
     pub fn poll(&mut self, now: Instant) -> Option<Vec<Update>> {
-        if self.deadline.is_some_and(|d| now >= d) {
+        self.absorb_expired(now);
+        if self.buffer.len() >= self.max_batch || self.deadline.is_some_and(|d| now >= d) {
             self.flush()
         } else {
             None
         }
     }
 
-    /// Unconditionally flushes whatever is buffered.
+    /// Unconditionally flushes whatever is buffered. Takes no clock, so no
+    /// expiries are synthesized — pending window state survives the flush
+    /// and is observed by the next [`push`](DeadlineBatcher::push) or
+    /// [`poll`](DeadlineBatcher::poll).
     pub fn flush(&mut self) -> Option<Vec<Update>> {
         self.deadline = None;
         if self.buffer.is_empty() {
@@ -449,12 +573,38 @@ impl AnswerStage {
     }
 }
 
+/// Drain-on-drop: dropping the executor mid-stream with detached answer
+/// tasks outstanding blocks for each of them and **re-raises the first
+/// worker panic** on the dropping thread — an in-flight join-pass failure
+/// is never silently lost to teardown. Successful reports are discarded
+/// (the wrapper they would complete through is going away); call
+/// [`PipelinedEngine::drain`] before dropping if they matter. When the
+/// thread is already unwinding, pending panics are swallowed instead of
+/// aborting the process with a double panic.
+impl Drop for AnswerStage {
+    fn drop(&mut self) {
+        while !self.pending.is_empty() {
+            let result = self.collect_blocking();
+            self.pending.pop_front();
+            if let Err(payload) = result {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
 impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// Wraps `engine` behind a pipelined front end.
     pub fn new(engine: E, config: PipelineConfig) -> Self {
+        let mut batcher = DeadlineBatcher::new(config.max_batch, config.max_delay);
+        if let Some(window) = config.window {
+            batcher = batcher.windowed(window);
+        }
         PipelinedEngine {
             engine,
-            batcher: DeadlineBatcher::new(config.max_batch, config.max_delay),
+            batcher,
             depth: config.depth,
             staged: VecDeque::new(),
             answer: config
@@ -490,6 +640,19 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// Number of updates buffered by the batcher (not yet staged).
     pub fn buffered(&self) -> usize {
         self.batcher.len()
+    }
+
+    /// Number of live edges tracked by the sliding window (always 0 without
+    /// [`PipelineConfig::window`]).
+    pub fn live_edges(&self) -> usize {
+        self.batcher.live_edges()
+    }
+
+    /// The live (unexpired, unretracted) edge set of the sliding window, in
+    /// arbitrary order. After a [`Self::drain`] this is exactly the edge set
+    /// the inner engine's state reflects. Always empty without a window.
+    pub fn live_snapshot(&self) -> Vec<Update> {
+        self.batcher.live_snapshot()
     }
 
     /// Streams one update at the current wall-clock time. Returns the
@@ -535,20 +698,23 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// Streams a whole slice through the pipeline (constant synthetic time,
     /// so segmentation is purely size-driven), drains it, and returns the
     /// merge of every report — equal to merging the sequential per-update
-    /// reports of the stream. Convenience for benches and tests.
+    /// reports of the stream (both the appearing and the disappearing
+    /// embeddings). Convenience for benches and tests.
     pub fn run_stream(&mut self, updates: &[Update]) -> MatchReport {
         let now = Instant::now();
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
-        let mut fold = |batches: Vec<CompletedBatch>| {
+        let mut report = MatchReport::empty();
+        let fold = |acc: &mut MatchReport, batches: Vec<CompletedBatch>| {
             for b in batches {
-                counts.extend(b.report.matches.iter().map(|m| (m.query, m.new_embeddings)));
+                *acc = acc.merge(&b.report);
             }
         };
         for &u in updates {
-            fold(self.push_at(u, now));
+            let done = self.push_at(u, now);
+            fold(&mut report, done);
         }
-        fold(self.drain());
-        MatchReport::from_counts(counts)
+        let done = self.drain();
+        fold(&mut report, done);
+        report
     }
 
     /// Stages one flushed batch into the window: inline mode keeps the
@@ -556,7 +722,20 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// detaches it immediately and ships the self-contained answer task to
     /// the answer thread, which starts the covering-path join while this
     /// thread returns to stage the next batch.
+    ///
+    /// A batch containing **retractions** is a pipeline barrier instead:
+    /// retractions compact relation storage and bump generations, which
+    /// would invalidate the frozen watermarks earlier staged tokens rely
+    /// on. The staged window drains first (preserving FIFO completion),
+    /// then the batch applies eagerly and completes immediately.
     fn stage(&mut self, batch: Vec<Update>) {
+        if batch.iter().any(Update::is_retraction) {
+            self.drain_window();
+            let updates = batch.len();
+            let report = self.engine.apply_batch(&batch);
+            self.completed.push(CompletedBatch { updates, report });
+            return;
+        }
         let updates = batch.len();
         let token = self.engine.stage_batch(&batch);
         if self.answer.is_none() {
@@ -647,6 +826,13 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
         if let Some(batch) = self.batcher.flush() {
             self.stage(batch);
         }
+        self.drain_window();
+    }
+
+    /// Empties the staged window without touching the batcher: blocks for
+    /// every pending answer-thread report, then answers every inline
+    /// staged token, oldest first.
+    fn drain_window(&mut self) {
         while self
             .answer
             .as_ref()
@@ -665,10 +851,19 @@ impl<E: ContinuousEngine> ContinuousEngine for PipelinedEngine<E> {
         self.engine.name()
     }
 
-    /// Registers on the inner engine behind a pipeline barrier —
-    /// registration must not interleave with staged batches (see the
-    /// staging contract on [`ContinuousEngine::stage_batch`]).
+    /// Registers on the inner engine. Registration must not interleave with
+    /// staged batches (see the staging contract on
+    /// [`ContinuousEngine::stage_batch`]): with staged tokens outstanding
+    /// ([`in_flight`](PipelinedEngine::in_flight) > 0) this returns
+    /// [`Error::RegistrationWhileStaged`] — call
+    /// [`drain`](PipelinedEngine::drain) first. Updates that are merely
+    /// *buffered* (not yet staged) are flushed and answered before
+    /// registering, so their reports are retained, not lost.
     fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        let outstanding = self.in_flight();
+        if outstanding > 0 {
+            return Err(Error::RegistrationWhileStaged(outstanding));
+        }
         self.barrier();
         self.engine.register_query(query)
     }
@@ -1201,5 +1396,188 @@ mod tests {
         assert!(PipelineConfig::default_answer_workers() >= 1);
         let config = PipelineConfig::new(2, Duration::from_secs(60)).with_answer_workers(0);
         assert_eq!(config.answer_workers, 1);
+    }
+
+    #[test]
+    fn batcher_sliding_window_expires_edges() {
+        let mut b = DeadlineBatcher::new(100, MS).windowed(10 * MS);
+        let now = t0();
+        // Insert, flush on deadline, then let the edge age out: the poll at
+        // t+10ms synthesizes the retraction, which flushes at t+11ms.
+        assert!(b.push(u(0, 1, 2), now).is_none());
+        assert_eq!(b.live_edges(), 1);
+        let batch = b.poll(now + MS).expect("deadline flush");
+        assert_eq!(batch, vec![u(0, 1, 2)]);
+        assert!(b.poll(now + 9 * MS).is_none(), "not expired yet");
+        assert!(b.poll(now + 10 * MS).is_none(), "expiry buffered, not due");
+        assert_eq!(b.live_edges(), 0);
+        let batch = b.poll(now + 11 * MS).expect("expiry flush");
+        assert_eq!(batch, vec![u(0, 1, 2).inverted()]);
+        assert!(batch[0].is_retraction());
+        // Nothing left: the window is empty and stays quiet.
+        assert!(b.poll(now + 100 * MS).is_none());
+    }
+
+    #[test]
+    fn batcher_reinsertion_refreshes_the_window_deadline() {
+        let mut b = DeadlineBatcher::new(1, MS).windowed(10 * MS);
+        let now = t0();
+        assert!(b.push(u(0, 1, 2), now).is_some(), "size-1 flush");
+        // Re-insert at t+6ms: the t0 expiry entry goes stale.
+        assert!(b.push(u(0, 1, 2), now + 6 * MS).is_some());
+        assert!(b.poll(now + 10 * MS).is_none(), "stale entry skipped");
+        assert_eq!(b.live_edges(), 1);
+        // The refreshed deadline (t+16ms) is the one that fires.
+        let batch = b.poll(now + 16 * MS).expect("refreshed expiry");
+        assert_eq!(batch, vec![u(0, 1, 2).inverted()]);
+        assert_eq!(b.live_edges(), 0);
+    }
+
+    #[test]
+    fn batcher_explicit_retraction_cancels_the_pending_expiry() {
+        let mut b = DeadlineBatcher::new(1, MS).windowed(10 * MS);
+        let now = t0();
+        assert!(b.push(u(0, 1, 2), now).is_some());
+        assert!(b.push(u(0, 1, 2).inverted(), now + 2 * MS).is_some());
+        assert_eq!(b.live_edges(), 0);
+        // No synthesized retraction ever fires for the retracted edge.
+        assert!(b.poll(now + 50 * MS).is_none());
+    }
+
+    #[test]
+    fn batcher_expired_edge_repushed_in_the_same_call_stays_live() {
+        let mut b = DeadlineBatcher::new(100, MS).windowed(5 * MS);
+        let now = t0();
+        assert!(b.push(u(0, 1, 2), now).is_none());
+        b.flush();
+        // The re-push observes the expiry first: the flushed batch orders
+        // the synthesized retraction before the re-insertion, so the edge
+        // ends the batch live.
+        assert!(b.push(u(0, 1, 2), now + 7 * MS).is_none());
+        let batch = b.poll(now + 8 * MS).expect("deadline flush");
+        assert_eq!(batch, vec![u(0, 1, 2).inverted(), u(0, 1, 2)]);
+        assert_eq!(b.live_edges(), 1);
+    }
+
+    #[test]
+    fn retraction_batches_barrier_the_window_and_apply_eagerly() {
+        // Inline mode, deep window, flush size 1: two staged insert batches
+        // sit in the window when the retraction arrives; it must drain them
+        // (FIFO) and then apply eagerly, never entering the window itself.
+        let config = PipelineConfig::new(1, Duration::from_secs(60)).with_depth(3);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert!(pipe.push_at(u(2, 2, 3), now).is_empty());
+        assert_eq!(pipe.in_flight(), 2);
+        let done = pipe.push_at(u(0, 1, 2).inverted(), now);
+        assert_eq!(done.len(), 3, "window drained + eager retraction batch");
+        assert_eq!(pipe.in_flight(), 0);
+        assert_eq!(
+            pipe.engine().log,
+            vec![
+                ("stage", 0),
+                ("stage", 1),
+                ("answer", 0),
+                ("answer", 1),
+                ("stage", 2),
+                ("answer", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn windowed_pipeline_completes_expiry_batches() {
+        let config = PipelineConfig::new(100, 2 * MS).windowed(8 * MS);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert_eq!(pipe.live_edges(), 1);
+        assert!(pipe.poll_at(now + 2 * MS).is_empty(), "staged, depth 1");
+        // At t+8ms the edge expires; the synthesized retraction flushes at
+        // t+10ms and, being a barrier, completes the staged batch too.
+        assert!(pipe.poll_at(now + 8 * MS).is_empty());
+        assert_eq!(pipe.live_edges(), 0);
+        let done = pipe.poll_at(now + 10 * MS);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].updates, 1, "the insert batch");
+        assert_eq!(done[1].updates, 1, "the synthesized expiry retraction");
+        assert_eq!(pipe.in_flight(), 0);
+    }
+
+    #[test]
+    fn registration_with_staged_batches_in_flight_is_rejected() {
+        let config = PipelineConfig::new(1, Duration::from_secs(60)).with_depth(3);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert!(pipe.push_at(u(2, 2, 3), now).is_empty());
+        assert_eq!(pipe.in_flight(), 2);
+        let mut symbols = crate::interner::SymbolTable::new();
+        let q = QueryPattern::parse("?a -x-> ?b", &mut symbols).unwrap();
+        match pipe.register_query(&q) {
+            Err(Error::RegistrationWhileStaged(n)) => assert_eq!(n, 2),
+            other => panic!("expected RegistrationWhileStaged, got {other:?}"),
+        }
+        // Draining consumes the tokens; registration is legal again.
+        assert_eq!(pipe.drain().len(), 2);
+        pipe.register_query(&q).unwrap();
+    }
+
+    /// Like [`PanickingDetachToy`], but the detached task sleeps first so
+    /// the panic is still in flight when the executor is dropped.
+    #[derive(Default)]
+    struct SleepyPanicToy {
+        stats: EngineStats,
+    }
+
+    impl ContinuousEngine for SleepyPanicToy {
+        fn name(&self) -> &'static str {
+            "SLEEPY-PANIC-TOY"
+        }
+        fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+            Ok(QueryId(0))
+        }
+        fn apply_update(&mut self, update: Update) -> MatchReport {
+            self.apply_batch(&[update])
+        }
+        fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+            self.stats.updates_processed += updates.len() as u64;
+            StagedBatch::deferred(())
+        }
+        fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+            let _ = staged.into_deferred::<()>();
+            MatchReport::empty()
+        }
+        fn detach_staged(&mut self, _staged: StagedBatch) -> DetachedAnswer {
+            DetachedAnswer::task(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                panic!("slow join pass exploded")
+            })
+        }
+        fn num_queries(&self) -> usize {
+            1
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> EngineStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slow join pass exploded")]
+    fn dropping_mid_stream_reraises_outstanding_worker_panics() {
+        let config = PipelineConfig::new(1, Duration::from_secs(60))
+            .with_depth(4)
+            .threaded();
+        let mut pipe = PipelinedEngine::new(SleepyPanicToy::default(), config);
+        // Stage + detach one batch; the worker is still asleep when the
+        // executor drops, so the panic must surface via drain-on-drop
+        // instead of vanishing with the worker pool.
+        pipe.push_at(u(0, 1, 2), t0());
+        assert_eq!(pipe.in_flight(), 1);
+        drop(pipe);
     }
 }

@@ -126,16 +126,18 @@ pub struct FrozenJoinCache {
 impl FrozenJoinCache {
     /// Looks up a published build for `rel` keyed by `key_cols`.
     ///
-    /// A build is returned only when it indexes **at least** `rel.len()`
-    /// rows: probing an over-indexed build against a shorter snapshot is
-    /// safe (probe hits are bounds-checked against the probe-side
-    /// relation), but an under-indexed build would silently miss rows, so
-    /// it is treated as absent and the caller falls back to building.
+    /// A build is returned only when it was indexed in the **same
+    /// compaction generation** as `rel` and indexes **at least**
+    /// `rel.len()` rows: probing an over-indexed build against a shorter
+    /// snapshot is safe (probe hits are bounds-checked against the
+    /// probe-side relation), but an under-indexed build — or one whose row
+    /// indices predate a retraction compaction — would silently miss rows,
+    /// so it is treated as absent and the caller falls back to building.
     pub fn get(&self, rel: &Relation, key_cols: &[usize]) -> Option<&JoinBuild> {
         let key: CacheKey = (rel.id(), key_cols.to_vec());
         self.builds
             .get(&key)
-            .filter(|b| b.rows_indexed() >= rel.len())
+            .filter(|b| b.generation() == rel.generation() && b.rows_indexed() >= rel.len())
             .map(Arc::as_ref)
     }
 
@@ -298,6 +300,28 @@ mod tests {
         cache.get_or_build(&r, &[0]);
         let frozen = cache.freeze();
         assert!(frozen.get(&snap, &[0]).is_some());
+    }
+
+    #[test]
+    fn frozen_cache_rejects_builds_from_an_older_generation() {
+        let mut cache = JoinCache::new();
+        let mut r = Relation::new(1);
+        r.push(&[s(1)]);
+        r.push(&[s(2)]);
+        r.push(&[s(3)]);
+        cache.get_or_build(&r, &[0]);
+        let frozen = cache.freeze();
+        // Compaction shrinks the relation; the stale build indexes *more*
+        // rows than rel.len(), so the length guard alone would wrongly
+        // serve it — the generation guard must fail it closed.
+        let gone = Relation::singleton(&[s(2)]);
+        r.retract_rows(&gone);
+        assert!(frozen.get(&r, &[0]).is_none(), "stale generation served");
+        // The live cache transparently rebuilds on the same key.
+        let build = cache.get_or_build(&r, &[0]);
+        assert_eq!(build.generation(), r.generation());
+        assert_eq!(build.probe(&r, &[s(3)]).len(), 1);
+        assert_eq!(build.probe(&r, &[s(2)]).len(), 0);
     }
 
     #[test]

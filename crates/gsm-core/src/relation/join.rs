@@ -21,6 +21,11 @@ pub struct JoinBuild {
     buckets: FxHashMap<u64, Bucket>,
     /// Number of rows of the underlying relation already indexed.
     rows_indexed: usize,
+    /// Compaction generation of the relation when it was (re)indexed. A
+    /// retraction compacts the relation in place and bumps its generation,
+    /// invalidating every row index recorded here; incremental updates
+    /// detect the mismatch and rebuild from scratch.
+    generation: u64,
 }
 
 impl JoinBuild {
@@ -38,6 +43,7 @@ impl JoinBuild {
             key_cols: key_cols.to_vec(),
             buckets: FxHashMap::default(),
             rows_indexed: 0,
+            generation: rel.generation(),
         };
         b.update_to(rel, len);
         b
@@ -53,6 +59,11 @@ impl JoinBuild {
         self.rows_indexed
     }
 
+    /// The relation generation this build's row indices are valid for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Indexes any rows appended to `rel` since the last build/update.
     /// This is the incremental maintenance used by the `+` engines.
     /// Allocation-free except when a collision chain spills: keys are hashed
@@ -63,15 +74,26 @@ impl JoinBuild {
 
     /// Indexes rows up to (exclusive) row `len` — [`update`](Self::update)
     /// bounded by a version watermark. A no-op when `len` rows are already
-    /// indexed; `len` is clamped to the relation's current length.
+    /// indexed; `len` is clamped to the relation's current length. When the
+    /// relation was compacted since the last (re)index (its generation
+    /// changed), every recorded row index is invalid and the build starts
+    /// over from scratch.
     pub fn update_to(&mut self, rel: &Relation, len: usize) {
+        if self.generation != rel.generation() {
+            self.buckets.clear();
+            self.rows_indexed = 0;
+            self.generation = rel.generation();
+        }
         let len = len.min(rel.len());
         if self.rows_indexed >= len {
             return;
         }
         for i in self.rows_indexed..len {
             let h = hash_projected(rel.row(i), &self.key_cols);
-            self.buckets.entry(h).or_default().push(i as u32);
+            self.buckets
+                .entry(h)
+                .or_default()
+                .push(super::checked_row_index(i));
         }
         self.rows_indexed = len;
     }
@@ -498,6 +520,21 @@ mod tests {
         assert_eq!(build.probe(&right, &[s(7)]).len(), 0);
         build.update_to(&right, CHUNK_ROWS + 2);
         assert_eq!(build.probe(&right, &[s(7)]).len(), 3);
+    }
+
+    #[test]
+    fn update_rebuilds_after_compaction() {
+        let mut r = rel(2, &[&[1, 10], &[2, 20], &[3, 30]]);
+        let mut build = JoinBuild::build(&r, &[0]);
+        // Retract the middle row: every later row index shifts, so the old
+        // build would probe row 1 expecting key 2 and find key 3.
+        let gone = rel(2, &[&[2, 20]]);
+        r.retract_rows(&gone);
+        build.update(&r);
+        assert_eq!(build.generation(), r.generation());
+        assert_eq!(build.probe(&r, &[s(2)]).len(), 0);
+        assert_eq!(build.probe(&r, &[s(3)]).len(), 1, "shifted row found");
+        assert_eq!(build.rows_indexed(), 2);
     }
 
     #[test]

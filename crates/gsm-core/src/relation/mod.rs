@@ -3,8 +3,11 @@
 //! Every materialized view of the paper — the per-edge views `matV[e]`, the
 //! per-trie-node views `matV[n]`, and the per-path views of the baselines —
 //! is a [`Relation`]: a duplicate-free table of vertex symbols with a fixed
-//! arity. Relations only ever grow (the stream is insert-only), which the
-//! join-build cache of the `+` engine variants exploits.
+//! arity. Within one **generation** relations only ever grow, which the
+//! join-build cache of the `+` engine variants exploits; retractions
+//! ([`Relation::retract_rows`]) compact the storage eagerly and open a new
+//! generation, so every cached artefact can detect staleness by comparing
+//! generation counters.
 
 pub mod cache;
 pub mod eval;
@@ -27,6 +30,17 @@ static NEXT_RELATION_ID: AtomicU64 = AtomicU64::new(1);
 /// cheap: a snapshot shares the frozen chunks by reference count and copies
 /// at most one partial chunk.
 pub const CHUNK_ROWS: usize = 1024;
+
+/// Converts a row count into a `u32` dedup-index slot, panicking with a
+/// descriptive message instead of silently wrapping past 2³² rows (which
+/// would corrupt the index: a wrapped slot aliases an earlier row, so
+/// duplicate checks compare against the wrong tuple).
+#[inline]
+pub(crate) fn checked_row_index(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| {
+        panic!("relation row index {len} exceeds the u32 capacity of the dedup index")
+    })
+}
 
 /// A duplicate-free table of `Sym` tuples with fixed arity.
 ///
@@ -65,6 +79,11 @@ pub struct Relation {
     index: FxHashMap<u64, Bucket>,
     /// False for distinct-by-construction relations (no dedup index).
     indexed: bool,
+    /// Compaction generation. Bumped by [`Relation::retract_rows`]; within
+    /// one generation the table is append-only and the row-count versioning
+    /// contract holds. Carried by clones and owned snapshots so stale join
+    /// builds and frozen caches can be detected and rebuilt.
+    generation: u64,
 }
 
 impl Relation {
@@ -78,6 +97,7 @@ impl Relation {
             tail: Vec::new(),
             index: FxHashMap::default(),
             indexed: true,
+            generation: 0,
         }
     }
 
@@ -137,20 +157,48 @@ impl Relation {
     ///
     /// # Versioning contract
     ///
-    /// Relations are **insert-only** — rows are appended, never removed or
-    /// reordered — so a version is simply a row-count watermark and uniquely
-    /// identifies a prefix of the table for the rest of the relation's life.
-    /// Capturing `version()` is O(1); a later [`snapshot_at`] of that
-    /// watermark exposes exactly the rows that existed at capture time, no
-    /// matter how many rows a writer has appended since, and
-    /// [`delta_since`] yields exactly the rows appended after it. This is
-    /// what lets the pipelined executor answer batch *N* against frozen
-    /// views while batch *N + 1* is already being routed and propagated.
+    /// Within one [`generation`](Relation::generation) relations are
+    /// **append-only** — rows are appended, never removed or reordered — so
+    /// a version is simply a row-count watermark and uniquely identifies a
+    /// prefix of the table for as long as the generation lasts. Capturing
+    /// `version()` is O(1); a later [`snapshot_at`] of that watermark
+    /// exposes exactly the rows that existed at capture time, no matter how
+    /// many rows a writer has appended since, and [`delta_since`] yields
+    /// exactly the rows appended after it. This is what lets the pipelined
+    /// executor answer batch *N* against frozen views while batch *N + 1*
+    /// is already being routed and propagated.
+    ///
+    /// [`retract_rows`](Relation::retract_rows) compacts the table and
+    /// opens a new generation, invalidating old watermarks; consumers that
+    /// hold a watermark across a possible retraction must also capture the
+    /// generation and re-derive their state when it changed. Owned
+    /// snapshots ([`snapshot_owned`](Relation::snapshot_owned)) are immune:
+    /// they share the *old* generation's chunks by `Arc`, which stay alive
+    /// until the last snapshot drops — reclamation is exactly the release
+    /// of those reference counts.
     ///
     /// [`snapshot_at`]: Relation::snapshot_at
     /// [`delta_since`]: Relation::delta_since
     pub fn version(&self) -> usize {
         self.len()
+    }
+
+    /// The compaction generation this relation is in. `0` until the first
+    /// [`retract_rows`](Relation::retract_rows); bumped by each compaction.
+    /// A (generation, version) pair uniquely identifies a physical row
+    /// prefix, which is what the join-build caches key their staleness
+    /// checks on.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of full, frozen storage chunks currently referenced by this
+    /// relation. Compaction drops retracted rows, so under a sliding-window
+    /// stream this stays proportional to the *live* row count rather than
+    /// growing with the total insert count — the boundedness the
+    /// reclamation tests assert.
+    pub fn frozen_chunks(&self) -> usize {
+        self.frozen.len()
     }
 
     /// A read-only view of the first `version` rows — the state of the
@@ -214,6 +262,7 @@ impl Relation {
             tail,
             index: FxHashMap::default(),
             indexed: false,
+            generation: self.generation,
         }
     }
 
@@ -343,12 +392,87 @@ impl Relation {
         }
     }
 
+    /// Removes every row of `removed` that is present in `self`, compacting
+    /// the storage in place, and returns how many rows were dropped.
+    ///
+    /// The surviving rows keep their relative order. Frozen chunks entirely
+    /// before the first removed row are reused untouched (`Arc` clones);
+    /// everything from the first removal onward is rewritten into fresh
+    /// chunks and the dedup index (if any) is rebuilt. The relation keeps
+    /// its [`id`](Relation::id) but opens a new
+    /// [`generation`](Relation::generation), so stale join builds and
+    /// frozen caches keyed on the id detect the rewrite and rebuild.
+    ///
+    /// Old-generation chunks are **not** freed here if an outstanding
+    /// [`snapshot_owned`](Relation::snapshot_owned) still shares them; they
+    /// are reclaimed when the last such snapshot drops — the `Arc`
+    /// reference counts are the epoch scheme.
+    pub fn retract_rows(&mut self, removed: &Relation) -> usize {
+        assert_eq!(
+            self.arity, removed.arity,
+            "retract_rows arity mismatch: {} vs {}",
+            self.arity, removed.arity
+        );
+        if removed.is_empty() || self.is_empty() {
+            return 0;
+        }
+        // Probe index over the rows to remove: row hash → indices into
+        // `removed`, chains verified by full row comparison.
+        let mut probe: FxHashMap<u64, Bucket> = FxHashMap::default();
+        for (i, row) in removed.iter().enumerate() {
+            probe
+                .entry(hash_syms(row))
+                .or_default()
+                .push(checked_row_index(i));
+        }
+        let is_removed = |row: &[Sym]| -> bool {
+            probe
+                .get(&hash_syms(row))
+                .map(|b| b.as_slice().iter().any(|&i| removed.row(i as usize) == row))
+                .unwrap_or(false)
+        };
+        // Locate the first removed row; chunks wholly before it survive.
+        let Some(first) = self.iter().position(is_removed) else {
+            return 0;
+        };
+        let keep_chunks = (first / CHUNK_ROWS).min(self.frozen.len());
+        let mut new_frozen: Vec<Arc<[Sym]>> = self.frozen[..keep_chunks].to_vec();
+        let mut new_tail: Vec<Sym> = Vec::with_capacity(CHUNK_ROWS * self.arity);
+        let mut dropped = 0;
+        for row in self.iter_from(keep_chunks * CHUNK_ROWS) {
+            if is_removed(row) {
+                dropped += 1;
+                continue;
+            }
+            new_tail.extend_from_slice(row);
+            if new_tail.len() == CHUNK_ROWS * self.arity {
+                let full =
+                    std::mem::replace(&mut new_tail, Vec::with_capacity(CHUNK_ROWS * self.arity));
+                new_frozen.push(full.into());
+            }
+        }
+        self.frozen = new_frozen;
+        self.tail = new_tail;
+        self.generation += 1;
+        if self.indexed {
+            let mut index: FxHashMap<u64, Bucket> = FxHashMap::default();
+            for (i, row) in self.iter().enumerate() {
+                index
+                    .entry(hash_syms(row))
+                    .or_default()
+                    .push(checked_row_index(i));
+            }
+            self.index = index;
+        }
+        dropped
+    }
+
     /// [`push`](Self::push) with an externally supplied row hash — the
     /// testable core that lets unit tests force bucket collisions. Collision
     /// chains are always verified by full row comparison, so correctness
     /// never depends on hash quality.
     fn push_hashed(&mut self, h: u64, row: &[Sym]) -> bool {
-        let new_index = self.len() as u32;
+        let new_index = checked_row_index(self.len());
         {
             let arity = self.arity;
             let frozen = &self.frozen;
@@ -856,6 +980,125 @@ mod tests {
         }
         // Clamping matches snapshot_at.
         assert_eq!(r.snapshot_owned(usize::MAX).len(), r.len());
+    }
+
+    #[test]
+    fn checked_row_index_passes_and_panics() {
+        assert_eq!(checked_row_index(0), 0);
+        assert_eq!(checked_row_index(41), 41);
+        assert_eq!(checked_row_index(u32::MAX as usize), u32::MAX);
+        let overflow = std::panic::catch_unwind(|| checked_row_index(u32::MAX as usize + 1));
+        let msg = *overflow
+            .expect_err("row index past u32::MAX must panic, not wrap")
+            .downcast::<String>()
+            .expect("panic payload");
+        assert!(
+            msg.contains("exceeds the u32 capacity"),
+            "descriptive message, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn retract_rows_removes_and_compacts() {
+        let mut r = Relation::new(2);
+        r.push(&[s(1), s(2)]);
+        r.push(&[s(3), s(4)]);
+        r.push(&[s(5), s(6)]);
+        let mut gone = Relation::new(2);
+        gone.push(&[s(3), s(4)]);
+        gone.push(&[s(9), s(9)]); // absent — must not count
+        assert_eq!(r.generation(), 0);
+        assert_eq!(r.retract_rows(&gone), 1);
+        assert_eq!(r.generation(), 1);
+        assert_eq!(r.to_vec(), vec![vec![s(1), s(2)], vec![s(5), s(6)]]);
+        // Survivors keep order; the dedup index is rebuilt correctly.
+        assert!(!r.push(&[s(1), s(2)]));
+        assert!(!r.push(&[s(5), s(6)]));
+        assert!(r.push(&[s(3), s(4)]), "retracted row may be re-inserted");
+        // No matching rows → no-op, generation unchanged.
+        let mut none = Relation::new(2);
+        none.push(&[s(7), s(7)]);
+        assert_eq!(r.retract_rows(&none), 0);
+        assert_eq!(r.generation(), 1);
+    }
+
+    #[test]
+    fn retract_rows_shares_untouched_prefix_chunks() {
+        let mut r = counted(3 * CHUNK_ROWS + 5);
+        let before: Vec<Arc<[Sym]>> = r.frozen.clone();
+        // Remove a row in the third chunk: the first two survive untouched.
+        let gone = Relation::singleton(&[s((2 * CHUNK_ROWS + 1) as u32)]);
+        assert_eq!(r.retract_rows(&gone), 1);
+        assert!(Arc::ptr_eq(&r.frozen[0], &before[0]), "chunk 0 shared");
+        assert!(Arc::ptr_eq(&r.frozen[1], &before[1]), "chunk 1 shared");
+        assert!(!Arc::ptr_eq(&r.frozen[2], &before[2]), "chunk 2 rewritten");
+        assert_eq!(r.len(), 3 * CHUNK_ROWS + 4);
+        let all: Vec<u32> = r.iter().map(|row| row[0].0).collect();
+        let expect: Vec<u32> = (0..(3 * CHUNK_ROWS + 5) as u32)
+            .filter(|&i| i != (2 * CHUNK_ROWS + 1) as u32)
+            .collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn retract_rows_keeps_snapshots_alive_then_reclaims() {
+        // The Arc-refcount epoch scheme: an outstanding owned snapshot pins
+        // the pre-compaction chunks; dropping it releases them.
+        let mut r = counted(2 * CHUNK_ROWS);
+        let snap = r.snapshot_owned(r.version());
+        let pinned = Arc::clone(&r.frozen[0]);
+        let gone = Relation::singleton(&[s(3)]);
+        assert_eq!(r.retract_rows(&gone), 1);
+        // Snapshot still reads the old generation bit-for-bit.
+        assert_eq!(snap.len(), 2 * CHUNK_ROWS);
+        assert_eq!(snap.row(3), &[s(3)]);
+        assert!(!r.contains(&[s(3)]));
+        assert_eq!(Arc::strong_count(&pinned), 2, "snapshot pins old chunk");
+        drop(snap);
+        assert_eq!(Arc::strong_count(&pinned), 1, "reclaimed once unpinned");
+    }
+
+    #[test]
+    fn retract_rows_on_distinct_relation() {
+        let mut r = Relation::new_distinct(1);
+        for i in 0..5 {
+            r.append_distinct(&[s(i)]);
+        }
+        let mut gone = Relation::new(1);
+        gone.push(&[s(0)]);
+        gone.push(&[s(4)]);
+        assert_eq!(r.retract_rows(&gone), 2);
+        assert_eq!(r.to_vec(), vec![vec![s(1)], vec![s(2)], vec![s(3)]]);
+        assert!(!r.is_indexed());
+    }
+
+    #[test]
+    fn sliding_window_keeps_chunk_count_bounded() {
+        // Sustained insert-then-retract churn: the live row count never
+        // exceeds the window, so compaction must keep the frozen chunk
+        // count bounded by the window size instead of the insert total.
+        let window = CHUNK_ROWS / 2;
+        let mut r = Relation::new(1);
+        let mut generations = 0;
+        for i in 0..20 * CHUNK_ROWS as u32 {
+            r.push(&[s(i)]);
+            if i as usize >= window && i % 512 == 0 {
+                let mut expired = Relation::new(1);
+                for j in (i as usize - window).saturating_sub(512)..(i as usize - window) {
+                    expired.push(&[s(j as u32)]);
+                }
+                let g = r.generation();
+                r.retract_rows(&expired);
+                generations += u64::from(r.generation() > g);
+            }
+        }
+        assert!(generations > 10, "compaction ran repeatedly");
+        assert!(
+            r.frozen_chunks() <= 2,
+            "frozen chunks unbounded: {} for window {window}",
+            r.frozen_chunks()
+        );
+        assert!(r.len() <= window + 1024);
     }
 
     #[test]

@@ -74,11 +74,11 @@ use std::sync::Arc;
 use crate::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
 };
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::interner::Sym;
 use crate::memory::HeapSize;
 use crate::model::generic::GenericEdge;
-use crate::model::update::Update;
+use crate::model::update::{sign_runs, Update};
 use crate::pool::WorkerPool;
 use crate::query::paths::covering_paths;
 use crate::query::pattern::{QVertexId, QueryPattern};
@@ -421,6 +421,11 @@ pub struct ShardedEngine<E> {
     /// backfills owner shards from here (see the module docs).
     history: EdgeViewStore,
     num_queries: usize,
+    /// Staged batch tokens issued by [`ContinuousEngine::stage_batch`] and
+    /// not yet consumed by `answer_staged`/`detach_staged`. Registration is
+    /// rejected while any are outstanding (it would restructure the tries,
+    /// views and id maps a deferred answer pass reads).
+    outstanding: usize,
     name: &'static str,
     stats: EngineStats,
 }
@@ -441,6 +446,7 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
             route_marked: Vec::new(),
             history: EdgeViewStore::new(),
             num_queries: 0,
+            outstanding: 0,
             name,
             stats: EngineStats::default(),
         }
@@ -745,6 +751,148 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
             MatchReport::from_counts(counts).merge(&spanning_report)
         })
     }
+
+    /// Eagerly applies one all-retraction run for `num_shards > 1`:
+    ///
+    /// 1. The wrapper-level history store retracts the named edges (so
+    ///    mid-stream spanning registration never backfills removed rows).
+    /// 2. The run routes to shards exactly like the insert path, and each
+    ///    receiving shard's inner engine applies it eagerly; the per-shard
+    ///    retracted counts translate to wrapper ids and merge.
+    /// 3. Spanning path states answer **before** committing: the removed
+    ///    rows of each shard's spanning views seed the same
+    ///    [`delta_path_relation`] deletion delta the engines use locally,
+    ///    the covering-path join runs against the other paths' full
+    ///    pre-removal relations, and only then do the spanning views and
+    ///    the materialized fulls compact ([`Relation::retract_rows`]).
+    ///
+    /// Runs sequentially — a retraction batch compacts shared state, so it
+    /// is a pipeline barrier anyway (see the staging contract), and the
+    /// absorb pool's parallelism would buy nothing against that wall.
+    fn retract_run(&mut self, updates: &[Update]) -> MatchReport {
+        self.stats.updates_processed += updates.len() as u64;
+
+        let removed_hist = self.history.remove_deltas(updates);
+        self.history.retract_deltas(&removed_hist);
+
+        // Route the run (same reverse-index walk as the insert path).
+        for shard in &mut self.shards {
+            shard.slice.clear();
+        }
+        for &u in updates {
+            for shape in GenericEdge::shapes_of_update(&u) {
+                let Some(shards) = self.route_index.get(&shape) else {
+                    continue;
+                };
+                for &s in shards {
+                    if !self.route_marks[s] {
+                        self.route_marks[s] = true;
+                        self.route_marked.push(s);
+                        self.shards[s].slice.push(u);
+                        self.shards[s].routed += 1;
+                    }
+                }
+            }
+            for s in self.route_marked.drain(..) {
+                self.route_marks[s] = false;
+            }
+        }
+
+        // Inner engines answer their slices eagerly (a pure retraction run
+        // reports only retracted embeddings); translate ids per shard.
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        for s in 0..self.shards.len() {
+            if self.shards[s].slice.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[s];
+            let slice = std::mem::take(&mut shard.slice);
+            let report = shard.engine.apply_batch(&slice);
+            shard.slice = slice;
+            counts.extend(report.matches.iter().map(|m| {
+                (
+                    shard.local_to_global[m.query.index()],
+                    m.retracted_embeddings,
+                )
+            }));
+        }
+
+        // Spanning: collect every shard's removed view rows and the removed
+        // rows of each affected path state — all against pre-removal state.
+        let mut removed_by_shard: Vec<FxHashMap<GenericEdge, Relation>> =
+            Vec::with_capacity(self.shards.len());
+        let mut removed_paths: FxHashMap<(usize, usize), Relation> = FxHashMap::default();
+        for s in 0..self.shards.len() {
+            let shard = &mut self.shards[s];
+            if shard.slice.is_empty() || shard.spanning.paths.is_empty() {
+                removed_by_shard.push(FxHashMap::default());
+                continue;
+            }
+            let removed = shard.spanning.views.remove_deltas(&shard.slice);
+            for pid in 0..shard.spanning.paths.len() {
+                let touches = shard.spanning.paths[pid]
+                    .edges
+                    .iter()
+                    .any(|e| removed.contains_key(e));
+                if !touches {
+                    continue;
+                }
+                let d = delta_path_relation(
+                    &shard.spanning.views,
+                    &shard.spanning.paths[pid].edges,
+                    &removed,
+                    crate::relation::cache::BuildCache::None,
+                    &mut shard.spanning.row_buf,
+                );
+                if !d.is_empty() {
+                    removed_paths.insert((s, pid), d);
+                }
+            }
+            removed_by_shard.push(removed);
+        }
+
+        let spanning_report = if removed_paths.is_empty() {
+            MatchReport::empty()
+        } else {
+            let joined = join_spanning_queries(
+                self.spanning_queries
+                    .iter()
+                    .map(|sq| (sq.query, sq.paths.as_slice())),
+                |shard, pid| removed_paths.get(&(shard, pid)),
+                |shard, pid| {
+                    let full = self.shards[shard].spanning_full(pid);
+                    Some((full, full.version()))
+                },
+            );
+            MatchReport::from_retraction_counts(
+                joined
+                    .matches
+                    .iter()
+                    .map(|m| (m.query, m.new_embeddings))
+                    .collect(),
+            )
+        };
+
+        // Commit: spanning views compact (covers single-edge path fulls,
+        // which are the views themselves), then the materialized multi-edge
+        // fulls drop their removed rows.
+        for (s, removed) in removed_by_shard.iter().enumerate() {
+            if !removed.is_empty() {
+                self.shards[s].spanning.views.retract_deltas(removed);
+            }
+        }
+        for ((s, pid), d) in &removed_paths {
+            let ps = &mut self.shards[*s].spanning.paths[*pid];
+            if ps.edges.len() > 1 {
+                ps.full.retract_rows(d);
+            }
+        }
+
+        let merged = MatchReport::from_retraction_counts(counts).merge(&spanning_report);
+        self.stats.notifications += merged.len() as u64;
+        self.stats.retracted += merged.total_retracted();
+        merged
+    }
 }
 
 impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E> {
@@ -753,6 +901,9 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
     }
 
     fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        if self.outstanding > 0 {
+            return Err(Error::RegistrationWhileStaged(self.outstanding));
+        }
         let gqid = QueryId(self.num_queries as u32);
         let n = self.shards.len();
         if n == 1 {
@@ -830,6 +981,9 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
         if self.shards.len() == 1 {
             return self.shards[0].engine.apply_update(update);
         }
+        if update.is_retraction() {
+            return self.retract_run(&[update]);
+        }
         let token = self.stage_batch_routed(&[update]);
         self.answer_batch_routed(token)
     }
@@ -838,24 +992,44 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
         if self.shards.len() == 1 {
             return self.shards[0].engine.apply_batch(updates);
         }
-        let token = self.stage_batch_routed(updates);
-        self.answer_batch_routed(token)
+        // Split into maximal same-sign runs: insert runs take the staged
+        // routing path, retraction runs apply eagerly (they compact shared
+        // state, so nothing may be deferred across them).
+        let mut report = MatchReport::empty();
+        for run in sign_runs(updates) {
+            let r = if run[0].is_retraction() {
+                self.retract_run(run)
+            } else {
+                let token = self.stage_batch_routed(run);
+                self.answer_batch_routed(token)
+            };
+            report = report.merge(&r);
+        }
+        report
     }
 
     /// Routing + per-shard absorption with the merge and spanning join pass
     /// deferred: inner engines stage their slices (in parallel when several
     /// shards are active) and the token freezes every path state's version
     /// watermark. See the staging contract on
-    /// [`ContinuousEngine::stage_batch`].
+    /// [`ContinuousEngine::stage_batch`]. Batches containing retractions
+    /// answer **eagerly** (the token is already resolved): a retraction
+    /// compacts frozen chunks and bumps relation generations, which would
+    /// invalidate the watermarks earlier deferred tokens rely on.
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
-        if self.shards.len() == 1 {
-            return self.shards[0].engine.stage_batch(updates);
-        }
-        let token = self.stage_batch_routed(updates);
-        StagedBatch::deferred(token)
+        let staged = if self.shards.len() == 1 {
+            self.shards[0].engine.stage_batch(updates)
+        } else if updates.iter().any(Update::is_retraction) {
+            StagedBatch::immediate(self.apply_batch(updates))
+        } else {
+            StagedBatch::deferred(self.stage_batch_routed(updates))
+        };
+        self.outstanding += 1;
+        staged
     }
 
     fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        self.outstanding = self.outstanding.saturating_sub(1);
         if self.shards.len() == 1 {
             return self.shards[0].engine.answer_staged(staged);
         }
@@ -872,6 +1046,7 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
     /// deltas plus [`Relation::snapshot_owned`] copies of the fulls at the
     /// staged watermarks.
     fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        self.outstanding = self.outstanding.saturating_sub(1);
         if self.shards.len() == 1 {
             return self.shards[0].engine.detach_staged(staged);
         }

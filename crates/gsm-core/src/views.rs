@@ -80,6 +80,10 @@ impl EdgeViewStore {
     /// gained a new tuple (an exact duplicate of an earlier update leaves all
     /// views unchanged and therefore cannot produce new embeddings).
     pub fn apply_update(&mut self, u: &Update) -> Vec<GenericEdge> {
+        debug_assert!(
+            !u.is_retraction(),
+            "retractions route through remove_deltas/retract_deltas"
+        );
         let row: [Sym; 2] = [u.src, u.tgt];
         let mut affected = Vec::new();
         for shape in GenericEdge::shapes_of_update(u) {
@@ -103,6 +107,10 @@ impl EdgeViewStore {
     pub fn apply_batch(&mut self, updates: &[Update]) -> FxHashMap<GenericEdge, Relation> {
         let mut deltas: FxHashMap<GenericEdge, Relation> = FxHashMap::default();
         for u in updates {
+            debug_assert!(
+                !u.is_retraction(),
+                "retractions route through remove_deltas/retract_deltas"
+            );
             let row: [Sym; 2] = [u.src, u.tgt];
             for shape in GenericEdge::shapes_of_update(u) {
                 if let Some(view) = self.views.get_mut(&shape) {
@@ -121,6 +129,47 @@ impl EdgeViewStore {
         deltas
     }
 
+    /// Routes a batch of **retractions** against the *pre-removal* state,
+    /// returning for every affected generic edge the rows its view will
+    /// lose: the `(src, tgt)` tuples of retracted updates that are actually
+    /// present in that view (retracting an absent edge is a no-op;
+    /// duplicate retractions within the batch are absorbed). The store is
+    /// **not** modified — engines answer their deletion joins against the
+    /// pre-removal views first and then commit with
+    /// [`retract_deltas`](EdgeViewStore::retract_deltas).
+    pub fn remove_deltas(&self, updates: &[Update]) -> FxHashMap<GenericEdge, Relation> {
+        let mut deltas: FxHashMap<GenericEdge, Relation> = FxHashMap::default();
+        for u in updates {
+            debug_assert!(u.is_retraction(), "remove_deltas takes retractions");
+            let row: [Sym; 2] = [u.src, u.tgt];
+            for shape in GenericEdge::shapes_of_update(u) {
+                if let Some(view) = self.views.get(&shape) {
+                    if view.contains(&row) {
+                        // The per-edge delta is indexed so a doubly-retracted
+                        // edge contributes one removed row, not two.
+                        deltas
+                            .entry(shape)
+                            .or_insert_with(|| Relation::new(2))
+                            .push(&row);
+                    }
+                }
+            }
+        }
+        deltas
+    }
+
+    /// Commits a retraction batch: removes every delta row from its view,
+    /// compacting the storage (see [`Relation::retract_rows`]). Pass the
+    /// map produced by [`remove_deltas`](EdgeViewStore::remove_deltas)
+    /// after all pre-removal answering is done.
+    pub fn retract_deltas(&mut self, deltas: &FxHashMap<GenericEdge, Relation>) {
+        for (edge, removed) in deltas {
+            if let Some(view) = self.views.get_mut(edge) {
+                view.retract_rows(removed);
+            }
+        }
+    }
+
     /// Iterates over all registered (edge, view) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&GenericEdge, &Relation)> {
         self.views.iter()
@@ -131,9 +180,11 @@ impl EdgeViewStore {
     ///
     /// # Versioning contract
     ///
-    /// Views are insert-only (see [`Relation::version`]), so the captured
-    /// watermarks identify a consistent frozen prefix of the whole store
-    /// for as long as the store lives: [`snapshot_at`] exposes exactly the
+    /// Views are append-only between retraction batches (see
+    /// [`Relation::version`]), so the captured watermarks identify a
+    /// consistent frozen prefix of the whole store until the next
+    /// [`retract_deltas`](EdgeViewStore::retract_deltas) commit:
+    /// [`snapshot_at`] exposes exactly the
     /// rows each view held at capture time, and [`delta_since`] exactly the
     /// rows routed in afterwards — regardless of how many updates a writer
     /// has applied in between. Single-writer discipline is assumed: capture
@@ -468,6 +519,13 @@ pub fn full_path_relation(
 /// views — the standard incremental-join derivative, so the result is
 /// exactly `full_after − full_before`. For a single-update batch the seeds
 /// are one-row relations and this is the paper's per-update seeding.
+///
+/// The same kernel computes **deletion** deltas: called with the removed
+/// rows as `edge_deltas` while `views` still holds the *pre-removal* state,
+/// it yields exactly `full_before − full_after` — every path tuple that
+/// used at least one removed row (set semantics make the two derivatives
+/// symmetric). Engines exploit this by answering retraction batches before
+/// committing them with [`EdgeViewStore::retract_deltas`].
 pub fn delta_path_relation(
     views: &impl ViewSource,
     edges: &[GenericEdge],
@@ -707,6 +765,85 @@ mod tests {
             .is_empty());
         let all = store.freeze_at(&store.version(), None);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn remove_deltas_collects_present_rows_then_commits() {
+        let mut store = EdgeViewStore::new();
+        let var_var = ge(0, Term::Var(0), Term::Var(1));
+        let other_label = ge(1, Term::Var(0), Term::Var(1));
+        store.register(var_var);
+        store.register(other_label);
+        store.apply_batch(&[
+            Update::new(Sym(0), Sym(1), Sym(2)),
+            Update::new(Sym(0), Sym(3), Sym(4)),
+        ]);
+
+        let batch = vec![
+            Update::retraction(Sym(0), Sym(1), Sym(2)),
+            Update::retraction(Sym(0), Sym(1), Sym(2)), // duplicate in batch
+            Update::retraction(Sym(0), Sym(9), Sym(9)), // absent edge: no-op
+            Update::retraction(Sym(1), Sym(5), Sym(6)), // view empty: no-op
+        ];
+        let deltas = store.remove_deltas(&batch);
+        assert_eq!(deltas.len(), 1);
+        let d = deltas.get(&var_var).expect("affected");
+        assert_eq!(d.to_sorted_vec(), vec![vec![Sym(1), Sym(2)]]);
+        // Pre-removal state untouched until commit.
+        assert_eq!(store.get(&var_var).unwrap().len(), 2);
+
+        store.retract_deltas(&deltas);
+        assert_eq!(
+            store.get(&var_var).unwrap().to_sorted_vec(),
+            vec![vec![Sym(3), Sym(4)]]
+        );
+        // A retracted edge can be re-inserted afterwards.
+        assert_eq!(
+            store
+                .apply_update(&Update::new(Sym(0), Sym(1), Sym(2)))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn deletion_delta_is_full_before_minus_full_after() {
+        // The kernel-reuse property the deletion paths rely on: seeding
+        // delta_path_relation with the removed rows over the PRE-removal
+        // views yields exactly full_before − full_after.
+        let mut store = EdgeViewStore::new();
+        let a = ge(0, Term::Var(0), Term::Var(1));
+        let b = ge(1, Term::Var(1), Term::Var(2));
+        store.register(a);
+        store.register(b);
+        store.apply_batch(&[
+            Update::new(Sym(0), Sym(1), Sym(2)),
+            Update::new(Sym(0), Sym(5), Sym(2)),
+            Update::new(Sym(1), Sym(2), Sym(3)),
+            Update::new(Sym(1), Sym(2), Sym(4)),
+        ]);
+        let edges = [a, b];
+        let mut buf = Vec::new();
+        let full_before =
+            full_path_relation(&store, &edges, BuildCache::None, &mut buf).to_sorted_vec();
+
+        let batch = vec![Update::retraction(Sym(1), Sym(2), Sym(3))];
+        let removed = store.remove_deltas(&batch);
+        let deletion_delta =
+            delta_path_relation(&store, &edges, &removed, BuildCache::None, &mut buf);
+
+        store.retract_deltas(&removed);
+        let full_after =
+            full_path_relation(&store, &edges, BuildCache::None, &mut buf).to_sorted_vec();
+
+        let mut expected: Vec<Vec<Sym>> = full_before
+            .iter()
+            .filter(|row| !full_after.contains(row))
+            .cloned()
+            .collect();
+        expected.sort();
+        assert_eq!(deletion_delta.to_sorted_vec(), expected);
+        assert_eq!(deletion_delta.len(), 2, "both 3-paths through (2,3) gone");
     }
 
     #[test]

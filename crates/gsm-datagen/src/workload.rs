@@ -5,10 +5,14 @@
 //! experimental knobs (dataset, graph size `|GE|`, query-database size
 //! `|QDB|`, average query size `l`, selectivity `σ`, overlap `o`).
 
+use std::collections::{HashMap, HashSet, VecDeque};
+
 use gsm_core::interner::SymbolTable;
 use gsm_core::model::graph::AttributeGraph;
-use gsm_core::model::update::GraphStream;
+use gsm_core::model::update::{GraphStream, Update};
 use gsm_core::query::pattern::QueryPattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::biogrid::{self, BioGridConfig};
 use crate::querygen::{self, QueryGenConfig, QuerySetStats};
@@ -37,6 +41,31 @@ impl std::fmt::Display for Dataset {
     }
 }
 
+/// How the insert-only dataset stream is post-processed into the final
+/// update stream — the windowed scenario variants of the evaluation
+/// (taxi trips age out, social edges are retracted, interactions get
+/// corrected).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamVariant {
+    /// The paper's insert-only streams (the default).
+    InsertOnly,
+    /// Count-based sliding window: each edge is retracted `window` inserts
+    /// after its latest insertion, so the live graph stays bounded by the
+    /// window size. Matches the TTL semantics of the pipelined front end
+    /// with a count-based clock.
+    SlidingWindow {
+        /// Window width in stream positions (clamped to ≥ 1).
+        window: usize,
+    },
+    /// Random churn: before each insert, with probability `delete_ratio`, a
+    /// uniformly chosen live edge is retracted first.
+    RandomDeletions {
+        /// Per-insert probability of a preceding retraction (clamped to
+        /// `[0, 1]`).
+        delete_ratio: f64,
+    },
+}
+
 /// Workload generation parameters (the paper's baseline values are the
 /// defaults: `l = 5`, `σ = 25%`, `o = 35%`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +84,8 @@ pub struct WorkloadConfig {
     pub overlap: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Post-processing of the insert stream into the final update stream.
+    pub variant: StreamVariant,
 }
 
 impl WorkloadConfig {
@@ -69,6 +100,7 @@ impl WorkloadConfig {
             selectivity: 0.25,
             overlap: 0.35,
             seed: 0xC0FFEE,
+            variant: StreamVariant::InsertOnly,
         }
     }
 
@@ -95,6 +127,74 @@ impl WorkloadConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns a copy whose stream retracts each edge `window` inserts
+    /// after its latest insertion (see [`StreamVariant::SlidingWindow`]).
+    pub fn with_sliding_window(mut self, window: usize) -> Self {
+        self.variant = StreamVariant::SlidingWindow { window };
+        self
+    }
+
+    /// Returns a copy whose stream randomly retracts live edges at the
+    /// given per-insert probability (see
+    /// [`StreamVariant::RandomDeletions`]).
+    pub fn with_delete_ratio(mut self, delete_ratio: f64) -> Self {
+        self.variant = StreamVariant::RandomDeletions { delete_ratio };
+        self
+    }
+}
+
+/// Interleaves count-based sliding-window retractions into an insert
+/// stream: each edge is retracted `window` positions after its latest
+/// insertion (re-insertion refreshes the deadline, exactly like the
+/// pipelined front end's TTL). Trailing edges still inside the window when
+/// the stream ends stay live — a sustained stream never fully drains.
+pub fn windowed_stream(inserts: &[Update], window: usize) -> GraphStream {
+    let window = window.max(1);
+    let mut out: Vec<Update> = Vec::with_capacity(inserts.len() * 2);
+    let mut live: HashMap<Update, usize> = HashMap::new();
+    let mut expiry: VecDeque<(usize, Update)> = VecDeque::new();
+    for (i, &u) in inserts.iter().enumerate() {
+        while let Some(&(at, e)) = expiry.front() {
+            if at + window > i {
+                break;
+            }
+            expiry.pop_front();
+            if live.get(&e) == Some(&at) {
+                live.remove(&e);
+                out.push(e.inverted());
+            }
+        }
+        let e = u.edge();
+        live.insert(e, i);
+        expiry.push_back((i, e));
+        out.push(u);
+    }
+    GraphStream::from_updates(out)
+}
+
+/// Interleaves random retractions into an insert stream: before each
+/// insert, with probability `delete_ratio`, a uniformly chosen live edge is
+/// retracted. Deterministic in `seed`.
+pub fn deletion_stream(inserts: &[Update], delete_ratio: f64, seed: u64) -> GraphStream {
+    let p = delete_ratio.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Update> = Vec::with_capacity(inserts.len() * 2);
+    let mut live: Vec<Update> = Vec::new();
+    let mut live_set: HashSet<Update> = HashSet::new();
+    for &u in inserts {
+        if !live.is_empty() && rng.gen_bool(p) {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            live_set.remove(&victim);
+            out.push(victim.inverted());
+        }
+        let e = u.edge();
+        if live_set.insert(e) {
+            live.push(e);
+        }
+        out.push(u);
+    }
+    GraphStream::from_updates(out)
 }
 
 /// A fully generated workload.
@@ -144,6 +244,10 @@ impl Workload {
                 &mut symbols,
             ),
         };
+        // Queries are generated against the union graph of the insert-only
+        // base stream: a query is "eventually satisfied" when its pattern
+        // appears at some point of the stream, whether or not the windowed
+        // variant later retracts the witnessing edges.
         let graph = AttributeGraph::from_updates(stream.iter());
         let (queries, query_stats) = querygen::generate(
             &QueryGenConfig {
@@ -157,14 +261,31 @@ impl Workload {
             &graph,
             &mut symbols,
         );
+        let stream = match config.variant {
+            StreamVariant::InsertOnly => stream,
+            StreamVariant::SlidingWindow { window } => windowed_stream(stream.as_slice(), window),
+            StreamVariant::RandomDeletions { delete_ratio } => deletion_stream(
+                stream.as_slice(),
+                delete_ratio,
+                config.seed ^ 0xD1CE_D1CE_D1CE_D1CE,
+            ),
+        };
+        let suffix = match config.variant {
+            StreamVariant::InsertOnly => String::new(),
+            StreamVariant::SlidingWindow { window } => format!("-win{window}"),
+            StreamVariant::RandomDeletions { delete_ratio } => {
+                format!("-del{:.0}%", delete_ratio * 100.0)
+            }
+        };
         let name = format!(
-            "{}-E{}-Q{}-l{}-s{:.0}%-o{:.0}%",
+            "{}-E{}-Q{}-l{}-s{:.0}%-o{:.0}%{}",
             config.dataset,
             config.graph_edges,
             config.num_queries,
             config.avg_query_size,
             config.selectivity * 100.0,
             config.overlap * 100.0,
+            suffix,
         );
         Workload {
             name,
@@ -229,5 +350,51 @@ mod tests {
         assert_eq!(Dataset::Snb.to_string(), "SNB");
         assert_eq!(Dataset::Taxi.to_string(), "TAXI");
         assert_eq!(Dataset::BioGrid.to_string(), "BioGRID");
+    }
+
+    #[test]
+    fn sliding_window_variant_bounds_the_live_graph() {
+        let w = Workload::generate(
+            WorkloadConfig::new(Dataset::Taxi, 2_000, 10).with_sliding_window(64),
+        );
+        assert!(w.name.ends_with("-win64"));
+        assert!(w.num_updates() > 2_000, "retractions interleaved");
+        // Replay: the live edge count never exceeds the window, every
+        // retraction targets a live edge, and the surviving set equals the
+        // trailing window.
+        let mut g = AttributeGraph::new();
+        for &u in w.stream.iter() {
+            if u.is_retraction() {
+                assert!(g.remove(u), "retraction of a dead edge: {u:?}");
+            } else {
+                g.apply(u);
+            }
+            assert!(g.num_edges() <= 64, "window overflow: {}", g.num_edges());
+        }
+        assert!(g.num_edges() > 0, "trailing window stays live");
+        assert_eq!(
+            w.stream.iter().filter(|u| !u.is_retraction()).count(),
+            2_000,
+            "all base inserts survive the transformation"
+        );
+    }
+
+    #[test]
+    fn random_deletion_variant_only_retracts_live_edges() {
+        let cfg = WorkloadConfig::new(Dataset::Snb, 1_500, 10).with_delete_ratio(0.3);
+        let a = Workload::generate(cfg);
+        let b = Workload::generate(cfg);
+        assert_eq!(a.stream, b.stream, "variant must be deterministic");
+        assert!(a.name.ends_with("-del30%"));
+        let retractions = a.stream.iter().filter(|u| u.is_retraction()).count();
+        assert!(retractions > 100, "churn actually happens: {retractions}");
+        let mut g = AttributeGraph::new();
+        for &u in a.stream.iter() {
+            if u.is_retraction() {
+                assert!(g.remove(u), "retraction of a dead edge: {u:?}");
+            } else {
+                g.apply(u);
+            }
+        }
     }
 }

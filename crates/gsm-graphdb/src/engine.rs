@@ -106,6 +106,9 @@ impl ContinuousEngine for GraphDbEngine {
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {
+        if update.is_retraction() {
+            return self.retract_batch(&[update]);
+        }
         self.stats.updates_processed += 1;
 
         // (1) Apply the update to the database.
@@ -177,6 +180,40 @@ impl ContinuousEngine for GraphDbEngine {
     /// rather than per update; the default configuration is unlimited, where
     /// batched and sequential reports coincide.
     fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        let mut report = MatchReport::empty();
+        for run in gsm_core::model::update::sign_runs(updates) {
+            let run_report = if run[0].is_retraction() {
+                self.retract_batch(run)
+            } else {
+                self.insert_batch(run)
+            };
+            report = report.merge(&run_report);
+        }
+        report
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.store.heap_size()
+            + self.queries.heap_size()
+            + self.edge_index.heap_size()
+            + self.plan_cache.heap_size()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+impl GraphDbEngine {
+    /// The insert-only batch core (steps 1–4 of Section 5.3 amortized over
+    /// the run): apply the run to the database, then execute every affected
+    /// query once, anchored at each genuinely new edge, with a single
+    /// deduplicating collector per query.
+    fn insert_batch(&mut self, updates: &[Update]) -> MatchReport {
         match updates {
             [] => return MatchReport::empty(),
             [u] => return self.apply_update(*u),
@@ -244,19 +281,74 @@ impl ContinuousEngine for GraphDbEngine {
         report
     }
 
-    fn num_queries(&self) -> usize {
-        self.queries.len()
-    }
+    /// The retraction core: the disappearing embeddings are enumerated
+    /// **before** the database changes — every affected query is executed
+    /// against the pre-removal store, anchored at each edge about to go (one
+    /// deduplicating collector per query, exactly like the insert direction:
+    /// an embedding disappears iff it maps some pattern edge onto a removed
+    /// edge) — and only then are the edges deleted from the store, the
+    /// statistics and the per-label probe indexes.
+    fn retract_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.stats.updates_processed += updates.len() as u64;
 
-    fn heap_bytes(&self) -> usize {
-        self.store.heap_size()
-            + self.queries.heap_size()
-            + self.edge_index.heap_size()
-            + self.plan_cache.heap_size()
-    }
+        // (1) Resolve which of the named edges actually exist (the batch may
+        // retract the same edge twice; removal is answered and applied once).
+        let mut victims: Vec<Update> = Vec::new();
+        for u in updates {
+            let e = u.edge();
+            if self.store.has_edge(e.label, e.src, e.tgt) && !victims.contains(&e) {
+                victims.push(e);
+            }
+        }
+        if victims.is_empty() {
+            return MatchReport::empty();
+        }
 
-    fn stats(&self) -> EngineStats {
-        self.stats
+        // (2) Affected (query, anchor pattern edge, doomed edge) triples.
+        let mut anchored: HashMap<QueryId, Vec<(usize, Update)>> = HashMap::new();
+        for &e in &victims {
+            for shape in GenericEdge::shapes_of_update(&e) {
+                if let Some(entries) = self.edge_index.get(&shape) {
+                    for &(qid, edge_idx) in entries {
+                        anchored.entry(qid).or_default().push((edge_idx, e));
+                    }
+                }
+            }
+        }
+
+        // (3) + (4) Execute against the PRE-removal store.
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        let mut sorted: Vec<(QueryId, Vec<(usize, Update)>)> = anchored.into_iter().collect();
+        sorted.sort_by_key(|(q, _)| *q);
+        for (qid, anchors) in sorted {
+            let query = &self.queries[qid.index()];
+            let mut collector = MatchCollector::with_limit(self.config.max_embeddings_per_query);
+            for (anchor_edge, e) in anchors {
+                let plan = self
+                    .plan_cache
+                    .get_or_build(qid, query, &self.store, Some(anchor_edge));
+                execute(
+                    query,
+                    plan,
+                    &self.store,
+                    Some((anchor_edge, e)),
+                    &mut collector,
+                );
+            }
+            if !collector.is_empty() {
+                counts.push((qid, collector.len() as u64));
+            }
+        }
+
+        // (5) Commit the removals.
+        for &e in &victims {
+            self.store.remove_edge(e);
+        }
+
+        let report = MatchReport::from_retraction_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.retracted += report.total_retracted();
+        report
     }
 }
 
@@ -387,6 +479,90 @@ mod tests {
             }
             assert_eq!(seq.stats().updates_processed, bat.stats().updates_processed);
             assert_eq!(seq.stats().embeddings, bat.stats().embeddings);
+        }
+    }
+
+    #[test]
+    fn retraction_reports_disappearing_matches() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -knows-> ?b; ?b -likes-> ?c");
+        let qid = engine.register_query(&q).unwrap();
+        engine.apply_update(f.u("knows", "a1", "b"));
+        engine.apply_update(f.u("knows", "a2", "b"));
+        engine.apply_update(f.u("likes", "b", "c"));
+        // Removing the shared `likes` edge destroys both embeddings.
+        let report = engine.apply_update(f.u("likes", "b", "c").inverted());
+        assert_eq!(report.matches.len(), 1);
+        assert_eq!(report.matches[0].query, qid);
+        assert_eq!(report.matches[0].retracted_embeddings, 2);
+        assert_eq!(engine.stats().retracted, 2);
+        assert_eq!(engine.store().num_edges(), 2);
+        // Retracting again (or an absent edge) is a no-op.
+        assert!(engine
+            .apply_update(f.u("likes", "b", "c").inverted())
+            .is_empty());
+        // Re-adding brings both embeddings back.
+        let revived = engine.apply_update(f.u("likes", "b", "c"));
+        assert_eq!(revived.matches[0].new_embeddings, 2);
+    }
+
+    #[test]
+    fn mixed_batch_reports_both_signs_without_cancelling() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+        engine.register_query(&q).unwrap();
+        let ux = f.u("x", "a1", "b1");
+        let uy = f.u("y", "b1", "c1");
+        let report = engine.apply_batch(&[ux, uy, ux.inverted()]);
+        assert_eq!(report.total_embeddings(), 1);
+        assert_eq!(report.total_retracted(), 1);
+        assert_eq!(engine.store().num_edges(), 1);
+    }
+
+    #[test]
+    fn agrees_with_tric_on_random_mixed_streams() {
+        use gsm_tric::TricEngine;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(321);
+        let mut f = Fixture::new();
+        let queries = vec![
+            f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+            f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+            f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+            f.q("?a -e0-> v3"),
+            f.q("?a -e2-> ?a"),
+            f.q("?x -e1-> ?y; ?z -e1-> ?y"),
+        ];
+        let mut tric = TricEngine::tric_plus();
+        let mut db = GraphDbEngine::new();
+        for q in &queries {
+            tric.register_query(q).unwrap();
+            db.register_query(q).unwrap();
+        }
+        let mut live: Vec<Update> = Vec::new();
+        for step in 0..400 {
+            let u = if !live.is_empty() && rng.gen_bool(0.4) {
+                live.swap_remove(rng.gen_range(0..live.len())).inverted()
+            } else {
+                let label = format!("e{}", rng.gen_range(0..3));
+                let src = format!("v{}", rng.gen_range(0..7));
+                let tgt = format!("v{}", rng.gen_range(0..7));
+                let u = f.u(&label, &src, &tgt);
+                if !live.contains(&u) {
+                    live.push(u);
+                }
+                u
+            };
+            let expected = tric.apply_update(u);
+            let got = db.apply_update(u);
+            assert_eq!(
+                got, expected,
+                "GraphDB diverged from TRIC+ at #{step} on {u:?}"
+            );
         }
     }
 

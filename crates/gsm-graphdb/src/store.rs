@@ -64,6 +64,14 @@ impl LabelProbeIndex {
         self.by_src.update(&self.edges);
         self.by_tgt.update(&self.edges);
     }
+
+    fn remove(&mut self, src: Sym, tgt: Sym) {
+        self.edges.retract_rows(&Relation::singleton(&[src, tgt]));
+        // The compaction bumped the relation's generation, so both builds
+        // rebuild from scratch over the surviving rows.
+        self.by_src.update(&self.edges);
+        self.by_tgt.update(&self.edges);
+    }
 }
 
 impl HeapSize for LabelProbeIndex {
@@ -125,6 +133,27 @@ impl GraphStore {
             self.commit();
         }
         added
+    }
+
+    /// Applies an edge retraction (either sign — the lookup is
+    /// sign-normalized). Returns `true` if the edge existed; statistics,
+    /// adjacency and the label's probe index all shrink together.
+    pub fn remove_edge(&mut self, u: Update) -> bool {
+        let e = u.edge();
+        let removed = self.graph.remove(e);
+        if removed {
+            if let Some(c) = self.label_counts.get_mut(&e.label) {
+                *c = c.saturating_sub(1);
+            }
+            if let Some(probe) = self.label_probes.get_mut(&e.label) {
+                probe.remove(e.src, e.tgt);
+            }
+        }
+        self.pending_writes += 1;
+        if self.pending_writes >= self.writes_per_tx {
+            self.commit();
+        }
+        removed
     }
 
     /// The probe index of `label`, if any edge with that label exists.
@@ -283,6 +312,33 @@ mod tests {
         let key = [Sym(9)];
         assert_eq!(probe.by_src.probe_iter(&probe.edges, &key).count(), 0);
         assert!(store.label_probe(Sym(7)).is_none());
+    }
+
+    #[test]
+    fn remove_edge_shrinks_statistics_and_probe_indexes() {
+        let mut store = GraphStore::new();
+        store.insert_edge(u(0, 1, 2));
+        store.insert_edge(u(0, 1, 3));
+        store.insert_edge(u(1, 1, 2));
+        assert!(store.remove_edge(u(0, 1, 2).inverted()));
+        assert!(!store.remove_edge(u(0, 1, 2)), "already gone");
+        assert_eq!(store.label_count(Sym(0)), 1);
+        assert_eq!(store.num_edges(), 2);
+        assert!(!store.has_edge(Sym(0), Sym(1), Sym(2)));
+
+        // The probe index lost the row and its builds were rebuilt over the
+        // compacted relation.
+        let probe = store.label_probe(Sym(0)).expect("label 0 indexed");
+        assert_eq!(probe.edges.len(), 1);
+        let key = [Sym(1)];
+        let targets: Vec<Sym> = probe
+            .by_src
+            .probe_iter(&probe.edges, &key)
+            .map(|i| probe.edges.row(i)[1])
+            .collect();
+        assert_eq!(targets, vec![Sym(3)]);
+        let key = [Sym(2)];
+        assert_eq!(probe.by_tgt.probe_iter(&probe.edges, &key).count(), 0);
     }
 
     #[test]

@@ -9,16 +9,16 @@ use gsm_core::error::Result;
 use gsm_core::interner::Sym;
 use gsm_core::memory::HeapSize;
 use gsm_core::model::generic::GenericEdge;
-use gsm_core::model::update::Update;
+use gsm_core::model::update::{sign_runs, Update};
 use gsm_core::query::paths::covering_paths;
 use gsm_core::query::pattern::{QVertexId, QueryPattern};
-use gsm_core::relation::cache::JoinCache;
+use gsm_core::relation::cache::{BuildCache, JoinCache};
 use gsm_core::relation::eval::{join_paths, PathBinding};
 use gsm_core::relation::fasthash::{FxHashMap, FxHashSet};
 use gsm_core::relation::join::JoinBuild;
 use gsm_core::relation::Relation;
 use gsm_core::shard::ShardedEngine;
-use gsm_core::views::EdgeViewStore;
+use gsm_core::views::{self, EdgeViewStore};
 
 use crate::trie::{NodeId, TrieForest};
 
@@ -315,6 +315,9 @@ impl ContinuousEngine for TricEngine {
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {
+        if update.is_retraction() {
+            return self.retract_batch(&[update]);
+        }
         let staged = self.stage_update(update);
         self.answer_tric(staged)
     }
@@ -332,8 +335,17 @@ impl ContinuousEngine for TricEngine {
     /// propagation pass down the affected sub-tries, and one covering-path
     /// join per affected query against the merged truly-new rows.
     fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
-        let staged = self.stage_updates(updates);
-        self.answer_tric(staged)
+        let mut report = MatchReport::empty();
+        for run in sign_runs(updates) {
+            let run_report = if run[0].is_retraction() {
+                self.retract_batch(run)
+            } else {
+                let staged = self.stage_updates(run);
+                self.answer_tric(staged)
+            };
+            report = report.merge(&run_report);
+        }
+        report
     }
 
     /// Routing + propagation of a batch with the covering-path join pass
@@ -342,6 +354,12 @@ impl ContinuousEngine for TricEngine {
     /// version watermarks captured in the token. See the staging contract on
     /// [`ContinuousEngine::stage_batch`].
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        if updates.iter().any(Update::is_retraction) {
+            // Retraction batches compact node views in place, which would
+            // invalidate the version watermarks of a deferred token — answer
+            // eagerly at stage time (see the staging contract).
+            return StagedBatch::immediate(self.apply_batch(updates));
+        }
         StagedBatch::deferred(self.stage_updates(updates))
     }
 
@@ -763,6 +781,115 @@ impl TricEngine {
         self.stats.embeddings += report.total_embeddings();
         report
     }
+
+    /// The retraction mirror of the staged answering pipeline, run eagerly:
+    ///
+    /// 1. Collect the removed rows per generic edge **without** touching the
+    ///    views ([`EdgeViewStore::remove_deltas`]).
+    /// 2. Locate the affected trie nodes — every node whose own edge lost
+    ///    rows plus all of its descendants, since a descendant's prefix join
+    ///    runs through the removed rows.
+    /// 3. Per affected node, derive the rows its materialized view loses as
+    ///    the deletion delta of the node's root→node prefix path against the
+    ///    still-pre-removal views: by the deletion-delta property of
+    ///    [`views::delta_path_relation`] this is exactly
+    ///    `matV_before − matV_after`.
+    /// 4. Answer the disappearing embeddings with the very same
+    ///    [`join_covering_paths`] pass as step 4 of insertion — each end
+    ///    node's removed rows joined with the other paths' views at their
+    ///    **pre-removal** watermarks.
+    /// 5. Only then commit: [`Relation::retract_rows`] on each affected node
+    ///    view and [`EdgeViewStore::retract_deltas`] on the edge views,
+    ///    compacting each touched relation into its next generation (stale
+    ///    cached join builds are rejected by their generation stamp).
+    fn retract_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.stats.updates_processed += updates.len() as u64;
+
+        let removed = self.views.remove_deltas(updates);
+        if removed.is_empty() {
+            return MatchReport::empty();
+        }
+
+        // Step 2: the affected sub-forest, depth-first from the edge's nodes.
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        for ge in removed.keys() {
+            for &n in self.forest.nodes_for_edge(ge) {
+                if seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        let mut affected_nodes: Vec<NodeId> = Vec::new();
+        while let Some(n) = stack.pop() {
+            affected_nodes.push(n);
+            for &c in &self.forest.node(n).children {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+
+        // Step 3: per-node removed rows from the pre-removal edge views.
+        let caching = self.config.caching;
+        let mut node_removed: FxHashMap<NodeId, Relation> = FxHashMap::default();
+        let mut prefix: Vec<GenericEdge> = Vec::new();
+        for &n in &affected_nodes {
+            prefix.clear();
+            let mut cur = Some(n);
+            while let Some(m) = cur {
+                let node = self.forest.node(m);
+                prefix.push(node.edge);
+                cur = node.parent;
+            }
+            prefix.reverse();
+            let d = views::delta_path_relation(
+                &self.views,
+                &prefix,
+                &removed,
+                BuildCache::from(caching.then_some(&mut self.cache)),
+                &mut self.scratch.row_buf,
+            );
+            if !d.is_empty() {
+                node_removed.insert(n, d);
+            }
+        }
+
+        // Step 4: a query loses embeddings iff some covering path's end node
+        // lost view rows; join those removed rows with the other paths'
+        // pre-removal views (an embedding disappears exactly when at least
+        // one of its per-path tuples does, and the cross-path union dedups).
+        let mut affected_queries: Vec<QueryId> = Vec::new();
+        for n in node_removed.keys() {
+            for reg in &self.forest.node(*n).registrations {
+                affected_queries.push(reg.query);
+            }
+        }
+        affected_queries.sort_unstable();
+        affected_queries.dedup();
+
+        let counts = join_covering_paths(
+            affected_queries
+                .iter()
+                .map(|qid| (*qid, self.queries[qid.index()].paths.as_slice())),
+            |end_node| node_removed.get(&end_node),
+            |end_node| {
+                let view = &self.forest.node(end_node).mat_view;
+                Some((view, view.version()))
+            },
+        );
+
+        // Step 5: commit the removal everywhere.
+        for (n, d) in &node_removed {
+            self.forest.node_mut(*n).mat_view.retract_rows(d);
+        }
+        self.views.retract_deltas(&removed);
+
+        let report = MatchReport::from_retraction_counts(counts);
+        self.stats.notifications += report.len() as u64;
+        self.stats.retracted += report.total_retracted();
+        report
+    }
 }
 
 /// One covering path of a query as [`join_covering_paths`] sees it: the
@@ -1068,6 +1195,176 @@ mod tests {
     }
 
     #[test]
+    fn retraction_reports_disappearing_matches() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            let qid = engine.register_query(&q).unwrap();
+            let ux = f.u("x", "a1", "b1");
+            let uy = f.u("y", "b1", "c1");
+            engine.apply_update(ux);
+            assert_eq!(engine.apply_update(uy).len(), 1, "{}", engine.name());
+
+            // Retracting the *root* edge exercises descendant propagation:
+            // the x→y trie node's view loses its row too.
+            let report = engine.apply_update(ux.inverted());
+            assert_eq!(report.matches.len(), 1, "{}", engine.name());
+            assert_eq!(report.matches[0].query, qid);
+            assert_eq!(report.matches[0].retracted_embeddings, 1);
+            assert_eq!(report.matches[0].new_embeddings, 0);
+            assert_eq!(engine.stats().retracted, 1);
+
+            // The match reappears when the edge comes back — which only
+            // works if the intermediate node views were really pruned.
+            let revived = engine.apply_update(ux);
+            assert_eq!(revived.matches[0].new_embeddings, 1, "{}", engine.name());
+            assert!(engine.apply_update(ux.inverted()).total_retracted() == 1);
+            assert!(engine.apply_update(uy.inverted()).is_empty());
+        }
+    }
+
+    #[test]
+    fn retracting_absent_edges_is_a_noop() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b");
+            engine.register_query(&q).unwrap();
+            let phantom = f.u("x", "no", "pe").inverted();
+            assert!(engine.apply_update(phantom).is_empty(), "{}", engine.name());
+            engine.apply_update(f.u("x", "a", "b"));
+            let gone = f.u("x", "a", "b").inverted();
+            let report = engine.apply_batch(&[gone, gone]);
+            assert_eq!(report.total_retracted(), 1, "{}", engine.name());
+            assert!(engine.apply_update(gone).is_empty(), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn mixed_batch_reports_both_signs_without_cancelling() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            engine.register_query(&q).unwrap();
+            let ux = f.u("x", "a1", "b1");
+            let uy = f.u("y", "b1", "c1");
+            let report = engine.apply_batch(&[ux, uy, ux.inverted()]);
+            assert_eq!(report.total_embeddings(), 1, "{}", engine.name());
+            assert_eq!(report.total_retracted(), 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn staging_a_retraction_batch_answers_eagerly() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b");
+            engine.register_query(&q).unwrap();
+            let u = f.u("x", "a", "b");
+            let t1 = engine.stage_batch(&[u]);
+            assert_eq!(engine.answer_staged(t1).total_embeddings(), 1);
+            let t2 = engine.stage_batch(&[u.inverted()]);
+            let report = engine.answer_staged(t2);
+            assert_eq!(report.total_retracted(), 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn tric_and_tric_plus_agree_on_random_mixed_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut f = Fixture::new();
+        let queries = vec![
+            f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+            f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+            f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+            f.q("?a -e0-> v3"),
+            f.q("?a -e2-> ?a"),
+        ];
+        let mut tric = TricEngine::tric();
+        let mut plus = TricEngine::tric_plus();
+        for q in &queries {
+            tric.register_query(q).unwrap();
+            plus.register_query(q).unwrap();
+        }
+        let mut live: Vec<Update> = Vec::new();
+        for step in 0..500 {
+            let u = if !live.is_empty() && rng.gen_bool(0.4) {
+                live.swap_remove(rng.gen_range(0..live.len())).inverted()
+            } else {
+                let label = format!("e{}", rng.gen_range(0..3));
+                let src = format!("v{}", rng.gen_range(0..8));
+                let tgt = format!("v{}", rng.gen_range(0..8));
+                let u = f.u(&label, &src, &tgt);
+                if !live.contains(&u) {
+                    live.push(u);
+                }
+                u
+            };
+            let a = tric.apply_update(u);
+            let b = plus.apply_update(u);
+            assert_eq!(a, b, "TRIC and TRIC+ diverged at #{step} on {u:?}");
+        }
+        assert_eq!(tric.stats(), plus.stats());
+    }
+
+    #[test]
+    fn net_counts_match_a_from_scratch_replay_under_random_deletions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for caching in [false, true] {
+            let mut rng = StdRng::seed_from_u64(67);
+            let mut f = Fixture::new();
+            let queries = vec![
+                f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                f.q("?a -e2-> ?a"),
+            ];
+            let config = TricConfig { caching };
+            let mut engine = TricEngine::with_config(config);
+            for q in &queries {
+                engine.register_query(q).unwrap();
+            }
+            let mut live: Vec<Update> = Vec::new();
+            let mut stream: Vec<Update> = Vec::new();
+            for _ in 0..400 {
+                if !live.is_empty() && rng.gen_bool(0.35) {
+                    let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                    stream.push(victim.inverted());
+                } else {
+                    let label = format!("e{}", rng.gen_range(0..3));
+                    let src = format!("v{}", rng.gen_range(0..7));
+                    let tgt = format!("v{}", rng.gen_range(0..7));
+                    let u = f.u(&label, &src, &tgt);
+                    if !live.contains(&u) {
+                        live.push(u);
+                    }
+                    stream.push(u);
+                }
+            }
+            let mut net: FxHashMap<QueryId, i64> = FxHashMap::default();
+            for batch in stream.chunks(5) {
+                for m in &engine.apply_batch(batch).matches {
+                    *net.entry(m.query).or_default() +=
+                        m.new_embeddings as i64 - m.retracted_embeddings as i64;
+                }
+            }
+            net.retain(|_, v| *v != 0);
+            let mut fresh = TricEngine::with_config(config);
+            for q in &queries {
+                fresh.register_query(q).unwrap();
+            }
+            let mut expected: FxHashMap<QueryId, i64> = FxHashMap::default();
+            for m in &fresh.apply_batch(&live).matches {
+                *expected.entry(m.query).or_default() += m.new_embeddings as i64;
+            }
+            expected.retain(|_, v| *v != 0);
+            assert_eq!(net, expected, "caching {caching} net counts diverged");
+        }
+    }
+
+    #[test]
     fn tric_and_tric_plus_agree_on_random_streams() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
@@ -1351,6 +1648,82 @@ mod tests {
             assert_eq!(ps.notifications, ss.notifications);
             assert_eq!(ps.embeddings, ss.embeddings);
             assert!(sharded.heap_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_tric_agrees_with_plain_on_random_mixed_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for num_shards in [2usize, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut f = Fixture::new();
+            let queries = vec![
+                f.q("?a -e0-> ?b; ?b -e1-> ?c"),
+                f.q("?a -e1-> ?b; ?b -e2-> ?c; ?c -e0-> ?a"),
+                f.q("?h -e0-> ?x; ?h -e2-> ?y"),
+                f.q("?a -e0-> v3"),
+                f.q("?a -e2-> ?a"),
+            ];
+            let mut plain = TricEngine::tric_plus();
+            let mut sharded = TricEngine::tric_plus_sharded(num_shards);
+            for q in &queries {
+                let a = plain.register_query(q).unwrap();
+                let b = sharded.register_query(q).unwrap();
+                assert_eq!(a, b, "query ids must line up");
+            }
+            // Multi-update batches mixing signs, so the sharded wrapper's
+            // sign-run split, eager retraction path and spanning pre-removal
+            // join all get exercised against the unsharded engine.
+            let mut live: Vec<Update> = Vec::new();
+            let mut batch: Vec<Update> = Vec::new();
+            for step in 0..250 {
+                batch.clear();
+                for _ in 0..rng.gen_range(1..4) {
+                    let u = if !live.is_empty() && rng.gen_bool(0.4) {
+                        live.swap_remove(rng.gen_range(0..live.len())).inverted()
+                    } else {
+                        let label = format!("e{}", rng.gen_range(0..3));
+                        let src = format!("v{}", rng.gen_range(0..8));
+                        let tgt = format!("v{}", rng.gen_range(0..8));
+                        let u = f.u(&label, &src, &tgt);
+                        if !live.contains(&u) {
+                            live.push(u);
+                        }
+                        u
+                    };
+                    batch.push(u);
+                }
+                let a = plain.apply_batch(&batch);
+                let b = sharded.apply_batch(&batch);
+                assert_eq!(a, b, "{num_shards} shards diverged at #{step} on {batch:?}");
+            }
+            let (ps, ss) = (plain.stats(), sharded.stats());
+            assert_eq!(ps.updates_processed, ss.updates_processed);
+            assert_eq!(ps.notifications, ss.notifications);
+            assert_eq!(ps.embeddings, ss.embeddings);
+            assert_eq!(ps.retracted, ss.retracted);
+        }
+    }
+
+    #[test]
+    fn registration_with_staged_tokens_outstanding_is_rejected() {
+        use gsm_core::error::Error;
+        for num_shards in [1usize, 2] {
+            let mut f = Fixture::new();
+            let mut sharded = TricEngine::tric_sharded(num_shards);
+            let q0 = f.q("?a -e0-> ?b");
+            sharded.register_query(&q0).unwrap();
+            let staged = sharded.stage_batch(&[f.u("e0", "a", "b")]);
+            let q1 = f.q("?a -e1-> ?b");
+            match sharded.register_query(&q1) {
+                Err(Error::RegistrationWhileStaged(n)) => assert_eq!(n, 1),
+                other => panic!("expected RegistrationWhileStaged, got {other:?}"),
+            }
+            let report = sharded.answer_staged(staged);
+            assert_eq!(report.total_embeddings(), 1);
+            // The token is consumed, so registration is legal again.
+            sharded.register_query(&q1).unwrap();
         }
     }
 
