@@ -146,6 +146,55 @@ impl BaselineEngine {
         }
         self.cache.freeze()
     }
+
+    /// Freezes every edge view the answer pass over `affected` will read —
+    /// the union of the affected queries' edges — at the current watermarks.
+    fn freeze_needed(&self, affected: &[(QueryId, Arc<QueryRecord>)]) -> FrozenViews {
+        let mut needed: Vec<GenericEdge> = Vec::new();
+        for (_, record) in affected {
+            for &edge in &record.edges {
+                if !needed.contains(&edge) {
+                    needed.push(edge);
+                }
+            }
+        }
+        self.views.freeze_edges(&needed)
+    }
+
+    /// Stages an all-retraction run: collect the removed rows read-only
+    /// ([`EdgeViewStore::remove_deltas`]), freeze the **pre-removal** views
+    /// of the affected queries (generation-pinned snapshots that survive the
+    /// compaction below), commit the removal at stage time, and hand the
+    /// expensive disappearing-embedding join to the deferred token. The
+    /// commit cannot wait for answer time: a later staged re-insert of a
+    /// just-retracted edge must route against the post-removal views or it
+    /// would be dedup-dropped (see the staging contract on
+    /// [`ContinuousEngine::stage_batch`]).
+    fn stage_retractions(&mut self, updates: &[Update]) -> StagedBatch {
+        self.stats.updates_processed += updates.len() as u64;
+
+        let removed = self.views.remove_deltas(updates);
+        if removed.is_empty() {
+            return StagedBatch::immediate(MatchReport::empty());
+        }
+
+        let affected = self.affected_records(&removed);
+        let cache = if self.caching {
+            self.publish_builds(&affected)
+        } else {
+            FrozenJoinCache::default()
+        };
+        let frozen = self.freeze_needed(&affected);
+        self.views.retract_deltas(&removed);
+
+        StagedBatch::deferred(StagedBaseline {
+            edge_deltas: removed,
+            affected,
+            frozen,
+            retract: true,
+            cache,
+        })
+    }
 }
 
 /// The deferred-answer token of the INV/INC baselines: the routed batch's
@@ -158,6 +207,11 @@ struct StagedBaseline {
     edge_deltas: FxHashMap<GenericEdge, Relation>,
     affected: Vec<(QueryId, Arc<QueryRecord>)>,
     frozen: FrozenViews,
+    /// True for an all-retraction run: `edge_deltas` holds the removed
+    /// rows, `frozen` the **pre-removal** snapshots (generation-pinned, so
+    /// the commit that already ran at stage time cannot invalidate them),
+    /// and the answer counts disappearing embeddings.
+    retract: bool,
     /// The `+` variants' stage-time build publication (empty for the
     /// cacheless variants): the answer pass probes these instead of
     /// rebuilding hash tables per batch. Because the frozen views share
@@ -377,10 +431,14 @@ impl ContinuousEngine for BaselineEngine {
     /// thread, and still reads exactly the state this batch saw. See the
     /// staging contract on [`ContinuousEngine::stage_batch`].
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
-        if updates.iter().any(Update::is_retraction) {
-            // Retraction batches compact views in place, which would move
-            // the ground under this token's frozen watermarks if deferred —
-            // answer eagerly at stage time (see the staging contract).
+        let retractions = updates.iter().filter(|u| u.is_retraction()).count();
+        if retractions == updates.len() && !updates.is_empty() {
+            return self.stage_retractions(updates);
+        }
+        if retractions > 0 {
+            // Mixed-sign batches have no deferred shape — callers wanting
+            // deferral split into sign-pure runs first, as the pipelined
+            // executor does (see the staging contract).
             return StagedBatch::immediate(self.apply_batch(updates));
         }
         self.stats.updates_processed += updates.len() as u64;
@@ -394,19 +452,12 @@ impl ContinuousEngine for BaselineEngine {
         } else {
             FrozenJoinCache::default()
         };
-        let mut needed: Vec<GenericEdge> = Vec::new();
-        for (_, record) in &affected {
-            for &edge in &record.edges {
-                if !needed.contains(&edge) {
-                    needed.push(edge);
-                }
-            }
-        }
-        let frozen = self.views.freeze_edges(&needed);
+        let frozen = self.freeze_needed(&affected);
         StagedBatch::deferred(StagedBaseline {
             edge_deltas,
             affected,
             frozen,
+            retract: false,
             cache,
         })
     }
@@ -422,9 +473,14 @@ impl ContinuousEngine for BaselineEngine {
                     &token.edge_deltas,
                     &token.affected,
                 );
-                let report = MatchReport::from_counts(counts);
+                let report = if token.retract {
+                    MatchReport::from_retraction_counts(counts)
+                } else {
+                    MatchReport::from_counts(counts)
+                };
                 self.stats.notifications += report.len() as u64;
                 self.stats.embeddings += report.total_embeddings();
+                self.stats.retracted += report.total_retracted();
                 report
             }
             Err(report) => report,
@@ -433,21 +489,28 @@ impl ContinuousEngine for BaselineEngine {
 
     /// The cross-thread form of the deferred join-and-explore pass: the
     /// staged token already owns everything (deltas, records, frozen
-    /// views), so detaching is just moving it into the task. See the
-    /// detachment contract on [`ContinuousEngine::detach_staged`].
+    /// views), so detaching is just moving it into the task — for
+    /// retraction tokens too, whose snapshots were frozen pre-removal at
+    /// stage time. See the detachment contract on
+    /// [`ContinuousEngine::detach_staged`].
     fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
         let mode = self.mode;
         match staged.into_deferred::<StagedBaseline>() {
             Ok(token) => DetachedAnswer::task(move || {
                 let mut row_buf = Vec::new();
-                MatchReport::from_counts(answer_affected(
+                let counts = answer_affected(
                     mode,
                     &token.frozen,
                     BuildCache::Frozen(&token.cache),
                     &mut row_buf,
                     &token.edge_deltas,
                     &token.affected,
-                ))
+                );
+                if token.retract {
+                    MatchReport::from_retraction_counts(counts)
+                } else {
+                    MatchReport::from_counts(counts)
+                }
             }),
             Err(report) => DetachedAnswer::ready(report),
         }
@@ -456,6 +519,7 @@ impl ContinuousEngine for BaselineEngine {
     fn absorb_answered(&mut self, report: &MatchReport) {
         self.stats.notifications += report.len() as u64;
         self.stats.embeddings += report.total_embeddings();
+        self.stats.retracted += report.total_retracted();
     }
 
     fn num_queries(&self) -> usize {
@@ -508,38 +572,17 @@ impl BaselineEngine {
         report
     }
 
-    /// The retraction mirror of [`apply_batch_core`](Self::apply_batch_core):
-    /// collect the removed rows per generic edge **without** touching the
-    /// views ([`EdgeViewStore::remove_deltas`]), answer the disappearing
-    /// embeddings with the very same join-and-explore pass — seeded with the
-    /// removed-row deltas against the still-pre-removal views, which by the
-    /// deletion-delta property of [`views::delta_path_relation`] yields
-    /// exactly `full_before − full_after` per covering path — and only then
-    /// commit the removal ([`EdgeViewStore::retract_deltas`]), compacting
-    /// the touched views into their next generation.
+    /// The retraction mirror of [`apply_batch_core`](Self::apply_batch_core),
+    /// expressed as stage-then-answer: [`Self::stage_retractions`] collects
+    /// the removed rows, freezes the pre-removal snapshots, and commits;
+    /// the immediate answer then runs the very same join-and-explore pass —
+    /// seeded with the removed-row deltas against the pre-removal snapshots,
+    /// which by the deletion-delta property of
+    /// [`views::delta_path_relation`] yields exactly
+    /// `full_before − full_after` per covering path.
     fn retract_batch_core(&mut self, updates: &[Update]) -> MatchReport {
-        self.stats.updates_processed += updates.len() as u64;
-
-        let removed = self.views.remove_deltas(updates);
-        if removed.is_empty() {
-            return MatchReport::empty();
-        }
-
-        let affected = self.affected_records(&removed);
-        let counts = answer_affected(
-            self.mode,
-            &self.views,
-            BuildCache::from(self.caching.then_some(&mut self.cache)),
-            &mut self.row_buf,
-            &removed,
-            &affected,
-        );
-        self.views.retract_deltas(&removed);
-
-        let report = MatchReport::from_retraction_counts(counts);
-        self.stats.notifications += report.len() as u64;
-        self.stats.retracted += report.total_retracted();
-        report
+        let staged = self.stage_retractions(updates);
+        self.answer_staged(staged)
     }
 }
 
@@ -770,18 +813,48 @@ mod tests {
     }
 
     #[test]
-    fn staging_a_retraction_batch_answers_eagerly() {
+    fn staged_retraction_runs_defer_and_survive_later_stages() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            engine.register_query(&q).unwrap();
+            let ux = f.u("x", "a", "b");
+            let uy = f.u("y", "b", "c");
+            assert_eq!(engine.apply_batch(&[ux, uy]).total_embeddings(), 1);
+
+            // The retraction run stages: the commit lands immediately, the
+            // disappearing-embedding join is deferred in the token.
+            let t1 = engine.stage_batch(&[uy.inverted()]);
+            assert!(!t1.is_immediate(), "{}", engine.name());
+
+            // Re-inserting the just-retracted edge BEFORE answering t1 must
+            // route against the post-removal views — proof the commit did
+            // not wait for answer time.
+            let t2 = engine.stage_batch(&[uy]);
+
+            let r1 = engine.answer_staged(t1);
+            assert_eq!(r1.total_retracted(), 1, "{}", engine.name());
+            assert_eq!(r1.total_embeddings(), 0, "{}", engine.name());
+            // The re-insert is truly new again, not dedup-dropped.
+            let r2 = engine.answer_staged(t2);
+            assert_eq!(r2.total_embeddings(), 1, "{}", engine.name());
+            assert_eq!(engine.stats().retracted, 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn staging_a_mixed_sign_batch_falls_back_to_immediate() {
         for mut engine in engines() {
             let mut f = Fixture::new();
             let q = f.q("?a -x-> ?b");
             engine.register_query(&q).unwrap();
-            let u = f.u("x", "a", "b");
-            let t1 = engine.stage_batch(&[u]);
-            assert_eq!(engine.answer_staged(t1).total_embeddings(), 1);
-            let t2 = engine.stage_batch(&[u.inverted()]);
-            // The token is immediate: the retraction was answered at stage
-            // time, before any later routing could move the views.
-            let report = engine.answer_staged(t2);
+            let u1 = f.u("x", "a", "b");
+            let u2 = f.u("x", "c", "d");
+            engine.apply_update(u1);
+            let token = engine.stage_batch(&[u2, u1.inverted()]);
+            assert!(token.is_immediate(), "{}", engine.name());
+            let report = engine.answer_staged(token);
+            assert_eq!(report.total_embeddings(), 1, "{}", engine.name());
             assert_eq!(report.total_retracted(), 1, "{}", engine.name());
         }
     }

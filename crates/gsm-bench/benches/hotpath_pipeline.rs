@@ -25,6 +25,15 @@
 //! BENCH_PR3.json played for sharding; multi-core hosts read it as the
 //! speedup baseline. Results land in BENCH_PR6.json (w1 is directly
 //! comparable to BENCH_PR5.json's single-worker `-threaded` series).
+//!
+//! The `hotpath_pipeline_deletions` group streams a deletion-heavy SNB
+//! variant (35% retractions of live edges) through the same front end, with
+//! every `-staged` series paired against an `-eager` series that flips
+//! [`PipelineConfig::with_eager_retractions`] — the PR 7 barrier path that
+//! drained the staged window and answered every retraction flush inline.
+//! The pairing is the un-barrier acceptance measurement: staged retraction
+//! tokens must hold (threaded) throughput above the eager baseline on the
+//! identical stream. Results land in BENCH_PR8.json.
 
 mod common;
 
@@ -109,5 +118,63 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Deletion-heavy sweep: staged retraction tokens vs the eager barrier on
+/// the identical mixed stream, inline and threaded. Flush 64 keeps the
+/// series comparable with the insert-only sweep's middle point.
+fn bench_deletions(c: &mut Criterion) {
+    let total = WARM_UPDATES + MEASURED_UPDATES;
+    let workload =
+        Workload::generate(WorkloadConfig::new(Dataset::Snb, total, 60).with_delete_ratio(0.35));
+    const FLUSH_SIZE: usize = 64;
+
+    let mut group = c.benchmark_group("hotpath_pipeline_deletions");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(400));
+    group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
+
+    for kind in [EngineKind::Tric, EngineKind::TricPlus] {
+        // 0 = inline (no answer pool); N >= 1 = threaded with N answer workers.
+        for answer_workers in [0usize, 2, 4] {
+            for eager in [false, true] {
+                let mode = if eager { "eager" } else { "staged" };
+                let series = if answer_workers > 0 {
+                    format!("{}-del-{mode}-w{answer_workers}", kind.name())
+                } else {
+                    format!("{}-del-{mode}", kind.name())
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(series, FLUSH_SIZE),
+                    &FLUSH_SIZE,
+                    |b, &flush_size| {
+                        b.iter_batched(
+                            || {
+                                let mut config = PipelineConfig::new(flush_size, FLUSH_DEADLINE);
+                                if answer_workers > 0 {
+                                    config = config.threaded().with_answer_workers(answer_workers);
+                                }
+                                if eager {
+                                    config = config.with_eager_retractions();
+                                }
+                                PipelinedEngine::new(warmed_engine(kind, &workload), config)
+                            },
+                            |mut pipe| {
+                                let suffix = &workload.stream.as_slice()[WARM_UPDATES..];
+                                for &u in suffix {
+                                    black_box(pipe.push(u));
+                                }
+                                black_box(pipe.drain());
+                                pipe
+                            },
+                            BatchSize::LargeInput,
+                        );
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_deletions);
 criterion_main!(benches);

@@ -441,12 +441,32 @@ pub trait ContinuousEngine {
     ///   pipelined/sharded wrappers **enforce** the contract by returning
     ///   [`crate::error::Error::RegistrationWhileStaged`] when it is
     ///   violated.
-    /// * **Retraction runs are answered eagerly.** `stage_batch` of a
-    ///   retraction batch compacts views in place, which would invalidate
-    ///   the watermarks of earlier outstanding tokens — so engines answer
-    ///   retraction batches at stage time (immediate tokens) and the
-    ///   pipelined executor drains its window before staging one (see
-    ///   [`crate::pipeline`]).
+    /// * **Retraction runs stage too — commit at stage time, answer
+    ///   deferred.** `stage_batch` of an all-retraction batch collects the
+    ///   removed delta relations read-only
+    ///   ([`crate::views::EdgeViewStore::remove_deltas`]), freezes the
+    ///   pre-removal answer inputs into the token as **generation-pinned
+    ///   snapshots** ([`crate::relation::Relation::snapshot_owned`] shares
+    ///   frozen chunks by `Arc`, so they outlive any later compaction),
+    ///   and then performs the destructive commit (`retract_rows` /
+    ///   `retract_deltas`, generation bump, cache invalidation) before
+    ///   returning. Only the expensive disappearing-embedding join is
+    ///   deferred. The commit *cannot* wait for answer time: a later staged
+    ///   insert of a just-retracted edge must route against post-removal
+    ///   views, or it would be dedup-dropped and the stream would diverge
+    ///   from sequential execution.
+    /// * Because the commit compacts live relations, staging a retraction
+    ///   run requires **every earlier token to have been answered or
+    ///   detached already** — detached tasks are safe (their inputs are
+    ///   frozen behind `Arc` pins), but an unanswered inline token may hold
+    ///   watermarks into the live relations being compacted. The pipelined
+    ///   executor guarantees this by detaching every token at stage time in
+    ///   threaded mode and answering its inline window before staging a
+    ///   retraction run (see [`crate::pipeline`]).
+    /// * `stage_batch` of a **mixed-sign** batch falls back to an immediate
+    ///   token (`apply_batch` at stage time). Callers wanting deferral split
+    ///   first with [`crate::model::update::sign_runs`], as the pipelined
+    ///   executor does.
     /// * Stats granularity: `updates_processed` advances at stage time,
     ///   `notifications`/`embeddings` at answer time.
     ///
@@ -489,7 +509,10 @@ pub trait ContinuousEngine {
     ///   any order** must produce the same per-batch reports as FIFO
     ///   `answer_staged` calls: each task joins against its own frozen
     ///   watermarks, so later stages are invisible to it (same insert-only
-    ///   versioning argument as the staging contract).
+    ///   versioning argument as the staging contract). Retraction tokens
+    ///   carry fully frozen pre-removal snapshots, so their tasks are
+    ///   likewise immune to the generation bumps their own (or any later)
+    ///   commit performed.
     /// * Tokens must still each be detached (in stage order, by the engine
     ///   that staged them) exactly once, and every task's report must be
     ///   folded back with [`absorb_answered`](Self::absorb_answered) exactly
@@ -515,7 +538,8 @@ pub trait ContinuousEngine {
     /// The default is a no-op, pairing with the default `detach_staged`
     /// (which answered inline through `answer_staged` and therefore already
     /// counted); engines overriding `detach_staged` with genuinely deferred
-    /// tasks override this to advance `notifications`/`embeddings`.
+    /// tasks override this to advance
+    /// `notifications`/`embeddings`/`retracted`.
     fn absorb_answered(&mut self, report: &MatchReport) {
         let _ = report;
     }

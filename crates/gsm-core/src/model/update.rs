@@ -75,10 +75,10 @@ impl Update {
 /// Splits a batch into maximal runs of same-signed updates, preserving
 /// order: `[+a, +b, -c, +d]` yields `[+a, +b]`, `[-c]`, `[+d]`.
 ///
-/// The staged/pipelined executors process addition runs through the
-/// concurrent staging machinery and retraction runs eagerly at a pipeline
-/// barrier, so run splitting is the single place where a mixed batch is
-/// decomposed.
+/// The staged/pipelined executors stage each run separately — insertion
+/// and retraction runs alike take the deferred-answer token shape, only
+/// mixed-sign batches fall back to immediate answering — so run splitting
+/// is the single place where a mixed batch is decomposed.
 pub fn sign_runs(batch: &[Update]) -> impl Iterator<Item = &[Update]> {
     batch.chunk_by(|a, b| a.retract == b.retract)
 }

@@ -65,6 +65,17 @@
 //! blocks on the oldest answer, which bounds the window exactly like the
 //! inline mode while still letting every worker stay busy.
 //!
+//! **Retractions pipeline too.** Every flushed batch is split into
+//! same-sign [`sign_runs`] and each run staged separately: insert runs
+//! defer their join pass against frozen watermarks as before, and
+//! retraction runs commit their removal at stage time while freezing
+//! generation-pinned pre-removal snapshots ([`Relation::snapshot_owned`])
+//! into the token, so their (expensive) disappearing-embedding join also
+//! runs on the answer workers. Deletion-heavy and sliding-window streams
+//! therefore keep the window full instead of degenerating to sequential
+//! execution behind a barrier (see the staging contract on
+//! [`ContinuousEngine::stage_batch`]).
+//!
 //! # The latency budget
 //!
 //! [`DeadlineBatcher`] flushes a batch when it reaches `max_batch` updates
@@ -90,7 +101,7 @@ use crate::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
 };
 use crate::error::{Error, Result};
-use crate::model::update::Update;
+use crate::model::update::{sign_runs, Update};
 use crate::pool::WorkerPool;
 use crate::query::pattern::QueryPattern;
 use crate::relation::fasthash::FxHashMap;
@@ -135,6 +146,12 @@ pub struct PipelineConfig {
     /// age out. `None` (the default) keeps the unbounded, insert-only
     /// stream semantics.
     pub window: Option<Duration>,
+    /// Apply retraction runs eagerly behind a full pipeline barrier (the
+    /// pre-staging behaviour) instead of staging them like insert runs.
+    /// Kept only for A/B comparison in the benches; the staged path is
+    /// report-identical and keeps the window full on deletion-heavy
+    /// streams. Defaults to false.
+    pub eager_retractions: bool,
 }
 
 impl Default for PipelineConfig {
@@ -146,6 +163,7 @@ impl Default for PipelineConfig {
             answer_thread: false,
             answer_workers: Self::default_answer_workers(),
             window: None,
+            eager_retractions: false,
         }
     }
 }
@@ -186,6 +204,13 @@ impl PipelineConfig {
     /// insertion.
     pub fn windowed(mut self, window: Duration) -> Self {
         self.window = Some(window);
+        self
+    }
+
+    /// Reverts retraction runs to the eager barrier path (see
+    /// [`PipelineConfig::eager_retractions`]). Bench-only escape hatch.
+    pub fn with_eager_retractions(mut self) -> Self {
+        self.eager_retractions = true;
         self
     }
 
@@ -281,16 +306,31 @@ impl DeadlineBatcher {
 
     /// The next instant something must happen by: the buffered batch's
     /// flush deadline or the earliest pending edge expiry, whichever comes
-    /// first. (The expiry bound is conservative: a stale queue front may
-    /// report an expiry that turns out to be a no-op — polling then is
-    /// harmless.)
+    /// first. Stale expiry entries (refreshed or retracted edges) are
+    /// pruned from the queue front as they arise, so the expiry bound
+    /// always names a real pending expiry — an idle caller woken at this
+    /// instant never polls for a guaranteed no-op.
     pub fn next_deadline(&self) -> Option<Instant> {
         let expiry = self
             .window
-            .and_then(|w| self.expiry.front().map(|&(at, _)| at + w));
+            .and_then(|w| self.expiry.front().and_then(|&(at, _)| at.checked_add(w)));
         match (self.deadline, expiry) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
+        }
+    }
+
+    /// Drops expiry-queue entries whose edge was re-inserted (refreshed) or
+    /// explicitly retracted from the **front** of the queue, so the front
+    /// entry — the one [`next_deadline`](DeadlineBatcher::next_deadline)
+    /// reports — is always live. Interior stale entries are skipped lazily
+    /// when they reach the front.
+    fn prune_stale_expiry(&mut self) {
+        while let Some(&(at, edge)) = self.expiry.front() {
+            if self.live.get(&edge) == Some(&at) {
+                break;
+            }
+            self.expiry.pop_front();
         }
     }
 
@@ -307,16 +347,24 @@ impl DeadlineBatcher {
             self.live.insert(edge, now);
             self.expiry.push_back((now, edge));
         }
+        self.prune_stale_expiry();
     }
 
     /// Buffers a synthesized expiry retraction for every live edge whose
-    /// latest insertion is at least `window` old at `now`. Stale queue
-    /// entries (re-inserted or explicitly retracted edges) are skipped.
-    fn absorb_expired(&mut self, now: Instant) {
+    /// latest insertion is at least `window` old at `now`, appending any
+    /// batch that reaches `max_batch` to `out` along the way — an expiry
+    /// storm emits several full batches instead of one oversized one.
+    /// Stale queue entries (re-inserted or explicitly retracted edges) are
+    /// dropped as they surface at the queue front.
+    fn absorb_expired(&mut self, now: Instant, out: &mut Vec<Vec<Update>>) {
         let Some(window) = self.window else {
             return;
         };
         while let Some(&(inserted_at, edge)) = self.expiry.front() {
+            if self.live.get(&edge) != Some(&inserted_at) {
+                self.expiry.pop_front();
+                continue; // stale: refreshed or retracted since.
+            }
             let Some(deadline) = inserted_at.checked_add(window) else {
                 self.expiry.pop_front();
                 continue;
@@ -325,46 +373,56 @@ impl DeadlineBatcher {
                 break;
             }
             self.expiry.pop_front();
-            if self.live.get(&edge) != Some(&inserted_at) {
-                continue; // stale: refreshed or retracted since.
-            }
             self.live.remove(&edge);
             if self.buffer.is_empty() {
                 self.deadline = Some(now + self.max_delay);
             }
             self.buffer.push(edge.inverted());
+            if self.buffer.len() >= self.max_batch {
+                self.deadline = None;
+                out.push(std::mem::take(&mut self.buffer));
+            }
         }
     }
 
-    /// Buffers one update at time `now`, returning a full batch if this push
-    /// filled the buffer or the oldest update's deadline has passed. With a
+    /// Flushes the buffer into `out` if it is full or the oldest buffered
+    /// update's deadline has passed at `now`.
+    fn flush_if_due(&mut self, now: Instant, out: &mut Vec<Vec<Update>>) {
+        if self.buffer.len() >= self.max_batch || self.deadline.is_some_and(|d| now >= d) {
+            self.deadline = None;
+            if !self.buffer.is_empty() {
+                out.push(std::mem::take(&mut self.buffer));
+            }
+        }
+    }
+
+    /// Buffers one update at time `now`, returning every batch that became
+    /// due: the buffer when this push filled it or the oldest update's
+    /// deadline has passed, preceded by any full expiry batches. With a
     /// sliding window, expiry retractions due by `now` are buffered first
     /// (so a re-inserted expired edge is retracted before its re-insertion
-    /// and stays live).
-    pub fn push(&mut self, update: Update, now: Instant) -> Option<Vec<Update>> {
-        self.absorb_expired(now);
+    /// and stays live). No returned batch ever exceeds `max_batch` updates.
+    pub fn push(&mut self, update: Update, now: Instant) -> Vec<Vec<Update>> {
+        let mut out = Vec::new();
+        self.absorb_expired(now, &mut out);
         self.track(update, now);
         if self.buffer.is_empty() {
             self.deadline = Some(now + self.max_delay);
         }
         self.buffer.push(update);
-        if self.buffer.len() >= self.max_batch || self.deadline.is_some_and(|d| now >= d) {
-            self.flush()
-        } else {
-            None
-        }
+        self.flush_if_due(now, &mut out);
+        out
     }
 
     /// Deadline check without a new update: buffers any expiry retractions
-    /// due by `now`, then flushes the buffer if it is full or the oldest
-    /// buffered update has waited past its deadline.
-    pub fn poll(&mut self, now: Instant) -> Option<Vec<Update>> {
-        self.absorb_expired(now);
-        if self.buffer.len() >= self.max_batch || self.deadline.is_some_and(|d| now >= d) {
-            self.flush()
-        } else {
-            None
-        }
+    /// due by `now` (flushing every batch that fills up), then flushes the
+    /// buffer if it is full or the oldest buffered update has waited past
+    /// its deadline.
+    pub fn poll(&mut self, now: Instant) -> Vec<Vec<Update>> {
+        let mut out = Vec::new();
+        self.absorb_expired(now, &mut out);
+        self.flush_if_due(now, &mut out);
+        out
     }
 
     /// Unconditionally flushes whatever is buffered. Takes no clock, so no
@@ -445,7 +503,9 @@ impl<T> ReorderBuffer<T> {
 /// A batch whose report completed: the number of updates it covered (in
 /// stream order) and its merged [`MatchReport`]. Batches complete strictly
 /// in arrival order, so concatenating `CompletedBatch`es reconstructs the
-/// stream segmentation the batcher chose.
+/// stream segmentation the executor chose: the batcher's flush points,
+/// refined by same-sign runs (a mixed-sign flush is staged as one batch
+/// per [`sign_runs`] run, each completing separately).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletedBatch {
     /// Number of stream updates this batch covered.
@@ -472,6 +532,9 @@ pub struct PipelinedEngine<E> {
     engine: E,
     batcher: DeadlineBatcher,
     depth: usize,
+    /// Bench-only escape hatch: apply retraction runs eagerly behind a
+    /// barrier instead of staging them ([`PipelineConfig::eager_retractions`]).
+    eager_retractions: bool,
     /// In-flight staged batches, oldest first: `(updates, token)`. Used in
     /// inline mode only; the threaded answer stage tracks its window in
     /// [`AnswerStage::pending`].
@@ -606,6 +669,7 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
             engine,
             batcher,
             depth: config.depth,
+            eager_retractions: config.eager_retractions,
             staged: VecDeque::new(),
             answer: config
                 .answer_thread
@@ -665,7 +729,7 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// Streams one update at an explicit time `now` (deterministic variant
     /// of [`push`](Self::push) for tests and replay harnesses).
     pub fn push_at(&mut self, update: Update, now: Instant) -> Vec<CompletedBatch> {
-        if let Some(batch) = self.batcher.push(update, now) {
+        for batch in self.batcher.push(update, now) {
             self.stage(batch);
         }
         self.advance();
@@ -676,7 +740,7 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// if its deadline has passed and returns any batches that completed.
     /// Call this from idle loops — the executor has no timer thread.
     pub fn poll_at(&mut self, now: Instant) -> Vec<CompletedBatch> {
-        if let Some(batch) = self.batcher.poll(now) {
+        for batch in self.batcher.poll(now) {
             self.stage(batch);
         }
         self.advance();
@@ -695,53 +759,106 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
         std::mem::take(&mut self.completed)
     }
 
-    /// Streams a whole slice through the pipeline (constant synthetic time,
-    /// so segmentation is purely size-driven), drains it, and returns the
-    /// merge of every report — equal to merging the sequential per-update
-    /// reports of the stream (both the appearing and the disappearing
-    /// embeddings). Convenience for benches and tests.
+    /// Streams a whole slice through the pipeline under the real clock
+    /// (each update is pushed at its own `Instant::now()`, so windowed
+    /// configs synthesize expiries mid-stream as wall time advances),
+    /// drains it, and returns the merge of every report — equal to merging
+    /// the sequential per-update reports of the stream (both the appearing
+    /// and the disappearing embeddings). Convenience for benches and tests;
+    /// for a deterministic clock use
+    /// [`run_stream_at`](PipelinedEngine::run_stream_at).
     pub fn run_stream(&mut self, updates: &[Update]) -> MatchReport {
-        let now = Instant::now();
         let mut report = MatchReport::empty();
-        let fold = |acc: &mut MatchReport, batches: Vec<CompletedBatch>| {
-            for b in batches {
-                *acc = acc.merge(&b.report);
-            }
-        };
         for &u in updates {
-            let done = self.push_at(u, now);
-            fold(&mut report, done);
+            let done = self.push_at(u, Instant::now());
+            Self::fold_reports(&mut report, done);
         }
         let done = self.drain();
-        fold(&mut report, done);
+        Self::fold_reports(&mut report, done);
         report
     }
 
-    /// Stages one flushed batch into the window: inline mode keeps the
-    /// token for a later `answer_staged` on this thread; threaded mode
-    /// detaches it immediately and ships the self-contained answer task to
-    /// the answer thread, which starts the covering-path join while this
-    /// thread returns to stage the next batch.
+    /// Deterministic [`run_stream`](PipelinedEngine::run_stream): update
+    /// *i* is pushed at `start + i · tick`, then the pipeline drains. A
+    /// zero `tick` freezes the clock (segmentation purely size-driven); a
+    /// nonzero one advances it so windowed configs expire edges mid-stream
+    /// at reproducible points. The final drain synthesizes no expiries —
+    /// pending window state survives for later pushes/polls to observe.
+    pub fn run_stream_at(
+        &mut self,
+        updates: &[Update],
+        start: Instant,
+        tick: Duration,
+    ) -> MatchReport {
+        let mut report = MatchReport::empty();
+        for (i, &u) in updates.iter().enumerate() {
+            let done = self.push_at(u, start + tick * i as u32);
+            Self::fold_reports(&mut report, done);
+        }
+        let done = self.drain();
+        Self::fold_reports(&mut report, done);
+        report
+    }
+
+    fn fold_reports(acc: &mut MatchReport, batches: Vec<CompletedBatch>) {
+        for b in batches {
+            *acc = acc.merge(&b.report);
+        }
+    }
+
+    /// Stages one flushed batch into the window, split into same-sign
+    /// [`sign_runs`] so every run reaches [`stage_batch`]
+    /// (ContinuousEngine::stage_batch) sign-pure — the shape the staging
+    /// contract defers: insert runs freeze post-propagation watermarks,
+    /// retraction runs commit their removal at stage time and freeze
+    /// generation-pinned pre-removal snapshots. Each run is sequenced
+    /// separately, so the [`ReorderBuffer`] FIFO contract is untouched and
+    /// a mixed flush simply completes as several [`CompletedBatch`]es.
     ///
-    /// A batch containing **retractions** is a pipeline barrier instead:
-    /// retractions compact relation storage and bump generations, which
-    /// would invalidate the frozen watermarks earlier staged tokens rely
-    /// on. The staged window drains first (preserving FIFO completion),
-    /// then the batch applies eagerly and completes immediately.
+    /// With [`PipelineConfig::eager_retractions`] (bench-only A/B), a batch
+    /// containing retractions reverts to the old barrier: drain the window,
+    /// apply eagerly, complete immediately.
     fn stage(&mut self, batch: Vec<Update>) {
-        if batch.iter().any(Update::is_retraction) {
+        if self.eager_retractions && batch.iter().any(Update::is_retraction) {
             self.drain_window();
             let updates = batch.len();
             let report = self.engine.apply_batch(&batch);
             self.completed.push(CompletedBatch { updates, report });
             return;
         }
-        let updates = batch.len();
-        let token = self.engine.stage_batch(&batch);
+        for run in sign_runs(&batch) {
+            self.stage_run(run);
+        }
+    }
+
+    /// Stages one sign-pure run: inline mode keeps the token for a later
+    /// `answer_staged` on this thread; threaded mode detaches it
+    /// immediately and ships the self-contained answer task to the answer
+    /// stage, which starts the covering-path join while this thread returns
+    /// to stage the next run.
+    ///
+    /// Staging a **retraction** run commits the removal (compacting
+    /// relation storage and bumping generations) at stage time, so the
+    /// staging contract requires every earlier token to have been answered
+    /// or detached first. Threaded mode satisfies this by construction —
+    /// every token is detached (its answer inputs frozen behind `Arc`
+    /// pins) the moment it is staged. Inline tokens may instead hold
+    /// watermarks into live relations, so the inline window is answered
+    /// first; that costs nothing, as inline answering runs on this thread
+    /// anyway.
+    fn stage_run(&mut self, run: &[Update]) {
+        let updates = run.len();
         if self.answer.is_none() {
+            if run.first().is_some_and(Update::is_retraction) {
+                while !self.staged.is_empty() {
+                    self.answer_oldest();
+                }
+            }
+            let token = self.engine.stage_batch(run);
             self.staged.push_back((updates, token));
             return;
         }
+        let token = self.engine.stage_batch(run);
         let task = self.engine.detach_staged(token);
         if let Some(stage) = self.answer.as_mut() {
             stage.submit(updates, task);
@@ -915,14 +1032,20 @@ mod tests {
 
     const MS: Duration = Duration::from_millis(1);
 
+    /// Unwraps a push/poll result expected to contain exactly one batch.
+    fn only(batches: Vec<Vec<Update>>) -> Vec<Update> {
+        assert_eq!(batches.len(), 1, "expected exactly one flushed batch");
+        batches.into_iter().next().unwrap()
+    }
+
     #[test]
     fn batcher_flushes_on_size() {
         let mut b = DeadlineBatcher::new(3, Duration::from_secs(60));
         let now = t0();
-        assert!(b.push(u(0, 1, 2), now).is_none());
-        assert!(b.push(u(0, 2, 3), now).is_none());
+        assert!(b.push(u(0, 1, 2), now).is_empty());
+        assert!(b.push(u(0, 2, 3), now).is_empty());
         assert_eq!(b.len(), 2);
-        let batch = b.push(u(0, 3, 4), now).expect("size flush");
+        let batch = only(b.push(u(0, 3, 4), now));
         assert_eq!(batch.len(), 3);
         assert!(b.is_empty());
         assert!(b.next_deadline().is_none());
@@ -932,26 +1055,57 @@ mod tests {
     fn batcher_flushes_on_deadline() {
         let mut b = DeadlineBatcher::new(1000, 5 * MS);
         let now = t0();
-        assert!(b.push(u(0, 1, 2), now).is_none());
+        assert!(b.push(u(0, 1, 2), now).is_empty());
         let deadline = b.next_deadline().expect("armed");
         assert_eq!(deadline, now + 5 * MS);
         // Deadline is measured from the *oldest* buffered update.
-        assert!(b.push(u(0, 2, 3), now + 3 * MS).is_none());
-        assert!(b.poll(now + 4 * MS).is_none(), "before the deadline");
-        let batch = b.poll(now + 5 * MS).expect("deadline flush");
+        assert!(b.push(u(0, 2, 3), now + 3 * MS).is_empty());
+        assert!(b.poll(now + 4 * MS).is_empty(), "before the deadline");
+        let batch = only(b.poll(now + 5 * MS));
         assert_eq!(batch.len(), 2);
         // A push at/after the deadline flushes too (no poll needed).
-        assert!(b.push(u(0, 3, 4), now + 10 * MS).is_none());
-        let batch = b.push(u(0, 4, 5), now + 16 * MS).expect("late push flush");
+        assert!(b.push(u(0, 3, 4), now + 10 * MS).is_empty());
+        let batch = only(b.push(u(0, 4, 5), now + 16 * MS));
         assert_eq!(batch.len(), 2);
         // Empty batcher never deadline-flushes.
-        assert!(b.poll(now + 100 * MS).is_none());
+        assert!(b.poll(now + 100 * MS).is_empty());
     }
 
     #[test]
     fn batcher_clamps_degenerate_size() {
         let mut b = DeadlineBatcher::new(0, Duration::from_secs(1));
-        assert_eq!(b.push(u(0, 1, 2), t0()).expect("size 1").len(), 1);
+        assert_eq!(only(b.push(u(0, 1, 2), t0())).len(), 1);
+    }
+
+    #[test]
+    fn batcher_never_exceeds_max_batch_under_expiry_storms() {
+        // 5 live edges all expire at once with max_batch 2: the expiry
+        // storm plus the incoming push must come out as bounded batches
+        // ([2, 2, 2], never one batch of 6) with every update preserved in
+        // order.
+        let mut b = DeadlineBatcher::new(2, Duration::from_secs(60)).windowed(10 * MS);
+        let now = t0();
+        let mut flushed: Vec<Vec<Update>> = Vec::new();
+        for i in 0..5u32 {
+            flushed.extend(b.push(u(0, i, i + 1), now));
+        }
+        assert_eq!(flushed.len(), 2, "5 inserts at size 2 flush twice");
+        assert_eq!(b.len(), 1, "one insert still buffered");
+        assert_eq!(b.live_edges(), 5);
+        let batches = b.push(u(1, 9, 9), now + 10 * MS);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, 1 + 5, "buffered insert + 5 expiries");
+        assert!(
+            batches.iter().all(|batch| batch.len() <= 2),
+            "a batch exceeded max_batch: {batches:?}"
+        );
+        // Order: the buffered insert first, then the expiries; the pushed
+        // insert stays buffered (it did not fill a batch).
+        let flat: Vec<Update> = batches.into_iter().flatten().collect();
+        assert_eq!(flat[0], u(0, 4, 5));
+        assert!(flat[1..6].iter().all(Update::is_retraction));
+        assert_eq!(b.len(), 1, "the pushed insert is buffered");
+        assert_eq!(b.live_edges(), 1);
     }
 
     /// A deterministic split engine that records the interleaving of its
@@ -1238,6 +1392,99 @@ mod tests {
         assert_eq!(pipe.stats().notifications, 6);
     }
 
+    /// An engine whose *first* detached answer blocks on a gate the test
+    /// controls: if staging a later batch waited for in-flight answers (a
+    /// barrier), the gated worker could only proceed via its 2-second
+    /// timeout, which the report makes visible.
+    #[derive(Default)]
+    struct GatedDetachToy {
+        stats: EngineStats,
+        seq: u64,
+        gate: Option<Receiver<()>>,
+    }
+
+    impl ContinuousEngine for GatedDetachToy {
+        fn name(&self) -> &'static str {
+            "GATED-DETACH-TOY"
+        }
+        fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+            Ok(QueryId(0))
+        }
+        fn apply_update(&mut self, update: Update) -> MatchReport {
+            self.apply_batch(&[update])
+        }
+        fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+            let staged = self.stage_batch(updates);
+            self.answer_staged(staged)
+        }
+        fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+            self.stats.updates_processed += updates.len() as u64;
+            let seq = self.seq;
+            self.seq += 1;
+            StagedBatch::deferred((seq, updates.len() as u64))
+        }
+        fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+            let (seq, n) = staged.into_deferred::<(u64, u64)>().expect("own token");
+            MatchReport::from_counts(vec![(QueryId(seq as u32), n)])
+        }
+        fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+            let (seq, n) = staged.into_deferred::<(u64, u64)>().expect("own token");
+            let gate = if seq == 0 { self.gate.take() } else { None };
+            DetachedAnswer::task(move || {
+                let n = match gate {
+                    Some(gate) => match gate.recv_timeout(Duration::from_secs(2)) {
+                        Ok(()) => n,
+                        Err(_) => 999, // barrier: the gate never opened in time.
+                    },
+                    None => n,
+                };
+                MatchReport::from_counts(vec![(QueryId(seq as u32), n)])
+            })
+        }
+        fn num_queries(&self) -> usize {
+            1
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> EngineStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn threaded_retraction_runs_stage_while_earlier_answers_are_in_flight() {
+        // Batch 0 (an insert) is detached and its answer blocks on the
+        // gate. The retraction flush must stage + detach *without* waiting
+        // for it — the un-barriered path. Only after the retraction run is
+        // submitted does the test open the gate; under the old barrier the
+        // second push would block until the worker's 2s timeout fired, and
+        // the sentinel count 999 would surface in the first report.
+        let (tx, rx) = channel();
+        let config = PipelineConfig::new(1, Duration::from_secs(60))
+            .with_depth(4)
+            .threaded();
+        let toy = GatedDetachToy {
+            gate: Some(rx),
+            ..GatedDetachToy::default()
+        };
+        let mut pipe = PipelinedEngine::new(toy, config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert_eq!(pipe.in_flight(), 1);
+        assert!(pipe.push_at(u(0, 1, 2).inverted(), now).is_empty());
+        assert_eq!(pipe.in_flight(), 2, "retraction staged alongside");
+        tx.send(()).expect("worker is waiting on the gate");
+        let done = pipe.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(
+            done[0].report.total_embeddings(),
+            1,
+            "gate opened before the worker timed out — no barrier"
+        );
+        assert_eq!(done[1].report.satisfied_queries(), vec![QueryId(1)]);
+    }
+
     /// An engine whose detached answers always panic — the failure mode a
     /// buggy covering-path join would exhibit on the answer thread.
     #[derive(Default)]
@@ -1404,31 +1651,37 @@ mod tests {
         let now = t0();
         // Insert, flush on deadline, then let the edge age out: the poll at
         // t+10ms synthesizes the retraction, which flushes at t+11ms.
-        assert!(b.push(u(0, 1, 2), now).is_none());
+        assert!(b.push(u(0, 1, 2), now).is_empty());
         assert_eq!(b.live_edges(), 1);
-        let batch = b.poll(now + MS).expect("deadline flush");
+        let batch = only(b.poll(now + MS));
         assert_eq!(batch, vec![u(0, 1, 2)]);
-        assert!(b.poll(now + 9 * MS).is_none(), "not expired yet");
-        assert!(b.poll(now + 10 * MS).is_none(), "expiry buffered, not due");
+        assert!(b.poll(now + 9 * MS).is_empty(), "not expired yet");
+        assert!(b.poll(now + 10 * MS).is_empty(), "expiry buffered, not due");
         assert_eq!(b.live_edges(), 0);
-        let batch = b.poll(now + 11 * MS).expect("expiry flush");
+        let batch = only(b.poll(now + 11 * MS));
         assert_eq!(batch, vec![u(0, 1, 2).inverted()]);
         assert!(batch[0].is_retraction());
         // Nothing left: the window is empty and stays quiet.
-        assert!(b.poll(now + 100 * MS).is_none());
+        assert!(b.poll(now + 100 * MS).is_empty());
     }
 
     #[test]
     fn batcher_reinsertion_refreshes_the_window_deadline() {
         let mut b = DeadlineBatcher::new(1, MS).windowed(10 * MS);
         let now = t0();
-        assert!(b.push(u(0, 1, 2), now).is_some(), "size-1 flush");
-        // Re-insert at t+6ms: the t0 expiry entry goes stale.
-        assert!(b.push(u(0, 1, 2), now + 6 * MS).is_some());
-        assert!(b.poll(now + 10 * MS).is_none(), "stale entry skipped");
+        assert!(!b.push(u(0, 1, 2), now).is_empty(), "size-1 flush");
+        // Re-insert at t+6ms: the t0 expiry entry goes stale and is pruned,
+        // so the idle deadline moves straight to the refreshed expiry.
+        assert!(!b.push(u(0, 1, 2), now + 6 * MS).is_empty());
+        assert_eq!(
+            b.next_deadline(),
+            Some(now + 16 * MS),
+            "stale front entry must not schedule a no-op wakeup at t+10ms"
+        );
+        assert!(b.poll(now + 10 * MS).is_empty(), "stale entry skipped");
         assert_eq!(b.live_edges(), 1);
         // The refreshed deadline (t+16ms) is the one that fires.
-        let batch = b.poll(now + 16 * MS).expect("refreshed expiry");
+        let batch = only(b.poll(now + 16 * MS));
         assert_eq!(batch, vec![u(0, 1, 2).inverted()]);
         assert_eq!(b.live_edges(), 0);
     }
@@ -1437,39 +1690,71 @@ mod tests {
     fn batcher_explicit_retraction_cancels_the_pending_expiry() {
         let mut b = DeadlineBatcher::new(1, MS).windowed(10 * MS);
         let now = t0();
-        assert!(b.push(u(0, 1, 2), now).is_some());
-        assert!(b.push(u(0, 1, 2).inverted(), now + 2 * MS).is_some());
+        assert!(!b.push(u(0, 1, 2), now).is_empty());
+        assert!(!b.push(u(0, 1, 2).inverted(), now + 2 * MS).is_empty());
         assert_eq!(b.live_edges(), 0);
-        // No synthesized retraction ever fires for the retracted edge.
-        assert!(b.poll(now + 50 * MS).is_none());
+        // The cancelled expiry entry is pruned: no wakeup is scheduled and
+        // no synthesized retraction ever fires for the retracted edge.
+        assert_eq!(b.next_deadline(), None);
+        assert!(b.poll(now + 50 * MS).is_empty());
     }
 
     #[test]
     fn batcher_expired_edge_repushed_in_the_same_call_stays_live() {
         let mut b = DeadlineBatcher::new(100, MS).windowed(5 * MS);
         let now = t0();
-        assert!(b.push(u(0, 1, 2), now).is_none());
+        assert!(b.push(u(0, 1, 2), now).is_empty());
         b.flush();
         // The re-push observes the expiry first: the flushed batch orders
         // the synthesized retraction before the re-insertion, so the edge
         // ends the batch live.
-        assert!(b.push(u(0, 1, 2), now + 7 * MS).is_none());
-        let batch = b.poll(now + 8 * MS).expect("deadline flush");
+        assert!(b.push(u(0, 1, 2), now + 7 * MS).is_empty());
+        let batch = only(b.poll(now + 8 * MS));
         assert_eq!(batch, vec![u(0, 1, 2).inverted(), u(0, 1, 2)]);
         assert_eq!(b.live_edges(), 1);
     }
 
     #[test]
-    fn retraction_batches_barrier_the_window_and_apply_eagerly() {
+    fn inline_retraction_runs_answer_the_window_first_then_stage() {
         // Inline mode, deep window, flush size 1: two staged insert batches
-        // sit in the window when the retraction arrives; it must drain them
-        // (FIFO) and then apply eagerly, never entering the window itself.
+        // sit in the window when the retraction arrives. Inline tokens may
+        // hold watermarks into live relations, so the window is answered
+        // (FIFO) before the retraction run stages — but the retraction run
+        // itself *stages* like any other batch, it is not applied eagerly.
         let config = PipelineConfig::new(1, Duration::from_secs(60)).with_depth(3);
         let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
         let now = t0();
         assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
         assert!(pipe.push_at(u(2, 2, 3), now).is_empty());
         assert_eq!(pipe.in_flight(), 2);
+        let done = pipe.push_at(u(0, 1, 2).inverted(), now);
+        assert_eq!(done.len(), 2, "window answered before the retraction");
+        assert_eq!(pipe.in_flight(), 1, "the staged retraction run");
+        assert_eq!(
+            pipe.engine().log,
+            vec![
+                ("stage", 0),
+                ("stage", 1),
+                ("answer", 0),
+                ("answer", 1),
+                ("stage", 2),
+            ]
+        );
+        assert_eq!(pipe.drain().len(), 1, "the retraction run completes");
+        assert_eq!(pipe.engine().log.last(), Some(&("answer", 2)));
+    }
+
+    #[test]
+    fn eager_retraction_config_reverts_to_the_barrier_path() {
+        // The bench-only A/B flag restores the old behaviour: the window
+        // drains and the whole mixed batch applies eagerly, unsplit.
+        let config = PipelineConfig::new(1, Duration::from_secs(60))
+            .with_depth(3)
+            .with_eager_retractions();
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert!(pipe.push_at(u(2, 2, 3), now).is_empty());
         let done = pipe.push_at(u(0, 1, 2).inverted(), now);
         assert_eq!(done.len(), 3, "window drained + eager retraction batch");
         assert_eq!(pipe.in_flight(), 0);
@@ -1487,6 +1772,35 @@ mod tests {
     }
 
     #[test]
+    fn mixed_sign_flushes_stage_one_run_per_sign() {
+        // One flush of [+, +, −, +] must stage as three separately-sequenced
+        // runs whose completions tile the flush in stream order.
+        let config = PipelineConfig::new(4, Duration::from_secs(60)).with_depth(0);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let now = t0();
+        assert!(pipe.push_at(u(0, 1, 2), now).is_empty());
+        assert!(pipe.push_at(u(2, 2, 3), now).is_empty());
+        assert!(pipe.push_at(u(0, 1, 2).inverted(), now).is_empty());
+        let done = pipe.push_at(u(4, 3, 4), now);
+        assert_eq!(
+            done.iter().map(|b| b.updates).collect::<Vec<_>>(),
+            vec![2, 1, 1],
+            "runs tile the flush"
+        );
+        assert_eq!(
+            pipe.engine().log,
+            vec![
+                ("stage", 0),
+                ("answer", 0), // inline window answered before the '−' run
+                ("stage", 1),
+                ("stage", 2),
+                ("answer", 1),
+                ("answer", 2),
+            ]
+        );
+    }
+
+    #[test]
     fn windowed_pipeline_completes_expiry_batches() {
         let config = PipelineConfig::new(100, 2 * MS).windowed(8 * MS);
         let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
@@ -1495,14 +1809,41 @@ mod tests {
         assert_eq!(pipe.live_edges(), 1);
         assert!(pipe.poll_at(now + 2 * MS).is_empty(), "staged, depth 1");
         // At t+8ms the edge expires; the synthesized retraction flushes at
-        // t+10ms and, being a barrier, completes the staged batch too.
+        // t+10ms. Staging it answers the in-window insert batch first
+        // (inline mode), then the retraction run waits in the window.
         assert!(pipe.poll_at(now + 8 * MS).is_empty());
         assert_eq!(pipe.live_edges(), 0);
         let done = pipe.poll_at(now + 10 * MS);
-        assert_eq!(done.len(), 2);
+        assert_eq!(done.len(), 1);
         assert_eq!(done[0].updates, 1, "the insert batch");
-        assert_eq!(done[1].updates, 1, "the synthesized expiry retraction");
+        assert_eq!(pipe.in_flight(), 1, "the staged expiry retraction");
+        let done = pipe.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].updates, 1, "the synthesized expiry retraction");
         assert_eq!(pipe.in_flight(), 0);
+    }
+
+    #[test]
+    fn windowed_run_stream_expires_edges_mid_stream() {
+        // run_stream_at with an advancing tick must let the sliding window
+        // synthesize expiries *between* pushes — the frozen-clock bug made
+        // every windowed run_stream behave as if nothing ever aged out.
+        let config = PipelineConfig::new(100, MS).windowed(5 * MS);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let stream = [u(0, 1, 2), u(2, 2, 3), u(4, 3, 4)];
+        pipe.run_stream_at(&stream, t0(), 10 * MS);
+        // Each push is 10ms after the last, so the previous edge has
+        // expired every time: 3 inserts + 2 synthesized retractions reach
+        // the engine (the third edge is still live at the final drain,
+        // which synthesizes no expiries).
+        assert_eq!(pipe.stats().updates_processed, 5);
+        assert_eq!(pipe.live_edges(), 1);
+        // A zero tick reproduces the frozen clock: no expiries.
+        let config = PipelineConfig::new(100, MS).windowed(5 * MS);
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        pipe.run_stream_at(&stream, t0(), Duration::ZERO);
+        assert_eq!(pipe.stats().updates_processed, 3);
+        assert_eq!(pipe.live_edges(), 3);
     }
 
     #[test]

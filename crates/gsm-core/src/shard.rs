@@ -159,11 +159,31 @@ struct StagedShard {
     watermarks: Vec<usize>,
 }
 
-/// The deferred-answer token of the sharded wrapper: one [`StagedShard`]
-/// per shard, in shard order.
+/// The insert half of the sharded wrapper's deferred-answer token: one
+/// [`StagedShard`] per shard, in shard order.
 #[derive(Debug, Default)]
 struct StagedSharded {
     shards: Vec<StagedShard>,
+}
+
+/// The retraction half: each receiving shard's inner staged token (the
+/// inner commits already ran at stage time, per the staging contract) plus
+/// the spanning join inputs — removed path deltas and the other paths'
+/// **pre-removal** fulls, generation-pinned by [`Relation::snapshot_owned`]
+/// so the commit that already compacted the live spanning state cannot
+/// move them.
+struct StagedShardedRetract {
+    /// `(shard index, inner staged token)` for every shard the run routed to.
+    inners: Vec<(usize, StagedBatch)>,
+    spanning: Option<DetachedSpanning>,
+}
+
+/// Downcast target of every deferred token the sharded wrapper issues
+/// (`num_shards > 1`); single-shard deployments delegate and re-issue the
+/// inner engine's own tokens instead.
+enum ShardedToken {
+    Insert(StagedSharded),
+    Retract(StagedShardedRetract),
 }
 
 /// One shard: an inner engine for shard-local queries plus the spanning
@@ -392,6 +412,20 @@ impl DetachedSpanning {
             |shard, pid| self.fulls.get(&(shard, pid)).map(|full| (full, full.len())),
         )
     }
+
+    /// The retraction reading of the same covering-path join: the deltas
+    /// hold removed path rows and the fulls are frozen pre-removal, so
+    /// every joined row is an embedding that **disappears** with the run.
+    fn answer_retract(&self) -> MatchReport {
+        let joined = self.answer();
+        MatchReport::from_retraction_counts(
+            joined
+                .matches
+                .iter()
+                .map(|m| (m.query, m.new_embeddings))
+                .collect(),
+        )
+    }
 }
 
 /// Partitions any [`ContinuousEngine`] into `N` shards by root generic edge.
@@ -485,28 +519,12 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
         self.spanning_queries.len()
     }
 
-    /// The staging core for `num_shards > 1`: route the batch into
-    /// per-shard slices and absorb the slices (in parallel when at least two
-    /// shards are active and the batch is a real batch). Inner engines stage
-    /// their local queries, spanning path deltas are computed and appended,
-    /// and everything the deferred merge + covering-path join pass needs —
-    /// inner tokens, spanning deltas, per-path version watermarks — is
-    /// collected into the returned token.
-    fn stage_batch_routed(&mut self, updates: &[Update]) -> StagedSharded {
-        self.stats.updates_processed += updates.len() as u64;
-        if updates.is_empty() {
-            return StagedSharded::default();
-        }
-
-        // Mirror the batch into the wrapper-level history store (dropping
-        // the per-edge deltas — only mid-stream registration reads it).
-        self.history.apply_batch(updates);
-
-        // Route: an update goes to every shard observing one of its
-        // generic-edge shapes, via the reverse routing index — O(shapes)
-        // hash lookups per update, independent of the shard count. The
-        // marks deduplicate shards reached through several shapes of the
-        // same update.
+    /// Routes a batch into the per-shard slices: an update goes to every
+    /// shard observing one of its generic-edge shapes, via the reverse
+    /// routing index — O(shapes) hash lookups per update, independent of
+    /// the shard count. The marks deduplicate shards reached through
+    /// several shapes of the same update.
+    fn route_into_slices(&mut self, updates: &[Update]) {
         for shard in &mut self.shards {
             shard.slice.clear();
         }
@@ -528,6 +546,26 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
                 self.route_marks[s] = false;
             }
         }
+    }
+
+    /// The staging core for `num_shards > 1`: route the batch into
+    /// per-shard slices and absorb the slices (in parallel when at least two
+    /// shards are active and the batch is a real batch). Inner engines stage
+    /// their local queries, spanning path deltas are computed and appended,
+    /// and everything the deferred merge + covering-path join pass needs —
+    /// inner tokens, spanning deltas, per-path version watermarks — is
+    /// collected into the returned token.
+    fn stage_batch_routed(&mut self, updates: &[Update]) -> StagedSharded {
+        self.stats.updates_processed += updates.len() as u64;
+        if updates.is_empty() {
+            return StagedSharded::default();
+        }
+
+        // Mirror the batch into the wrapper-level history store (dropping
+        // the per-edge deltas — only mid-stream registration reads it).
+        self.history.apply_batch(updates);
+
+        self.route_into_slices(updates);
 
         // Absorb. Worker threads only pay off when several shards have real
         // work; single-update calls and single-active-shard batches take the
@@ -752,70 +790,33 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
         })
     }
 
-    /// Eagerly applies one all-retraction run for `num_shards > 1`:
+    /// Stages one all-retraction run for `num_shards > 1` — the deletion
+    /// mirror of [`stage_batch_routed`](Self::stage_batch_routed):
     ///
-    /// 1. The wrapper-level history store retracts the named edges (so
-    ///    mid-stream spanning registration never backfills removed rows).
-    /// 2. The run routes to shards exactly like the insert path, and each
-    ///    receiving shard's inner engine applies it eagerly; the per-shard
-    ///    retracted counts translate to wrapper ids and merge.
-    /// 3. Spanning path states answer **before** committing: the removed
-    ///    rows of each shard's spanning views seed the same
-    ///    [`delta_path_relation`] deletion delta the engines use locally,
-    ///    the covering-path join runs against the other paths' full
-    ///    pre-removal relations, and only then do the spanning views and
-    ///    the materialized fulls compact ([`Relation::retract_rows`]).
+    /// 1. The wrapper-level history store retracts the named edges at stage
+    ///    time (mid-stream spanning registration must never backfill
+    ///    removed rows).
+    /// 2. Spanning path states collect their deletion deltas read-only
+    ///    ([`EdgeViewStore::remove_deltas`] seeding [`delta_path_relation`]
+    ///    against the pre-removal views), and the other paths' fulls are
+    ///    frozen **pre-removal** via [`Relation::snapshot_owned`] —
+    ///    generation-pinned, so step 3's compaction cannot move them under
+    ///    the deferred join.
+    /// 3. The spanning views and materialized fulls commit
+    ///    ([`Relation::retract_rows`]), exactly as the eager path did.
+    /// 4. Each receiving shard's inner engine **stages** its slice: inner
+    ///    commits land now (per the staging contract), the disappearing-
+    ///    embedding joins defer into the inner tokens.
     ///
-    /// Runs sequentially — a retraction batch compacts shared state, so it
-    /// is a pipeline barrier anyway (see the staging contract), and the
-    /// absorb pool's parallelism would buy nothing against that wall.
-    fn retract_run(&mut self, updates: &[Update]) -> MatchReport {
+    /// Routing runs sequentially — the commits are cheap compactions; all
+    /// the join work rides in the returned token and overlaps later stages.
+    fn stage_retract_run(&mut self, updates: &[Update]) -> StagedShardedRetract {
         self.stats.updates_processed += updates.len() as u64;
 
         let removed_hist = self.history.remove_deltas(updates);
         self.history.retract_deltas(&removed_hist);
 
-        // Route the run (same reverse-index walk as the insert path).
-        for shard in &mut self.shards {
-            shard.slice.clear();
-        }
-        for &u in updates {
-            for shape in GenericEdge::shapes_of_update(&u) {
-                let Some(shards) = self.route_index.get(&shape) else {
-                    continue;
-                };
-                for &s in shards {
-                    if !self.route_marks[s] {
-                        self.route_marks[s] = true;
-                        self.route_marked.push(s);
-                        self.shards[s].slice.push(u);
-                        self.shards[s].routed += 1;
-                    }
-                }
-            }
-            for s in self.route_marked.drain(..) {
-                self.route_marks[s] = false;
-            }
-        }
-
-        // Inner engines answer their slices eagerly (a pure retraction run
-        // reports only retracted embeddings); translate ids per shard.
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
-        for s in 0..self.shards.len() {
-            if self.shards[s].slice.is_empty() {
-                continue;
-            }
-            let shard = &mut self.shards[s];
-            let slice = std::mem::take(&mut shard.slice);
-            let report = shard.engine.apply_batch(&slice);
-            shard.slice = slice;
-            counts.extend(report.matches.iter().map(|m| {
-                (
-                    shard.local_to_global[m.query.index()],
-                    m.retracted_embeddings,
-                )
-            }));
-        }
+        self.route_into_slices(updates);
 
         // Spanning: collect every shard's removed view rows and the removed
         // rows of each affected path state — all against pre-removal state.
@@ -851,26 +852,36 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
             removed_by_shard.push(removed);
         }
 
-        let spanning_report = if removed_paths.is_empty() {
-            MatchReport::empty()
+        // Freeze the spanning join's inputs BEFORE committing: the affected
+        // queries and the other paths' fulls pinned at the pre-removal
+        // generation (queries without a removed path delta cannot report
+        // and are skipped).
+        let spanning = if removed_paths.is_empty() {
+            None
         } else {
-            let joined = join_spanning_queries(
-                self.spanning_queries
-                    .iter()
-                    .map(|sq| (sq.query, sq.paths.as_slice())),
-                |shard, pid| removed_paths.get(&(shard, pid)),
-                |shard, pid| {
-                    let full = self.shards[shard].spanning_full(pid);
-                    Some((full, full.version()))
-                },
-            );
-            MatchReport::from_retraction_counts(
-                joined
-                    .matches
-                    .iter()
-                    .map(|m| (m.query, m.new_embeddings))
-                    .collect(),
-            )
+            let queries: Vec<(QueryId, Arc<Vec<SpanningPathInfo>>)> = self
+                .spanning_queries
+                .iter()
+                .filter(|sq| {
+                    sq.paths
+                        .iter()
+                        .any(|(s, pid, _)| removed_paths.contains_key(&(*s, *pid)))
+                })
+                .map(|sq| (sq.query, Arc::clone(&sq.paths)))
+                .collect();
+            let mut fulls: FxHashMap<(usize, usize), Relation> = FxHashMap::default();
+            for (_, paths) in &queries {
+                for (s, pid, _) in paths.iter() {
+                    let full = self.shards[*s].spanning_full(*pid);
+                    let watermark = full.version();
+                    if watermark > 0 {
+                        fulls
+                            .entry((*s, *pid))
+                            .or_insert_with(|| full.snapshot_owned(watermark));
+                    }
+                }
+            }
+            Some((queries, fulls))
         };
 
         // Commit: spanning views compact (covers single-edge path fulls,
@@ -888,10 +899,98 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
             }
         }
 
+        // Inner engines stage their slices: their commits land here, their
+        // disappearing-embedding joins defer into the collected tokens.
+        let mut inners: Vec<(usize, StagedBatch)> = Vec::new();
+        for s in 0..self.shards.len() {
+            if self.shards[s].slice.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[s];
+            let slice = std::mem::take(&mut shard.slice);
+            let token = shard.engine.stage_batch(&slice);
+            shard.slice = slice;
+            inners.push((s, token));
+        }
+
+        StagedShardedRetract {
+            inners,
+            spanning: spanning.map(|(queries, fulls)| DetachedSpanning {
+                queries,
+                deltas: removed_paths,
+                fulls,
+            }),
+        }
+    }
+
+    /// The deferred answer pass of a staged retraction run: each receiving
+    /// shard's inner engine answers its token (reports carry retracted
+    /// embeddings; ids translate per shard), the spanning covering-path
+    /// join runs over the frozen pre-removal snapshots, and the merged
+    /// report feeds the wrapper's retraction counters.
+    fn answer_retract_token(&mut self, token: StagedShardedRetract) -> MatchReport {
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        for (s, inner) in token.inners {
+            let report = self.shards[s].engine.answer_staged(inner);
+            counts.extend(report.matches.iter().map(|m| {
+                (
+                    self.shards[s].local_to_global[m.query.index()],
+                    m.retracted_embeddings,
+                )
+            }));
+        }
+        let spanning_report = token
+            .spanning
+            .as_ref()
+            .map(DetachedSpanning::answer_retract)
+            .unwrap_or_default();
         let merged = MatchReport::from_retraction_counts(counts).merge(&spanning_report);
         self.stats.notifications += merged.len() as u64;
         self.stats.retracted += merged.total_retracted();
         merged
+    }
+
+    /// The cross-thread form of [`answer_retract_token`]
+    /// (`ShardedEngine::answer_retract_token`): inner tokens detach through
+    /// their shard's inner engine (retraction tokens are fully frozen
+    /// already), the spanning half moves into the task as-is.
+    fn detach_retract_token(&mut self, token: StagedShardedRetract) -> DetachedAnswer {
+        let inners: Vec<(DetachedAnswer, Arc<Vec<QueryId>>)> = token
+            .inners
+            .into_iter()
+            .map(|(s, inner)| {
+                (
+                    self.shards[s].engine.detach_staged(inner),
+                    Arc::clone(&self.shards[s].local_to_global),
+                )
+            })
+            .collect();
+        let spanning = token.spanning;
+        DetachedAnswer::task(move || {
+            let mut counts: Vec<(QueryId, u64)> = Vec::new();
+            for (inner, local_to_global) in inners {
+                let report = inner.run();
+                counts.extend(
+                    report
+                        .matches
+                        .iter()
+                        .map(|m| (local_to_global[m.query.index()], m.retracted_embeddings)),
+                );
+            }
+            let spanning_report = spanning
+                .as_ref()
+                .map(DetachedSpanning::answer_retract)
+                .unwrap_or_default();
+            MatchReport::from_retraction_counts(counts).merge(&spanning_report)
+        })
+    }
+
+    /// Applies one all-retraction run eagerly for `num_shards > 1`,
+    /// expressed as stage-then-answer over the very same token the deferred
+    /// path issues — equivalence between the two is by construction.
+    fn retract_run(&mut self, updates: &[Update]) -> MatchReport {
+        let token = self.stage_retract_run(updates);
+        self.answer_retract_token(token)
     }
 }
 
@@ -1012,17 +1111,25 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
     /// deferred: inner engines stage their slices (in parallel when several
     /// shards are active) and the token freezes every path state's version
     /// watermark. See the staging contract on
-    /// [`ContinuousEngine::stage_batch`]. Batches containing retractions
-    /// answer **eagerly** (the token is already resolved): a retraction
-    /// compacts frozen chunks and bumps relation generations, which would
-    /// invalidate the watermarks earlier deferred tokens rely on.
+    /// [`ContinuousEngine::stage_batch`]. All-retraction runs stage too
+    /// (`stage_retract_run`): the commits —
+    /// spanning compaction, inner-engine removal — land before this returns,
+    /// while the disappearing-embedding joins ride the token over
+    /// generation-pinned pre-removal snapshots. Only mixed-sign batches
+    /// fall back to an immediate token; callers split with
+    /// [`sign_runs`] first.
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
         let staged = if self.shards.len() == 1 {
             self.shards[0].engine.stage_batch(updates)
-        } else if updates.iter().any(Update::is_retraction) {
-            StagedBatch::immediate(self.apply_batch(updates))
         } else {
-            StagedBatch::deferred(self.stage_batch_routed(updates))
+            let retractions = updates.iter().filter(|u| u.is_retraction()).count();
+            if retractions == updates.len() && !updates.is_empty() {
+                StagedBatch::deferred(ShardedToken::Retract(self.stage_retract_run(updates)))
+            } else if retractions > 0 {
+                StagedBatch::immediate(self.apply_batch(updates))
+            } else {
+                StagedBatch::deferred(ShardedToken::Insert(self.stage_batch_routed(updates)))
+            }
         };
         self.outstanding += 1;
         staged
@@ -1033,8 +1140,9 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
         if self.shards.len() == 1 {
             return self.shards[0].engine.answer_staged(staged);
         }
-        match staged.into_deferred::<StagedSharded>() {
-            Ok(token) => self.answer_batch_routed(token),
+        match staged.into_deferred::<ShardedToken>() {
+            Ok(ShardedToken::Insert(token)) => self.answer_batch_routed(token),
+            Ok(ShardedToken::Retract(token)) => self.answer_retract_token(token),
             Err(report) => report,
         }
     }
@@ -1044,14 +1152,16 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
     /// [`ContinuousEngine::detach_staged`]): inner tokens detach through
     /// their shard's inner engine, and the spanning join captures the staged
     /// deltas plus [`Relation::snapshot_owned`] copies of the fulls at the
-    /// staged watermarks.
+    /// staged watermarks (retraction tokens froze theirs at stage time
+    /// already and just move into the task).
     fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
         self.outstanding = self.outstanding.saturating_sub(1);
         if self.shards.len() == 1 {
             return self.shards[0].engine.detach_staged(staged);
         }
-        match staged.into_deferred::<StagedSharded>() {
-            Ok(token) => self.detach_batch_routed(token),
+        match staged.into_deferred::<ShardedToken>() {
+            Ok(ShardedToken::Insert(token)) => self.detach_batch_routed(token),
+            Ok(ShardedToken::Retract(token)) => self.detach_retract_token(token),
             Err(report) => DetachedAnswer::ready(report),
         }
     }
@@ -1065,6 +1175,7 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
         // authoritative ones (see `stats`).
         self.stats.notifications += report.len() as u64;
         self.stats.embeddings += report.total_embeddings();
+        self.stats.retracted += report.total_retracted();
     }
 
     fn num_queries(&self) -> usize {

@@ -1,7 +1,9 @@
 //! Property-based tests for the pipelined executor's ordering machinery:
 //! the [`ReorderBuffer`] in isolation, the multi-worker answer stage end to
-//! end, and panic propagation from detached answer tasks.
+//! end, panic propagation from detached answer tasks, and the sign-run
+//! splitter on mixed insert+retraction flushes.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
@@ -11,8 +13,8 @@ use gsm_core::engine::{
 };
 use gsm_core::error::Result;
 use gsm_core::interner::Sym;
-use gsm_core::model::update::Update;
-use gsm_core::pipeline::{PipelineConfig, PipelinedEngine, ReorderBuffer};
+use gsm_core::model::update::{sign_runs, Update};
+use gsm_core::pipeline::{CompletedBatch, PipelineConfig, PipelinedEngine, ReorderBuffer};
 use gsm_core::query::pattern::QueryPattern;
 
 fn u(label: u32, src: u32, tgt: u32) -> Update {
@@ -156,6 +158,153 @@ proptest! {
     }
 }
 
+/// A toy z-set engine with the commit-at-stage-time staging shape the real
+/// engines use: state is a multiset of edges; a sign-pure run commits its
+/// transitions at stage time and defers the report — 0→1 transitions are
+/// new embeddings, 1→0 retracted — into a token whose detached task sleeps
+/// a strategy-picked delay and stamps the report with the run's stage
+/// sequence number, making FIFO completion directly observable. The toy
+/// *panics* if `stage_batch` ever receives a mixed-sign batch, pinning the
+/// executor's obligation to split flushes with [`sign_runs`] first.
+struct ZSetToy {
+    state: HashMap<(Sym, Sym, Sym), i64>,
+    stats: EngineStats,
+    delays_us: Vec<u64>,
+    seq: u64,
+}
+
+struct ZSetToken {
+    seq: u64,
+    new: u64,
+    gone: u64,
+}
+
+impl ZSetToy {
+    fn new(delays_us: Vec<u64>) -> Self {
+        ZSetToy {
+            state: HashMap::new(),
+            stats: EngineStats::default(),
+            delays_us,
+            seq: 0,
+        }
+    }
+
+    /// Commits a run into the z-set, returning the `(0→1, 1→0)` transition
+    /// counts. Retractions of absent edges are no-ops, like the real views.
+    fn commit_run(&mut self, updates: &[Update]) -> (u64, u64) {
+        let (mut new, mut gone) = (0u64, 0u64);
+        for u in updates {
+            let e = u.edge();
+            let entry = self.state.entry((e.label, e.src, e.tgt)).or_insert(0);
+            if u.is_retraction() {
+                if *entry > 0 {
+                    *entry -= 1;
+                    if *entry == 0 {
+                        gone += 1;
+                    }
+                }
+            } else {
+                *entry += 1;
+                if *entry == 1 {
+                    new += 1;
+                }
+            }
+        }
+        (new, gone)
+    }
+
+    /// A sign-pure run reports either appearing or disappearing embeddings,
+    /// never both, under the query id `qid`.
+    fn run_report(qid: QueryId, new: u64, gone: u64) -> MatchReport {
+        if gone > 0 {
+            MatchReport::from_retraction_counts(vec![(qid, gone)])
+        } else if new > 0 {
+            MatchReport::from_counts(vec![(qid, new)])
+        } else {
+            MatchReport::empty()
+        }
+    }
+}
+
+impl ContinuousEngine for ZSetToy {
+    fn name(&self) -> &'static str {
+        "ZSET-TOY"
+    }
+    fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
+        Ok(QueryId(0))
+    }
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.apply_batch(&[update])
+    }
+    /// The eager path: splits into sign runs itself and merges the run
+    /// reports (under query id 0 — an eager flush has no stage sequence).
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.stats.updates_processed += updates.len() as u64;
+        let mut report = MatchReport::empty();
+        for run in sign_runs(updates) {
+            let (new, gone) = self.commit_run(run);
+            report = report.merge(&Self::run_report(QueryId(0), new, gone));
+        }
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        self.stats.retracted += report.total_retracted();
+        report
+    }
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        assert!(
+            updates
+                .windows(2)
+                .all(|w| w[0].is_retraction() == w[1].is_retraction()),
+            "executor staged a mixed-sign batch instead of splitting it"
+        );
+        self.stats.updates_processed += updates.len() as u64;
+        let (new, gone) = self.commit_run(updates);
+        let seq = self.seq;
+        self.seq += 1;
+        StagedBatch::deferred(ZSetToken { seq, new, gone })
+    }
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        match staged.into_deferred::<ZSetToken>() {
+            Ok(t) => {
+                let report = Self::run_report(QueryId(t.seq as u32), t.new, t.gone);
+                self.stats.notifications += report.len() as u64;
+                self.stats.embeddings += report.total_embeddings();
+                self.stats.retracted += report.total_retracted();
+                report
+            }
+            Err(report) => report,
+        }
+    }
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        match staged.into_deferred::<ZSetToken>() {
+            Ok(t) => {
+                let delay = self.delays_us[t.seq as usize % self.delays_us.len()];
+                DetachedAnswer::task(move || {
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_micros(delay));
+                    }
+                    ZSetToy::run_report(QueryId(t.seq as u32), t.new, t.gone)
+                })
+            }
+            Err(report) => DetachedAnswer::ready(report),
+        }
+    }
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        self.stats.retracted += report.total_retracted();
+    }
+    fn num_queries(&self) -> usize {
+        1
+    }
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
 proptest! {
     // Each case spins up a worker pool and sleeps real (micro)durations, so
     // keep the case count moderate.
@@ -240,5 +389,95 @@ proptest! {
             format!("injected answer panic #{panic_at}"),
             "panic payload must survive the trip across the worker"
         );
+    }
+
+    /// Mixed-sign flushes through the threaded pipeline split into
+    /// separately-staged sign-pure runs: completed batches arrive in FIFO
+    /// stage order, tile the stream at sign-run granularity, and report
+    /// exactly what a sequential stage-and-answer of the same runs reports.
+    /// The eager-barrier configuration over the same stream reproduces the
+    /// same embedding/retraction totals.
+    #[test]
+    fn mixed_sign_flushes_split_into_fifo_sign_runs(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..5), 1..40),
+        max_batch in 1usize..6,
+        workers in 1usize..5,
+        depth in 0usize..4,
+        delays_us in proptest::collection::vec(0u64..300, 1..6),
+    ) {
+        // A tiny edge universe, so retractions genuinely hit live edges.
+        let stream: Vec<Update> = ops
+            .iter()
+            .map(|&(retract, e)| {
+                let base = u(0, e, e + 1);
+                if retract { base.inverted() } else { base }
+            })
+            .collect();
+
+        // Flush boundaries are deterministic at a fixed clock (the deadline
+        // never fires): chunks of `max_batch`, refined into sign runs.
+        let mut expected_runs: Vec<&[Update]> = Vec::new();
+        for flush in stream.chunks(max_batch) {
+            expected_runs.extend(sign_runs(flush));
+        }
+
+        // Sequential reference: stage + answer each run in order, which
+        // numbers the runs exactly as the pipeline's stage phase will.
+        let mut reference = ZSetToy::new(vec![0]);
+        let expected: Vec<MatchReport> = expected_runs
+            .iter()
+            .map(|run| {
+                let staged = reference.stage_batch(run);
+                reference.answer_staged(staged)
+            })
+            .collect();
+
+        let config = PipelineConfig::new(max_batch, Duration::from_secs(60))
+            .with_depth(depth)
+            .threaded()
+            .with_answer_workers(workers);
+        let mut pipe = PipelinedEngine::new(ZSetToy::new(delays_us.clone()), config);
+        let now = Instant::now();
+        let mut completed = Vec::new();
+        for &update in &stream {
+            completed.extend(pipe.push_at(update, now));
+        }
+        completed.extend(pipe.drain());
+
+        prop_assert_eq!(completed.len(), expected_runs.len());
+        for (i, batch) in completed.iter().enumerate() {
+            prop_assert_eq!(batch.updates, expected_runs[i].len(), "tile #{}", i);
+            // Reports are stamped with the stage sequence number, so this
+            // equality is simultaneously the FIFO-order check.
+            prop_assert_eq!(
+                &batch.report, &expected[i],
+                "batch #{} out of FIFO order or wrong", i
+            );
+        }
+        prop_assert_eq!(pipe.stats().updates_processed, stream.len() as u64);
+
+        // Eager-barrier A/B over the same stream and flush boundaries:
+        // different batch granularity (a flush with a retraction drains the
+        // window and applies whole), identical totals.
+        let eager_config = PipelineConfig::new(max_batch, Duration::from_secs(60))
+            .with_depth(depth)
+            .threaded()
+            .with_answer_workers(workers)
+            .with_eager_retractions();
+        let mut eager = PipelinedEngine::new(ZSetToy::new(delays_us), eager_config);
+        let mut eager_completed = Vec::new();
+        for &update in &stream {
+            eager_completed.extend(eager.push_at(update, now));
+        }
+        eager_completed.extend(eager.drain());
+        let totals = |batches: &[CompletedBatch]| {
+            batches.iter().fold((0u64, 0u64), |(n, g), b| {
+                (
+                    n + b.report.total_embeddings(),
+                    g + b.report.total_retracted(),
+                )
+            })
+        };
+        prop_assert_eq!(totals(&completed), totals(&eager_completed));
     }
 }

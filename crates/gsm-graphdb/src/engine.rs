@@ -90,6 +90,13 @@ impl Default for GraphDbEngine {
     }
 }
 
+/// GraphDB keeps the trait-default staging (`stage_batch` = immediate
+/// `apply_batch`): the store has no generational snapshots to pin, so
+/// deferring the answer would require copying the whole pre-removal
+/// neighbourhood. Immediate tokens satisfy the staged-retraction contract
+/// trivially — the answer runs at stage time, before any later stage can
+/// move the store — which the pipelined executor handles uniformly (an
+/// immediate token is already answered when it reaches the worker pool).
 impl ContinuousEngine for GraphDbEngine {
     fn name(&self) -> &'static str {
         "GraphDB"
@@ -377,6 +384,30 @@ mod tests {
                 self.symbols.intern(tgt),
             )
         }
+    }
+
+    #[test]
+    fn default_immediate_staging_answers_retraction_runs_at_stage_time() {
+        use gsm_core::engine::ContinuousEngine as _;
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+        engine.register_query(&q).unwrap();
+        let ux = f.u("x", "a", "b");
+        let uy = f.u("y", "b", "c");
+        assert_eq!(engine.apply_batch(&[ux, uy]).total_embeddings(), 1);
+
+        // The default token is immediate: the retraction is answered against
+        // the pre-removal store at stage time and the commit lands before
+        // stage_batch returns, so a staged re-insert routes post-removal.
+        let t1 = engine.stage_batch(&[uy.inverted()]);
+        assert!(t1.is_immediate());
+        let t2 = engine.stage_batch(&[uy]);
+        let r1 = engine.answer_staged(t1);
+        assert_eq!(r1.total_retracted(), 1);
+        let r2 = engine.answer_staged(t2);
+        assert_eq!(r2.total_embeddings(), 1);
+        assert_eq!(engine.stats().retracted, 1);
     }
 
     #[test]

@@ -82,6 +82,34 @@ struct StagedTric {
     watermarks: FxHashMap<NodeId, usize>,
 }
 
+/// The deferred-answer token of an all-retraction run: the per-node removed
+/// rows (steps 1–3 of [`TricEngine::retract_batch`]) plus the **pre-removal**
+/// end-node views of every affected query, frozen as generation-pinned
+/// [`Relation::snapshot_owned`] snapshots *before* the destructive commit.
+/// The snapshots share frozen chunks by `Arc`, so the commit's compaction
+/// (and any later one) cannot invalidate them — the disappearing-embedding
+/// join can therefore run deferred, on any thread, while the engine stages
+/// later batches against the already-committed post-removal state.
+#[derive(Debug, Default)]
+struct StagedRetractTric {
+    /// Rows each affected node's materialized view lost (step 3 output).
+    node_removed: FxHashMap<NodeId, Relation>,
+    /// Queries with at least one covering path that lost rows, sorted.
+    affected_queries: Vec<QueryId>,
+    /// Pre-removal snapshot of every end-node view of every path of every
+    /// affected query, at full length.
+    frozen: FxHashMap<NodeId, Relation>,
+}
+
+/// What [`TricEngine::stage_batch`] defers: an insert run's watermark token
+/// or a retraction run's frozen-snapshot token (mixed-sign batches fall back
+/// to an immediate token — see the staging contract).
+#[derive(Debug)]
+enum TricToken {
+    Insert(StagedTric),
+    Retract(StagedRetractTric),
+}
+
 /// Update-scoped scratch buffers, reused across `apply_update` calls so the
 /// per-update hot path performs no bookkeeping allocations once the buffers
 /// have grown to the working-set size.
@@ -349,65 +377,91 @@ impl ContinuousEngine for TricEngine {
     }
 
     /// Routing + propagation of a batch with the covering-path join pass
-    /// deferred: steps 0–3 run now, step 4 runs in
+    /// deferred: for an insert run, steps 0–3 run now and step 4 runs in
     /// [`answer_staged`](ContinuousEngine::answer_staged) against the
-    /// version watermarks captured in the token. See the staging contract on
+    /// version watermarks captured in the token. An all-retraction run
+    /// stages too (`TricEngine::stage_retractions`): the removal commits
+    /// now and the disappearing-embedding join defers against the token's
+    /// generation-pinned pre-removal snapshots. Mixed-sign batches have no
+    /// deferred shape and fall back to an immediate token — callers wanting
+    /// deferral split with `sign_runs` first, as the pipelined executor
+    /// does. See the staging contract on
     /// [`ContinuousEngine::stage_batch`].
     fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
-        if updates.iter().any(Update::is_retraction) {
-            // Retraction batches compact node views in place, which would
-            // invalidate the version watermarks of a deferred token — answer
-            // eagerly at stage time (see the staging contract).
+        let retractions = updates.iter().filter(|u| u.is_retraction()).count();
+        if retractions == updates.len() && !updates.is_empty() {
+            return StagedBatch::deferred(TricToken::Retract(self.stage_retractions(updates)));
+        }
+        if retractions > 0 {
             return StagedBatch::immediate(self.apply_batch(updates));
         }
-        StagedBatch::deferred(self.stage_updates(updates))
+        StagedBatch::deferred(TricToken::Insert(self.stage_updates(updates)))
     }
 
     fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
-        match staged.into_deferred::<StagedTric>() {
-            Ok(token) => self.answer_tric(token),
+        match staged.into_deferred::<TricToken>() {
+            Ok(TricToken::Insert(token)) => self.answer_tric(token),
+            Ok(TricToken::Retract(token)) => self.answer_retract(token),
             Err(report) => report,
         }
     }
 
     /// The cross-thread form of the deferred covering-path join pass (see
-    /// the detachment contract on [`ContinuousEngine::detach_staged`]): the
-    /// token's per-node truly-new deltas travel as-is, each affected
-    /// end-node view is frozen at its staged watermark via the chunk-sharing
-    /// [`Relation::snapshot_owned`], and the query metadata travels as one
-    /// `Arc` bump of the engine's shared table — nothing is deep-copied —
-    /// so the returned task owns everything step 4 reads and can run while
-    /// this engine stages later batches.
+    /// the detachment contract on [`ContinuousEngine::detach_staged`]). For
+    /// an insert token, the per-node truly-new deltas travel as-is, each
+    /// affected end-node view is frozen at its staged watermark via the
+    /// chunk-sharing [`Relation::snapshot_owned`], and the query metadata
+    /// travels as one `Arc` bump of the engine's shared table — nothing is
+    /// deep-copied — so the returned task owns everything step 4 reads and
+    /// can run while this engine stages later batches. A retraction token
+    /// already froze its pre-removal snapshots at stage time, so detaching
+    /// it is just the `Arc` bump.
     fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
-        let token = match staged.into_deferred::<StagedTric>() {
+        let token = match staged.into_deferred::<TricToken>() {
             Ok(token) => token,
             Err(report) => return DetachedAnswer::ready(report),
         };
-        let mut frozen: FxHashMap<NodeId, Relation> = FxHashMap::default();
-        for &qid in &token.affected_queries {
-            for path in &self.queries[qid.index()].paths {
-                frozen.entry(path.end_node).or_insert_with(|| {
-                    let view = &self.forest.node(path.end_node).mat_view;
-                    let watermark = token
-                        .watermarks
-                        .get(&path.end_node)
-                        .copied()
-                        .unwrap_or_else(|| view.version());
-                    view.snapshot_owned(watermark)
-                });
+        match token {
+            TricToken::Insert(token) => {
+                let mut frozen: FxHashMap<NodeId, Relation> = FxHashMap::default();
+                for &qid in &token.affected_queries {
+                    for path in &self.queries[qid.index()].paths {
+                        frozen.entry(path.end_node).or_insert_with(|| {
+                            let view = &self.forest.node(path.end_node).mat_view;
+                            let watermark = token
+                                .watermarks
+                                .get(&path.end_node)
+                                .copied()
+                                .unwrap_or_else(|| view.version());
+                            view.snapshot_owned(watermark)
+                        });
+                    }
+                }
+                let queries = std::sync::Arc::clone(&self.queries);
+                let affected_queries = token.affected_queries;
+                let truly_new = token.truly_new;
+                DetachedAnswer::task(move || {
+                    answer_tric_detached(&affected_queries, &queries, &truly_new, &frozen)
+                })
+            }
+            TricToken::Retract(token) => {
+                let queries = std::sync::Arc::clone(&self.queries);
+                DetachedAnswer::task(move || {
+                    answer_retract_detached(
+                        &token.affected_queries,
+                        &queries,
+                        &token.node_removed,
+                        &token.frozen,
+                    )
+                })
             }
         }
-        let queries = std::sync::Arc::clone(&self.queries);
-        let affected_queries = token.affected_queries;
-        let truly_new = token.truly_new;
-        DetachedAnswer::task(move || {
-            answer_tric_detached(&affected_queries, &queries, &truly_new, &frozen)
-        })
     }
 
     fn absorb_answered(&mut self, report: &MatchReport) {
         self.stats.notifications += report.len() as u64;
         self.stats.embeddings += report.total_embeddings();
+        self.stats.retracted += report.total_retracted();
     }
 
     fn num_queries(&self) -> usize {
@@ -782,7 +836,16 @@ impl TricEngine {
         report
     }
 
-    /// The retraction mirror of the staged answering pipeline, run eagerly:
+    /// The retraction mirror of the staged answering pipeline: one
+    /// [`TricEngine::stage_retractions`] staging pass followed immediately
+    /// by the deferred join — so the eager path and the pipelined path are
+    /// the same code and equivalent by construction.
+    fn retract_batch(&mut self, updates: &[Update]) -> MatchReport {
+        let token = self.stage_retractions(updates);
+        self.answer_retract(token)
+    }
+
+    /// The staging half of a retraction run:
     ///
     /// 1. Collect the removed rows per generic edge **without** touching the
     ///    views ([`EdgeViewStore::remove_deltas`]).
@@ -794,20 +857,28 @@ impl TricEngine {
     ///    still-pre-removal views: by the deletion-delta property of
     ///    [`views::delta_path_relation`] this is exactly
     ///    `matV_before − matV_after`.
-    /// 4. Answer the disappearing embeddings with the very same
-    ///    [`join_covering_paths`] pass as step 4 of insertion — each end
-    ///    node's removed rows joined with the other paths' views at their
-    ///    **pre-removal** watermarks.
-    /// 5. Only then commit: [`Relation::retract_rows`] on each affected node
-    ///    view and [`EdgeViewStore::retract_deltas`] on the edge views,
-    ///    compacting each touched relation into its next generation (stale
-    ///    cached join builds are rejected by their generation stamp).
-    fn retract_batch(&mut self, updates: &[Update]) -> MatchReport {
+    /// 4. **Freeze** the pre-removal end-node views of every affected query
+    ///    into generation-pinned [`Relation::snapshot_owned`] snapshots —
+    ///    the chunk-sharing `Arc` pins keep them valid across any
+    ///    compaction.
+    /// 5. **Commit**, still at stage time: [`Relation::retract_rows`] on
+    ///    each affected node view and [`EdgeViewStore::retract_deltas`] on
+    ///    the edge views, compacting each touched relation into its next
+    ///    generation (stale cached join builds are rejected by their
+    ///    generation stamp). Later staged batches route against the
+    ///    post-removal state, exactly as sequential execution would.
+    ///
+    /// The expensive part — joining the removed rows against the frozen
+    /// snapshots to count disappearing embeddings — is deferred into the
+    /// returned token ([`TricEngine::answer_retract`]). Requires every
+    /// earlier staged token to have been answered or detached (see the
+    /// staging contract on [`ContinuousEngine::stage_batch`]).
+    fn stage_retractions(&mut self, updates: &[Update]) -> StagedRetractTric {
         self.stats.updates_processed += updates.len() as u64;
 
         let removed = self.views.remove_deltas(updates);
         if removed.is_empty() {
-            return MatchReport::empty();
+            return StagedRetractTric::default();
         }
 
         // Step 2: the affected sub-forest, depth-first from the edge's nodes.
@@ -855,10 +926,9 @@ impl TricEngine {
             }
         }
 
-        // Step 4: a query loses embeddings iff some covering path's end node
-        // lost view rows; join those removed rows with the other paths'
-        // pre-removal views (an embedding disappears exactly when at least
-        // one of its per-path tuples does, and the cross-path union dedups).
+        // A query loses embeddings iff some covering path's end node lost
+        // view rows (an embedding disappears exactly when at least one of
+        // its per-path tuples does, and the cross-path union dedups).
         let mut affected_queries: Vec<QueryId> = Vec::new();
         for n in node_removed.keys() {
             for reg in &self.forest.node(*n).registrations {
@@ -868,24 +938,43 @@ impl TricEngine {
         affected_queries.sort_unstable();
         affected_queries.dedup();
 
-        let counts = join_covering_paths(
-            affected_queries
-                .iter()
-                .map(|qid| (*qid, self.queries[qid.index()].paths.as_slice())),
-            |end_node| node_removed.get(&end_node),
-            |end_node| {
-                let view = &self.forest.node(end_node).mat_view;
-                Some((view, view.version()))
-            },
-        );
+        // Step 4: freeze the pre-removal answer inputs. Every end-node view
+        // an affected query's join pass will read is snapshot at its full
+        // pre-removal length; the snapshots share frozen chunks by `Arc`.
+        let mut frozen: FxHashMap<NodeId, Relation> = FxHashMap::default();
+        for &qid in &affected_queries {
+            for path in &self.queries[qid.index()].paths {
+                frozen.entry(path.end_node).or_insert_with(|| {
+                    let view = &self.forest.node(path.end_node).mat_view;
+                    view.snapshot_owned(view.version())
+                });
+            }
+        }
 
-        // Step 5: commit the removal everywhere.
+        // Step 5: commit the removal everywhere, at stage time.
         for (n, d) in &node_removed {
             self.forest.node_mut(*n).mat_view.retract_rows(d);
         }
         self.views.retract_deltas(&removed);
 
-        let report = MatchReport::from_retraction_counts(counts);
+        StagedRetractTric {
+            node_removed,
+            affected_queries,
+            frozen,
+        }
+    }
+
+    /// The deferred half of a retraction run: join each affected query's
+    /// removed rows against the token's frozen pre-removal snapshots —
+    /// the very same [`join_covering_paths`] pass as insertion, counting
+    /// disappearing embeddings instead of new ones.
+    fn answer_retract(&mut self, token: StagedRetractTric) -> MatchReport {
+        let report = answer_retract_detached(
+            &token.affected_queries,
+            &self.queries,
+            &token.node_removed,
+            &token.frozen,
+        );
         self.stats.notifications += report.len() as u64;
         self.stats.retracted += report.total_retracted();
         report
@@ -988,6 +1077,26 @@ fn answer_tric_detached(
             .iter()
             .map(|qid| (*qid, queries[qid.index()].paths.as_slice())),
         |end_node| truly_new.get(&end_node),
+        |end_node| frozen.get(&end_node).map(|view| (view, view.len())),
+    ))
+}
+
+/// The retraction mirror of [`answer_tric_detached`]: the same covering-path
+/// join over owned state, but the deltas are the removed rows, the snapshots
+/// are pre-removal, and the counts report disappearing embeddings. Safe on
+/// any thread at any later time — the generation-pinned snapshots outlive
+/// the commit that already ran at stage time.
+fn answer_retract_detached(
+    affected_queries: &[QueryId],
+    queries: &[QueryInfo],
+    node_removed: &FxHashMap<NodeId, Relation>,
+    frozen: &FxHashMap<NodeId, Relation>,
+) -> MatchReport {
+    MatchReport::from_retraction_counts(join_covering_paths(
+        affected_queries
+            .iter()
+            .map(|qid| (*qid, queries[qid.index()].paths.as_slice())),
+        |end_node| node_removed.get(&end_node),
         |end_node| frozen.get(&end_node).map(|view| (view, view.len())),
     ))
 }
@@ -1254,16 +1363,54 @@ mod tests {
     }
 
     #[test]
-    fn staging_a_retraction_batch_answers_eagerly() {
+    fn staged_retraction_runs_defer_and_survive_later_stages() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -x-> ?b; ?b -y-> ?c");
+            engine.register_query(&q).unwrap();
+            let ux = f.u("x", "a", "b");
+            let uy = f.u("y", "b", "c");
+            assert_eq!(engine.apply_batch(&[ux, uy]).total_embeddings(), 1);
+            // The retraction run stages a deferred token; its commit has
+            // already run.
+            let t1 = engine.stage_batch(&[uy.inverted()]);
+            assert!(
+                !t1.is_immediate(),
+                "{}: retraction runs must defer",
+                engine.name()
+            );
+            // A later insert run stages (re-creating the embedding) before
+            // the retraction is answered. Because the retraction committed
+            // at stage time, the re-insert routes against post-removal
+            // views and is truly new; because the retraction froze
+            // generation-pinned pre-removal snapshots, its deferred answer
+            // is unaffected by this later append.
+            let t2 = engine.stage_batch(&[uy]);
+            let r1 = engine.answer_staged(t1);
+            assert_eq!(r1.total_retracted(), 1, "{}", engine.name());
+            assert_eq!(r1.total_embeddings(), 0, "{}", engine.name());
+            let r2 = engine.answer_staged(t2);
+            assert_eq!(
+                r2.total_embeddings(),
+                1,
+                "{}: the re-insert must be truly new again",
+                engine.name()
+            );
+            assert_eq!(engine.stats().retracted, 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn staging_a_mixed_sign_batch_falls_back_to_immediate() {
         for mut engine in engines() {
             let mut f = Fixture::new();
             let q = f.q("?a -x-> ?b");
             engine.register_query(&q).unwrap();
             let u = f.u("x", "a", "b");
-            let t1 = engine.stage_batch(&[u]);
-            assert_eq!(engine.answer_staged(t1).total_embeddings(), 1);
-            let t2 = engine.stage_batch(&[u.inverted()]);
-            let report = engine.answer_staged(t2);
+            let token = engine.stage_batch(&[u, u.inverted()]);
+            assert!(token.is_immediate(), "{}", engine.name());
+            let report = engine.answer_staged(token);
+            assert_eq!(report.total_embeddings(), 1, "{}", engine.name());
             assert_eq!(report.total_retracted(), 1, "{}", engine.name());
         }
     }

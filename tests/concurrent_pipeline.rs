@@ -9,11 +9,15 @@
 //! This is the proof obligation of the cross-thread refactor: chunked
 //! relation snapshots, detached answer tasks, the worker pool and the
 //! sequence-numbered reorder buffer may change *where*, *when* and *in what
-//! order* the answer passes run, but never what they report. The suite also
-//! pins the executor's FIFO completion order under a deliberately slow
-//! answer stage (where multiple workers genuinely finish out of order), and
-//! (behind `slow-tests`) soaks the worker pool with a long randomized
-//! stream and injected thread yields.
+//! order* the answer passes run, but never what they report. Deletion-heavy
+//! and sliding-window workloads ride the same harness: retraction runs
+//! stage like insert runs (commit at stage time, answer deferred over
+//! generation-pinned snapshots), so mixed streams exercise the sign-run
+//! splitter and the staged retraction tokens across every worker count. The
+//! suite also pins the executor's FIFO completion order under a
+//! deliberately slow answer stage (where multiple workers genuinely finish
+//! out of order), and (behind `slow-tests`) soaks the worker pool with a
+//! long randomized stream and injected thread yields.
 
 use std::time::{Duration, Instant};
 
@@ -85,12 +89,12 @@ fn assert_threaded_equals_sequential_for(
                 let mut offset = 0usize;
                 for (batch_idx, batch) in completed.iter().enumerate() {
                     assert!(batch.updates > 0, "empty completed batch");
-                    let expected = MatchReport::from_counts(
-                        per_update[engine_idx][offset..offset + batch.updates]
-                            .iter()
-                            .flat_map(|r| r.matches.iter().map(|m| (m.query, m.new_embeddings)))
-                            .collect(),
-                    );
+                    // Full-report merge: a completed batch covers a
+                    // sign-pure run, so merging the per-update reports sums
+                    // its new OR retracted embeddings per query.
+                    let expected = per_update[engine_idx][offset..offset + batch.updates]
+                        .iter()
+                        .fold(MatchReport::empty(), |acc, r| acc.merge(r));
                     assert_eq!(
                         batch.report,
                         expected,
@@ -114,6 +118,7 @@ fn assert_threaded_equals_sequential_for(
                 let stats = pipe.stats();
                 assert_eq!(stats.updates_processed, seq_stats.updates_processed);
                 assert_eq!(stats.embeddings, seq_stats.embeddings, "{}", pipe.name());
+                assert_eq!(stats.retracted, seq_stats.retracted, "{}", pipe.name());
             }
         }
     }
@@ -181,6 +186,46 @@ fn threaded_pipeline_equals_sequential_with_high_overlap_and_long_queries() {
             .with_overlap(0.8),
     );
     assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_equals_sequential_on_deletion_heavy_workload() {
+    // Deletion-heavy streams: every flush straddling a sign boundary splits
+    // into separately-staged runs, and the retraction runs defer their
+    // disappearing-embedding joins over generation-pinned snapshots.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 350, 16)
+            .with_selectivity(0.4)
+            .with_delete_ratio(0.35),
+    );
+    assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_equals_sequential_on_sliding_window_workload() {
+    // Count-based window: nearly every late flush carries an expiry
+    // retraction — exactly the stream shape that degenerated to sequential
+    // under the eager retraction barrier.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Taxi, 400, 16)
+            .with_query_size(3)
+            .with_sliding_window(60),
+    );
+    assert_threaded_equals_sequential(&workload);
+}
+
+#[test]
+fn threaded_pipeline_over_sharded_engine_equals_sequential_on_deletions() {
+    // Staged sharded retractions composed with the threaded answer stage:
+    // routed inner tokens and the frozen spanning join cross threads.
+    let workload = Workload::generate(
+        WorkloadConfig::new(Dataset::Snb, 280, 15)
+            .with_selectivity(0.4)
+            .with_delete_ratio(0.3),
+    );
+    for shards in shard_counts() {
+        assert_threaded_equals_sequential_for(&workload, || all_engines_sharded(shards));
+    }
 }
 
 #[test]

@@ -10,7 +10,10 @@
 //! through the windowed [`PipelinedEngine`] front end with a synthetic
 //! clock. The wrappers ride along: the sharded matrix replays the mixed
 //! streams across genuinely partitioned deployments, and the pipelined
-//! matrix covers the eager retraction-barrier path.
+//! matrix covers **staged** retraction runs — commit at stage time, answer
+//! deferred over generation-pinned pre-removal snapshots — across shard and
+//! answer-worker counts, with an eager-barrier A/B leg riding the
+//! [`PipelineConfig::with_eager_retractions`] flag.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -148,8 +151,8 @@ fn assert_mixed_batches_agree(workload: &Workload) {
 
 /// The wrapper matrix: sharded and pipelined deployments of every engine
 /// must match the plain per-update reference on mixed streams. Shard
-/// routing must split and re-merge retraction runs; the pipeline must
-/// barrier and apply them eagerly.
+/// routing must split and re-merge retraction runs; the pipeline stages
+/// them like insert runs (answer deferred over pre-removal snapshots).
 fn assert_wrappers_agree_on_mixed_stream(workload: &Workload, shards: usize) {
     let mut reference_engines = all_engines();
     for engine in reference_engines.iter_mut() {
@@ -189,8 +192,8 @@ fn assert_wrappers_agree_on_mixed_stream(workload: &Workload, shards: usize) {
     }
 
     // Pipelined wrapper over each engine: singleton flushes so every
-    // completed batch corresponds to one update (retraction batches take
-    // the eager barrier path, insertions the staged path).
+    // completed batch corresponds to one update (retraction and insertion
+    // runs alike take the staged path).
     // `GSM_THREADS>=2` (the CI threads job) re-runs the pipelined leg with
     // the answer phase on the dedicated answer thread.
     let mut config = PipelineConfig::new(1, Duration::from_secs(3600));
@@ -434,4 +437,77 @@ fn windowed_pipeline_over_sharded_engine_matches_live_edge_replay() {
         net, oracle,
         "windowed pipeline over 2 shards diverged from live-edge replay"
     );
+}
+
+/// The tentpole acceptance matrix: deletion-heavy and windowed mixed
+/// streams pushed through the pipeline with flush size > 1 — so mixed
+/// flushes genuinely split into separately-staged sign runs — across
+/// sharded × inline/threaded × answer-worker configurations, plus an
+/// eager-barrier A/B leg ([`PipelineConfig::with_eager_retractions`]).
+/// Completed batches must tile the stream exactly and the net per-query
+/// totals must equal the from-scratch oracle over the surviving edges.
+#[test]
+fn staged_retractions_match_oracle_across_worker_matrix() {
+    let workloads = [
+        Workload::generate(
+            WorkloadConfig::new(Dataset::Snb, 320, 16)
+                .with_selectivity(0.4)
+                .with_delete_ratio(0.35),
+        ),
+        Workload::generate(
+            WorkloadConfig::new(Dataset::Taxi, 320, 14)
+                .with_query_size(3)
+                .with_sliding_window(60),
+        ),
+    ];
+    for workload in &workloads {
+        let oracle = oracle_net(&workload.queries, workload.stream.as_slice());
+        for shards in [1usize, 3] {
+            for workers in [0usize, 1, 2, 4] {
+                for eager in [false, true] {
+                    let mut config = PipelineConfig::new(8, Duration::from_secs(3600));
+                    if workers > 0 {
+                        config = config.threaded().with_answer_workers(workers);
+                    }
+                    if eager {
+                        config = config.with_eager_retractions();
+                    }
+                    let inner: Box<dyn ContinuousEngine> =
+                        Box::new(ShardedEngine::new(shards, || {
+                            Box::new(graph_stream_matching::tric::TricEngine::tric_plus())
+                        }));
+                    let mut pipe = PipelinedEngine::new(inner, config);
+                    for q in &workload.queries {
+                        pipe.register_query(q).expect("register");
+                    }
+                    let t0 = Instant::now();
+                    let mut net = HashMap::new();
+                    let mut applied = 0usize;
+                    for u in workload.stream.iter() {
+                        for batch in pipe.push_at(*u, t0) {
+                            applied += batch.updates;
+                            accumulate_net(&mut net, &batch.report);
+                        }
+                    }
+                    for batch in pipe.drain() {
+                        applied += batch.updates;
+                        accumulate_net(&mut net, &batch.report);
+                    }
+                    assert_eq!(
+                        applied,
+                        workload.stream.len(),
+                        "completed batches do not tile {} ({shards} shards, \
+                         {workers} workers, eager {eager})",
+                        workload.name
+                    );
+                    assert_eq!(
+                        net, oracle,
+                        "{} diverged from oracle ({shards} shards, {workers} \
+                         workers, eager {eager})",
+                        workload.name
+                    );
+                }
+            }
+        }
+    }
 }
