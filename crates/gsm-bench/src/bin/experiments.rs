@@ -23,6 +23,14 @@
 //!   while the next batch is routed; implies `--pipeline`).
 //! * `--answer-threads` — answer-stage workers for the threaded pipeline
 //!   (default: `GSM_ANSWER_THREADS` or 1). Ignored unless `--threads >= 2`.
+//! * `--persist-dir` — wrap every run's engine in the durable persistence
+//!   layer (`gsm-persist`): WAL stripes (one per shard) and checkpoint
+//!   files under the given directory, fsynced per group commit.
+//! * `--checkpoint-every` — auto-checkpoint cadence in batches for the
+//!   persistence layer (default 0 = WAL only; implies nothing without
+//!   `--persist-dir`).
+//! * `--group-commit` — WAL records per fsync for the persistence layer
+//!   (default 1 = every record).
 //! * `--out`    — output directory for `<id>.md` / `<id>.csv` (default `results`).
 
 use std::fs;
@@ -42,6 +50,9 @@ struct Args {
     flush_ms: u64,
     threads: usize,
     answer_threads: usize,
+    persist_dir: Option<String>,
+    checkpoint_every: u64,
+    group_commit: usize,
     out_dir: PathBuf,
 }
 
@@ -66,6 +77,9 @@ fn parse_args() -> Result<Args, String> {
         flush_ms: 5,
         threads: 1,
         answer_threads: default_answer_threads(),
+        persist_dir: None,
+        checkpoint_every: 0,
+        group_commit: 1,
         out_dir: PathBuf::from("results"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -136,13 +150,31 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid --answer-threads: {e}"))?;
                 i += 2;
             }
+            "--persist-dir" => {
+                args.persist_dir = Some(value.ok_or("--persist-dir needs a value")?);
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = value
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --checkpoint-every: {e}"))?;
+                i += 2;
+            }
+            "--group-commit" => {
+                args.group_commit = value
+                    .ok_or("--group-commit needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --group-commit: {e}"))?;
+                i += 2;
+            }
             "--out" | "-o" => {
                 args.out_dir = PathBuf::from(value.ok_or("--out needs a value")?);
                 i += 2;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--threads <n>] [--answer-threads <n>] [--out <dir>]\n\nknown figures: {}",
+                    "usage: experiments [--figure <id,...>|all] [--scale <f>] [--budget <secs>] [--batch <n>] [--shards <n>] [--pipeline] [--flush-ms <ms>] [--threads <n>] [--answer-threads <n>] [--persist-dir <dir>] [--checkpoint-every <n>] [--group-commit <n>] [--out <dir>]\n\nknown figures: {}",
                     all_figure_ids().join(", ")
                 );
                 std::process::exit(0);
@@ -172,6 +204,14 @@ fn main() {
         scale.limits = scale
             .limits
             .with_pipeline(Duration::from_millis(args.flush_ms));
+    }
+    if let Some(dir) = &args.persist_dir {
+        // RunLimits is Copy, so the one CLI path is leaked into a 'static
+        // string (once per process).
+        let dir: &'static str = Box::leak(dir.clone().into_boxed_str());
+        scale.limits = scale
+            .limits
+            .with_persistence(dir, args.checkpoint_every, args.group_commit);
     }
 
     let requested: Vec<String> = if args.figures.iter().any(|f| f == "all") {

@@ -1,5 +1,6 @@
 //! Engine construction and the single-run driver.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use gsm_baselines::BaselineEngine;
@@ -9,6 +10,7 @@ use gsm_core::shard::ShardedEngine;
 use gsm_core::stats::LatencyRecorder;
 use gsm_datagen::Workload;
 use gsm_graphdb::GraphDbEngine;
+use gsm_persist::{DirFactory, PersistConfig, PersistentEngine};
 use gsm_tric::TricEngine;
 
 /// The seven engines evaluated in the paper.
@@ -149,6 +151,26 @@ pub struct RunLimits {
     /// buffer restores arrival order. Ignored unless `pipeline` is set and
     /// `threads >= 2`. Mirrors `--answer-threads` / `GSM_ANSWER_THREADS`.
     pub answer_threads: usize,
+    /// When set, the engine is wrapped in a
+    /// [`gsm_persist::PersistentEngine`] over a [`DirFactory`] namespace, so
+    /// the run pays the write-ahead-log and checkpoint costs the persistence
+    /// layer adds. Mirrors `--persist-dir` / `--checkpoint-every`. The
+    /// wrapper sits **outside** the (possibly sharded) engine and **inside**
+    /// the pipelined front end, the crash-suite composition.
+    pub persist: Option<PersistRun>,
+}
+
+/// Persistence settings of a run (see [`RunLimits::persist`]). The directory
+/// is a `&'static str` so [`RunLimits`] stays `Copy`; the CLI leaks its one
+/// path argument to obtain it.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistRun {
+    /// Directory holding the WAL stripes and checkpoint files.
+    pub dir: &'static str,
+    /// Auto-checkpoint cadence in batches (0 = never, WAL only).
+    pub checkpoint_every: u64,
+    /// Records per group-commit fsync (1 = every record).
+    pub group_commit: usize,
 }
 
 impl Default for RunLimits {
@@ -160,6 +182,7 @@ impl Default for RunLimits {
             pipeline: None,
             threads: 1,
             answer_threads: 1,
+            persist: None,
         }
     }
 }
@@ -203,6 +226,24 @@ impl RunLimits {
     /// Sets the threaded pipelined executor's answer-worker count.
     pub fn with_answer_threads(mut self, answer_threads: usize) -> Self {
         self.answer_threads = answer_threads.max(1);
+        self
+    }
+
+    /// Wraps the run's engine in the durable persistence layer: WAL stripes
+    /// (one per shard) and checkpoint files under `dir`, auto-checkpointing
+    /// every `checkpoint_every` batches (0 = never), fsyncing every
+    /// `group_commit` records.
+    pub fn with_persistence(
+        mut self,
+        dir: &'static str,
+        checkpoint_every: u64,
+        group_commit: usize,
+    ) -> Self {
+        self.persist = Some(PersistRun {
+            dir,
+            checkpoint_every,
+            group_commit: group_commit.max(1),
+        });
         self
     }
 }
@@ -261,6 +302,38 @@ impl RunResult {
     }
 }
 
+/// Builds the run's engine: the (possibly sharded) engine for `kind`,
+/// wrapped in the durable persistence layer when `limits.persist` is set.
+///
+/// Every run gets its own fresh namespace under the configured directory —
+/// re-opening an existing one would *recover* the previous run's state
+/// instead of starting empty, which is the crash suite's job to exercise,
+/// not the benchmark's.
+fn build_run_engine(kind: EngineKind, limits: RunLimits) -> Box<dyn ContinuousEngine + Send> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let Some(persist) = limits.persist else {
+        return kind.build_sharded(limits.shards);
+    };
+    let run_dir = PathBuf::from(persist.dir).join(format!(
+        "{}-run{:04}",
+        kind.name(),
+        RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let factory = DirFactory::new(run_dir).expect("create persistence directory");
+    let config = PersistConfig::default()
+        .with_group_commit(persist.group_commit)
+        .with_checkpoint_every(persist.checkpoint_every)
+        .with_wal_stripes(limits.shards.max(1));
+    let shards = limits.shards;
+    let (engine, _report) = PersistentEngine::open(Box::new(factory), config, move || {
+        kind.build_sharded(shards)
+    })
+    .expect("open persistent engine");
+    Box::new(engine)
+}
+
 /// Registers the workload's queries and replays its stream against a fresh
 /// engine of the given kind, honouring the time budget. The stream is fed
 /// through [`ContinuousEngine::apply_batch`] in chunks of
@@ -271,7 +344,7 @@ pub fn run_engine(kind: EngineKind, workload: &Workload, limits: RunLimits) -> R
     if let Some(flush) = limits.pipeline {
         return run_engine_pipelined(kind, workload, limits, flush);
     }
-    let mut engine = kind.build_sharded(limits.shards);
+    let mut engine = build_run_engine(kind, limits);
 
     // Query indexing phase.
     let index_start = Instant::now();
@@ -350,7 +423,7 @@ fn run_engine_pipelined(
     limits: RunLimits,
     flush: Duration,
 ) -> RunResult {
-    let engine = kind.build_sharded(limits.shards);
+    let engine = build_run_engine(kind, limits);
     let chunk = if limits.batch_size == 0 {
         workload.stream.len().max(1)
     } else {
@@ -624,6 +697,7 @@ mod tests {
                 pipeline: None,
                 threads: 1,
                 answer_threads: 1,
+                persist: None,
             },
         );
         assert!(result.timed_out);

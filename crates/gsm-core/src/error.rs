@@ -27,6 +27,21 @@ pub enum Error {
     /// the staging contract on
     /// [`crate::engine::ContinuousEngine::stage_batch`]).
     RegistrationWhileStaged(usize),
+    /// A durable-storage operation (write-ahead log append, fsync,
+    /// checkpoint write, recovery read) failed or found corrupt data. The
+    /// fields locate the failure: the storage path it happened on, the byte
+    /// offset within that storage, and a human-readable detail. Persistence
+    /// layers must surface this variant instead of panicking or silently
+    /// dropping data; a WAL reader hitting a torn tail is *not* an error
+    /// (recovery truncates and continues), but a failing backend is.
+    Persistence {
+        /// Path (or backend label) of the storage the failure occurred on.
+        path: String,
+        /// Byte offset within the storage at which the failure occurred.
+        offset: u64,
+        /// Human-readable failure description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -45,6 +60,11 @@ impl fmt::Display for Error {
                 "register_query with {n} staged batch token(s) outstanding; \
                  drain the staged window first"
             ),
+            Error::Persistence {
+                path,
+                offset,
+                detail,
+            } => write!(f, "persistence failure at {path}+{offset}: {detail}"),
         }
     }
 }
@@ -65,6 +85,19 @@ mod tests {
             .to_string()
             .contains("bad arrow"));
         assert!(Error::UnknownQuery(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn persistence_error_carries_path_and_offset() {
+        let e = Error::Persistence {
+            path: "/tmp/wal-0.log".into(),
+            offset: 4096,
+            detail: "short write: 12 of 64 bytes".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/wal-0.log"), "{msg}");
+        assert!(msg.contains("4096"), "{msg}");
+        assert!(msg.contains("short write"), "{msg}");
     }
 
     #[test]

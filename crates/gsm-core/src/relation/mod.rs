@@ -121,6 +121,21 @@ impl Relation {
         self.indexed
     }
 
+    /// Creates an empty indexed relation that starts in the given
+    /// compaction `generation` instead of generation 0 — the constructor of
+    /// the persistence layer's recovery path, which rebuilds a checkpointed
+    /// relation row by row and must restore its generation watermark so
+    /// that `(generation, version)` pairs recorded in the checkpoint
+    /// manifest stay comparable after recovery. The restored relation gets
+    /// a fresh [`id`](Relation::id) (identities are process-local and never
+    /// persisted; every cache keyed on them starts cold after recovery).
+    pub fn restore(arity: usize, generation: u64) -> Self {
+        Relation {
+            generation,
+            ..Relation::new(arity)
+        }
+    }
+
     /// Creates a relation containing a single row.
     pub fn singleton(row: &[Sym]) -> Self {
         let mut rel = Relation::new(row.len());
@@ -286,6 +301,15 @@ impl Relation {
             .iter()
             .map(|c| c.as_ref())
             .chain(std::iter::once(self.tail.as_slice()))
+    }
+
+    /// The raw storage chunks in row order — every frozen chunk (exactly
+    /// [`CHUNK_ROWS`] rows each) followed by the partial tail chunk (may be
+    /// empty). This is the chunk-spill surface of the persistence layer:
+    /// a checkpoint serializes each chunk as one record, so frozen chunks
+    /// round-trip as the immutable units they already are in memory.
+    pub fn storage_chunks(&self) -> impl Iterator<Item = &[Sym]> {
+        self.chunk_slices()
     }
 
     /// Iterates over all rows.
@@ -1117,5 +1141,32 @@ mod tests {
         let sum = handle.join().expect("reader thread");
         let n = (CHUNK_ROWS + 3) as u64;
         assert_eq!(sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn restore_starts_in_the_given_generation() {
+        let r = Relation::restore(2, 7);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.generation(), 7);
+        assert!(r.is_empty());
+        assert!(r.is_indexed(), "restored relations keep the dedup index");
+
+        let mut a = Relation::restore(1, 3);
+        let mut b = Relation::restore(1, 3);
+        a.push(&[s(1)]);
+        b.push(&[s(1)]);
+        assert_ne!(a.id(), b.id(), "restored relations get fresh identities");
+    }
+
+    #[test]
+    fn storage_chunks_cover_every_row_in_order() {
+        let r = counted(CHUNK_ROWS + 5);
+        let chunks: Vec<&[Sym]> = r.storage_chunks().collect();
+        assert_eq!(chunks.len(), 2, "one frozen chunk plus the tail");
+        assert_eq!(chunks[0].len(), CHUNK_ROWS * r.arity());
+        assert_eq!(chunks[1].len(), 5 * r.arity());
+        let flat: Vec<Sym> = chunks.concat();
+        let rows: Vec<Sym> = r.iter().flatten().copied().collect();
+        assert_eq!(flat, rows, "chunk order is row order");
     }
 }

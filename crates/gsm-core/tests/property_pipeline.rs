@@ -481,3 +481,49 @@ proptest! {
         prop_assert_eq!(totals(&completed), totals(&eager_completed));
     }
 }
+
+/// Pins the **checkpoint-while-staged contract** the persistence layer
+/// builds on: a durable checkpoint must capture a state no in-flight token
+/// can still mutate, and the chosen contract is **barrier** — the
+/// checkpointing caller drains the pipeline first, and
+/// [`PipelinedEngine::in_flight`] is the observable it keys on.
+/// Specifically: staging increments `in_flight`, collecting a completed
+/// batch decrements it, updates merely *buffered* by the batcher are not
+/// in flight (they are not yet staged, hence not yet WAL-logged — a crash
+/// loses them and the stream driver re-feeds), and `drain()` always leaves
+/// `in_flight() == 0` with the engine reachable through `engine()`. The
+/// persistence crate's `PersistentEngine::checkpoint` refuses to run while
+/// its wrapped engine has staged tokens outstanding (typed
+/// `Error::Persistence`), which is sound precisely because of the
+/// accounting pinned here.
+#[test]
+fn checkpoint_barrier_contract_in_flight_accounting() {
+    // Depth 3 and a frozen clock: pushes buffer until max_batch is hit,
+    // then stage without answering (inline mode answers lazily as the
+    // window overflows), so in_flight is directly observable.
+    let config = PipelineConfig::new(2, Duration::from_secs(60)).with_depth(3);
+    let mut pipe = PipelinedEngine::new(ZSetToy::new(vec![0]), config);
+    let now = Instant::now();
+
+    assert_eq!(pipe.in_flight(), 0);
+    pipe.push_at(u(0, 1, 2), now);
+    assert_eq!(pipe.in_flight(), 0, "buffered updates are not staged");
+    assert_eq!(pipe.buffered(), 1);
+
+    // Second push flushes a full batch: staged, answer deferred.
+    pipe.push_at(u(0, 2, 3), now);
+    assert_eq!(pipe.in_flight(), 1, "a flushed batch stages one token");
+    assert_eq!(pipe.buffered(), 0);
+
+    pipe.push_at(u(0, 3, 4), now);
+    pipe.push_at(u(0, 4, 5), now);
+    assert_eq!(pipe.in_flight(), 2, "depth 3 window holds both tokens");
+
+    // The barrier: after drain, nothing is staged or buffered, and the
+    // wrapped engine is quiescent — the state a checkpoint may capture.
+    let completed = pipe.drain();
+    assert_eq!(pipe.in_flight(), 0, "drain leaves no tokens outstanding");
+    assert_eq!(pipe.buffered(), 0);
+    assert_eq!(completed.len(), 2);
+    assert_eq!(pipe.engine().stats().updates_processed, 4);
+}

@@ -1,0 +1,1000 @@
+//! [`PersistentEngine`]: the durability wrapper around any
+//! [`ContinuousEngine`].
+//!
+//! Every externally visible operation is written ahead to the WAL before
+//! the in-memory engine sees it: symbol interning ([`PersistentEngine::
+//! note_symbols`]), query registration, and signed update batches (both the
+//! eager [`PersistentEngine::try_apply_batch`] path and the pipelined
+//! [`ContinuousEngine::stage_batch`] path — staging logs at stage time, so
+//! a batch inside the pipeline window is already durable). Durability is
+//! group-commit: the WAL fsyncs every [`PersistConfig::group_commit`]
+//! records, so with `group_commit > 1` the tail of *acked but unsynced*
+//! batches may be lost by a crash — recovery reports the durable resume
+//! position ([`RecoveryReport::resume_updates`]) and the caller re-feeds
+//! the stream from there.
+//!
+//! Alongside the inner engine the wrapper maintains the durable shadow
+//! state the checkpoint captures: the interner table, registered queries,
+//! per-query totals, cumulative stats, and the survivor edge store (live
+//! edges per label as chunked [`Relation`]s). [`PersistentEngine::
+//! checkpoint`] snapshots all of it to a sequence-stamped file and lets
+//! recovery skip the WAL prefix; it **refuses** to run while staged batches
+//! are outstanding (the staged-watermark state of the inner engine is not
+//! serializable), returning a typed
+//! [`Error::Persistence`](gsm_core::error::Error::Persistence) — callers
+//! drain the pipeline first, as `gsm-core`'s `property_pipeline` suite pins
+//! via the `in_flight` accounting.
+//!
+//! Recovery ([`PersistentEngine::open`]) = highest valid checkpoint + WAL
+//! suffix replay. With `wal_stripes > 1` record `seq` lives on stripe
+//! `seq % stripes`; replay merges stripes by `seq` and stops at the first
+//! gap (a stripe that lost its tail), truncating every stripe back to the
+//! last replayed record so the log is consistent again. The rebuilt engine
+//! is *report-equivalent* to an uninterrupted run: identical per-query
+//! totals, identical future reports.
+//!
+//! # Error contract
+//!
+//! Every fallible `try_*` method surfaces storage failures as typed
+//! [`Error::Persistence`](gsm_core::error::Error::Persistence) values
+//! carrying the storage path and byte offset. After such an error the
+//! engine's in-memory state may be ahead of (or behind) the log — the
+//! instance must be discarded and re-opened. The infallible
+//! [`ContinuousEngine`] methods delegate to the `try_*` forms and **panic**
+//! on storage failure (documented on the impl); fallibility-aware callers
+//! use the `try_*` API directly.
+
+use std::collections::BTreeMap;
+
+use gsm_core::engine::{
+    ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
+};
+use gsm_core::error::Result;
+use gsm_core::interner::{Sym, SymbolTable};
+use gsm_core::model::update::Update;
+use gsm_core::query::pattern::QueryPattern;
+use gsm_core::relation::Relation;
+
+use crate::checkpoint::{self, CheckpointData, QueryTotals};
+use crate::storage::{persistence_error, StorageFactory};
+use crate::wal::{self, Wal, WalOp};
+
+/// Tuning knobs for the persistence layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// WAL records per fsync (`1` = sync every record; larger values trade
+    /// the unsynced tail for throughput).
+    pub group_commit: usize,
+    /// Automatically checkpoint every this many applied batches
+    /// (`0` = manual checkpoints only). Auto-checkpoints are skipped while
+    /// staged batches are outstanding and retried at the next opportunity.
+    pub checkpoint_every: u64,
+    /// Number of WAL stripes; record `seq` lands on stripe `seq % stripes`.
+    /// Pair this with the sharded/pipelined wrappers to keep one log per
+    /// worker. Recovery infers the stripe count from the files on disk.
+    pub wal_stripes: usize,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            group_commit: 1,
+            checkpoint_every: 0,
+            wal_stripes: 1,
+        }
+    }
+}
+
+impl PersistConfig {
+    /// Sets the group-commit interval.
+    pub fn with_group_commit(mut self, records: usize) -> Self {
+        self.group_commit = records.max(1);
+        self
+    }
+
+    /// Sets the auto-checkpoint batch interval (`0` disables).
+    pub fn with_checkpoint_every(mut self, batches: u64) -> Self {
+        self.checkpoint_every = batches;
+        self
+    }
+
+    /// Sets the WAL stripe count.
+    pub fn with_wal_stripes(mut self, stripes: usize) -> Self {
+        self.wal_stripes = stripes.max(1);
+        self
+    }
+}
+
+/// What [`PersistentEngine::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence the loaded checkpoint covered through, if one was valid.
+    pub checkpoint_seq: Option<u64>,
+    /// WAL records replayed after the checkpoint.
+    pub replayed_records: usize,
+    /// Stream updates re-applied from replayed batch records.
+    pub replayed_updates: u64,
+    /// Valid-CRC records discarded because a sequence gap (a stripe that
+    /// lost its tail) made them unreachable.
+    pub discarded_records: usize,
+    /// Stripes that were truncated (torn tails and post-gap suffixes).
+    pub truncated_stripes: usize,
+    /// Durable stream position: total updates the recovered engine has
+    /// processed. Callers resume feeding the stream from this offset.
+    pub resume_updates: u64,
+}
+
+fn wal_name(stripe: usize) -> String {
+    format!("wal-{stripe:02}.log")
+}
+
+fn parse_wal_name(name: &str) -> Option<usize> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn clone_symbols(table: &SymbolTable) -> SymbolTable {
+    let mut out = SymbolTable::new();
+    for i in 0..table.len() {
+        out.intern(table.resolve(Sym(i as u32)));
+    }
+    out
+}
+
+/// A [`ContinuousEngine`] wrapper adding write-ahead logging, chunk-spill
+/// checkpoints and crash recovery. See the module docs for the full
+/// durability and error contract.
+pub struct PersistentEngine<E> {
+    inner: E,
+    factory: Box<dyn StorageFactory>,
+    wals: Vec<Wal>,
+    config: PersistConfig,
+    next_seq: u64,
+    symbols: SymbolTable,
+    queries: Vec<QueryPattern>,
+    totals: Vec<QueryTotals>,
+    shadow: BTreeMap<Sym, Relation>,
+    stats: EngineStats,
+    staged_outstanding: usize,
+    batches_since_checkpoint: u64,
+    last_checkpoint_seq: Option<u64>,
+}
+
+impl<E: ContinuousEngine> PersistentEngine<E> {
+    /// Opens (or freshly creates) a persistent engine over `factory`.
+    ///
+    /// On an empty namespace this is a fresh engine wrapping
+    /// `make_engine()`. Otherwise it recovers: loads the highest valid
+    /// checkpoint, rebuilds a fresh inner engine (re-registering the
+    /// checkpointed queries in order and feeding the survivor edge store,
+    /// discarding those reports), then replays the WAL suffix — merged
+    /// across stripes by sequence number, cut at the first gap — and
+    /// truncates away torn tails and unreachable post-gap records.
+    pub fn open(
+        mut factory: Box<dyn StorageFactory>,
+        config: PersistConfig,
+        make_engine: impl FnOnce() -> E,
+    ) -> Result<(Self, RecoveryReport)> {
+        let names = factory.list()?;
+
+        // Highest valid checkpoint wins; invalid ones (torn writes) are
+        // skipped, not fatal.
+        let mut ckpt_seqs: Vec<u64> = names
+            .iter()
+            .filter_map(|n| checkpoint::parse_file_name(n))
+            .collect();
+        ckpt_seqs.sort_unstable();
+        let mut loaded: Option<CheckpointData> = None;
+        for &seq in ckpt_seqs.iter().rev() {
+            let mut storage = factory.open(&checkpoint::file_name(seq))?;
+            if let Some(data) = checkpoint::read(storage.as_mut())? {
+                loaded = Some(data);
+                break;
+            }
+        }
+
+        // Stripe count comes from disk when WAL files exist (the layout is
+        // durable); the config only decides the fresh case.
+        let disk_stripes = names
+            .iter()
+            .filter_map(|n| parse_wal_name(n))
+            .max()
+            .map(|max| max + 1);
+        let stripes = disk_stripes.unwrap_or(config.wal_stripes.max(1));
+
+        let mut report = RecoveryReport::default();
+        let start_seq = loaded.as_ref().map(|c| c.covered_seq).unwrap_or(0);
+        report.checkpoint_seq = loaded.as_ref().map(|c| c.covered_seq);
+
+        // Read every stripe's valid prefix, merge by seq, cut at the first
+        // gap, and truncate stripes to exactly the kept records.
+        let mut stripe_storages = Vec::with_capacity(stripes);
+        let mut stripe_reads = Vec::with_capacity(stripes);
+        for i in 0..stripes {
+            let mut storage = factory.open(&wal_name(i))?;
+            stripe_reads.push(wal::read_records(storage.as_mut())?);
+            stripe_storages.push(storage);
+        }
+        let total_candidates: usize = stripe_reads
+            .iter()
+            .map(|(records, _)| records.iter().filter(|r| r.seq >= start_seq).count())
+            .sum();
+        let (merged, cuts) = wal::merge_stripes(stripe_reads, start_seq);
+        report.replayed_records = merged.len();
+        report.discarded_records = total_candidates - merged.len();
+        for (storage, &cut) in stripe_storages.iter_mut().zip(&cuts) {
+            if storage.len()? > cut {
+                storage.truncate(cut)?;
+                report.truncated_stripes += 1;
+            }
+        }
+
+        // Rebuild the engine: checkpoint state, survivor feed, WAL replay.
+        let mut inner = make_engine();
+        let (symbols, queries, totals, shadow, stats) = match loaded {
+            Some(data) => {
+                let shadow: BTreeMap<Sym, Relation> = data.shadow.into_iter().collect();
+                (data.symbols, data.queries, data.totals, shadow, data.stats)
+            }
+            None => (
+                SymbolTable::new(),
+                Vec::new(),
+                Vec::new(),
+                BTreeMap::new(),
+                EngineStats::default(),
+            ),
+        };
+        for query in &queries {
+            inner.register_query(query)?;
+        }
+        for (label, rel) in &shadow {
+            let survivors: Vec<Update> = rel
+                .iter()
+                .map(|row| Update::new(*label, row[0], row[1]))
+                .collect();
+            // Reports discarded: these embeddings are already folded into
+            // the checkpointed totals.
+            inner.apply_batch(&survivors);
+        }
+
+        let mut engine = PersistentEngine {
+            inner,
+            factory,
+            wals: stripe_storages
+                .into_iter()
+                .map(|s| Wal::new(s, config.group_commit))
+                .collect(),
+            config,
+            next_seq: start_seq + merged.len() as u64,
+            symbols,
+            queries,
+            totals,
+            shadow,
+            stats,
+            staged_outstanding: 0,
+            batches_since_checkpoint: 0,
+            last_checkpoint_seq: report.checkpoint_seq,
+        };
+        for record in merged {
+            match record.op {
+                WalOp::Intern { name } => {
+                    engine.symbols.intern(&name);
+                }
+                WalOp::Register { pattern } => {
+                    engine.inner.register_query(&pattern)?;
+                    engine.queries.push(pattern);
+                    engine.totals.push(QueryTotals::default());
+                }
+                WalOp::Batch { updates } => {
+                    report.replayed_updates += updates.len() as u64;
+                    let batch_report = engine.inner.apply_batch(&updates);
+                    engine.absorb_report(&batch_report);
+                    engine.stats.updates_processed += updates.len() as u64;
+                    engine.apply_shadow(&updates);
+                }
+                WalOp::Checkpoint { ckpt_seq } => {
+                    // Marker only: the checkpoint file itself was already
+                    // chosen above. Remember the newest coordinate.
+                    if engine.last_checkpoint_seq < Some(ckpt_seq) {
+                        engine.last_checkpoint_seq = Some(ckpt_seq);
+                    }
+                }
+            }
+        }
+        report.resume_updates = engine.stats.updates_processed;
+        Ok((engine, report))
+    }
+
+    fn wal_append(&mut self, op: WalOp) -> Result<()> {
+        let seq = self.next_seq;
+        let stripe = (seq % self.wals.len() as u64) as usize;
+        self.wals[stripe].append(seq, &op)?;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    fn sync_wals(&mut self) -> Result<()> {
+        for wal in &mut self.wals {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    fn absorb_report(&mut self, report: &MatchReport) {
+        self.stats.notifications += report.len() as u64;
+        self.stats.embeddings += report.total_embeddings();
+        self.stats.retracted += report.total_retracted();
+        for m in &report.matches {
+            if let Some(t) = self.totals.get_mut(m.query.index()) {
+                t.embeddings += m.new_embeddings;
+                t.retracted += m.retracted_embeddings;
+                t.notifications += 1;
+            }
+        }
+    }
+
+    fn apply_shadow(&mut self, updates: &[Update]) {
+        for u in updates {
+            let rel = self
+                .shadow
+                .entry(u.label)
+                .or_insert_with(|| Relation::new(2));
+            let row = [u.src, u.tgt];
+            if u.retract {
+                if rel.contains(&row) {
+                    rel.retract_rows(&Relation::singleton(&row));
+                }
+            } else {
+                rel.push(&row);
+            }
+        }
+    }
+
+    /// Logs (and adopts) every symbol of `table` beyond the durable prefix,
+    /// in dense `Sym` order, so persisted `Sym` ids keep their meaning
+    /// across recovery. Call after interning workload symbols and before
+    /// persisting operations that reference them.
+    pub fn note_symbols(&mut self, table: &SymbolTable) -> Result<()> {
+        for i in self.symbols.len()..table.len() {
+            let name = table.resolve(Sym(i as u32)).to_string();
+            self.wal_append(WalOp::Intern { name: name.clone() })?;
+            self.symbols.intern(&name);
+        }
+        Ok(())
+    }
+
+    /// Fallible query registration: registers with the inner engine first
+    /// (validation), then logs the registration.
+    pub fn try_register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        let id = self.inner.register_query(query)?;
+        debug_assert_eq!(id.index(), self.queries.len());
+        self.wal_append(WalOp::Register {
+            pattern: query.clone(),
+        })?;
+        self.queries.push(query.clone());
+        self.totals.push(QueryTotals::default());
+        Ok(id)
+    }
+
+    /// Fallible batch application: the batch is WAL-logged (and group-commit
+    /// synced) **before** the inner engine applies it.
+    pub fn try_apply_batch(&mut self, updates: &[Update]) -> Result<MatchReport> {
+        self.wal_append(WalOp::Batch {
+            updates: updates.to_vec(),
+        })?;
+        let report = self.inner.apply_batch(updates);
+        self.stats.updates_processed += updates.len() as u64;
+        self.absorb_report(&report);
+        self.apply_shadow(updates);
+        self.batches_since_checkpoint += 1;
+        self.maybe_auto_checkpoint()?;
+        Ok(report)
+    }
+
+    /// Fallible staging: WAL-logs the batch at **stage** time, so batches
+    /// inside the pipeline window are durable before their answer runs.
+    pub fn try_stage_batch(&mut self, updates: &[Update]) -> Result<StagedBatch> {
+        self.wal_append(WalOp::Batch {
+            updates: updates.to_vec(),
+        })?;
+        let staged = self.inner.stage_batch(updates);
+        self.stats.updates_processed += updates.len() as u64;
+        self.apply_shadow(updates);
+        self.staged_outstanding += 1;
+        self.batches_since_checkpoint += 1;
+        Ok(staged)
+    }
+
+    /// Forces all group-commit debt to durable media. Call at stream end
+    /// (or any ack boundary stronger than the group-commit interval).
+    pub fn try_sync(&mut self) -> Result<()> {
+        self.sync_wals()
+    }
+
+    /// Writes a checkpoint covering everything applied so far and returns
+    /// the sequence it covers through. Keeps the current and previous
+    /// checkpoint files, removing older ones.
+    ///
+    /// # Barrier
+    ///
+    /// Refuses with a typed persistence error while staged batches are
+    /// outstanding: their deferred answers still reference watermark state
+    /// inside the inner engine that no checkpoint captures. Drain the
+    /// pipeline (`in_flight() == 0`) first.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        if self.staged_outstanding > 0 {
+            return Err(persistence_error(
+                &self.factory.location(),
+                0,
+                format!(
+                    "checkpoint refused: {} staged batch(es) outstanding; drain the pipeline first",
+                    self.staged_outstanding
+                ),
+            ));
+        }
+        self.sync_wals()?;
+        let covered_seq = self.next_seq;
+        let data = CheckpointData {
+            covered_seq,
+            stats: self.stats,
+            symbols: clone_symbols(&self.symbols),
+            queries: self.queries.clone(),
+            totals: self.totals.clone(),
+            shadow: self
+                .shadow
+                .iter()
+                .map(|(label, rel)| (*label, rel.clone()))
+                .collect(),
+        };
+        let mut storage = self.factory.open(&checkpoint::file_name(covered_seq))?;
+        checkpoint::write(storage.as_mut(), &data)?;
+        // Coordinated marker: one record, merged into every stripe's replay
+        // order by seq, tells readers the snapshot boundary.
+        self.wal_append(WalOp::Checkpoint {
+            ckpt_seq: covered_seq,
+        })?;
+        self.sync_wals()?;
+        // Retain current + previous; drop older checkpoint files.
+        let mut seqs: Vec<u64> = self
+            .factory
+            .list()?
+            .iter()
+            .filter_map(|n| checkpoint::parse_file_name(n))
+            .collect();
+        seqs.sort_unstable();
+        if seqs.len() > 2 {
+            for &old in &seqs[..seqs.len() - 2] {
+                self.factory.remove(&checkpoint::file_name(old))?;
+            }
+        }
+        self.last_checkpoint_seq = Some(covered_seq);
+        self.batches_since_checkpoint = 0;
+        Ok(covered_seq)
+    }
+
+    fn maybe_auto_checkpoint(&mut self) -> Result<()> {
+        if self.config.checkpoint_every > 0
+            && self.batches_since_checkpoint >= self.config.checkpoint_every
+            && self.staged_outstanding == 0
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// The durable per-query totals, indexed by [`QueryId`].
+    pub fn totals(&self) -> &[QueryTotals] {
+        &self.totals
+    }
+
+    /// The durable interner table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Sequence number of the next WAL record.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Staged batches whose answers are still outstanding.
+    pub fn staged_outstanding(&self) -> usize {
+        self.staged_outstanding
+    }
+
+    /// Sequence the newest checkpoint covers through, if any.
+    pub fn last_checkpoint_seq(&self) -> Option<u64> {
+        self.last_checkpoint_seq
+    }
+
+    /// The live configuration.
+    pub fn config(&self) -> &PersistConfig {
+        &self.config
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps the inner engine, abandoning the persistence handles.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+/// The infallible engine surface. Storage failures in `apply_update` /
+/// `apply_batch` / `stage_batch` **panic** (the typed error is in the
+/// message); use the `try_*` methods where failures must be handled.
+/// `register_query` is fallible by signature and passes persistence errors
+/// through. `stats` reports the **durable** counters (what recovery would
+/// reproduce), which equal the uninterrupted engine's counters except for
+/// `notifications` granularity (counted per batch report here).
+impl<E: ContinuousEngine> ContinuousEngine for PersistentEngine<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
+        self.try_register_query(query)
+    }
+
+    fn apply_update(&mut self, update: Update) -> MatchReport {
+        self.try_apply_batch(std::slice::from_ref(&update))
+            .expect("persistent WAL append failed; discard and recover the engine")
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> MatchReport {
+        self.try_apply_batch(updates)
+            .expect("persistent WAL append failed; discard and recover the engine")
+    }
+
+    fn stage_batch(&mut self, updates: &[Update]) -> StagedBatch {
+        self.try_stage_batch(updates)
+            .expect("persistent WAL append failed; discard and recover the engine")
+    }
+
+    fn answer_staged(&mut self, staged: StagedBatch) -> MatchReport {
+        let report = self.inner.answer_staged(staged);
+        self.staged_outstanding = self.staged_outstanding.saturating_sub(1);
+        self.absorb_report(&report);
+        report
+    }
+
+    fn detach_staged(&mut self, staged: StagedBatch) -> DetachedAnswer {
+        // The token stays outstanding until its report is absorbed.
+        self.inner.detach_staged(staged)
+    }
+
+    fn absorb_answered(&mut self, report: &MatchReport) {
+        self.inner.absorb_answered(report);
+        self.staged_outstanding = self.staged_outstanding.saturating_sub(1);
+        self.absorb_report(report);
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, MemFactory};
+    use std::collections::HashSet;
+
+    /// Deterministic toy engine whose reports are a pure function of the
+    /// live edge set: inserting a new edge reports every query with
+    /// `new_embeddings` = live edges sharing the label (after insert);
+    /// retracting a live edge reports `retracted_embeddings` = live edges
+    /// sharing the label (before removal).
+    #[derive(Default)]
+    struct CountEngine {
+        edges: HashSet<(u32, u32, u32)>,
+        queries: u32,
+        stats: EngineStats,
+    }
+
+    impl ContinuousEngine for CountEngine {
+        fn name(&self) -> &'static str {
+            "COUNT"
+        }
+        fn register_query(&mut self, _query: &QueryPattern) -> Result<QueryId> {
+            let id = QueryId(self.queries);
+            self.queries += 1;
+            Ok(id)
+        }
+        fn apply_update(&mut self, update: Update) -> MatchReport {
+            self.stats.updates_processed += 1;
+            let key = (update.label.0, update.src.0, update.tgt.0);
+            let label_count = |edges: &HashSet<(u32, u32, u32)>| {
+                edges.iter().filter(|e| e.0 == update.label.0).count() as u64
+            };
+            let report = if update.retract {
+                if self.edges.remove(&key) {
+                    let n = label_count(&self.edges) + 1;
+                    MatchReport::from_retraction_counts(
+                        (0..self.queries).map(|q| (QueryId(q), n)).collect(),
+                    )
+                } else {
+                    MatchReport::empty()
+                }
+            } else if self.edges.insert(key) {
+                let n = label_count(&self.edges);
+                MatchReport::from_counts((0..self.queries).map(|q| (QueryId(q), n)).collect())
+            } else {
+                MatchReport::empty()
+            };
+            self.stats.notifications += report.len() as u64;
+            self.stats.embeddings += report.total_embeddings();
+            self.stats.retracted += report.total_retracted();
+            report
+        }
+        fn num_queries(&self) -> usize {
+            self.queries as usize
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> EngineStats {
+            self.stats
+        }
+    }
+
+    fn two_queries(symbols: &mut SymbolTable) -> Vec<QueryPattern> {
+        vec![
+            QueryPattern::parse("?x -knows-> ?y", symbols).unwrap(),
+            QueryPattern::parse("?x -knows-> ?y; ?y -likes-> ?z", symbols).unwrap(),
+        ]
+    }
+
+    fn mixed_stream(symbols: &mut SymbolTable) -> Vec<Update> {
+        let knows = symbols.intern("knows");
+        let likes = symbols.intern("likes");
+        let mut stream = Vec::new();
+        for i in 0..12u32 {
+            let label = if i % 3 == 0 { likes } else { knows };
+            stream.push(Update::new(label, Sym(100 + i), Sym(101 + i)));
+        }
+        // Retract some survivors and one absent edge; reinsert one.
+        stream.push(Update::retraction(knows, Sym(101), Sym(102)));
+        stream.push(Update::retraction(knows, Sym(999), Sym(998)));
+        stream.push(Update::retraction(likes, Sym(100), Sym(101)));
+        stream.push(Update::new(knows, Sym(101), Sym(102)));
+        stream
+    }
+
+    fn open_mem(
+        factory: &MemFactory,
+        config: PersistConfig,
+    ) -> (PersistentEngine<CountEngine>, RecoveryReport) {
+        PersistentEngine::open(Box::new(factory.handle()), config, CountEngine::default).unwrap()
+    }
+
+    #[test]
+    fn crash_and_recover_matches_uninterrupted_run() {
+        let mut symbols = SymbolTable::new();
+        let queries = two_queries(&mut symbols);
+        let stream = mixed_stream(&mut symbols);
+
+        // Uninterrupted oracle.
+        let mut oracle = PersistentEngine::open(
+            Box::new(MemFactory::new()),
+            PersistConfig::default(),
+            CountEngine::default,
+        )
+        .unwrap()
+        .0;
+        oracle.note_symbols(&symbols).unwrap();
+        for q in &queries {
+            oracle.try_register_query(q).unwrap();
+        }
+        for batch in stream.chunks(3) {
+            oracle.try_apply_batch(batch).unwrap();
+        }
+
+        // Crashing run: apply a prefix, drop the engine ("crash"), recover
+        // over the same namespace, finish the stream.
+        let disk = MemFactory::new();
+        {
+            let (mut engine, fresh) = open_mem(&disk, PersistConfig::default());
+            assert_eq!(fresh, RecoveryReport::default());
+            engine.note_symbols(&symbols).unwrap();
+            for q in &queries {
+                engine.try_register_query(q).unwrap();
+            }
+            for batch in stream.chunks(3).take(3) {
+                engine.try_apply_batch(batch).unwrap();
+            }
+            // Dropped here without sync beyond group commit: the crash.
+        }
+        let (mut recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert_eq!(report.resume_updates, 9);
+        assert_eq!(report.replayed_updates, 9);
+        assert_eq!(report.checkpoint_seq, None);
+        assert_eq!(recovered.symbols().len(), symbols.len());
+        for batch in stream[report.resume_updates as usize..].chunks(3) {
+            recovered.try_apply_batch(batch).unwrap();
+        }
+
+        assert_eq!(recovered.stats(), oracle.stats());
+        assert_eq!(recovered.totals(), oracle.totals());
+    }
+
+    #[test]
+    fn checkpoint_skips_replay_prefix_and_preserves_totals() {
+        let mut symbols = SymbolTable::new();
+        let queries = two_queries(&mut symbols);
+        let stream = mixed_stream(&mut symbols);
+
+        let disk = MemFactory::new();
+        let totals_at_crash;
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+            engine.note_symbols(&symbols).unwrap();
+            for q in &queries {
+                engine.try_register_query(q).unwrap();
+            }
+            for batch in stream.chunks(4).take(2) {
+                engine.try_apply_batch(batch).unwrap();
+            }
+            let seq = engine.checkpoint().unwrap();
+            assert_eq!(engine.last_checkpoint_seq(), Some(seq));
+            for batch in stream.chunks(4).skip(2) {
+                engine.try_apply_batch(batch).unwrap();
+            }
+            totals_at_crash = engine.totals().to_vec();
+        }
+        let (recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert!(report.checkpoint_seq.is_some());
+        assert_eq!(
+            report.replayed_updates,
+            stream.len() as u64 - 8,
+            "only the post-checkpoint suffix replays"
+        );
+        assert_eq!(report.resume_updates, stream.len() as u64);
+        assert_eq!(recovered.totals(), &totals_at_crash[..]);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_batch_interval() {
+        let disk = MemFactory::new();
+        let mut symbols = SymbolTable::new();
+        let stream = mixed_stream(&mut symbols);
+        let (mut engine, _) = open_mem(&disk, PersistConfig::default().with_checkpoint_every(2));
+        engine.note_symbols(&symbols).unwrap();
+        assert_eq!(engine.last_checkpoint_seq(), None);
+        for batch in stream.chunks(2).take(4) {
+            engine.try_apply_batch(batch).unwrap();
+        }
+        assert!(engine.last_checkpoint_seq().is_some());
+        // Old checkpoints are pruned to current + previous.
+        let ckpts = disk
+            .handle()
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| checkpoint::parse_file_name(n).is_some())
+            .count();
+        assert!(ckpts <= 2, "kept {ckpts} checkpoint files");
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_stream_resumes() {
+        let mut symbols = SymbolTable::new();
+        let stream = mixed_stream(&mut symbols);
+        let disk = MemFactory::new();
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+            engine.note_symbols(&symbols).unwrap();
+            for batch in stream.chunks(3) {
+                engine.try_apply_batch(batch).unwrap();
+            }
+        }
+        // Tear the last 5 bytes off the WAL: the final batch record dies.
+        let raw = disk.raw("wal-00.log").unwrap();
+        let torn_len = {
+            let mut bytes = raw.lock().unwrap();
+            let keep = bytes.len() - 5;
+            bytes.truncate(keep);
+            keep as u64
+        };
+        let (recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert_eq!(report.truncated_stripes, 1);
+        assert_eq!(report.resume_updates, 15, "last 1-update batch was torn");
+        assert!(raw.lock().unwrap().len() as u64 <= torn_len);
+        // The engine keeps appending cleanly after the cut.
+        drop(recovered);
+        let (mut recovered, _) = open_mem(&disk, PersistConfig::default());
+        recovered.try_apply_batch(&stream[15..]).unwrap();
+        assert_eq!(recovered.stats().updates_processed, 16);
+    }
+
+    #[test]
+    fn striped_wal_gap_discards_unreachable_suffix() {
+        let mut symbols = SymbolTable::new();
+        let stream = mixed_stream(&mut symbols);
+        let disk = MemFactory::new();
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default().with_wal_stripes(2));
+            engine.note_symbols(&symbols).unwrap();
+            for batch in stream.chunks(2) {
+                engine.try_apply_batch(batch).unwrap();
+            }
+        }
+        // Chop a record off stripe 1: the seq gap makes every later record
+        // in stripe 0 unreachable too.
+        let raw1 = disk.raw("wal-01.log").unwrap();
+        {
+            let mut bytes = raw1.lock().unwrap();
+            let keep = bytes.len() / 2;
+            bytes.truncate(keep);
+        }
+        let (recovered, report) = open_mem(&disk, PersistConfig::default().with_wal_stripes(2));
+        assert!(report.discarded_records > 0, "{report:?}");
+        assert_eq!(report.truncated_stripes, 2);
+        let resume = report.resume_updates as usize;
+        assert!(resume < stream.len());
+        // Finishing the stream from the resume point matches the oracle.
+        let mut oracle = PersistentEngine::open(
+            Box::new(MemFactory::new()),
+            PersistConfig::default(),
+            CountEngine::default,
+        )
+        .unwrap()
+        .0;
+        oracle.note_symbols(&symbols).unwrap();
+        let mut recovered = recovered;
+        for batch in stream[resume..].chunks(2) {
+            recovered.try_apply_batch(batch).unwrap();
+        }
+        for batch in stream.chunks(2) {
+            oracle.try_apply_batch(batch).unwrap();
+        }
+        assert_eq!(recovered.stats(), oracle.stats());
+    }
+
+    #[test]
+    fn every_public_api_surfaces_typed_persistence_errors() {
+        let mut symbols = SymbolTable::new();
+        let queries = two_queries(&mut symbols);
+        let knows = symbols.get("knows").unwrap();
+
+        let assert_persistence = |err: gsm_core::error::Error, part: &str| match err {
+            gsm_core::error::Error::Persistence { path, detail, .. } => {
+                assert!(
+                    detail.contains(part) || path.contains(part),
+                    "path `{path}` detail `{detail}` missing `{part}`"
+                );
+            }
+            other => panic!("expected Error::Persistence, got {other:?}"),
+        };
+
+        // Dead WAL: every logging API fails typed.
+        let mut disk = MemFactory::new();
+        disk.set_fault("wal-00.log", FaultPlan::FailAppendsAfter { at: 0 });
+        let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+        assert_persistence(engine.note_symbols(&symbols).unwrap_err(), "injected");
+        assert_persistence(
+            engine.try_register_query(&queries[0]).unwrap_err(),
+            "injected",
+        );
+        let batch = [Update::new(knows, Sym(1), Sym(2))];
+        assert_persistence(engine.try_apply_batch(&batch).unwrap_err(), "injected");
+        assert_persistence(engine.try_stage_batch(&batch).unwrap_err(), "injected");
+
+        // Failing fsync: group-commit boundary surfaces it.
+        let mut disk = MemFactory::new();
+        disk.set_fault("wal-00.log", FaultPlan::FailSync);
+        let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+        assert_persistence(engine.try_apply_batch(&batch).unwrap_err(), "fsync");
+
+        // Checkpoint file write failure: after recovery replays the one
+        // batch record and one more batch is applied, the checkpoint will
+        // cover through `next_seq + 1` — fault exactly that file.
+        let disk = MemFactory::new();
+        let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+        engine.try_apply_batch(&batch).unwrap();
+        let expected_ckpt_seq = engine.next_seq() + 1;
+        drop(engine);
+        let mut faulty = disk.handle();
+        faulty.set_fault(
+            &checkpoint::file_name(expected_ckpt_seq),
+            FaultPlan::FailAppendsAfter { at: 0 },
+        );
+        let (mut engine2, _) = open_mem(&faulty, PersistConfig::default());
+        engine2.try_apply_batch(&batch).unwrap();
+        assert_eq!(engine2.next_seq(), expected_ckpt_seq);
+        assert_persistence(engine2.checkpoint().unwrap_err(), "injected");
+    }
+
+    #[test]
+    fn checkpoint_barrier_refuses_while_staged_then_succeeds_after_drain() {
+        let mut symbols = SymbolTable::new();
+        let knows = symbols.intern("knows");
+        let disk = MemFactory::new();
+        let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+        engine.note_symbols(&symbols).unwrap();
+        let staged = engine
+            .try_stage_batch(&[Update::new(knows, Sym(1), Sym(2))])
+            .unwrap();
+        assert_eq!(engine.staged_outstanding(), 1);
+        match engine.checkpoint().unwrap_err() {
+            gsm_core::error::Error::Persistence { detail, .. } => {
+                assert!(detail.contains("staged"), "{detail}");
+                assert!(detail.contains("drain"), "{detail}");
+            }
+            other => panic!("expected Error::Persistence, got {other:?}"),
+        }
+        // Draining via the detach/absorb path also releases the barrier.
+        let answer = engine.detach_staged(staged);
+        assert_eq!(engine.staged_outstanding(), 1, "outstanding until absorbed");
+        let report = answer.run();
+        engine.absorb_answered(&report);
+        assert_eq!(engine.staged_outstanding(), 0);
+        engine.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn staged_batches_are_durable_at_stage_time() {
+        let mut symbols = SymbolTable::new();
+        let knows = symbols.intern("knows");
+        let disk = MemFactory::new();
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+            engine.note_symbols(&symbols).unwrap();
+            let _staged = engine
+                .try_stage_batch(&[Update::new(knows, Sym(1), Sym(2))])
+                .unwrap();
+            // Crash with the token still outstanding: the batch is already
+            // in the WAL, so recovery replays it.
+        }
+        let (recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert_eq!(report.resume_updates, 1);
+        assert_eq!(recovered.stats().updates_processed, 1);
+    }
+
+    #[test]
+    fn interner_restores_identically_with_permuted_registration_order() {
+        // Satellite (c): symbols are checkpointed explicitly, so recovery
+        // does not depend on registration order re-interning the same ids.
+        // Intern names in one order, register queries in the *reverse*
+        // order, checkpoint, recover: every Sym resolves unchanged.
+        let mut symbols = SymbolTable::new();
+        let names = ["alpha", "beta", "gamma", "delta"];
+        for n in &names {
+            symbols.intern(n);
+        }
+        let q_beta = QueryPattern::parse("?x -beta-> ?y", &mut symbols).unwrap();
+        let q_alpha = QueryPattern::parse("?x -alpha-> ?y", &mut symbols).unwrap();
+
+        let disk = MemFactory::new();
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+            engine.note_symbols(&symbols).unwrap();
+            // Registration order (beta first) permutes the first-use order
+            // of the interned names (alpha first).
+            engine.try_register_query(&q_beta).unwrap();
+            engine.try_register_query(&q_alpha).unwrap();
+            engine.checkpoint().unwrap();
+        }
+        let (recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert!(report.checkpoint_seq.is_some());
+        let restored = recovered.symbols();
+        assert_eq!(restored.len(), symbols.len());
+        for i in 0..symbols.len() {
+            let sym = Sym(i as u32);
+            assert_eq!(restored.resolve(sym), symbols.resolve(sym), "Sym({i})");
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! Pluggable append-oriented storage backends.
+//!
+//! The WAL and checkpoint layers never touch the filesystem directly; they
+//! speak [`Storage`] (one byte store ≈ one file) obtained from a
+//! [`StorageFactory`] (≈ one directory). This is the datastore/transaction
+//! split in miniature: everything above is backend-agnostic, so the crash
+//! suites swap the real [`DirFactory`] for an in-memory [`MemFactory`]
+//! whose stores survive a dropped engine (the "disk" outlives the
+//! "process"), optionally wrapped in [`FaultStorage`] to inject short
+//! writes, torn tails and failing syncs deterministically.
+//!
+//! Every failure surfaces as a typed
+//! [`Error::Persistence`] carrying the
+//! storage path and byte offset — the persistence layer never panics on a
+//! bad disk and never silently drops data.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use gsm_core::error::{Error, Result};
+
+/// Builds the typed persistence error every backend reports through.
+pub fn persistence_error(path: &str, offset: u64, detail: impl Into<String>) -> Error {
+    Error::Persistence {
+        path: path.to_string(),
+        offset,
+        detail: detail.into(),
+    }
+}
+
+/// An append-oriented byte store — the WAL's and checkpoint's view of one
+/// file. Appends go at the current end; reads return the whole content;
+/// truncation discards a torn tail during recovery.
+#[allow(clippy::len_without_is_empty)] // a WAL store's length is an offset, not a collection size
+pub trait Storage: Send {
+    /// Path (or backend label) identifying this store in error context.
+    fn label(&self) -> &str;
+
+    /// Current length in bytes.
+    fn len(&mut self) -> Result<u64>;
+
+    /// Appends `data` at the end of the store.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Forces previously appended data to durable media (fsync).
+    fn sync(&mut self) -> Result<()>;
+
+    /// Reads the entire content.
+    fn read_all(&mut self) -> Result<Vec<u8>>;
+
+    /// Truncates the store to `len` bytes (drops a torn tail).
+    fn truncate(&mut self, len: u64) -> Result<()>;
+}
+
+/// Opens named [`Storage`] stores within one durable namespace (≈ one
+/// directory), and lists/removes them — the surface recovery needs to find
+/// WAL stripes and checkpoint files.
+pub trait StorageFactory: Send {
+    /// Opens (creating if absent) the store called `name`.
+    fn open(&mut self, name: &str) -> Result<Box<dyn Storage>>;
+
+    /// Names of all existing stores, in unspecified order.
+    fn list(&mut self) -> Result<Vec<String>>;
+
+    /// Removes the store called `name` (missing stores are an error).
+    fn remove(&mut self, name: &str) -> Result<()>;
+
+    /// Human-readable location of the namespace, for error context.
+    fn location(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// Real files
+// ---------------------------------------------------------------------------
+
+/// File-backed [`Storage`]: one regular file, `fsync` via
+/// [`fs::File::sync_data`].
+pub struct FileStorage {
+    path: PathBuf,
+    label: String,
+    file: fs::File,
+}
+
+impl FileStorage {
+    /// Opens (creating if absent) the file at `path`.
+    pub fn open(path: PathBuf) -> Result<Self> {
+        let label = path.display().to_string();
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| persistence_error(&label, 0, format!("open failed: {e}")))?;
+        Ok(FileStorage { path, label, file })
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+impl Storage for FileStorage {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn len(&mut self) -> Result<u64> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| persistence_error(&self.label, 0, format!("stat failed: {e}")))
+    }
+
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let at = self
+            .file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| persistence_error(&self.label, 0, format!("seek failed: {e}")))?;
+        self.file
+            .write_all(data)
+            .map_err(|e| persistence_error(&self.label, at, format!("append failed: {e}")))
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| persistence_error(&self.label, 0, format!("fsync failed: {e}")))
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| persistence_error(&self.label, 0, format!("seek failed: {e}")))?;
+        let mut buf = Vec::new();
+        self.file
+            .read_to_end(&mut buf)
+            .map_err(|e| persistence_error(&self.label, 0, format!("read failed: {e}")))?;
+        Ok(buf)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.file
+            .set_len(len)
+            .map_err(|e| persistence_error(&self.label, len, format!("truncate failed: {e}")))
+    }
+}
+
+/// Directory-backed [`StorageFactory`]: every store is a file directly
+/// inside `dir` (created on first use).
+pub struct DirFactory {
+    dir: PathBuf,
+}
+
+impl DirFactory {
+    /// Creates a factory over `dir`, creating the directory if needed.
+    pub fn new(dir: PathBuf) -> Result<Self> {
+        fs::create_dir_all(&dir).map_err(|e| {
+            persistence_error(
+                &dir.display().to_string(),
+                0,
+                format!("create_dir_all failed: {e}"),
+            )
+        })?;
+        Ok(DirFactory { dir })
+    }
+}
+
+impl StorageFactory for DirFactory {
+    fn open(&mut self, name: &str) -> Result<Box<dyn Storage>> {
+        Ok(Box::new(FileStorage::open(self.dir.join(name))?))
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| persistence_error(&self.location(), 0, format!("read_dir failed: {e}")))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                persistence_error(&self.location(), 0, format!("read_dir entry failed: {e}"))
+            })?;
+            if entry.path().is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        let path = self.dir.join(name);
+        fs::remove_file(&path).map_err(|e| {
+            persistence_error(
+                &path.display().to_string(),
+                0,
+                format!("remove failed: {e}"),
+            )
+        })
+    }
+
+    fn location(&self) -> String {
+        self.dir.display().to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory stores (tests, fault injection)
+// ---------------------------------------------------------------------------
+
+type SharedBytes = Arc<Mutex<Vec<u8>>>;
+type SharedFiles = Arc<Mutex<HashMap<String, SharedBytes>>>;
+
+/// In-memory [`Storage`] over a shared byte buffer. The buffer is behind an
+/// `Arc`, so it plays the role of the disk: dropping the storage (or the
+/// whole engine) "crashes the process" while the bytes survive in whoever
+/// else holds the handle — typically the [`MemFactory`] that opened it.
+pub struct MemStorage {
+    label: String,
+    bytes: SharedBytes,
+}
+
+impl MemStorage {
+    /// Creates an empty store with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        MemStorage {
+            label: label.into(),
+            bytes: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A second handle onto the same bytes.
+    pub fn handle(&self) -> MemStorage {
+        MemStorage {
+            label: self.label.clone(),
+            bytes: Arc::clone(&self.bytes),
+        }
+    }
+
+    /// Direct access to the raw bytes — the test hook for flipping bits and
+    /// slicing tails without going through the API under test.
+    pub fn raw(&self) -> SharedBytes {
+        Arc::clone(&self.bytes)
+    }
+}
+
+impl Storage for MemStorage {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn len(&mut self) -> Result<u64> {
+        Ok(self.bytes.lock().unwrap().len() as u64)
+    }
+
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.bytes.lock().unwrap().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.bytes.lock().unwrap().clone())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        let mut bytes = self.bytes.lock().unwrap();
+        if (len as usize) < bytes.len() {
+            bytes.truncate(len as usize);
+        }
+        Ok(())
+    }
+}
+
+/// What a [`FaultStorage`] does to writes — the crash/corruption models of
+/// the differential recovery suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No fault: transparent passthrough.
+    None,
+    /// Every append whose start offset is `>= at` fails with a typed error
+    /// and persists nothing (a dead disk).
+    FailAppendsAfter {
+        /// Byte offset from which appends fail.
+        at: u64,
+    },
+    /// The append that crosses byte `at` persists only the bytes below `at`
+    /// and then reports a typed short-write error; later appends fail.
+    ShortWriteAt {
+        /// Byte offset at which the write is cut short.
+        at: u64,
+    },
+    /// Appends crossing byte `at` silently persist only the prefix below
+    /// `at`; everything later is silently dropped while **reporting
+    /// success** — the torn-tail model of a crash that loses the unsynced
+    /// page-cache suffix. `sync` also fails from that point on, so a
+    /// group-commit boundary notices, but writers between boundaries do
+    /// not.
+    TornAfter {
+        /// Byte offset after which appended bytes are silently lost.
+        at: u64,
+    },
+    /// Appends succeed but every `sync` fails with a typed error.
+    FailSync,
+}
+
+/// A [`Storage`] wrapper that injects write faults per [`FaultPlan`].
+pub struct FaultStorage<S> {
+    inner: S,
+    plan: FaultPlan,
+}
+
+impl<S: Storage> FaultStorage<S> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultStorage { inner, plan }
+    }
+
+    /// The wrapped storage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Storage> Storage for FaultStorage<S> {
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn len(&mut self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        let start = self.inner.len()?;
+        let end = start + data.len() as u64;
+        match self.plan {
+            FaultPlan::None => self.inner.append(data),
+            FaultPlan::FailAppendsAfter { at } if start >= at => Err(persistence_error(
+                self.inner.label(),
+                start,
+                format!("injected append failure (plan cuts at {at})"),
+            )),
+            FaultPlan::FailAppendsAfter { .. } => self.inner.append(data),
+            FaultPlan::ShortWriteAt { at } if end > at => {
+                let keep = at.saturating_sub(start) as usize;
+                self.inner.append(&data[..keep])?;
+                Err(persistence_error(
+                    self.inner.label(),
+                    start,
+                    format!("injected short write: {keep} of {} bytes", data.len()),
+                ))
+            }
+            FaultPlan::ShortWriteAt { .. } => self.inner.append(data),
+            FaultPlan::TornAfter { at } if end > at => {
+                let keep = at.saturating_sub(start) as usize;
+                self.inner.append(&data[..keep])?;
+                Ok(()) // silently torn: the caller believes the write landed
+            }
+            FaultPlan::TornAfter { .. } => self.inner.append(data),
+            FaultPlan::FailSync => self.inner.append(data),
+        }
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        match self.plan {
+            FaultPlan::FailSync => {
+                let len = self.inner.len()?;
+                Err(persistence_error(
+                    self.inner.label(),
+                    len,
+                    "injected fsync failure",
+                ))
+            }
+            FaultPlan::TornAfter { at } => {
+                let len = self.inner.len()?;
+                if len >= at {
+                    Err(persistence_error(
+                        self.inner.label(),
+                        at,
+                        "injected fsync failure past torn offset",
+                    ))
+                } else {
+                    self.inner.sync()
+                }
+            }
+            _ => self.inner.sync(),
+        }
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.inner.truncate(len)
+    }
+}
+
+/// In-memory [`StorageFactory`] whose stores live in a shared map — the
+/// bytes survive engine drops, so a test can "crash" an engine and recover
+/// a new one over the same map. Per-name [`FaultPlan`]s are applied when a
+/// store is opened.
+#[derive(Default)]
+pub struct MemFactory {
+    files: SharedFiles,
+    faults: HashMap<String, FaultPlan>,
+}
+
+impl MemFactory {
+    /// Creates an empty in-memory namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A second factory over the same namespace (the "remount" after a
+    /// simulated crash). Configured fault plans carry over.
+    pub fn handle(&self) -> MemFactory {
+        MemFactory {
+            files: Arc::clone(&self.files),
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// Injects `plan` into every future open of the store called `name`.
+    pub fn set_fault(&mut self, name: &str, plan: FaultPlan) {
+        self.faults.insert(name.to_string(), plan);
+    }
+
+    /// Drops every configured fault plan — the "replace the bad disk"
+    /// remount for recovery tests.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Raw bytes of the store called `name`, if it exists — the corruption
+    /// hook for bit-flip tests.
+    pub fn raw(&self, name: &str) -> Option<SharedBytes> {
+        self.files.lock().unwrap().get(name).map(Arc::clone)
+    }
+}
+
+impl StorageFactory for MemFactory {
+    fn open(&mut self, name: &str) -> Result<Box<dyn Storage>> {
+        let bytes = Arc::clone(
+            self.files
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        );
+        let storage = MemStorage {
+            label: format!("mem:{name}"),
+            bytes,
+        };
+        Ok(match self.faults.get(name).copied() {
+            Some(plan) if plan != FaultPlan::None => Box::new(FaultStorage::new(storage, plan)),
+            _ => Box::new(storage),
+        })
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        Ok(self.files.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| persistence_error(&format!("mem:{name}"), 0, "no such store"))
+    }
+
+    fn location(&self) -> String {
+        "mem:".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_persistence_err(err: Error, path_part: &str, detail_part: &str) {
+        match err {
+            Error::Persistence {
+                path,
+                offset: _,
+                detail,
+            } => {
+                assert!(path.contains(path_part), "path `{path}`");
+                assert!(detail.contains(detail_part), "detail `{detail}`");
+            }
+            other => panic!("expected Error::Persistence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_storage_append_read_truncate() {
+        let mut s = MemStorage::new("mem:wal");
+        s.append(b"hello ").unwrap();
+        s.append(b"world").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hello world");
+        assert_eq!(s.len().unwrap(), 11);
+        s.truncate(5).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hello");
+        // Truncating past the end is a no-op, matching file semantics the
+        // recovery path relies on (never grows a store).
+        s.truncate(100).unwrap();
+        assert_eq!(s.len().unwrap(), 5);
+    }
+
+    #[test]
+    fn mem_storage_survives_drop_via_handle() {
+        let s = MemStorage::new("mem:wal");
+        let mut handle = s.handle();
+        {
+            let mut doomed = s;
+            doomed.append(b"durable").unwrap();
+            // `doomed` dropped here: the "process" dies.
+        }
+        assert_eq!(handle.read_all().unwrap(), b"durable");
+    }
+
+    #[test]
+    fn file_storage_round_trips(/* uses a real temp file */) {
+        let path = std::env::temp_dir().join(format!("gsm-persist-test-{}", std::process::id()));
+        let _ = fs::remove_file(&path);
+        {
+            let mut s = FileStorage::open(path.clone()).unwrap();
+            s.append(b"abc").unwrap();
+            s.sync().unwrap();
+            s.append(b"def").unwrap();
+            assert_eq!(s.read_all().unwrap(), b"abcdef");
+            s.truncate(4).unwrap();
+        }
+        let mut reopened = FileStorage::open(path.clone()).unwrap();
+        assert_eq!(reopened.read_all().unwrap(), b"abcd");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fail_appends_after_is_typed_and_writes_nothing() {
+        let mut s = FaultStorage::new(
+            MemStorage::new("mem:w"),
+            FaultPlan::FailAppendsAfter { at: 4 },
+        );
+        s.append(b"abcd").unwrap();
+        let err = s.append(b"efgh").unwrap_err();
+        assert_persistence_err(err, "mem:w", "injected append failure");
+        assert_eq!(
+            s.read_all().unwrap(),
+            b"abcd",
+            "failed append wrote nothing"
+        );
+    }
+
+    #[test]
+    fn short_write_persists_prefix_and_errors() {
+        let mut s = FaultStorage::new(MemStorage::new("mem:w"), FaultPlan::ShortWriteAt { at: 6 });
+        s.append(b"abcd").unwrap();
+        let err = s.append(b"efgh").unwrap_err();
+        assert_persistence_err(err, "mem:w", "short write");
+        assert_eq!(
+            s.read_all().unwrap(),
+            b"abcdef",
+            "prefix below the cut persists"
+        );
+    }
+
+    #[test]
+    fn torn_write_lies_about_success_but_sync_notices() {
+        let mut s = FaultStorage::new(MemStorage::new("mem:w"), FaultPlan::TornAfter { at: 6 });
+        s.append(b"abcd").unwrap();
+        s.sync().unwrap();
+        s.append(b"efgh").unwrap(); // reported OK, silently torn at 6
+        assert_eq!(s.read_all().unwrap(), b"abcdef");
+        let err = s.sync().unwrap_err();
+        assert_persistence_err(err, "mem:w", "fsync failure past torn offset");
+    }
+
+    #[test]
+    fn fail_sync_is_typed() {
+        let mut s = FaultStorage::new(MemStorage::new("mem:w"), FaultPlan::FailSync);
+        s.append(b"abcd").unwrap();
+        let err = s.sync().unwrap_err();
+        assert_persistence_err(err, "mem:w", "fsync");
+    }
+
+    #[test]
+    fn mem_factory_namespace_survives_and_lists() {
+        let mut f = MemFactory::new();
+        let remount = f.handle();
+        f.open("wal-0.log").unwrap().append(b"x").unwrap();
+        f.open("ckpt").unwrap().append(b"y").unwrap();
+        let mut names = remount.handle().list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["ckpt".to_string(), "wal-0.log".to_string()]);
+        let mut f2 = remount.handle();
+        assert_eq!(f2.open("wal-0.log").unwrap().read_all().unwrap(), b"x");
+        f2.remove("ckpt").unwrap();
+        assert!(f2.remove("ckpt").is_err(), "double remove is typed");
+    }
+
+    #[test]
+    fn dir_factory_lists_and_removes_real_files() {
+        let dir = std::env::temp_dir().join(format!("gsm-persist-dir-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut f = DirFactory::new(dir.clone()).unwrap();
+        f.open("wal-0.log").unwrap().append(b"abc").unwrap();
+        assert_eq!(f.list().unwrap(), vec!["wal-0.log".to_string()]);
+        f.remove("wal-0.log").unwrap();
+        assert!(f.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

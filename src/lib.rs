@@ -14,6 +14,8 @@
 //!   (Neo4j substitute).
 //! * [`datagen`] — SNB-like, NYC-taxi-like and BioGRID-like workload
 //!   generators plus the query-set generator.
+//! * [`persist`] — durable log-structured persistence: write-ahead update
+//!   log, chunk-spill checkpoints, crash recovery for any engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub use gsm_baselines as baselines;
 pub use gsm_core as core;
 pub use gsm_datagen as datagen;
 pub use gsm_graphdb as graphdb;
+pub use gsm_persist as persist;
 pub use gsm_tric as tric;
 
 /// Returns every engine implementation known to the workspace, boxed behind
@@ -67,4 +70,31 @@ pub fn all_engines_sharded(num_shards: usize) -> Vec<Box<dyn gsm_core::Continuou
                 as Box<dyn gsm_core::ContinuousEngine>
         })
         .collect()
+}
+
+/// Opens (or recovers) a [`gsm_persist::PersistentEngine`] wrapping engine
+/// `engine_index` (the [`all_engine_factories`] order), sharded across
+/// `num_shards` workers when `num_shards > 1`, over the given storage
+/// namespace. This is the composition the crash-recovery suite and the
+/// bench harness use: persistence sits **outside** the (possibly sharded)
+/// engine and **inside** any pipelined front end, so staged batches are
+/// WAL-logged at stage time.
+pub fn open_persistent_engine(
+    engine_index: usize,
+    num_shards: usize,
+    storage: Box<dyn gsm_persist::StorageFactory>,
+    config: gsm_persist::PersistConfig,
+) -> gsm_core::error::Result<(
+    gsm_persist::PersistentEngine<Box<dyn gsm_core::ContinuousEngine + Send>>,
+    gsm_persist::RecoveryReport,
+)> {
+    let factory = all_engine_factories()[engine_index];
+    gsm_persist::PersistentEngine::open(storage, config, move || {
+        if num_shards <= 1 {
+            factory()
+        } else {
+            Box::new(gsm_core::ShardedEngine::new(num_shards, factory))
+                as Box<dyn gsm_core::ContinuousEngine + Send>
+        }
+    })
 }
