@@ -3,7 +3,7 @@
 use gsm_core::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
 };
-use gsm_core::error::Result;
+use gsm_core::error::{Error, Result};
 use gsm_core::interner::Sym;
 use gsm_core::memory::HeapSize;
 use gsm_core::model::generic::GenericEdge;
@@ -401,6 +401,25 @@ impl ContinuousEngine for BaselineEngine {
         Ok(qid)
     }
 
+    /// Strips the query from every inverted index and tombstones its
+    /// `queryInd` slot (ids are never reused). Edge views stay registered —
+    /// routing consults edgeInd, so an unmatched view is dead weight only,
+    /// and a later registration over the same edge reuses its history.
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        if !self.indexes.remove(query) {
+            return Err(Error::UnknownQuery(query.0));
+        }
+        Ok(())
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        QueryId(self.indexes.num_queries() as u32)
+    }
+
+    fn is_registered(&self, query: QueryId) -> bool {
+        self.indexes.is_live(query)
+    }
+
     fn apply_update(&mut self, update: Update) -> MatchReport {
         if update.is_retraction() {
             self.retract_batch_core(&[update])
@@ -523,7 +542,7 @@ impl ContinuousEngine for BaselineEngine {
     }
 
     fn num_queries(&self) -> usize {
-        self.indexes.num_queries()
+        self.indexes.num_live()
     }
 
     fn heap_bytes(&self) -> usize {
@@ -626,6 +645,42 @@ mod tests {
     fn names_are_stable() {
         let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
         assert_eq!(names, vec!["INV", "INV+", "INC", "INC+"]);
+    }
+
+    #[test]
+    fn unregister_silences_the_query_and_frees_its_id_slot_forever() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q1 = f.q("?a -knows-> ?b; ?b -worksAt-> acme");
+            let q2 = f.q("?a -knows-> ?b");
+            let id1 = engine.register_query(&q1).unwrap();
+            let id2 = engine.register_query(&q2).unwrap();
+            engine.apply_update(f.u("knows", "ann", "bob"));
+
+            engine.unregister_query(id1).unwrap();
+            assert_eq!(engine.num_queries(), 1, "{}", engine.name());
+            assert!(!engine.is_registered(id1));
+            assert!(engine.is_registered(id2));
+            assert_eq!(
+                engine.unregister_query(id1),
+                Err(Error::UnknownQuery(id1.0))
+            );
+
+            // The edge that only q1 used no longer routes anywhere; the
+            // shared edge still answers q2.
+            assert!(engine
+                .apply_update(f.u("worksAt", "bob", "acme"))
+                .is_empty());
+            let r = engine.apply_update(f.u("knows", "cat", "dan"));
+            assert_eq!(r.satisfied_queries(), vec![id2], "{}", engine.name());
+
+            // Re-registering gets a fresh id and sees the retained history.
+            let id3 = engine.register_query(&f.q("?a -worksAt-> ?c")).unwrap();
+            assert_eq!(id3, QueryId(2));
+            assert_eq!(engine.next_query_id(), QueryId(3));
+            let r = engine.apply_update(f.u("worksAt", "eve", "acme"));
+            assert_eq!(r.satisfied_queries(), vec![id3], "{}", engine.name());
+        }
     }
 
     #[test]

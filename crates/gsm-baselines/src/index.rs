@@ -52,7 +52,11 @@ pub struct InvertedIndexes {
     /// a staged batch's working set references them instead of deep-copying
     /// every path of every affected query (the records are immutable after
     /// registration, and registration barriers the pipeline first).
+    /// Unregistration tombstones a slot with an empty record — ids are
+    /// never reused, so outstanding shared records stay valid.
     pub query_index: Vec<Arc<QueryRecord>>,
+    /// Number of non-tombstoned `query_index` slots.
+    live: usize,
 }
 
 impl InvertedIndexes {
@@ -79,6 +83,64 @@ impl InvertedIndexes {
             }
         }
         self.query_index.push(Arc::new(record));
+        self.live += 1;
+    }
+
+    /// Unregisters a query: strips it from `edgeInd` (and drops edges no
+    /// remaining query uses from the vertex-position indexes too), then
+    /// tombstones its `queryInd` slot with an empty record so the id is
+    /// never reused. Returns `false` when the slot does not exist or was
+    /// already tombstoned.
+    pub fn remove(&mut self, qid: QueryId) -> bool {
+        let Some(slot) = self.query_index.get_mut(qid.index()) else {
+            return false;
+        };
+        if slot.edges.is_empty() {
+            return false;
+        }
+        let record = std::mem::replace(
+            slot,
+            Arc::new(QueryRecord {
+                paths: Vec::new(),
+                edges: Vec::new(),
+            }),
+        );
+        for edge in &record.edges {
+            let Some(queries) = self.edge_index.get_mut(edge) else {
+                continue;
+            };
+            queries.retain(|q| *q != qid);
+            if !queries.is_empty() {
+                continue;
+            }
+            self.edge_index.remove(edge);
+            if let Some(edges) = self.source_index.get_mut(&edge.src) {
+                edges.retain(|e| e != edge);
+                if edges.is_empty() {
+                    self.source_index.remove(&edge.src);
+                }
+            }
+            if let Some(edges) = self.target_index.get_mut(&edge.tgt) {
+                edges.retain(|e| e != edge);
+                if edges.is_empty() {
+                    self.target_index.remove(&edge.tgt);
+                }
+            }
+        }
+        self.live -= 1;
+        true
+    }
+
+    /// `true` when the id names a non-tombstoned query.
+    pub fn is_live(&self, qid: QueryId) -> bool {
+        self.query_index
+            .get(qid.index())
+            .is_some_and(|r| !r.edges.is_empty())
+    }
+
+    /// Number of live (non-tombstoned) queries.
+    pub fn num_live(&self) -> usize {
+        self.live
     }
 
     /// Queries containing any of the given generic edges, deduplicated and
@@ -95,7 +157,8 @@ impl InvertedIndexes {
         out
     }
 
-    /// Number of registered queries.
+    /// Number of `queryInd` slots ever issued (live + tombstoned) — the
+    /// next registration's id.
     pub fn num_queries(&self) -> usize {
         self.query_index.len()
     }
@@ -178,6 +241,38 @@ mod tests {
         let e = ge(0, Term::Var(0), Term::Var(1));
         idx.insert(QueryId(0), record(vec![e, e]));
         assert_eq!(idx.edge_index.get(&e).map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn remove_strips_indexes_but_keeps_shared_edges() {
+        let mut idx = InvertedIndexes::new();
+        let shared = ge(0, Term::Var(0), Term::Var(1));
+        let only_q0 = ge(1, Term::Var(0), Term::Const(Sym(9)));
+        idx.insert(QueryId(0), record(vec![shared, only_q0]));
+        idx.insert(QueryId(1), record(vec![shared]));
+
+        assert!(idx.remove(QueryId(0)));
+        assert_eq!(idx.num_live(), 1);
+        assert_eq!(idx.num_queries(), 2, "slots stay for id stability");
+        assert!(!idx.is_live(QueryId(0)));
+        assert!(idx.is_live(QueryId(1)));
+
+        // The shared edge still routes to q1; q0's private edge is gone
+        // from every index, including the vertex-position ones.
+        assert_eq!(idx.affected_queries(&[shared]), vec![QueryId(1)]);
+        assert!(idx.affected_queries(&[only_q0]).is_empty());
+        assert!(!idx.target_index.contains_key(&GenTerm::Const(Sym(9))));
+        assert!(idx.source_index.contains_key(&GenTerm::Any));
+
+        // Removing the tombstone again reports absence.
+        assert!(!idx.remove(QueryId(0)));
+        assert!(!idx.remove(QueryId(7)));
+
+        assert!(idx.remove(QueryId(1)));
+        assert_eq!(idx.num_live(), 0);
+        assert!(idx.edge_index.is_empty());
+        assert!(idx.source_index.is_empty());
+        assert!(idx.target_index.is_empty());
     }
 
     #[test]

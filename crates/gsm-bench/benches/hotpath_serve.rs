@@ -1,0 +1,300 @@
+//! The serve tax: in-process pipeline throughput vs the same workload
+//! through the `gsm-server` TCP/JSONL front end, plus subscriber
+//! fan-out and single-update notification latency.
+//!
+//! One SNB-like workload is generated once and rendered to wire form
+//! (pattern text and `(sign, label, src, tgt)` string edges — the
+//! server interns its own symbols from the wire, so both modes do the
+//! interning work). Every timed iteration runs against a freshly built
+//! engine/server warmed with the stream prefix (`iter_batched`, setup
+//! untimed):
+//!
+//! * `direct-64` — library mode: the measured suffix through a bare
+//!   [`PipelinedEngine`] in `push_at` steps (batch 64) plus a final
+//!   drain. The no-sockets baseline.
+//! * `serve-64` — one client owning every query pushes the suffix in
+//!   64-edge `push` requests, then `flush` and collects its
+//!   notifications. Prices JSON framing + TCP round trips + the engine
+//!   thread handoff.
+//! * `serve-fanout-4` — the query set is split across 4 subscriber
+//!   connections; a fifth connection pushes the suffix. After the
+//!   flush, each subscriber drains its notifications (a `ping` reply
+//!   fences them: the engine enqueues all notifications for a batch
+//!   before any later reply). Prices per-connection notification
+//!   routing and delivery.
+//! * `serve-latency-1` — one edge, `push` + `flush` + notification
+//!   receipt. End-to-end notification latency, reported as time per
+//!   element.
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use gsm_core::{ContinuousEngine, PipelineConfig, PipelinedEngine, SymbolTable, Term, Update};
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+use gsm_server::{Client, Server, ServerConfig};
+use gsm_tric::TricEngine;
+use std::time::Duration;
+
+/// Updates pushed before the timed replay (untimed warm-up).
+const WARM_UPDATES: usize = 800;
+
+/// Updates replayed inside the timed region.
+const MEASURED_UPDATES: usize = 400;
+
+/// Edges per `push` request / per `push_at` batch.
+const BATCH: usize = 64;
+
+/// Continuous queries in the workload.
+const QUERIES: usize = 20;
+
+/// Subscriber connections in the fan-out series.
+const SUBSCRIBERS: usize = 4;
+
+/// The workload rendered to wire form.
+struct WireWorkload {
+    queries: Vec<String>,
+    warm: Vec<(bool, String, String, String)>,
+    measured: Vec<(bool, String, String, String)>,
+}
+
+fn render_term(term: &Term, symbols: &SymbolTable) -> String {
+    match term {
+        Term::Var(v) => format!("?x{v}"),
+        Term::Const(s) => symbols.resolve(*s).to_string(),
+    }
+}
+
+fn render_update(u: &Update, symbols: &SymbolTable) -> (bool, String, String, String) {
+    (
+        u.is_retraction(),
+        symbols.resolve(u.label).to_string(),
+        symbols.resolve(u.src).to_string(),
+        symbols.resolve(u.tgt).to_string(),
+    )
+}
+
+fn wire_workload() -> WireWorkload {
+    let workload = Workload::generate(WorkloadConfig::new(
+        Dataset::Snb,
+        WARM_UPDATES + MEASURED_UPDATES,
+        QUERIES,
+    ));
+    let symbols = &workload.symbols;
+    let queries = workload
+        .queries
+        .iter()
+        .map(|q| {
+            q.edges()
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} -{}-> {}",
+                        render_term(&e.src, symbols),
+                        symbols.resolve(e.label),
+                        render_term(&e.tgt, symbols),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        })
+        .collect();
+    let stream = workload.stream.as_slice();
+    WireWorkload {
+        queries,
+        warm: stream[..WARM_UPDATES]
+            .iter()
+            .map(|u| render_update(u, symbols))
+            .collect(),
+        measured: stream[WARM_UPDATES..]
+            .iter()
+            .map(|u| render_update(u, symbols))
+            .collect(),
+    }
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig::new(BATCH, Duration::from_millis(5))
+}
+
+fn borrow(edges: &[(bool, String, String, String)]) -> Vec<(bool, &str, &str, &str)> {
+    edges
+        .iter()
+        .map(|(r, l, s, t)| (*r, l.as_str(), s.as_str(), t.as_str()))
+        .collect()
+}
+
+/// Library mode, warmed and with every query registered. Untimed.
+fn warmed_pipeline(wire: &WireWorkload) -> (PipelinedEngine<TricEngine>, SymbolTable) {
+    let mut symbols = SymbolTable::new();
+    let mut pipe = PipelinedEngine::new(TricEngine::tric_plus(), pipeline_config());
+    for text in &wire.queries {
+        let pattern = gsm_core::QueryPattern::parse(text, &mut symbols).expect("valid pattern");
+        pipe.queue_register(&pattern);
+    }
+    pipe.drain();
+    let now = std::time::Instant::now();
+    for (retract, label, src, tgt) in &wire.warm {
+        let (l, s, t) = (
+            symbols.intern(label),
+            symbols.intern(src),
+            symbols.intern(tgt),
+        );
+        let update = if *retract {
+            Update::retraction(l, s, t)
+        } else {
+            Update::new(l, s, t)
+        };
+        pipe.push_at(update, now);
+    }
+    pipe.drain();
+    (pipe, symbols)
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        pipeline: pipeline_config(),
+        max_conns: SUBSCRIBERS + 2,
+        outbound_queue: 8192,
+        idle_poll: Duration::from_millis(2),
+    }
+}
+
+/// Server mode with the query set spread over `owners` connections and
+/// a dedicated pusher, warmed and drained. Untimed.
+fn warmed_server(wire: &WireWorkload, owners: usize) -> (Server, Client, Vec<Client>) {
+    let engine: Box<dyn ContinuousEngine + Send> = Box::new(TricEngine::tric_plus());
+    let server = Server::bind("127.0.0.1:0", engine, server_config()).expect("bind");
+    let mut subscribers: Vec<Client> = (0..owners)
+        .map(|_| Client::connect(server.local_addr()).expect("connect subscriber"))
+        .collect();
+    let mut pusher = Client::connect(server.local_addr()).expect("connect pusher");
+    for (i, text) in wire.queries.iter().enumerate() {
+        subscribers[i % owners].register(text).expect("register");
+    }
+    pusher.flush().expect("boundary");
+    for chunk in wire.warm.chunks(BATCH) {
+        pusher.push(&borrow(chunk)).expect("warm push");
+    }
+    pusher.flush().expect("warm flush");
+    // Drain warm-up notifications so the timed region starts clean.
+    for sub in &mut subscribers {
+        sub.ping().expect("fence");
+        sub.take_notifications();
+    }
+    pusher.take_notifications();
+    (server, pusher, subscribers)
+}
+
+fn bench(c: &mut Criterion) {
+    let wire = wire_workload();
+
+    let mut group = c.benchmark_group("hotpath_serve");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(400));
+    group.throughput(Throughput::Elements(MEASURED_UPDATES as u64));
+
+    group.bench_with_input(BenchmarkId::new("direct", BATCH), &wire, |b, wire| {
+        b.iter_batched(
+            || warmed_pipeline(wire),
+            |(mut pipe, mut symbols)| {
+                let now = std::time::Instant::now();
+                let mut notified = 0u64;
+                for (retract, label, src, tgt) in &wire.measured {
+                    let (l, s, t) = (
+                        symbols.intern(label),
+                        symbols.intern(src),
+                        symbols.intern(tgt),
+                    );
+                    let update = if *retract {
+                        Update::retraction(l, s, t)
+                    } else {
+                        Update::new(l, s, t)
+                    };
+                    for batch in pipe.push_at(update, now) {
+                        notified += batch.report.matches.len() as u64;
+                    }
+                }
+                for batch in pipe.drain() {
+                    notified += batch.report.matches.len() as u64;
+                }
+                black_box(notified);
+                (pipe, symbols)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_with_input(BenchmarkId::new("serve", BATCH), &wire, |b, wire| {
+        b.iter_batched(
+            || warmed_server(wire, 1),
+            |(server, mut pusher, mut subscribers)| {
+                for chunk in wire.measured.chunks(BATCH) {
+                    pusher.push(&borrow(chunk)).expect("push");
+                }
+                pusher.flush().expect("flush");
+                let sub = &mut subscribers[0];
+                sub.ping().expect("fence");
+                black_box(sub.take_notifications().len());
+                (server, pusher, subscribers)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new(format!("serve-fanout-{SUBSCRIBERS}"), BATCH),
+        &wire,
+        |b, wire| {
+            b.iter_batched(
+                || warmed_server(wire, SUBSCRIBERS),
+                |(server, mut pusher, mut subscribers)| {
+                    for chunk in wire.measured.chunks(BATCH) {
+                        pusher.push(&borrow(chunk)).expect("push");
+                    }
+                    pusher.flush().expect("flush");
+                    let mut delivered = 0usize;
+                    for sub in &mut subscribers {
+                        sub.ping().expect("fence");
+                        delivered += sub.take_notifications().len();
+                    }
+                    black_box(delivered);
+                    (server, pusher, subscribers)
+                },
+                BatchSize::LargeInput,
+            );
+        },
+    );
+
+    group.finish();
+
+    // Single-update latency: its own group so the element count is 1.
+    let mut latency = c.benchmark_group("hotpath_serve_latency");
+    latency.sample_size(10);
+    latency.warm_up_time(Duration::from_millis(300));
+    latency.measurement_time(Duration::from_millis(400));
+    latency.throughput(Throughput::Elements(1));
+    latency.bench_with_input(BenchmarkId::new("serve-rtt", 1), &wire, |b, wire| {
+        b.iter_batched(
+            || warmed_server(wire, 1),
+            |(server, mut pusher, mut subscribers)| {
+                // One edge through push + flush + notification drain:
+                // the full request → boundary → notify round trip.
+                let edge = &wire.measured[0];
+                pusher
+                    .push(&[(edge.0, edge.1.as_str(), edge.2.as_str(), edge.3.as_str())])
+                    .expect("push");
+                pusher.flush().expect("flush");
+                let sub = &mut subscribers[0];
+                sub.ping().expect("fence");
+                black_box(sub.take_notifications().len());
+                (server, pusher, subscribers)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    latency.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! Subscriber load-test harness: hundreds of concurrent live-query
+//! subscribers against one `gsm-server`, over the paper's generated
+//! workloads.
+//!
+//! Each subscriber gets its own TCP connection, registers one query
+//! from the generated query set and consumes its notification stream on
+//! a dedicated thread; one pusher connection streams the update batches
+//! and pins the final epoch boundary. The harness reports end-to-end
+//! wall time, update throughput and delivered-notification throughput.
+//!
+//! ```text
+//! subscriber_load [--subscribers N] [--updates N] [--dataset snb|taxi|biogrid]
+//!                 [--batch N] [--answer-threads N]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gsm_core::{ContinuousEngine, PipelineConfig, SymbolTable, Term, Update};
+use gsm_datagen::{Dataset, Workload, WorkloadConfig};
+use gsm_server::{Client, Server, ServerConfig};
+use gsm_tric::TricEngine;
+
+struct Args {
+    subscribers: usize,
+    updates: usize,
+    dataset: Dataset,
+    batch: usize,
+    answer_threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        subscribers: 200,
+        updates: 10_000,
+        dataset: Dataset::Snb,
+        batch: 64,
+        answer_threads: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        let num = |text: String| -> Result<usize, String> {
+            text.parse().map_err(|_| format!("invalid number `{text}`"))
+        };
+        match flag.as_str() {
+            "--subscribers" => args.subscribers = num(value("--subscribers")?)?,
+            "--updates" => args.updates = num(value("--updates")?)?,
+            "--batch" => args.batch = num(value("--batch")?)?,
+            "--answer-threads" => args.answer_threads = num(value("--answer-threads")?)?,
+            "--dataset" => {
+                args.dataset = match value("--dataset")?.as_str() {
+                    "snb" => Dataset::Snb,
+                    "taxi" => Dataset::Taxi,
+                    "biogrid" => Dataset::BioGrid,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn render_term(term: &Term, symbols: &SymbolTable) -> String {
+    match term {
+        Term::Var(v) => format!("?x{v}"),
+        Term::Const(s) => symbols.resolve(*s).to_string(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: subscriber_load [--subscribers N] [--updates N] \
+                 [--dataset snb|taxi|biogrid] [--batch N] [--answer-threads N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Query-set generation cost grows steeply with the query count, so
+    // generate a bounded set and hand queries to subscribers
+    // round-robin: the load axis under test is connections, not
+    // distinct patterns.
+    let distinct_queries = args.subscribers.min(60);
+    let workload = Workload::generate(WorkloadConfig::new(
+        args.dataset,
+        args.updates,
+        distinct_queries,
+    ));
+    let symbols = &workload.symbols;
+    let query_texts: Vec<String> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            q.edges()
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} -{}-> {}",
+                        render_term(&e.src, symbols),
+                        symbols.resolve(e.label),
+                        render_term(&e.tgt, symbols),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ")
+        })
+        .collect();
+    let edges: Vec<(bool, String, String, String)> = workload
+        .stream
+        .as_slice()
+        .iter()
+        .map(|u: &Update| {
+            (
+                u.is_retraction(),
+                symbols.resolve(u.label).to_string(),
+                symbols.resolve(u.src).to_string(),
+                symbols.resolve(u.tgt).to_string(),
+            )
+        })
+        .collect();
+
+    let mut pipeline = PipelineConfig::new(args.batch, Duration::from_millis(5));
+    if args.answer_threads > 0 {
+        pipeline.answer_thread = true;
+        pipeline.answer_workers = args.answer_threads;
+    }
+    let config = ServerConfig {
+        pipeline,
+        max_conns: args.subscribers + 2,
+        outbound_queue: 16_384,
+        idle_poll: Duration::from_millis(2),
+    };
+    let engine: Box<dyn ContinuousEngine + Send> = Box::new(TricEngine::tric_plus());
+    let server = match Server::bind("127.0.0.1:0", engine, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "subscriber_load: {} subscribers, {} updates ({}), batch {}, answer threads {}",
+        args.subscribers,
+        edges.len(),
+        workload.name,
+        args.batch,
+        args.answer_threads,
+    );
+
+    // Connect + register every subscriber, then hand each connection to
+    // a consumer thread that counts delivered notifications.
+    let connect_start = Instant::now();
+    let mut subscriber_conns = Vec::with_capacity(args.subscribers);
+    for i in 0..args.subscribers {
+        let mut client = Client::connect(server.local_addr()).expect("connect subscriber");
+        client
+            .register(&query_texts[i % query_texts.len()])
+            .expect("register");
+        subscriber_conns.push(client);
+    }
+    let mut pusher = Client::connect(server.local_addr()).expect("connect pusher");
+    pusher.flush().expect("activation boundary");
+    println!(
+        "connected + registered in {:.2?} ({} live queries)",
+        connect_start.elapsed(),
+        args.subscribers
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let embeddings = Arc::new(AtomicU64::new(0));
+    let consumers: Vec<_> = subscriber_conns
+        .into_iter()
+        .map(|mut client| {
+            let done = Arc::clone(&done);
+            let delivered = Arc::clone(&delivered);
+            let embeddings = Arc::clone(&embeddings);
+            std::thread::spawn(move || loop {
+                match client.recv_notification(Duration::from_millis(50)) {
+                    Ok(Some(n)) => {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        embeddings.fetch_add(n.new + n.retracted, Ordering::Relaxed);
+                    }
+                    Ok(None) => {
+                        if done.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            })
+        })
+        .collect();
+
+    // Stream the updates and pin the final boundary.
+    let stream_start = Instant::now();
+    for chunk in edges.chunks(args.batch) {
+        let borrowed: Vec<(bool, &str, &str, &str)> = chunk
+            .iter()
+            .map(|(r, l, s, t)| (*r, l.as_str(), s.as_str(), t.as_str()))
+            .collect();
+        pusher.push(&borrowed).expect("push");
+    }
+    pusher.flush().expect("final boundary");
+    let push_elapsed = stream_start.elapsed();
+
+    // Let consumers drain their sockets, then stop them.
+    std::thread::sleep(Duration::from_millis(300));
+    done.store(true, Ordering::Relaxed);
+    for consumer in consumers {
+        let _ = consumer.join();
+    }
+    let total_elapsed = stream_start.elapsed();
+
+    let delivered = delivered.load(Ordering::Relaxed);
+    let embeddings = embeddings.load(Ordering::Relaxed);
+    println!(
+        "pushed {} updates in {:.2?} ({:.0} updates/s)",
+        edges.len(),
+        push_elapsed,
+        edges.len() as f64 / push_elapsed.as_secs_f64()
+    );
+    println!(
+        "delivered {delivered} notifications ({embeddings} embeddings) across {} subscribers \
+         in {:.2?} ({:.0} notifications/s)",
+        args.subscribers,
+        total_elapsed,
+        delivered as f64 / total_elapsed.as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,7 +1,7 @@
 //! The engine abstraction shared by TRIC, TRIC+, the inverted-index
 //! baselines and the graph-database baseline.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::memory::HeapSize;
 use crate::model::update::Update;
 use crate::query::pattern::QueryPattern;
@@ -368,6 +368,58 @@ pub trait ContinuousEngine {
     /// Registers a continuous query and returns its identifier.
     fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId>;
 
+    /// Unregisters a previously registered query: its routing entries are
+    /// removed, its index/trie structures are pruned, and it never reports
+    /// again. Returns [`Error::UnknownQuery`](crate::error::Error) for ids
+    /// never issued or already unregistered.
+    ///
+    /// # Identifier stability (tombstones)
+    ///
+    /// [`QueryId`]s are **never reused**: unregistration tombstones the id's
+    /// slot, later registrations keep drawing fresh ids
+    /// ([`next_query_id`](Self::next_query_id)), and a report row can
+    /// therefore always be attributed to exactly one registration for the
+    /// engine's whole lifetime — the property the multi-tenant server layer
+    /// and the persistence WAL replay rely on.
+    /// [`num_queries`](Self::num_queries) counts **live** queries only and
+    /// no longer tracks the id space once a query has been unregistered.
+    ///
+    /// Like [`register_query`](Self::register_query), this must not be
+    /// called while staged tokens are outstanding (see the staging contract
+    /// on [`stage_batch`](Self::stage_batch)); the pipelined executor drains
+    /// its window first, and its epoch queue
+    /// ([`crate::pipeline::PipelinedEngine::queue_unregister`]) defers the
+    /// call to the next drain boundary automatically.
+    ///
+    /// The default returns
+    /// [`Error::UnsupportedUnregister`](crate::error::Error): toy and
+    /// special-purpose engines may opt out; every engine and wrapper in this
+    /// workspace overrides it.
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        let _ = query;
+        Err(Error::UnsupportedUnregister(self.name()))
+    }
+
+    /// The identifier the **next** successful
+    /// [`register_query`](Self::register_query) will return.
+    ///
+    /// Equal to `QueryId(num_queries())` until the first unregistration;
+    /// tombstoning engines override it to return the slot count (live +
+    /// tombstoned), since ids are never reused. Wrappers (the pipelined
+    /// epoch queue, the server layer) use it to promise ids for queued
+    /// registrations before the boundary applies them.
+    fn next_query_id(&self) -> QueryId {
+        QueryId(self.num_queries() as u32)
+    }
+
+    /// True when `query` names a currently registered (live, not
+    /// tombstoned) query. The default is exact for engines without
+    /// unregistration support, where ids are dense; tombstoning engines
+    /// override it.
+    fn is_registered(&self, query: QueryId) -> bool {
+        query.index() < self.num_queries()
+    }
+
     /// Applies one signed edge update and reports the affected queries: an
     /// addition reports queries that gained embeddings
     /// (`new_embeddings`), a retraction ([`Update::is_retraction`]) reports
@@ -434,13 +486,17 @@ pub trait ContinuousEngine {
     ///   earlier batch's answer pass.
     /// * Tokens must be answered in stage (FIFO) order, each exactly once,
     ///   and by the engine that staged them.
-    /// * [`register_query`](Self::register_query) must not be called while
-    ///   staged tokens are outstanding (registration may restructure the
+    /// * [`register_query`](Self::register_query) and
+    ///   [`unregister_query`](Self::unregister_query) must not be called
+    ///   while staged tokens are outstanding (either may restructure the
     ///   very tries and views the deferred answer joins against); the
     ///   pipelined executor drains its window before registering, and the
     ///   pipelined/sharded wrappers **enforce** the contract by returning
     ///   [`crate::error::Error::RegistrationWhileStaged`] when it is
-    ///   violated.
+    ///   violated. Lifecycle calls arriving mid-stream go through the
+    ///   pipelined executor's **epoch queue** instead
+    ///   ([`crate::pipeline::PipelinedEngine::queue_register`]), which
+    ///   applies them at the next drain boundary.
     /// * **Retraction runs stage too — commit at stage time, answer
     ///   deferred.** `stage_batch` of an all-retraction batch collects the
     ///   removed delta relations read-only
@@ -589,6 +645,15 @@ impl<T: ContinuousEngine + ?Sized> ContinuousEngine for Box<T> {
     }
     fn register_query(&mut self, query: &QueryPattern) -> Result<QueryId> {
         (**self).register_query(query)
+    }
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        (**self).unregister_query(query)
+    }
+    fn next_query_id(&self) -> QueryId {
+        (**self).next_query_id()
+    }
+    fn is_registered(&self, query: QueryId) -> bool {
+        (**self).is_registered(query)
     }
     fn apply_update(&mut self, update: Update) -> MatchReport {
         (**self).apply_update(update)

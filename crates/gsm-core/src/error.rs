@@ -27,6 +27,12 @@ pub enum Error {
     /// the staging contract on
     /// [`crate::engine::ContinuousEngine::stage_batch`]).
     RegistrationWhileStaged(usize),
+    /// The engine does not implement
+    /// [`crate::engine::ContinuousEngine::unregister_query`]; the payload is
+    /// the engine's name. Every production engine in this workspace supports
+    /// unregistration — this is the trait default for toy and
+    /// special-purpose engines that opt out of the dynamic query lifecycle.
+    UnsupportedUnregister(&'static str),
     /// A durable-storage operation (write-ahead log append, fsync,
     /// checkpoint write, recovery read) failed or found corrupt data. The
     /// fields locate the failure: the storage path it happened on, the byte
@@ -60,6 +66,9 @@ impl fmt::Display for Error {
                 "register_query with {n} staged batch token(s) outstanding; \
                  drain the staged window first"
             ),
+            Error::UnsupportedUnregister(engine) => {
+                write!(f, "engine {engine} does not support unregister_query")
+            }
             Error::Persistence {
                 path,
                 offset,

@@ -227,6 +227,32 @@ impl PipelineConfig {
     }
 }
 
+/// `inserted_at + window`, saturating instead of overflowing: a window wide
+/// enough to push the sum past the platform's `Instant` range (for example
+/// `Duration::MAX`, the idiomatic "never expire" spelling) yields the
+/// farthest representable deadline rather than `None`. Both expiry readers
+/// — [`DeadlineBatcher::next_deadline`] and the expiry sweep — go through
+/// here, so an unrepresentable deadline means "not yet due", never "drop
+/// the edge" or "drop the wakeup bound".
+fn saturating_deadline(inserted_at: Instant, window: Duration) -> Instant {
+    match inserted_at.checked_add(window) {
+        Some(deadline) => deadline,
+        None => {
+            // Walk the window down until the sum becomes representable; each
+            // halving is a ~292-year step at the `Duration::MAX` end, so the
+            // loop terminates in at most 64 iterations and the result is
+            // still unreachably far in the future.
+            let mut w = window / 2;
+            loop {
+                if let Some(deadline) = inserted_at.checked_add(w) {
+                    return deadline;
+                }
+                w /= 2;
+            }
+        }
+    }
+}
+
 /// The latency-budgeted batcher: accumulates updates and emits a batch when
 /// it reaches the size bound **or** the oldest buffered update exceeds the
 /// delay bound, whichever comes first. Time is always passed in explicitly,
@@ -306,14 +332,19 @@ impl DeadlineBatcher {
 
     /// The next instant something must happen by: the buffered batch's
     /// flush deadline or the earliest pending edge expiry, whichever comes
-    /// first. Stale expiry entries (refreshed or retracted edges) are
+    /// first. Expiry bounds saturate (`saturating_deadline`): a window
+    /// wide enough to overflow `Instant` means "effectively never", not
+    /// "drop the bound" — the edge stays tracked and a poller sleeping on
+    /// this instant is still (eventually) woken. Stale expiry entries (refreshed or retracted edges) are
     /// pruned from the queue front as they arise, so the expiry bound
     /// always names a real pending expiry — an idle caller woken at this
     /// instant never polls for a guaranteed no-op.
     pub fn next_deadline(&self) -> Option<Instant> {
-        let expiry = self
-            .window
-            .and_then(|w| self.expiry.front().and_then(|&(at, _)| at.checked_add(w)));
+        let expiry = self.window.and_then(|w| {
+            self.expiry
+                .front()
+                .map(|&(at, _)| saturating_deadline(at, w))
+        });
         match (self.deadline, expiry) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -365,11 +396,7 @@ impl DeadlineBatcher {
                 self.expiry.pop_front();
                 continue; // stale: refreshed or retracted since.
             }
-            let Some(deadline) = inserted_at.checked_add(window) else {
-                self.expiry.pop_front();
-                continue;
-            };
-            if now < deadline {
+            if now < saturating_deadline(inserted_at, window) {
                 break;
             }
             self.expiry.pop_front();
@@ -514,6 +541,16 @@ pub struct CompletedBatch {
     pub report: MatchReport,
 }
 
+/// A queued dynamic-lifecycle operation, held until the next epoch
+/// boundary (see [`PipelinedEngine::queue_register`]).
+#[derive(Debug)]
+enum LifecycleOp {
+    /// Register this pattern; it was promised the attached id at queue time.
+    Register(QueryPattern, QueryId),
+    /// Unregister this id.
+    Unregister(QueryId),
+}
+
 /// The pipelined streaming executor: a [`DeadlineBatcher`] feeding an
 /// engine's [`stage_batch`](ContinuousEngine::stage_batch) /
 /// [`answer_staged`](ContinuousEngine::answer_staged) split through a small
@@ -527,11 +564,31 @@ pub struct CompletedBatch {
 /// [`take_completed`](PipelinedEngine::take_completed) /
 /// [`push`](PipelinedEngine::push) / [`drain`](PipelinedEngine::drain) call
 /// — nothing is ever silently discarded.
+///
+/// # Dynamic query lifecycle (epochs)
+///
+/// A live stream cannot barrier for every subscription change, so the
+/// executor also offers a **queued** lifecycle:
+/// [`queue_register`](PipelinedEngine::queue_register) /
+/// [`queue_unregister`](PipelinedEngine::queue_unregister) validate and
+/// enqueue the operation immediately (no [`Error::RegistrationWhileStaged`], no barrier) and
+/// apply it at the next **epoch boundary** — the point where the pipeline
+/// drains anyway ([`drain`](PipelinedEngine::drain) or any trait entry
+/// point's barrier). Every boundary increments
+/// [`epoch`](PipelinedEngine::epoch); a query queued in epoch *e* observes
+/// exactly
+/// the updates streamed after the boundary that opened epoch *e + 1* —
+/// never a partial batch.
 #[derive(Debug)]
 pub struct PipelinedEngine<E> {
     engine: E,
     batcher: DeadlineBatcher,
     depth: usize,
+    /// Queued lifecycle operations, applied in queue order at the next
+    /// epoch boundary.
+    pending_ops: Vec<LifecycleOp>,
+    /// Number of epoch boundaries passed (monotone; one per barrier).
+    epoch: u64,
     /// Bench-only escape hatch: apply retraction runs eagerly behind a
     /// barrier instead of staging them ([`PipelineConfig::eager_retractions`]).
     eager_retractions: bool,
@@ -669,6 +726,8 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
             engine,
             batcher,
             depth: config.depth,
+            pending_ops: Vec::new(),
+            epoch: 0,
             eager_retractions: config.eager_retractions,
             staged: VecDeque::new(),
             answer: config
@@ -717,6 +776,99 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
     /// the inner engine's state reflects. Always empty without a window.
     pub fn live_snapshot(&self) -> Vec<Update> {
         self.batcher.live_snapshot()
+    }
+
+    /// Number of epoch boundaries passed so far. Every pipeline barrier —
+    /// [`drain`](PipelinedEngine::drain), or any trait entry point — closes
+    /// the current epoch (applying queued lifecycle operations) and opens
+    /// the next.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of queued lifecycle operations awaiting the next epoch
+    /// boundary.
+    pub fn pending_lifecycle(&self) -> usize {
+        self.pending_ops.len()
+    }
+
+    /// Queues a query registration for the next epoch boundary and returns
+    /// the id the query **will** get when it applies. Unlike the trait's
+    /// [`register_query`](ContinuousEngine::register_query) this never
+    /// fails with [`Error::RegistrationWhileStaged`]: the operation simply
+    /// waits out the in-flight window. The id is authoritative — queued
+    /// registrations apply in queue order before any other registration
+    /// path can run (every such path barriers first, which applies the
+    /// queue) — but the query matches nothing until the boundary: updates
+    /// pushed before the boundary are answered under the old epoch's query
+    /// set.
+    pub fn queue_register(&mut self, query: &QueryPattern) -> QueryId {
+        let promised = QueryId(self.predicted_next_id());
+        self.pending_ops
+            .push(LifecycleOp::Register(query.clone(), promised));
+        promised
+    }
+
+    /// Queues an unregistration for the next epoch boundary. The id is
+    /// validated now — it must name a query that is currently registered
+    /// (or queued to register) and not already queued to unregister —
+    /// and the query keeps reporting until the boundary applies the
+    /// operation. Never fails with [`Error::RegistrationWhileStaged`].
+    pub fn queue_unregister(&mut self, query: QueryId) -> Result<()> {
+        let mut live_at_boundary = self.engine.is_registered(query);
+        for op in &self.pending_ops {
+            match op {
+                LifecycleOp::Register(_, promised) if *promised == query => {
+                    live_at_boundary = true;
+                }
+                LifecycleOp::Unregister(q) if *q == query => {
+                    live_at_boundary = false;
+                }
+                _ => {}
+            }
+        }
+        if !live_at_boundary {
+            return Err(Error::UnknownQuery(query.0));
+        }
+        self.pending_ops.push(LifecycleOp::Unregister(query));
+        Ok(())
+    }
+
+    /// The id the next queued registration will be promised: the inner
+    /// engine's next slot, advanced past every queued-but-unapplied
+    /// registration.
+    fn predicted_next_id(&self) -> u32 {
+        let queued = self
+            .pending_ops
+            .iter()
+            .filter(|op| matches!(op, LifecycleOp::Register(..)))
+            .count();
+        self.engine.next_query_id().0 + queued as u32
+    }
+
+    /// Applies every queued lifecycle operation, in queue order. Called at
+    /// the epoch boundary, after the window has drained — the engine holds
+    /// no staged state, so the inner calls cannot fail with
+    /// [`Error::RegistrationWhileStaged`]; ids were validated at queue
+    /// time, so any remaining failure (e.g. a persistence-layer storage
+    /// error) panics like the infallible trait surface does.
+    fn apply_pending_ops(&mut self) {
+        for op in std::mem::take(&mut self.pending_ops) {
+            match op {
+                LifecycleOp::Register(pattern, promised) => {
+                    let id = self
+                        .engine
+                        .register_query(&pattern)
+                        .expect("queued registration failed at the epoch boundary");
+                    debug_assert_eq!(id, promised, "promised id diverged");
+                }
+                LifecycleOp::Unregister(query) => {
+                    self.engine
+                        .unregister_query(query)
+                        .expect("queued unregistration failed at the epoch boundary");
+                }
+            }
+        }
     }
 
     /// Streams one update at the current wall-clock time. Returns the
@@ -938,12 +1090,17 @@ impl<E: ContinuousEngine> PipelinedEngine<E> {
         self.completed.push(CompletedBatch { updates, report });
     }
 
-    /// Flushes the batcher and empties the staged window (both modes).
+    /// Flushes the batcher and empties the staged window (both modes), then
+    /// closes the epoch: queued lifecycle operations apply here — after
+    /// every pre-boundary update has been answered, before anything
+    /// post-boundary runs — and the epoch counter advances.
     fn barrier(&mut self) {
         if let Some(batch) = self.batcher.flush() {
             self.stage(batch);
         }
         self.drain_window();
+        self.apply_pending_ops();
+        self.epoch += 1;
     }
 
     /// Empties the staged window without touching the batcher: blocks for
@@ -983,6 +1140,29 @@ impl<E: ContinuousEngine> ContinuousEngine for PipelinedEngine<E> {
         }
         self.barrier();
         self.engine.register_query(query)
+    }
+
+    /// Unregisters on the inner engine behind the same barrier discipline
+    /// as [`register_query`](PipelinedEngine::register_query): fails with
+    /// [`Error::RegistrationWhileStaged`] while staged tokens are
+    /// outstanding. For a live stream, prefer
+    /// [`queue_unregister`](PipelinedEngine::queue_unregister), which waits
+    /// out the window instead of failing.
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        let outstanding = self.in_flight();
+        if outstanding > 0 {
+            return Err(Error::RegistrationWhileStaged(outstanding));
+        }
+        self.barrier();
+        self.engine.unregister_query(query)
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        self.engine.next_query_id()
+    }
+
+    fn is_registered(&self, query: QueryId) -> bool {
+        self.engine.is_registered(query)
     }
 
     /// Barrier, then the inner engine's `apply_update`: the report covers
@@ -1117,6 +1297,11 @@ mod tests {
         stats: EngineStats,
         staged_seq: u64,
         answered_seq: u64,
+        /// Registration slots ever issued (the reports still always name
+        /// query 0, whose existence the tests assume).
+        queries: u32,
+        /// Tombstoned slots.
+        dead: std::collections::HashSet<u32>,
         /// Event log: (phase, batch sequence number).
         log: Vec<(&'static str, u64)>,
     }
@@ -1131,7 +1316,21 @@ mod tests {
             "SPLIT-TOY"
         }
         fn register_query(&mut self, _q: &QueryPattern) -> Result<QueryId> {
-            Ok(QueryId(0))
+            let id = QueryId(self.queries);
+            self.queries += 1;
+            Ok(id)
+        }
+        fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+            if query.0 >= self.queries || !self.dead.insert(query.0) {
+                return Err(Error::UnknownQuery(query.0));
+            }
+            Ok(())
+        }
+        fn next_query_id(&self) -> QueryId {
+            QueryId(self.queries)
+        }
+        fn is_registered(&self, query: QueryId) -> bool {
+            query.0 < self.queries && !self.dead.contains(&query.0)
         }
         fn apply_update(&mut self, update: Update) -> MatchReport {
             self.apply_batch(&[update])
@@ -1166,7 +1365,7 @@ mod tests {
             report
         }
         fn num_queries(&self) -> usize {
-            1
+            self.queries as usize - self.dead.len()
         }
         fn heap_bytes(&self) -> usize {
             0
@@ -1570,6 +1769,84 @@ mod tests {
     }
 
     #[test]
+    fn queued_lifecycle_ops_apply_only_at_the_epoch_boundary() {
+        let config = PipelineConfig::new(2, Duration::from_secs(60));
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let mut symbols = crate::interner::SymbolTable::new();
+        let q = QueryPattern::parse("?a -x-> ?b", &mut symbols).unwrap();
+
+        // Promised ids are assigned in queue order, before anything applies.
+        let id0 = pipe.queue_register(&q);
+        let id1 = pipe.queue_register(&q);
+        assert_eq!((id0, id1), (QueryId(0), QueryId(1)));
+        assert_eq!(pipe.num_queries(), 0, "nothing applied yet");
+        assert!(!pipe.is_registered(id0));
+
+        // Unregistering a queued-but-unapplied id is fine; unknown ids and
+        // double unregisters are rejected at queue time.
+        pipe.queue_unregister(id1).unwrap();
+        assert_eq!(pipe.queue_unregister(id1), Err(Error::UnknownQuery(1)));
+        assert_eq!(
+            pipe.queue_unregister(QueryId(7)),
+            Err(Error::UnknownQuery(7))
+        );
+        assert_eq!(pipe.pending_lifecycle(), 3);
+
+        // Streaming keeps the ops pending: no boundary, no application.
+        let now = t0();
+        for i in 0..6u32 {
+            pipe.push_at(u(0, i, i + 1), now);
+        }
+        assert_eq!(pipe.num_queries(), 0);
+        assert_eq!(pipe.epoch(), 0);
+
+        // The drain boundary applies everything in queue order and opens
+        // the next epoch.
+        pipe.drain();
+        assert_eq!(pipe.epoch(), 1);
+        assert_eq!(pipe.pending_lifecycle(), 0);
+        assert_eq!(pipe.num_queries(), 1);
+        assert!(pipe.is_registered(id0));
+        assert!(!pipe.is_registered(id1));
+        assert_eq!(pipe.next_query_id(), QueryId(2), "dead ids never reused");
+    }
+
+    #[test]
+    fn queue_waits_out_the_window_where_the_direct_call_fails() {
+        // Depth-1 inline window: after two full batches one token is in
+        // flight, so the direct trait calls fail typed while the queued
+        // lifecycle accepts the same operations and applies them at the
+        // next drain.
+        let config = PipelineConfig::new(2, Duration::from_secs(60));
+        let mut pipe = PipelinedEngine::new(SplitToy::default(), config);
+        let mut symbols = crate::interner::SymbolTable::new();
+        let q = QueryPattern::parse("?a -x-> ?b", &mut symbols).unwrap();
+        let id = pipe.register_query(&q).unwrap();
+
+        let now = t0();
+        for i in 0..4u32 {
+            pipe.push_at(u(0, i, i + 1), now);
+        }
+        assert!(pipe.in_flight() > 0);
+        assert!(matches!(
+            pipe.unregister_query(id),
+            Err(Error::RegistrationWhileStaged(_))
+        ));
+        assert!(matches!(
+            pipe.register_query(&q),
+            Err(Error::RegistrationWhileStaged(_))
+        ));
+
+        pipe.queue_unregister(id).unwrap();
+        let id2 = pipe.queue_register(&q);
+        assert!(pipe.is_registered(id), "still live until the boundary");
+        pipe.drain();
+        assert!(!pipe.is_registered(id));
+        assert!(pipe.is_registered(id2));
+        assert_eq!(pipe.num_queries(), 1);
+    }
+
+    #[test]
     fn reorder_buffer_releases_in_sequence_order() {
         let mut buf = ReorderBuffer::new();
         assert!(buf.is_empty());
@@ -1712,6 +1989,71 @@ mod tests {
         let batch = only(b.poll(now + 8 * MS));
         assert_eq!(batch, vec![u(0, 1, 2).inverted(), u(0, 1, 2)]);
         assert_eq!(b.live_edges(), 1);
+    }
+
+    #[test]
+    fn huge_window_keeps_the_expiry_wakeup_bound() {
+        // Regression: `inserted_at + Duration::MAX` overflows `Instant`, and
+        // the overflow used to drop the expiry bound entirely — an idle
+        // poller sleeping on `next_deadline` was never woken. The bound must
+        // saturate to a far (but representable) deadline instead.
+        let mut b = DeadlineBatcher::new(1, MS).windowed(Duration::MAX);
+        let now = t0();
+        assert!(!b.push(u(0, 1, 2), now).is_empty(), "size-1 flush");
+        assert_eq!(b.live_edges(), 1);
+        let deadline = b
+            .next_deadline()
+            .expect("a pending expiry must always report a wakeup bound");
+        assert!(deadline > now + Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn huge_window_edges_stay_live_instead_of_leaking() {
+        // Regression: the expiry sweep used to *pop* entries whose deadline
+        // overflowed while leaving the edge in the live map — the edge could
+        // then never expire, never be refreshed cheaply, and never wake a
+        // poller. With saturation the entry stays queued and simply is not
+        // due yet.
+        let mut b = DeadlineBatcher::new(1, MS).windowed(Duration::MAX);
+        let now = t0();
+        assert!(!b.push(u(0, 1, 2), now).is_empty());
+        assert!(
+            b.poll(now + Duration::from_secs(86400)).is_empty(),
+            "nowhere near the saturated deadline"
+        );
+        assert_eq!(b.live_edges(), 1, "the edge is still tracked");
+        assert_eq!(
+            b.live_snapshot(),
+            vec![u(0, 1, 2)],
+            "the live set still names the edge"
+        );
+        // An explicit retraction must still cancel it cleanly.
+        assert!(!b
+            .push(u(0, 1, 2).inverted(), now + Duration::from_secs(86400))
+            .is_empty());
+        assert_eq!(b.live_edges(), 0);
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn near_overflow_window_mix_expires_the_representable_edge_only() {
+        // A representable deadline sitting behind a saturated one must still
+        // fire: the queue is insertion-ordered, so the saturated entry only
+        // blocks the sweep until its own (far-future) deadline — which a
+        // realistic `now` never reaches.
+        let mut huge = DeadlineBatcher::new(10, MS).windowed(Duration::MAX / 2);
+        let mut small = DeadlineBatcher::new(10, MS).windowed(10 * MS);
+        let now = t0();
+        assert!(huge.push(u(0, 1, 2), now).is_empty());
+        assert!(small.push(u(0, 1, 2), now).is_empty());
+        huge.flush();
+        small.flush();
+        assert!(huge.poll(now + 20 * MS).is_empty(), "not due");
+        assert_eq!(huge.live_edges(), 1);
+        assert!(small.poll(now + 11 * MS).is_empty(), "expiry buffered");
+        let expired = only(small.poll(now + 12 * MS));
+        assert_eq!(expired, vec![u(0, 1, 2).inverted()]);
+        assert_eq!(small.live_edges(), 0);
     }
 
     #[test]

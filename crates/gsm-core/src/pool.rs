@@ -24,7 +24,14 @@
 //! order re-sequence results themselves ([`WorkerPool::scatter`] gathers by
 //! index; the pipeline reorders by sequence number).
 //!
-//! Workers exit when the pool is dropped (the injector closes).
+//! Workers exit when the pool is dropped (the injector closes). Workers
+//! **survive panicking jobs**: each job runs under `catch_unwind`, so a
+//! panic inside one job neither kills the worker thread nor poisons the
+//! shared injector lock for every later batch.
+//! [`scatter`](WorkerPool::scatter) ships each job's `std::thread::Result`
+//! back to the gather side and re-raises the *original* panic payload once,
+//! after all sibling jobs have completed — a panicking shard aborts its own
+//! batch without wedging unrelated shards or subsequent scatters.
 //!
 //! # Core pinning (`GSM_PIN_CORES`)
 //!
@@ -37,6 +44,7 @@
 //! worker silently runs unpinned. The flag trades scheduler freedom for
 //! cache locality on dedicated benchmark boxes; leave it off elsewhere.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -80,10 +88,23 @@ impl WorkerPool {
                         loop {
                             // Hold the lock only while dequeuing, never while
                             // running a job, so workers drain the queue in
-                            // parallel.
-                            let job = { jobs.lock().expect("injector poisoned").recv() };
+                            // parallel. A poisoned lock is recovered rather
+                            // than propagated: the guarded value is a plain
+                            // `Receiver` with no invariant a mid-panic
+                            // unwinder could have broken, and bailing out
+                            // here would cascade one job's failure into
+                            // every later batch on unrelated shards.
+                            let job = {
+                                jobs.lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .recv()
+                            };
                             match job {
-                                Ok(job) => job(),
+                                // Contain the panic to the job: the worker
+                                // stays alive for later batches. Jobs that
+                                // must surface their payload (scatter) ship
+                                // it through their result channel instead.
+                                Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
                                 Err(_) => break, // pool dropped, injector closed
                             }
                         }
@@ -129,31 +150,51 @@ impl WorkerPool {
     /// Runs every job on the pool and blocks until all complete, returning
     /// the results **in job order** (scatter/gather). Jobs may finish in any
     /// order on any worker; the gather re-indexes them.
+    ///
+    /// A panicking job does not wedge the pool: its payload is caught on the
+    /// worker, shipped back with the gather, and re-raised here **once** —
+    /// with the original payload, after every sibling job has completed —
+    /// so the pool is immediately reusable for the next scatter.
     pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let n = jobs.len();
-        let (tx, rx) = channel::<(usize, T)>();
+        let (tx, rx) = channel::<(usize, std::thread::Result<T>)>();
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
             self.execute(move || {
                 // The gather side hangs up early only if it panicked; a
                 // failed send is then irrelevant.
-                let _ = tx.send((i, job()));
+                let _ = tx.send((i, catch_unwind(AssertUnwindSafe(job))));
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (i, value) = rx.recv().expect("worker delivered its result");
             slots[i] = Some(value);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every job reported"))
-            .collect()
+        // Gather everything first, then re-raise the first failure (in job
+        // order, for determinism): sibling jobs of a panicking job run to
+        // completion and their results are simply dropped.
+        let mut results = Vec::with_capacity(n);
+        let mut panicked = None;
+        for slot in slots {
+            match slot.expect("every job reported") {
+                Ok(value) => results.push(value),
+                Err(payload) => {
+                    if panicked.is_none() {
+                        panicked = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panicked {
+            resume_unwind(payload);
+        }
+        results
     }
 }
 
@@ -296,6 +337,55 @@ mod tests {
             assert!(!parse_pin_flag(Some(off)), "{off:?} must not enable");
         }
         assert!(!parse_pin_flag(None), "unset must not enable");
+    }
+
+    #[test]
+    fn scatter_survives_a_panicking_job_and_scatters_again() {
+        // Regression: a panicking job used to kill its worker thread, so a
+        // later scatter on the same pool would hang on a gather that never
+        // completes (or die on a poisoned-injector expect) instead of the
+        // original payload propagating once.
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("shard 1 exploded")),
+            Box::new(|| 3),
+        ];
+        let payload = catch_unwind(AssertUnwindSafe(|| pool.scatter(jobs)))
+            .expect_err("the job's panic must propagate to the scatter caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("original payload preserved");
+        assert_eq!(message, "shard 1 exploded");
+
+        // The same pool must still have live workers for unrelated batches.
+        let results = pool.scatter((0..8u32).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert_eq!(results, (0..8u32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_panic_in_job_order_wins_when_several_jobs_panic() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|i| Box::new(move || panic!("boom {i}")) as Box<dyn FnOnce() + Send>)
+            .collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| pool.scatter(jobs)))
+            .expect_err("panics must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted payload preserved");
+        assert_eq!(message, "boom 0", "job-order first panic is re-raised");
+        assert_eq!(pool.scatter(vec![|| 41, || 42]), vec![41, 42]);
+    }
+
+    #[test]
+    fn fire_and_forget_panic_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("detached job panic"));
+        // The single worker must survive to run (and complete) this scatter.
+        assert_eq!(pool.scatter(vec![|| 5usize]), vec![5]);
     }
 
     #[test]

@@ -98,6 +98,19 @@ impl JoinCache {
         self.misses
     }
 
+    /// Drops every build cached over the relation with id `rel_id` — called
+    /// when a materialized view is destroyed (trie-node pruning on query
+    /// unregistration). Relation ids are never reused, so a lingering entry
+    /// could never be wrongly served; eviction reclaims the build's memory,
+    /// it is not needed for correctness. Outstanding frozen publications
+    /// keep their copy alive until dropped.
+    pub fn evict_relation(&mut self, rel_id: u64) {
+        if self.builds.keys().any(|(id, _)| *id == rel_id) {
+            self.published = None;
+            self.builds.retain(|(id, _), _| *id != rel_id);
+        }
+    }
+
     /// Drops every cached build (used by tests and memory experiments).
     pub fn clear(&mut self) {
         self.published = None;
@@ -256,6 +269,25 @@ mod tests {
         assert_eq!(build_b.probe(&b, &[s(2)]).len(), 1);
         assert_eq!(build_b.probe(&b, &[s(1)]).len(), 0);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evict_relation_drops_only_that_relations_builds() {
+        let mut cache = JoinCache::new();
+        let mut a = Relation::new(2);
+        a.push(&[s(1), s(2)]);
+        let mut b = Relation::new(1);
+        b.push(&[s(3)]);
+        cache.get_or_build(&a, &[0]);
+        cache.get_or_build(&a, &[1]);
+        cache.get_or_build(&b, &[0]);
+        assert_eq!(cache.len(), 3);
+        cache.evict_relation(a.id());
+        assert_eq!(cache.len(), 1, "both of a's key-column builds evicted");
+        // The survivor still serves b; a missing id is a no-op.
+        assert_eq!(cache.get_or_build(&b, &[0]).probe(&b, &[s(3)]).len(), 1);
+        cache.evict_relation(a.id());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -107,7 +107,9 @@ pub fn shard_of(root: &GenericEdge, num_shards: usize) -> usize {
 /// be staged while earlier deltas await their join pass.
 #[derive(Debug)]
 struct PathState {
-    /// Generic edges along the path.
+    /// Generic edges along the path. Emptied when the last referencing
+    /// query unregisters, which makes every per-batch sweep skip the slot
+    /// (the pid itself is never reused).
     edges: Vec<GenericEdge>,
     /// Materialized path relation (`edges.len() + 1` columns). For
     /// **single-edge paths this stays empty and unused**: the shard's edge
@@ -115,6 +117,8 @@ struct PathState {
     /// double the memory and per-batch write work —
     /// [`Shard::spanning_full`] resolves the right relation at join time.
     full: Relation,
+    /// Number of registered spanning covering paths sharing this state.
+    refs: usize,
 }
 
 impl HeapSize for PathState {
@@ -240,6 +244,7 @@ impl<E: ContinuousEngine> Shard<E> {
             self.spanning.views.register(e);
         }
         if let Some(&pid) = self.spanning.by_key.get(edges) {
+            self.spanning.paths[pid].refs += 1;
             return pid;
         }
         // Catch up with whatever history this shard's spanning views have
@@ -260,9 +265,27 @@ impl<E: ContinuousEngine> Shard<E> {
         self.spanning.paths.push(PathState {
             edges: edges.to_vec(),
             full,
+            refs: 1,
         });
         self.spanning.by_key.insert(edges.to_vec(), pid);
         pid
+    }
+
+    /// Drops one covering-path reference to path state `pid`. The last
+    /// reference clears the state — edges emptied, so every per-batch sweep
+    /// skips the slot, and the materialized relation dropped — and unlinks
+    /// it from `by_key`; the pid slot itself is never reused, so staged
+    /// watermark vectors and path descriptors held elsewhere stay aligned.
+    fn release_spanning_path(&mut self, pid: usize) {
+        let ps = &mut self.spanning.paths[pid];
+        debug_assert!(ps.refs > 0, "releasing an already dead path state");
+        ps.refs -= 1;
+        if ps.refs > 0 {
+            return;
+        }
+        let edges = std::mem::take(&mut ps.edges);
+        ps.full = Relation::new(2);
+        self.spanning.by_key.remove(&edges);
     }
 
     /// Absorbs this shard's slice of the current batch: the inner engine
@@ -327,6 +350,18 @@ type SpanningPathInfo = (usize, usize, Vec<QVertexId>);
 struct SpanningQuery {
     query: QueryId,
     paths: Arc<Vec<SpanningPathInfo>>,
+}
+
+/// Where a wrapper-level query id lives — the unregistration directory.
+/// Indexed by id; maintained only for genuinely sharded deployments
+/// (`num_shards > 1`; single-shard wrappers delegate the whole lifecycle).
+enum QueryHome {
+    /// Registered on one shard's inner engine under a local id.
+    Local { shard: usize, local: QueryId },
+    /// Spanning: answered by the wrapper's covering-path join pass.
+    Spanning,
+    /// Unregistered; the id slot is never reused.
+    Dead,
 }
 
 /// The spanning covering-path join pass, shared by the engine-resident
@@ -454,7 +489,14 @@ pub struct ShardedEngine<E> {
     /// routed, fed once per batch. Mid-stream spanning registration
     /// backfills owner shards from here (see the module docs).
     history: EdgeViewStore,
+    /// Number of live (non-tombstoned) queries.
     num_queries: usize,
+    /// Wrapper-level query-id slots ever issued — the next registration's
+    /// id. Unregistration tombstones, never reclaims, so `next_id` only
+    /// grows.
+    next_id: usize,
+    /// Id → home directory (see [`QueryHome`]); empty when `shards == 1`.
+    query_homes: Vec<QueryHome>,
     /// Staged batch tokens issued by [`ContinuousEngine::stage_batch`] and
     /// not yet consumed by `answer_staged`/`detach_staged`. Registration is
     /// rejected while any are outstanding (it would restructure the tries,
@@ -480,6 +522,8 @@ impl<E: ContinuousEngine + Send + 'static> ShardedEngine<E> {
             route_marked: Vec::new(),
             history: EdgeViewStore::new(),
             num_queries: 0,
+            next_id: 0,
+            query_homes: Vec::new(),
             outstanding: 0,
             name,
             stats: EngineStats::default(),
@@ -1003,14 +1047,16 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
         if self.outstanding > 0 {
             return Err(Error::RegistrationWhileStaged(self.outstanding));
         }
-        let gqid = QueryId(self.num_queries as u32);
+        let gqid = QueryId(self.next_id as u32);
         let n = self.shards.len();
         if n == 1 {
             // Degenerate single-shard deployment: plain delegation, local
-            // ids coincide with wrapper ids by construction.
+            // ids coincide with wrapper ids by construction (the inner
+            // engine tombstones unregistered slots too).
             let lid = self.shards[0].engine.register_query(query)?;
             debug_assert_eq!(lid, gqid);
             self.num_queries += 1;
+            self.next_id += 1;
             return Ok(gqid);
         }
 
@@ -1043,6 +1089,10 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
                     self.route_edge_to(e, s);
                 }
             }
+            self.query_homes.push(QueryHome::Local {
+                shard: s,
+                local: lid,
+            });
         } else {
             // Spanning query: each covering path becomes a path state on
             // the shard owning its root edge; answering is deferred to the
@@ -1071,9 +1121,72 @@ impl<E: ContinuousEngine + Send + 'static> ContinuousEngine for ShardedEngine<E>
                 query: gqid,
                 paths: Arc::new(sq_paths),
             });
+            self.query_homes.push(QueryHome::Spanning);
         }
         self.num_queries += 1;
+        self.next_id += 1;
         Ok(gqid)
+    }
+
+    /// Unregisters via the id → home directory: shard-local queries
+    /// delegate to their shard's inner engine (whose tombstoning keeps the
+    /// `local_to_global` map aligned), spanning queries leave the join pass
+    /// and release their shards' path-state references. Routing-index and
+    /// history entries stay — an update routed to a shard with no
+    /// interested query is absorbed without output, and a later
+    /// registration over the same edges reuses the retained history.
+    /// Rejected while staged tokens are outstanding, exactly like
+    /// registration (the pipelined executor's epoch queue drains first).
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        if self.outstanding > 0 {
+            return Err(Error::RegistrationWhileStaged(self.outstanding));
+        }
+        if self.shards.len() == 1 {
+            let r = self.shards[0].engine.unregister_query(query);
+            if r.is_ok() {
+                self.num_queries -= 1;
+            }
+            return r;
+        }
+        match self.query_homes.get(query.index()) {
+            None | Some(QueryHome::Dead) => return Err(Error::UnknownQuery(query.0)),
+            Some(&QueryHome::Local { shard, local }) => {
+                self.shards[shard].engine.unregister_query(local)?;
+            }
+            Some(QueryHome::Spanning) => {
+                let pos = self
+                    .spanning_queries
+                    .iter()
+                    .position(|sq| sq.query == query)
+                    .expect("directory and spanning table agree");
+                // Preserve registration order: the answer passes walk this
+                // table in order and reports are built query-id ascending.
+                let sq = self.spanning_queries.remove(pos);
+                for &(shard, pid, _) in sq.paths.iter() {
+                    self.shards[shard].release_spanning_path(pid);
+                }
+            }
+        }
+        self.query_homes[query.index()] = QueryHome::Dead;
+        self.num_queries -= 1;
+        Ok(())
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        if self.shards.len() == 1 {
+            return self.shards[0].engine.next_query_id();
+        }
+        QueryId(self.next_id as u32)
+    }
+
+    fn is_registered(&self, query: QueryId) -> bool {
+        if self.shards.len() == 1 {
+            return self.shards[0].engine.is_registered(query);
+        }
+        matches!(
+            self.query_homes.get(query.index()),
+            Some(QueryHome::Local { .. } | QueryHome::Spanning)
+        )
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {

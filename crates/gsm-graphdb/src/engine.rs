@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use gsm_core::engine::{ContinuousEngine, EngineStats, MatchReport, QueryId};
-use gsm_core::error::Result;
+use gsm_core::error::{Error, Result};
 use gsm_core::memory::HeapSize;
 use gsm_core::model::generic::GenericEdge;
 use gsm_core::model::update::Update;
@@ -46,8 +46,12 @@ impl Default for GraphDbConfig {
 pub struct GraphDbEngine {
     config: GraphDbConfig,
     store: GraphStore,
-    /// queryInd: the registered query patterns.
-    queries: Vec<QueryPattern>,
+    /// queryInd: the registered query patterns. Unregistration tombstones a
+    /// slot with `None` — ids are never reused, so later slots keep their
+    /// positions.
+    queries: Vec<Option<QueryPattern>>,
+    /// Number of non-tombstoned `queries` slots.
+    live: usize,
     /// edgeInd: generic edge → queries containing a pattern edge with that shape,
     /// along with the indices of those pattern edges.
     edge_index: HashMap<GenericEdge, Vec<(QueryId, usize)>>,
@@ -67,6 +71,7 @@ impl GraphDbEngine {
             config,
             store: GraphStore::with_writes_per_tx(config.writes_per_tx),
             queries: Vec::new(),
+            live: 0,
             edge_index: HashMap::new(),
             plan_cache: PlanCache::new(),
             stats: EngineStats::default(),
@@ -108,8 +113,43 @@ impl ContinuousEngine for GraphDbEngine {
             let ge = GenericEdge::from_pattern(edge);
             self.edge_index.entry(ge).or_default().push((qid, edge_idx));
         }
-        self.queries.push(query.clone());
+        self.queries.push(Some(query.clone()));
+        self.live += 1;
         Ok(qid)
+    }
+
+    /// Strips the query from edgeInd, tombstones its queryInd slot and
+    /// evicts its cached plans. The database itself is untouched — edges
+    /// belong to the stream, not to any query.
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        let Some(slot) = self.queries.get_mut(query.index()) else {
+            return Err(Error::UnknownQuery(query.0));
+        };
+        let Some(pattern) = slot.take() else {
+            return Err(Error::UnknownQuery(query.0));
+        };
+        for edge in pattern.edges() {
+            let ge = GenericEdge::from_pattern(edge);
+            if let Some(entries) = self.edge_index.get_mut(&ge) {
+                entries.retain(|(q, _)| *q != query);
+                if entries.is_empty() {
+                    self.edge_index.remove(&ge);
+                }
+            }
+        }
+        self.plan_cache.evict_query(query);
+        self.live -= 1;
+        Ok(())
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        QueryId(self.queries.len() as u32)
+    }
+
+    fn is_registered(&self, query: QueryId) -> bool {
+        self.queries
+            .get(query.index())
+            .is_some_and(|slot| slot.is_some())
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {
@@ -146,7 +186,9 @@ impl ContinuousEngine for GraphDbEngine {
         for (qid, mut edge_indices) in sorted {
             edge_indices.sort_unstable();
             edge_indices.dedup();
-            let query = &self.queries[qid.index()];
+            let query = self.queries[qid.index()]
+                .as_ref()
+                .expect("edgeInd routes only to live queries");
             let mut collector = MatchCollector::with_limit(self.config.max_embeddings_per_query);
             for anchor_edge in edge_indices {
                 let plan = self
@@ -200,7 +242,7 @@ impl ContinuousEngine for GraphDbEngine {
     }
 
     fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.live
     }
 
     fn heap_bytes(&self) -> usize {
@@ -263,7 +305,9 @@ impl GraphDbEngine {
         let mut sorted: Vec<(QueryId, Vec<(usize, Update)>)> = anchored.into_iter().collect();
         sorted.sort_by_key(|(q, _)| *q);
         for (qid, anchors) in sorted {
-            let query = &self.queries[qid.index()];
+            let query = self.queries[qid.index()]
+                .as_ref()
+                .expect("edgeInd routes only to live queries");
             let mut collector = MatchCollector::with_limit(self.config.max_embeddings_per_query);
             for (anchor_edge, u) in anchors {
                 let plan = self
@@ -328,7 +372,9 @@ impl GraphDbEngine {
         let mut sorted: Vec<(QueryId, Vec<(usize, Update)>)> = anchored.into_iter().collect();
         sorted.sort_by_key(|(q, _)| *q);
         for (qid, anchors) in sorted {
-            let query = &self.queries[qid.index()];
+            let query = self.queries[qid.index()]
+                .as_ref()
+                .expect("edgeInd routes only to live queries");
             let mut collector = MatchCollector::with_limit(self.config.max_embeddings_per_query);
             for (anchor_edge, e) in anchors {
                 let plan = self
@@ -408,6 +454,43 @@ mod tests {
         let r2 = engine.answer_staged(t2);
         assert_eq!(r2.total_embeddings(), 1);
         assert_eq!(engine.stats().retracted, 1);
+    }
+
+    #[test]
+    fn unregister_stops_matching_and_evicts_cached_plans() {
+        let mut f = Fixture::new();
+        let mut engine = GraphDbEngine::new();
+        let q1 = f.q("?a -knows-> ?b; ?b -worksAt-> acme");
+        let q2 = f.q("?a -knows-> ?b");
+        let id1 = engine.register_query(&q1).unwrap();
+        let id2 = engine.register_query(&q2).unwrap();
+        engine.apply_update(f.u("knows", "ann", "bob"));
+        engine.apply_update(f.u("worksAt", "bob", "acme"));
+        assert!(engine.cached_plans() > 0);
+
+        engine.unregister_query(id1).unwrap();
+        assert_eq!(engine.num_queries(), 1);
+        assert!(!engine.is_registered(id1));
+        assert!(engine.is_registered(id2));
+        assert_eq!(
+            engine.unregister_query(id1),
+            Err(Error::UnknownQuery(id1.0))
+        );
+
+        // q1 no longer reports; q2 still does; the store keeps its edges.
+        assert!(engine
+            .apply_update(f.u("worksAt", "cat", "acme"))
+            .is_empty());
+        let r = engine.apply_update(f.u("knows", "cat", "dan"));
+        assert_eq!(r.satisfied_queries(), vec![id2]);
+        assert_eq!(engine.store().num_edges(), 4);
+
+        // The freed id is never reused; the new query sees retained history.
+        let id3 = engine.register_query(&f.q("?p -worksAt-> ?c")).unwrap();
+        assert_eq!(id3, QueryId(2));
+        assert_eq!(engine.next_query_id(), QueryId(3));
+        let r = engine.apply_update(f.u("worksAt", "eve", "inc"));
+        assert_eq!(r.satisfied_queries(), vec![id3]);
     }
 
     #[test]

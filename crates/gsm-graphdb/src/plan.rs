@@ -123,6 +123,13 @@ impl PlanCache {
         }
     }
 
+    /// Drops every plan cached for `qid` (all anchors) — called when the
+    /// query is unregistered. Ids are never reused, so this is memory
+    /// hygiene, not correctness.
+    pub fn evict_query(&mut self, qid: QueryId) {
+        self.plans.retain(|(q, _), _| *q != qid);
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -35,7 +35,7 @@ use crate::codec::{self, crc32, put_u32, put_u64, CodecError, CodecResult, Curso
 use crate::storage::Storage;
 
 const MAGIC: &[u8; 8] = b"GSMCKPT1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Per-query durable totals: what the per-query answer stream has summed to
 /// so far. The crash suites compare these against an uninterrupted oracle.
@@ -61,9 +61,15 @@ pub struct CheckpointData {
     pub stats: EngineStats,
     /// The interner table, explicitly, in dense `Sym` order.
     pub symbols: SymbolTable,
-    /// Registered queries in registration order (`QueryId` = index).
+    /// Registered queries in registration order (`QueryId` = index),
+    /// including tombstoned slots — ids are never reused, so recovery
+    /// re-registers every slot in order and then unregisters the dead ones.
     pub queries: Vec<QueryPattern>,
-    /// Durable per-query totals, indexed like `queries`.
+    /// Ids of unregistered (tombstoned) `queries` slots, strictly
+    /// ascending.
+    pub dead_queries: Vec<u32>,
+    /// Durable per-query totals, indexed like `queries` (dead slots keep
+    /// their accumulated totals).
     pub totals: Vec<QueryTotals>,
     /// Survivor edge store: live `(src, tgt)` relation per edge label,
     /// sorted by label.
@@ -85,6 +91,10 @@ pub fn encode(data: &CheckpointData) -> Vec<u8> {
     put_u32(&mut out, data.queries.len() as u32);
     for q in &data.queries {
         codec::put_pattern(&mut out, q);
+    }
+    put_u32(&mut out, data.dead_queries.len() as u32);
+    for &qid in &data.dead_queries {
+        put_u32(&mut out, qid);
     }
     put_u32(&mut out, data.totals.len() as u32);
     for t in &data.totals {
@@ -152,6 +162,26 @@ pub fn decode(bytes: &[u8]) -> CodecResult<CheckpointData> {
         .map(|_| codec::get_pattern(&mut c))
         .collect::<CodecResult<_>>()?;
     let at = c.pos();
+    let num_dead = c.u32()? as usize;
+    if num_dead > num_queries {
+        return Err(CodecError {
+            offset: at as u64,
+            detail: format!("dead count {num_dead} exceeds query count {num_queries}"),
+        });
+    }
+    let mut dead_queries = Vec::with_capacity(num_dead);
+    for _ in 0..num_dead {
+        let at = c.pos();
+        let qid = c.u32()?;
+        if qid as usize >= num_queries || dead_queries.last().is_some_and(|&p| p >= qid) {
+            return Err(CodecError {
+                offset: at as u64,
+                detail: format!("dead query id {qid} out of range or out of order"),
+            });
+        }
+        dead_queries.push(qid);
+    }
+    let at = c.pos();
     let num_totals = c.u32()? as usize;
     if num_totals > c.remaining() / 24 {
         return Err(CodecError {
@@ -200,6 +230,7 @@ pub fn decode(bytes: &[u8]) -> CodecResult<CheckpointData> {
         stats,
         symbols,
         queries,
+        dead_queries,
         totals,
         shadow,
     })
@@ -260,6 +291,7 @@ mod tests {
             },
             symbols,
             queries: vec![q0, q1],
+            dead_queries: vec![1],
             totals: vec![
                 QueryTotals {
                     embeddings: 5,
@@ -284,6 +316,7 @@ mod tests {
         assert_eq!(decoded.covered_seq, data.covered_seq);
         assert_eq!(decoded.stats, data.stats);
         assert_eq!(decoded.queries, data.queries);
+        assert_eq!(decoded.dead_queries, data.dead_queries);
         assert_eq!(decoded.totals, data.totals);
         assert_eq!(decoded.symbols.len(), data.symbols.len());
         assert_eq!(decoded.shadow.len(), data.shadow.len());
@@ -311,6 +344,19 @@ mod tests {
         let mut bad_magic = bytes.clone();
         bad_magic[0] ^= 0xFF;
         assert!(decode(&bad_magic).unwrap_err().detail.contains("magic"));
+    }
+
+    #[test]
+    fn malformed_dead_query_lists_are_rejected() {
+        // Out of range: a dead id must name an existing slot.
+        let mut data = sample();
+        data.dead_queries = vec![2];
+        let err = decode(&encode(&data)).unwrap_err();
+        assert!(err.detail.contains("dead query id"), "{}", err.detail);
+        // Out of order / duplicated ids are rejected too.
+        data.dead_queries = vec![1, 1];
+        let err = decode(&encode(&data)).unwrap_err();
+        assert!(err.detail.contains("out of range or out of order"));
     }
 
     #[test]

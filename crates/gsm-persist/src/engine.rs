@@ -44,7 +44,7 @@
 //! on storage failure (documented on the impl); fallibility-aware callers
 //! use the `try_*` API directly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gsm_core::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
@@ -153,7 +153,12 @@ pub struct PersistentEngine<E> {
     config: PersistConfig,
     next_seq: u64,
     symbols: SymbolTable,
+    /// One slot per id ever issued, including tombstoned (unregistered)
+    /// slots — recovery re-registers every slot in order so later ids keep
+    /// their meaning, then unregisters the dead ones.
     queries: Vec<QueryPattern>,
+    /// Ids of tombstoned `queries` slots.
+    dead: BTreeSet<u32>,
     totals: Vec<QueryTotals>,
     shadow: BTreeMap<Sym, Relation>,
     stats: EngineStats,
@@ -233,21 +238,36 @@ impl<E: ContinuousEngine> PersistentEngine<E> {
 
         // Rebuild the engine: checkpoint state, survivor feed, WAL replay.
         let mut inner = make_engine();
-        let (symbols, queries, totals, shadow, stats) = match loaded {
+        let (symbols, queries, dead, totals, shadow, stats) = match loaded {
             Some(data) => {
                 let shadow: BTreeMap<Sym, Relation> = data.shadow.into_iter().collect();
-                (data.symbols, data.queries, data.totals, shadow, data.stats)
+                let dead: BTreeSet<u32> = data.dead_queries.into_iter().collect();
+                (
+                    data.symbols,
+                    data.queries,
+                    dead,
+                    data.totals,
+                    shadow,
+                    data.stats,
+                )
             }
             None => (
                 SymbolTable::new(),
                 Vec::new(),
+                BTreeSet::new(),
                 Vec::new(),
                 BTreeMap::new(),
                 EngineStats::default(),
             ),
         };
+        // Every slot registers in id order (ids are positional), then the
+        // tombstoned ones unregister — before the survivor feed, so dead
+        // queries never match.
         for query in &queries {
             inner.register_query(query)?;
+        }
+        for &qid in &dead {
+            inner.unregister_query(QueryId(qid))?;
         }
         for (label, rel) in &shadow {
             let survivors: Vec<Update> = rel
@@ -270,6 +290,7 @@ impl<E: ContinuousEngine> PersistentEngine<E> {
             next_seq: start_seq + merged.len() as u64,
             symbols,
             queries,
+            dead,
             totals,
             shadow,
             stats,
@@ -300,6 +321,10 @@ impl<E: ContinuousEngine> PersistentEngine<E> {
                     if engine.last_checkpoint_seq < Some(ckpt_seq) {
                         engine.last_checkpoint_seq = Some(ckpt_seq);
                     }
+                }
+                WalOp::Unregister { query } => {
+                    engine.inner.unregister_query(query)?;
+                    engine.dead.insert(query.0);
                 }
             }
         }
@@ -378,6 +403,17 @@ impl<E: ContinuousEngine> PersistentEngine<E> {
         Ok(id)
     }
 
+    /// Fallible query unregistration: unregisters with the inner engine
+    /// first (validation — unknown or already dead ids fail typed), then
+    /// logs the tombstone. The slot's pattern and totals are retained; the
+    /// id is never reused.
+    pub fn try_unregister_query(&mut self, query: QueryId) -> Result<()> {
+        self.inner.unregister_query(query)?;
+        self.wal_append(WalOp::Unregister { query })?;
+        self.dead.insert(query.0);
+        Ok(())
+    }
+
     /// Fallible batch application: the batch is WAL-logged (and group-commit
     /// synced) **before** the inner engine applies it.
     pub fn try_apply_batch(&mut self, updates: &[Update]) -> Result<MatchReport> {
@@ -441,6 +477,7 @@ impl<E: ContinuousEngine> PersistentEngine<E> {
             stats: self.stats,
             symbols: clone_symbols(&self.symbols),
             queries: self.queries.clone(),
+            dead_queries: self.dead.iter().copied().collect(),
             totals: self.totals.clone(),
             shadow: self
                 .shadow
@@ -541,6 +578,18 @@ impl<E: ContinuousEngine> ContinuousEngine for PersistentEngine<E> {
         self.try_register_query(query)
     }
 
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        self.try_unregister_query(query)
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        QueryId(self.queries.len() as u32)
+    }
+
+    fn is_registered(&self, query: QueryId) -> bool {
+        query.index() < self.queries.len() && !self.dead.contains(&query.0)
+    }
+
     fn apply_update(&mut self, update: Update) -> MatchReport {
         self.try_apply_batch(std::slice::from_ref(&update))
             .expect("persistent WAL append failed; discard and recover the engine")
@@ -575,7 +624,7 @@ impl<E: ContinuousEngine> ContinuousEngine for PersistentEngine<E> {
     }
 
     fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.queries.len() - self.dead.len()
     }
 
     fn heap_bytes(&self) -> usize {
@@ -594,15 +643,26 @@ mod tests {
     use std::collections::HashSet;
 
     /// Deterministic toy engine whose reports are a pure function of the
-    /// live edge set: inserting a new edge reports every query with
+    /// live edge set: inserting a new edge reports every live query with
     /// `new_embeddings` = live edges sharing the label (after insert);
     /// retracting a live edge reports `retracted_embeddings` = live edges
-    /// sharing the label (before removal).
+    /// sharing the label (before removal). Unregistered ids are tombstoned
+    /// (never reused) and stop reporting.
     #[derive(Default)]
     struct CountEngine {
         edges: HashSet<(u32, u32, u32)>,
         queries: u32,
+        dead: HashSet<u32>,
         stats: EngineStats,
+    }
+
+    impl CountEngine {
+        fn live_queries(&self) -> Vec<QueryId> {
+            (0..self.queries)
+                .filter(|q| !self.dead.contains(q))
+                .map(QueryId)
+                .collect()
+        }
     }
 
     impl ContinuousEngine for CountEngine {
@@ -614,6 +674,18 @@ mod tests {
             self.queries += 1;
             Ok(id)
         }
+        fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+            if query.0 >= self.queries || !self.dead.insert(query.0) {
+                return Err(gsm_core::error::Error::UnknownQuery(query.0));
+            }
+            Ok(())
+        }
+        fn next_query_id(&self) -> QueryId {
+            QueryId(self.queries)
+        }
+        fn is_registered(&self, query: QueryId) -> bool {
+            query.0 < self.queries && !self.dead.contains(&query.0)
+        }
         fn apply_update(&mut self, update: Update) -> MatchReport {
             self.stats.updates_processed += 1;
             let key = (update.label.0, update.src.0, update.tgt.0);
@@ -624,14 +696,14 @@ mod tests {
                 if self.edges.remove(&key) {
                     let n = label_count(&self.edges) + 1;
                     MatchReport::from_retraction_counts(
-                        (0..self.queries).map(|q| (QueryId(q), n)).collect(),
+                        self.live_queries().into_iter().map(|q| (q, n)).collect(),
                     )
                 } else {
                     MatchReport::empty()
                 }
             } else if self.edges.insert(key) {
                 let n = label_count(&self.edges);
-                MatchReport::from_counts((0..self.queries).map(|q| (QueryId(q), n)).collect())
+                MatchReport::from_counts(self.live_queries().into_iter().map(|q| (q, n)).collect())
             } else {
                 MatchReport::empty()
             };
@@ -641,7 +713,7 @@ mod tests {
             report
         }
         fn num_queries(&self) -> usize {
-            self.queries as usize
+            (self.queries as usize) - self.dead.len()
         }
         fn heap_bytes(&self) -> usize {
             0
@@ -764,6 +836,95 @@ mod tests {
         );
         assert_eq!(report.resume_updates, stream.len() as u64);
         assert_eq!(recovered.totals(), &totals_at_crash[..]);
+    }
+
+    #[test]
+    fn unregister_replays_from_the_wal_after_a_crash() {
+        let mut symbols = SymbolTable::new();
+        let queries = two_queries(&mut symbols);
+        let stream = mixed_stream(&mut symbols);
+
+        // Both runs use identical batch boundaries (notifications are
+        // counted per batch report).
+        let run = |engine: &mut PersistentEngine<CountEngine>| {
+            engine.note_symbols(&symbols).unwrap();
+            for q in &queries {
+                engine.try_register_query(q).unwrap();
+            }
+            engine.try_apply_batch(&stream[..4]).unwrap();
+            engine.try_unregister_query(QueryId(0)).unwrap();
+            engine.try_apply_batch(&stream[4..8]).unwrap();
+        };
+
+        // Uninterrupted oracle over the whole stream.
+        let mut oracle = PersistentEngine::open(
+            Box::new(MemFactory::new()),
+            PersistConfig::default(),
+            CountEngine::default,
+        )
+        .unwrap()
+        .0;
+        run(&mut oracle);
+        oracle.try_apply_batch(&stream[8..]).unwrap();
+
+        // Crash right after the unregister-containing prefix; recover and
+        // finish the stream.
+        let disk = MemFactory::new();
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+            run(&mut engine);
+        }
+        let (mut recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert_eq!(report.checkpoint_seq, None);
+        assert_eq!(recovered.num_queries(), 1);
+        assert!(!recovered.is_registered(QueryId(0)));
+        assert!(recovered.is_registered(QueryId(1)));
+        recovered.try_apply_batch(&stream[8..]).unwrap();
+
+        assert_eq!(recovered.stats(), oracle.stats());
+        assert_eq!(recovered.totals(), oracle.totals());
+        // The dead slot's id is never reused: a fresh registration advances
+        // past it.
+        assert_eq!(recovered.next_query_id(), QueryId(2));
+        assert_eq!(
+            recovered.try_register_query(&queries[0]).unwrap(),
+            QueryId(2)
+        );
+    }
+
+    #[test]
+    fn unregister_survives_a_checkpoint_round_trip() {
+        let mut symbols = SymbolTable::new();
+        let queries = two_queries(&mut symbols);
+        let stream = mixed_stream(&mut symbols);
+
+        let disk = MemFactory::new();
+        let totals_at_crash;
+        {
+            let (mut engine, _) = open_mem(&disk, PersistConfig::default());
+            engine.note_symbols(&symbols).unwrap();
+            for q in &queries {
+                engine.try_register_query(q).unwrap();
+            }
+            engine.try_apply_batch(&stream[..4]).unwrap();
+            engine.try_unregister_query(QueryId(1)).unwrap();
+            // The checkpoint captures the tombstone; replay starts after it,
+            // so recovery must get the dead set from the checkpoint alone.
+            engine.checkpoint().unwrap();
+            engine.try_apply_batch(&stream[4..]).unwrap();
+            totals_at_crash = engine.totals().to_vec();
+        }
+        let (recovered, report) = open_mem(&disk, PersistConfig::default());
+        assert!(report.checkpoint_seq.is_some());
+        assert_eq!(recovered.num_queries(), 1);
+        assert!(recovered.is_registered(QueryId(0)));
+        assert!(!recovered.is_registered(QueryId(1)));
+        assert_eq!(recovered.totals(), &totals_at_crash[..]);
+        assert_eq!(recovered.inner().num_queries(), 1);
+        // Double-unregister fails typed, before anything hits the WAL.
+        let mut recovered = recovered;
+        let err = recovered.try_unregister_query(QueryId(1)).unwrap_err();
+        assert_eq!(err, gsm_core::error::Error::UnknownQuery(1));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! cleanly at the last valid record, returning the byte offset of the valid
 //! prefix so recovery can [`Storage::truncate`] the garbage away.
 
+use gsm_core::engine::QueryId;
 use gsm_core::error::Result;
 use gsm_core::model::update::Update;
 use gsm_core::query::pattern::QueryPattern;
@@ -55,12 +56,20 @@ pub enum WalOp {
         /// Sequence number the checkpoint covers through.
         ckpt_seq: u64,
     },
+    /// A continuous query unregistered from the engine. The id's slot is
+    /// tombstoned, never reused — replay re-registers every slot in order,
+    /// then unregisters the dead ones, so later ids keep their meaning.
+    Unregister {
+        /// The unregistered query id.
+        query: QueryId,
+    },
 }
 
 const KIND_INTERN: u8 = 1;
 const KIND_REGISTER: u8 = 2;
 const KIND_BATCH: u8 = 3;
 const KIND_CHECKPOINT: u8 = 4;
+const KIND_UNREGISTER: u8 = 5;
 
 /// A decoded WAL record: the global sequence number plus the operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +104,11 @@ pub fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
             put_u64(&mut payload, seq);
             put_u64(&mut payload, *ckpt_seq);
         }
+        WalOp::Unregister { query } => {
+            payload.push(KIND_UNREGISTER);
+            put_u64(&mut payload, seq);
+            put_u32(&mut payload, query.0);
+        }
     }
     let mut frame = Vec::with_capacity(8 + payload.len());
     put_u32(&mut frame, payload.len() as u32);
@@ -116,6 +130,9 @@ fn decode_payload(payload: &[u8]) -> codec::CodecResult<WalRecord> {
             updates: codec::get_updates(&mut c)?,
         },
         KIND_CHECKPOINT => WalOp::Checkpoint { ckpt_seq: c.u64()? },
+        KIND_UNREGISTER => WalOp::Unregister {
+            query: QueryId(c.u32()?),
+        },
         other => {
             return Err(codec::CodecError {
                 offset: 0,
@@ -318,6 +335,7 @@ mod tests {
                 ],
             },
             WalOp::Checkpoint { ckpt_seq: 2 },
+            WalOp::Unregister { query: QueryId(0) },
         ]
     }
 
@@ -331,13 +349,14 @@ mod tests {
         }
         wal.sync().unwrap();
         let (records, valid) = read_records(&mut handle).unwrap();
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
         assert_eq!(valid, handle.len().unwrap());
         assert_eq!(
             records.iter().map(|r| r.seq).collect::<Vec<_>>(),
-            vec![0, 1, 2, 3]
+            vec![0, 1, 2, 3, 4]
         );
         assert_eq!(records[3].op, WalOp::Checkpoint { ckpt_seq: 2 });
+        assert_eq!(records[4].op, WalOp::Unregister { query: QueryId(0) });
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The `gsm-server` binary: serves a TRIC engine over the JSONL
+//! protocol.
+//!
+//! ```text
+//! gsm-server --listen 127.0.0.1:7878 [--engine tric+|tric] [--shards N]
+//!            [--max-conns N] [--max-batch N] [--max-delay-ms N]
+//!            [--answer-threads N] [--outbound-queue N]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gsm_core::{ContinuousEngine, ShardedEngine};
+use gsm_server::{Server, ServerConfig};
+use gsm_tric::TricEngine;
+
+struct Args {
+    listen: String,
+    engine: String,
+    shards: usize,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7878".into(),
+        engine: "tric+".into(),
+        shards: 1,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--engine" => args.engine = value("--engine")?,
+            "--shards" => args.shards = parse(&value("--shards")?)?,
+            "--max-conns" => args.config.max_conns = parse(&value("--max-conns")?)?,
+            "--max-batch" => args.config.pipeline.max_batch = parse(&value("--max-batch")?)?,
+            "--max-delay-ms" => {
+                args.config.pipeline.max_delay =
+                    Duration::from_millis(parse(&value("--max-delay-ms")?)? as u64)
+            }
+            "--answer-threads" => {
+                let n: usize = parse(&value("--answer-threads")?)?;
+                args.config.pipeline.answer_thread = n > 0;
+                args.config.pipeline.answer_workers = n.max(1);
+            }
+            "--outbound-queue" => args.config.outbound_queue = parse(&value("--outbound-queue")?)?,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse(text: &str) -> Result<usize, String> {
+    text.parse().map_err(|_| format!("invalid number `{text}`"))
+}
+
+fn build_engine(name: &str, shards: usize) -> Result<Box<dyn ContinuousEngine + Send>, String> {
+    let factory = match name {
+        "tric" => TricEngine::tric,
+        "tric+" | "tric_plus" => TricEngine::tric_plus,
+        other => return Err(format!("unknown engine `{other}` (expected tric or tric+)")),
+    };
+    Ok(if shards > 1 {
+        Box::new(ShardedEngine::new(shards, factory))
+    } else {
+        Box::new(factory())
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            eprintln!(
+                "usage: gsm-server --listen ADDR [--engine tric+|tric] [--shards N] \
+                 [--max-conns N] [--max-batch N] [--max-delay-ms N] [--answer-threads N] \
+                 [--outbound-queue N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let engine = match build_engine(&args.engine, args.shards) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(args.listen.as_str(), engine, args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("gsm-server listening on {}", server.local_addr());
+    // Serve until killed; the threads do all the work.
+    loop {
+        std::thread::park();
+    }
+}

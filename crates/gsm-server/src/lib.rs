@@ -1,0 +1,23 @@
+//! A live-subscription front end for the continuous graph-stream
+//! engines: clients connect over TCP, register and unregister sub-graph
+//! queries at runtime, push signed edge batches, and receive per-query
+//! match notifications as batches complete.
+//!
+//! The wire protocol is newline-delimited JSON ([`protocol`]); the
+//! server ([`server::Server`]) runs blocking sockets over the
+//! [`gsm_core::WorkerPool`] substrate — no async runtime — with a
+//! single engine thread owning a [`gsm_core::PipelinedEngine`] whose
+//! epoch-based lifecycle queue makes mid-stream `register`/`unregister`
+//! safe. [`client::Client`] is the matching blocking client used by the
+//! differential tests and the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, Notification};
+pub use server::{Server, ServerConfig};

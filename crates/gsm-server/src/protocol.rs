@@ -1,0 +1,369 @@
+//! The line-framed wire protocol: one JSON object per `\n`-terminated
+//! line, in both directions.
+//!
+//! # Requests (client → server)
+//!
+//! ```json
+//! {"op":"register","query":"?u -likes-> ?p; ?p -by-> ?a"}
+//! {"op":"unregister","id":3}
+//! {"op":"push","edges":[["+","likes","u1","p1"],["-","likes","u1","p1"]]}
+//! {"op":"flush"}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! ```
+//!
+//! # Replies and notifications (server → client)
+//!
+//! Every request gets exactly one reply frame `{"reply":"<op>","ok":…}`,
+//! in request order. Interleaved with replies, the server pushes one
+//! notification frame per (completed batch × matched query) the
+//! connection owns:
+//!
+//! ```json
+//! {"reply":"register","ok":true,"id":3,"epoch":7}
+//! {"reply":"register","ok":false,"error":"missing '-label->' in `x`"}
+//! {"notify":true,"id":3,"new":2,"retracted":0}
+//! ```
+//!
+//! `epoch` in the `register`/`unregister` replies is the epoch at which
+//! the lifecycle change takes effect: the operation is queued and applied
+//! at the next pipeline drain boundary, so edges pushed before that
+//! boundary are never seen by a newly registered query.
+
+use crate::json::{self, num, obj, Json};
+
+/// One edge operation inside a `push` request: `["+"|"-", label, src, tgt]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeOp {
+    /// True for a retraction (`"-"`), false for an insertion (`"+"`).
+    pub retract: bool,
+    /// Edge label.
+    pub label: String,
+    /// Source vertex.
+    pub src: String,
+    /// Target vertex.
+    pub tgt: String,
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a pattern (compact `src -label-> tgt; …` syntax); queued
+    /// until the next epoch boundary.
+    Register {
+        /// Pattern text.
+        query: String,
+    },
+    /// Unregister a query this connection owns; queued until the next
+    /// epoch boundary.
+    Unregister {
+        /// The id the `register` reply handed out.
+        id: u32,
+    },
+    /// Append signed edge operations to the shared stream.
+    Push {
+        /// The edge operations, in order.
+        edges: Vec<EdgeOp>,
+    },
+    /// Force a full pipeline drain (an epoch boundary): all buffered
+    /// edges are answered and all queued lifecycle operations applied
+    /// before the reply is sent.
+    Flush,
+    /// Engine statistics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// Decodes one request line. Errors are protocol violations the
+    /// server answers with an `ok:false` reply.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let frame = json::parse(line)?;
+        let op = frame
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string `op` field")?;
+        match op {
+            "register" => {
+                let query = frame
+                    .get("query")
+                    .and_then(Json::as_str)
+                    .ok_or("register needs a string `query` field")?;
+                Ok(Request::Register {
+                    query: query.to_string(),
+                })
+            }
+            "unregister" => {
+                let id = frame
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .filter(|&id| id <= u32::MAX as u64)
+                    .ok_or("unregister needs an integer `id` field")?;
+                Ok(Request::Unregister { id: id as u32 })
+            }
+            "push" => {
+                let edges = frame
+                    .get("edges")
+                    .and_then(Json::as_arr)
+                    .ok_or("push needs an array `edges` field")?;
+                let mut decoded = Vec::with_capacity(edges.len());
+                for edge in edges {
+                    decoded.push(decode_edge(edge)?);
+                }
+                Ok(Request::Push { edges: decoded })
+            }
+            "flush" => Ok(Request::Flush),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Encodes the request as a wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let frame = match self {
+            Request::Register { query } => obj(vec![
+                ("op", Json::Str("register".into())),
+                ("query", Json::Str(query.clone())),
+            ]),
+            Request::Unregister { id } => obj(vec![
+                ("op", Json::Str("unregister".into())),
+                ("id", num(*id as u64)),
+            ]),
+            Request::Push { edges } => {
+                let encoded = edges
+                    .iter()
+                    .map(|e| {
+                        Json::Arr(vec![
+                            Json::Str(if e.retract { "-" } else { "+" }.into()),
+                            Json::Str(e.label.clone()),
+                            Json::Str(e.src.clone()),
+                            Json::Str(e.tgt.clone()),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("op", Json::Str("push".into())),
+                    ("edges", Json::Arr(encoded)),
+                ])
+            }
+            Request::Flush => obj(vec![("op", Json::Str("flush".into()))]),
+            Request::Stats => obj(vec![("op", Json::Str("stats".into()))]),
+            Request::Ping => obj(vec![("op", Json::Str("ping".into()))]),
+        };
+        frame.to_string()
+    }
+
+    /// The `reply` tag for this request's answer frame.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::Unregister { .. } => "unregister",
+            Request::Push { .. } => "push",
+            Request::Flush => "flush",
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+        }
+    }
+}
+
+fn decode_edge(edge: &Json) -> Result<EdgeOp, String> {
+    let parts = edge.as_arr().ok_or("edge must be an array")?;
+    if parts.len() != 4 {
+        return Err(format!(
+            "edge must be [sign, label, src, tgt], got {} elements",
+            parts.len()
+        ));
+    }
+    let text = |i: usize, what: &str| -> Result<String, String> {
+        parts[i]
+            .as_str()
+            .map(str::to_string)
+            .ok_or(format!("edge {what} must be a string"))
+    };
+    let retract = match text(0, "sign")?.as_str() {
+        "+" => false,
+        "-" => true,
+        other => return Err(format!("edge sign must be `+` or `-`, got `{other}`")),
+    };
+    Ok(EdgeOp {
+        retract,
+        label: text(1, "label")?,
+        src: text(2, "src")?,
+        tgt: text(3, "tgt")?,
+    })
+}
+
+/// Builds a success reply frame, with extra fields appended after `ok`.
+pub fn reply_ok(op: &str, extra: Vec<(&str, Json)>) -> String {
+    let mut members = vec![("reply", Json::Str(op.into())), ("ok", Json::Bool(true))];
+    members.extend(extra);
+    obj(members).to_string()
+}
+
+/// Builds an error reply frame.
+pub fn reply_err(op: &str, error: &str) -> String {
+    obj(vec![
+        ("reply", Json::Str(op.into())),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(error.into())),
+    ])
+    .to_string()
+}
+
+/// Builds a per-query match notification frame.
+pub fn notify(id: u32, new: u64, retracted: u64) -> String {
+    obj(vec![
+        ("notify", Json::Bool(true)),
+        ("id", num(id as u64)),
+        ("new", num(new)),
+        ("retracted", num(retracted)),
+    ])
+    .to_string()
+}
+
+/// A decoded server → client frame, as seen by [`crate::client::Client`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// The reply to one request.
+    Reply {
+        /// Which op this answers.
+        op: String,
+        /// Success flag.
+        ok: bool,
+        /// The full frame, for op-specific fields (`id`, `epoch`, …).
+        body: Json,
+    },
+    /// An asynchronous match notification.
+    Notify {
+        /// The query id.
+        id: u32,
+        /// New embeddings reported for this batch.
+        new: u64,
+        /// Retracted embeddings reported for this batch.
+        retracted: u64,
+    },
+}
+
+impl ServerFrame {
+    /// Decodes one server → client line.
+    pub fn decode(line: &str) -> Result<ServerFrame, String> {
+        let frame = json::parse(line)?;
+        if frame.get("notify").and_then(Json::as_bool) == Some(true) {
+            let field = |key: &str| {
+                frame
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("notify missing integer `{key}`"))
+            };
+            return Ok(ServerFrame::Notify {
+                id: field("id")? as u32,
+                new: field("new")?,
+                retracted: field("retracted")?,
+            });
+        }
+        let op = frame
+            .get("reply")
+            .and_then(Json::as_str)
+            .ok_or("frame is neither a reply nor a notification")?
+            .to_string();
+        let ok = frame
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("reply missing bool `ok`")?;
+        Ok(ServerFrame::Reply {
+            op,
+            ok,
+            body: frame,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let cases = vec![
+            Request::Register {
+                query: "?u -likes-> ?p".into(),
+            },
+            Request::Unregister { id: 7 },
+            Request::Push {
+                edges: vec![
+                    EdgeOp {
+                        retract: false,
+                        label: "likes".into(),
+                        src: "u1".into(),
+                        tgt: "p1".into(),
+                    },
+                    EdgeOp {
+                        retract: true,
+                        label: "likes".into(),
+                        src: "u1".into(),
+                        tgt: "p1".into(),
+                    },
+                ],
+            },
+            Request::Flush,
+            Request::Stats,
+            Request::Ping,
+        ];
+        for case in cases {
+            let line = case.encode();
+            assert_eq!(Request::decode(&line).unwrap(), case, "round trip {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("{}", "missing string `op`"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"register"}"#, "string `query`"),
+            (r#"{"op":"unregister","id":"x"}"#, "integer `id`"),
+            (r#"{"op":"unregister","id":4294967296}"#, "integer `id`"),
+            (r#"{"op":"push"}"#, "array `edges`"),
+            (r#"{"op":"push","edges":[["likes","a","b"]]}"#, "3 elements"),
+            (r#"{"op":"push","edges":[["*","l","a","b"]]}"#, "sign"),
+            (
+                r#"{"op":"push","edges":[["+","l","a",3]]}"#,
+                "must be a string",
+            ),
+            ("not json", "invalid"),
+        ] {
+            let err = Request::decode(line).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "error for {line} was `{err}`, wanted `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn server_frames_decode_replies_and_notifications() {
+        let reply = ServerFrame::decode(&reply_ok("register", vec![("id", num(3))])).unwrap();
+        match reply {
+            ServerFrame::Reply { op, ok, body } => {
+                assert_eq!(op, "register");
+                assert!(ok);
+                assert_eq!(body.get("id").unwrap().as_u64(), Some(3));
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        let err = ServerFrame::decode(&reply_err("push", "bad edge")).unwrap();
+        assert!(matches!(err, ServerFrame::Reply { ok: false, .. }));
+        let n = ServerFrame::decode(&notify(5, 2, 1)).unwrap();
+        assert_eq!(
+            n,
+            ServerFrame::Notify {
+                id: 5,
+                new: 2,
+                retracted: 1
+            }
+        );
+        assert!(ServerFrame::decode(r#"{"x":1}"#).is_err());
+    }
+}

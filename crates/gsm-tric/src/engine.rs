@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use gsm_core::engine::{
     ContinuousEngine, DetachedAnswer, EngineStats, MatchReport, QueryId, StagedBatch,
 };
-use gsm_core::error::Result;
+use gsm_core::error::{Error, Result};
 use gsm_core::interner::Sym;
 use gsm_core::memory::HeapSize;
 use gsm_core::model::generic::GenericEdge;
@@ -145,6 +145,11 @@ pub struct TricEngine {
     /// `detach_staged` captures the whole table with one `Arc` bump instead
     /// of deep-copying every affected query's vertex sequences per batch.
     queries: std::sync::Arc<Vec<QueryInfo>>,
+    /// Number of currently registered (non-tombstoned) queries. `queries`
+    /// keeps a slot per id ever issued — unregistration empties the slot's
+    /// path list instead of shifting later ids — so the live count is
+    /// tracked separately.
+    live_queries: usize,
     scratch: UpdateScratch,
     stats: EngineStats,
 }
@@ -339,7 +344,39 @@ impl ContinuousEngine for TricEngine {
             });
         }
         std::sync::Arc::make_mut(&mut self.queries).push(QueryInfo { paths: infos });
+        self.live_queries += 1;
         Ok(qid)
+    }
+
+    /// Removes the query's registrations from every covering-path end node,
+    /// pruning trie nodes (and evicting their cached join builds) that no
+    /// longer serve any query. The query's id slot is tombstoned — emptied,
+    /// never reused — so later ids and detached answer tasks stay valid.
+    fn unregister_query(&mut self, query: QueryId) -> Result<()> {
+        let idx = query.index();
+        if idx >= self.queries.len() || self.queries[idx].paths.is_empty() {
+            return Err(Error::UnknownQuery(query.0));
+        }
+        let infos = std::mem::take(&mut std::sync::Arc::make_mut(&mut self.queries)[idx].paths);
+        for (path_idx, info) in infos.iter().enumerate() {
+            let released = self
+                .forest
+                .remove_registration(info.end_node, query, path_idx)
+                .expect("query table and forest registrations agree");
+            for rel_id in released {
+                self.cache.evict_relation(rel_id);
+            }
+        }
+        self.live_queries -= 1;
+        Ok(())
+    }
+
+    fn next_query_id(&self) -> QueryId {
+        QueryId(self.queries.len() as u32)
+    }
+
+    fn is_registered(&self, query: QueryId) -> bool {
+        query.index() < self.queries.len() && !self.queries[query.index()].paths.is_empty()
     }
 
     fn apply_update(&mut self, update: Update) -> MatchReport {
@@ -465,7 +502,7 @@ impl ContinuousEngine for TricEngine {
     }
 
     fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.live_queries
     }
 
     fn heap_bytes(&self) -> usize {
@@ -1221,6 +1258,70 @@ mod tests {
 
             // The two 2-edge queries share their hasMod prefix in one trie.
             assert!(engine.num_trie_nodes() <= 3);
+        }
+    }
+
+    #[test]
+    fn unregistered_query_stops_reporting_and_shared_nodes_survive() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q1 = f.q("?f -hasMod-> ?p; ?p -posted-> pst1");
+            let q2 = f.q("?f -hasMod-> ?p; ?p -posted-> pst2");
+            let id1 = engine.register_query(&q1).unwrap();
+            let id2 = engine.register_query(&q2).unwrap();
+            engine.apply_update(f.u("hasMod", "frank", "paula"));
+
+            engine.unregister_query(id1).unwrap();
+            assert_eq!(engine.num_queries(), 1, "{}", engine.name());
+            assert!(!engine.is_registered(id1));
+            assert!(engine.is_registered(id2));
+
+            // q1's private leaf died with it; the shared hasMod prefix
+            // survives and q2 still answers over the shared history.
+            assert!(engine
+                .apply_update(f.u("posted", "paula", "pst1"))
+                .is_empty());
+            let r = engine.apply_update(f.u("posted", "paula", "pst2"));
+            assert_eq!(r.satisfied_queries(), vec![id2], "{}", engine.name());
+
+            // Double-unregister reports the tombstone instead of corrupting.
+            assert_eq!(
+                engine.unregister_query(id1),
+                Err(Error::UnknownQuery(id1.0))
+            );
+            assert_eq!(
+                engine.unregister_query(QueryId(99)),
+                Err(Error::UnknownQuery(99))
+            );
+        }
+    }
+
+    #[test]
+    fn reregistration_after_unregister_gets_a_fresh_id_and_backfills() {
+        for mut engine in engines() {
+            let mut f = Fixture::new();
+            let q = f.q("?a -knows-> ?b");
+            let id0 = engine.register_query(&q).unwrap();
+            assert_eq!(engine.apply_update(f.u("knows", "a", "b")).len(), 1);
+
+            engine.unregister_query(id0).unwrap();
+            assert_eq!(engine.num_queries(), 0);
+            assert_eq!(engine.num_trie_nodes(), 0, "{}", engine.name());
+            assert!(
+                engine.apply_update(f.u("knows", "c", "d")).is_empty(),
+                "{}: unregistered query must stop reporting",
+                engine.name()
+            );
+
+            // The freed slot is never reused; the new trie node backfills
+            // from the still-maintained edge views, so only the post-
+            // registration edge is reported as new.
+            let id1 = engine.register_query(&f.q("?a -knows-> ?b")).unwrap();
+            assert_eq!(id1, QueryId(1));
+            assert_eq!(engine.next_query_id(), QueryId(2));
+            let r = engine.apply_update(f.u("knows", "e", "f"));
+            assert_eq!(r.satisfied_queries(), vec![id1], "{}", engine.name());
+            assert_eq!(r.matches[0].new_embeddings, 1);
         }
     }
 

@@ -91,6 +91,10 @@ pub struct TrieForest {
     roots: HashMap<GenericEdge, NodeId>,
     /// edgeInd: generic edge → every node (across all tries) indexing it.
     nodes_by_edge: HashMap<GenericEdge, Vec<NodeId>>,
+    /// Arena slots pruned by unregistration: unlinked from every index and
+    /// emptied, but never reused — [`NodeId`]s stay stable for the forest's
+    /// whole life (staged answer tokens and query records hold them).
+    pruned: usize,
 }
 
 impl TrieForest {
@@ -99,8 +103,14 @@ impl TrieForest {
         Self::default()
     }
 
-    /// Total number of trie nodes.
+    /// Total number of **live** trie nodes (pruned arena slots excluded).
     pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - self.pruned
+    }
+
+    /// Total number of arena slots, live and pruned: the exclusive upper
+    /// bound of every [`NodeId`] ever issued.
+    pub fn num_slots(&self) -> usize {
         self.nodes.len()
     }
 
@@ -210,15 +220,83 @@ impl TrieForest {
         (path_nodes, created)
     }
 
+    /// Removes the `(query, path_idx)` registration from the covering
+    /// path's end node, then prunes upward: a node left with no
+    /// registrations and no children serves no remaining covering path, so
+    /// it is unlinked from its parent (or `rootInd`), dropped from
+    /// `edgeInd`, and its materialized view is released. Ancestors that
+    /// thereby become childless and registration-free are pruned too —
+    /// exactly the reverse of the find-or-create descent of
+    /// [`insert_path`](Self::insert_path). Arena slots are retained (ids
+    /// stay stable) but emptied.
+    ///
+    /// Returns `None` when the registration does not exist, otherwise the
+    /// [`Relation::id`]s of the materialized views the pruning released —
+    /// the caller evicts any cached join builds over them. Pruning never
+    /// touches nodes still serving other queries: shared prefixes survive
+    /// as long as any registration lives at or below them.
+    pub fn remove_registration(
+        &mut self,
+        end_node: NodeId,
+        query: QueryId,
+        path_idx: usize,
+    ) -> Option<Vec<u64>> {
+        let regs = &mut self.nodes[end_node.index()].registrations;
+        let before = regs.len();
+        regs.retain(|r| !(r.query == query && r.path_idx == path_idx));
+        if regs.len() == before {
+            return None;
+        }
+        Some(self.prune_upward(end_node))
+    }
+
+    /// Unlinks `node` and every newly dead ancestor (no registrations, no
+    /// children) from the forest's indexes, emptying their arena slots;
+    /// returns the released views' relation ids.
+    fn prune_upward(&mut self, mut node: NodeId) -> Vec<u64> {
+        let mut released = Vec::new();
+        loop {
+            let n = &self.nodes[node.index()];
+            if !n.children.is_empty() || !n.registrations.is_empty() {
+                return released;
+            }
+            let parent = n.parent;
+            let edge = n.edge;
+            match parent {
+                Some(p) => self.nodes[p.index()].children.retain(|&c| c != node),
+                None => {
+                    if self.roots.get(&edge) == Some(&node) {
+                        self.roots.remove(&edge);
+                    }
+                }
+            }
+            if let Some(indexed) = self.nodes_by_edge.get_mut(&edge) {
+                indexed.retain(|&c| c != node);
+                if indexed.is_empty() {
+                    self.nodes_by_edge.remove(&edge);
+                }
+            }
+            let slot = &mut self.nodes[node.index()];
+            released.push(slot.mat_view.id());
+            slot.mat_view = Relation::new(slot.depth + 2);
+            slot.parent = None;
+            self.pruned += 1;
+            match parent {
+                Some(p) => node = p,
+                None => return released,
+            }
+        }
+    }
+
     /// Collects per-forest sharing statistics: how many (query, path)
     /// registrations exist versus how many nodes store them. A ratio above
     /// 1.0 means clustering is paying off.
     pub fn sharing_ratio(&self) -> f64 {
         let registrations: usize = self.nodes.iter().map(|n| n.registrations.len()).sum();
-        if self.nodes.is_empty() {
+        if self.num_nodes() == 0 {
             return 0.0;
         }
-        registrations as f64 / self.nodes.len() as f64
+        registrations as f64 / self.num_nodes() as f64
     }
 }
 
@@ -310,6 +388,86 @@ mod tests {
             let n = forest.node(id);
             assert_eq!(n.mat_view.arity(), n.depth + 2);
         }
+    }
+
+    #[test]
+    fn unregistering_prunes_unshared_suffix_but_keeps_shared_prefix() {
+        let mut s = SymbolTable::new();
+        let q1 = QueryPattern::parse("?f -hasMod-> ?p; ?p -posted-> pst1", &mut s).unwrap();
+        let q2 = QueryPattern::parse("?f -hasMod-> ?p; ?p -posted-> pst2", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        let mut ends = Vec::new();
+        for (qid, q) in [(QueryId(0), &q1), (QueryId(1), &q2)] {
+            for (pi, p) in covering_paths(q).iter().enumerate() {
+                let (nodes, _) = forest.insert_path(&generic_path(q, p), qid, pi);
+                ends.push((qid, pi, *nodes.last().unwrap()));
+            }
+        }
+        assert_eq!(forest.num_nodes(), 3, "shared root + two leaves");
+
+        // Unregister q1: its private leaf dies, the shared root survives
+        // (q2's path still descends through it).
+        for &(qid, pi, end) in ends.iter().filter(|(q, _, _)| *q == QueryId(0)) {
+            let released = forest.remove_registration(end, qid, pi).unwrap();
+            assert_eq!(released.len(), 1, "only the private leaf view is released");
+        }
+        assert_eq!(forest.num_nodes(), 2);
+        assert_eq!(forest.num_tries(), 1);
+        assert_eq!(forest.num_slots(), 3, "arena slots stay for id stability");
+
+        // Unregister q2: the remaining leaf and then the root die too.
+        for &(qid, pi, end) in ends.iter().filter(|(q, _, _)| *q == QueryId(1)) {
+            let released = forest.remove_registration(end, qid, pi).unwrap();
+            assert_eq!(released.len(), 2, "leaf and shared root both released");
+        }
+        assert_eq!(forest.num_nodes(), 0);
+        assert_eq!(forest.num_tries(), 0);
+        assert!(forest
+            .nodes_for_edge(&forest.node(NodeId(0)).edge)
+            .is_empty());
+
+        // Double-unregister reports absence instead of corrupting state.
+        let (qid, pi, end) = ends[0];
+        assert!(forest.remove_registration(end, qid, pi).is_none());
+    }
+
+    #[test]
+    fn unregistering_a_shared_identical_path_keeps_every_node() {
+        let mut s = SymbolTable::new();
+        let q1 = QueryPattern::parse("?a -x-> ?b; ?b -y-> ?c", &mut s).unwrap();
+        let q2 = QueryPattern::parse("?p -x-> ?q; ?q -y-> ?r", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        let mut end = None;
+        for (qid, q) in [(QueryId(0), &q1), (QueryId(1), &q2)] {
+            for (pi, p) in covering_paths(q).iter().enumerate() {
+                let (nodes, _) = forest.insert_path(&generic_path(q, p), qid, pi);
+                end = Some(*nodes.last().unwrap());
+            }
+        }
+        let end = end.unwrap();
+        let released = forest.remove_registration(end, QueryId(0), 0).unwrap();
+        assert!(released.is_empty(), "shared nodes keep their views");
+        assert_eq!(forest.num_nodes(), 2, "q2 still registers the same path");
+        assert_eq!(forest.node(end).registrations.len(), 1);
+    }
+
+    #[test]
+    fn pruned_root_can_be_reinserted_fresh() {
+        let mut s = SymbolTable::new();
+        let q = QueryPattern::parse("?a -x-> ?b", &mut s).unwrap();
+        let mut forest = TrieForest::new();
+        let p = &covering_paths(&q)[0];
+        let (nodes, _) = forest.insert_path(&generic_path(&q, p), QueryId(0), 0);
+        assert!(forest
+            .remove_registration(nodes[0], QueryId(0), 0)
+            .is_some());
+        assert_eq!(forest.num_tries(), 0);
+        // Re-registering the same shape builds a new trie in a new slot.
+        let (nodes2, created) = forest.insert_path(&generic_path(&q, p), QueryId(1), 0);
+        assert_ne!(nodes2[0], nodes[0], "ids are never reused");
+        assert_eq!(created, nodes2);
+        assert_eq!(forest.num_tries(), 1);
+        assert_eq!(forest.num_nodes(), 1);
     }
 
     #[test]
